@@ -1,0 +1,51 @@
+"""Bench fixtures: result-artifact writing and cluster factories.
+
+Every bench regenerates one of the paper's tables or figures, asserts the
+shape that must hold, and writes the rendered artifact to
+``benchmarks/results/<name>.txt`` (also echoed to stdout under ``-s``) so
+EXPERIMENTS.md can point at concrete files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cluster import Cluster
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Write (and print) a named bench artifact."""
+
+    def writer(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return writer
+
+
+@pytest.fixture
+def make_cluster():
+    """Simulated-network cluster factory (torn down after the bench)."""
+    created: list[Cluster] = []
+
+    def factory(node_ids, **kwargs) -> Cluster:
+        kwargs.setdefault("synchronous_casts", True)
+        cluster = Cluster(node_ids, **kwargs)
+        created.append(cluster)
+        return cluster
+
+    yield factory
+    for cluster in created:
+        cluster.shutdown()

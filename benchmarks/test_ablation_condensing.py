@@ -1,0 +1,85 @@
+"""Ablation: condensing the number of RMI calls (§5).
+
+"MAGE would directly benefit from … condensing the number of RMI calls in
+the MAGE implementation.  This condensing can be achieved by better
+utilizing the in and out variables of a single Java RMI call."
+
+Traditional REV spends four round trips (class probe, instantiate,
+publish, invoke).  The condensed deployment rides the migration engine
+instead: instantiate locally, ship object+class in one OBJECT_TRANSFER,
+invoke — the "in variables" of one call carrying what three used to.
+The bench measures both and quantifies the §5 speedup claim.
+"""
+
+from repro.bench.harness import measure_invocations
+from repro.bench.tables import render_table
+from repro.bench.workloads import Counter
+from repro.core.factory import FactoryMode
+from repro.core.models import REV
+from repro.net.conditions import ConstantLatency
+from repro.util.ids import fresh_token
+
+BANDWIDTH = 1250.0
+
+
+def _chatty_rev(cluster):
+    """The paper's 4-RMI-call REV (Table 3's TREV)."""
+    cluster["client"].register_class(Counter)
+    rev = REV("Counter", f"chatty-{fresh_token('cd')}", "server",
+              mode=FactoryMode.TRADITIONAL,
+              runtime=cluster["client"].namespace)
+
+    def operation():
+        stub = rev.bind()
+        return stub.increment()
+
+    return operation
+
+
+def _condensed_rev(cluster):
+    """Condensed: instantiate here, one transfer carries object+class."""
+    client = cluster["client"].namespace
+
+    def operation():
+        name = f"condensed-{fresh_token('cd')}"
+        client.register(name, Counter(), shared=False)
+        client.move(name, "server")
+        return client.stub(name, location="server").increment()
+
+    return operation
+
+
+def _measure(make_cluster, builder, label):
+    cluster = make_cluster(
+        ["client", "server"],
+        latency=ConstantLatency(bandwidth_bytes_per_ms=BANDWIDTH),
+    )
+    return measure_invocations(cluster, label, builder(cluster), 10)
+
+
+def test_ablation_call_condensing(benchmark, report, make_cluster):
+    chatty = benchmark.pedantic(
+        _measure, args=(make_cluster, _chatty_rev, "traditional REV"),
+        iterations=1, rounds=1,
+    )
+    condensed = _measure(make_cluster, _condensed_rev, "condensed REV")
+
+    # The §5 claim: fewer RMI calls, directly less time.
+    assert condensed.warm_messages < chatty.warm_messages
+    assert condensed.amortized_ms < chatty.amortized_ms
+    speedup = chatty.amortized_ms / condensed.amortized_ms
+    assert speedup > 1.5
+
+    rows = [
+        ("traditional REV (4 calls)", f"{chatty.amortized_ms:.1f}",
+         chatty.warm_messages, "1.0x"),
+        ("condensed REV (migration engine)", f"{condensed.amortized_ms:.1f}",
+         condensed.warm_messages, f"{speedup:.1f}x"),
+    ]
+    report("ablation_condensing", render_table(
+        ["Deployment protocol", "amortized (vms)", "warm msgs/invocation",
+         "speedup"],
+        rows,
+        title="Ablation — §5 RMI-call condensing "
+              "(remote deployment + one invocation)",
+    ))

@@ -1,0 +1,61 @@
+"""Ablation: forwarding-chain path collapsing (§4.1).
+
+"As the result returns, each server updates its forwarding address, thus
+collapsing the path."
+
+The bench builds a long forwarding chain (an object that hopped across N
+nodes), then measures repeated finds from the chain's head with collapsing
+on and off: collapsed chains answer follow-up finds in one round trip;
+uncollapsed ones re-walk the whole chain every time.
+"""
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import Counter
+
+CHAIN = ["n0", "n1", "n2", "n3", "n4", "n5"]
+REPEAT_FINDS = 5
+
+
+def _chain_walk_costs(make_cluster, path_collapsing: bool):
+    cluster = make_cluster(CHAIN, path_collapsing=path_collapsing)
+    cluster["n0"].register("obj", Counter())
+    location = "n0"
+    for target in CHAIN[1:]:
+        # Each hop is initiated by the current host, so only adjacent
+        # forwarding addresses are updated: n0 still believes n1.
+        location = cluster[location].namespace.move("obj", target)
+    costs = []
+    for _ in range(REPEAT_FINDS):
+        before = cluster.trace.remote_message_count()
+        found = cluster["n0"].find("obj", verify=True)
+        assert found == CHAIN[-1]
+        costs.append(cluster.trace.remote_message_count() - before)
+    return costs
+
+
+def test_ablation_path_collapsing(benchmark, report, make_cluster):
+    collapsing = benchmark.pedantic(
+        _chain_walk_costs, args=(make_cluster, True), iterations=1, rounds=1
+    )
+    flat = _chain_walk_costs(make_cluster, False)
+
+    # First find pays the whole chain either way.
+    assert collapsing[0] == flat[0]
+    assert collapsing[0] > 2
+    # Collapsed: every later find is one direct round trip.
+    assert all(cost == 2 for cost in collapsing[1:])
+    # Uncollapsed: the full chain is re-walked every single time.
+    assert all(cost == flat[0] for cost in flat[1:])
+
+    rows = [
+        ("collapsing on (paper)", collapsing[0], collapsing[1],
+         sum(collapsing)),
+        ("collapsing off (ablation)", flat[0], flat[1], sum(flat)),
+    ]
+    report("ablation_forwarding", render_table(
+        ["Configuration", "first find (msgs)", "later finds (msgs)",
+         f"total over {REPEAT_FINDS} finds"],
+        rows,
+        title=f"Ablation — §4.1 path collapsing "
+              f"(object {len(CHAIN) - 1} hops away)",
+    ))

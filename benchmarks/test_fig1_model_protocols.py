@@ -1,0 +1,126 @@
+"""Figure 1: the mobility semantics of RPC, COD, REV and MA — as traces.
+
+The paper's Figure 1 draws each classical model's interaction between a
+program P, a distinguished component C, and namespaces.  Here each model
+runs live on a fresh cluster and the message trace *is* the figure: the
+bench captures, prints, and asserts the defining sequence of each panel.
+"""
+
+from repro.bench.tables import render_arrows
+from repro.bench.workloads import Counter
+from repro.core.factory import FactoryMode
+from repro.core.models import COD, MAgent, REV, RPC
+
+
+def _remote_kinds(cluster, skip=0):
+    return [e.kind for e in cluster.trace.filtered(remote_only=True)][skip:]
+
+
+def _panel_a_rpc(make_cluster):
+    """(a) Remote Procedure Call: C already resides on the target."""
+    cluster = make_cluster(["A", "B"])
+    cluster["B"].register("C", Counter())
+    rpc = RPC("C", target="B", runtime=cluster["A"].namespace, origin="B")
+    skip = cluster.trace.remote_message_count()
+    rpc.bind().increment()
+    return cluster, _remote_kinds(cluster, skip)
+
+
+def _panel_b_cod(make_cluster):
+    """(b) Code on Demand: the class is downloaded to the local namespace."""
+    cluster = make_cluster(["A", "B"])
+    cluster["B"].register_class(Counter)
+    cod = COD("C", class_name="Counter", source="B",
+              runtime=cluster["A"].namespace)
+    skip = cluster.trace.remote_message_count()
+    cod.bind().increment()
+    return cluster, _remote_kinds(cluster, skip)
+
+
+def _panel_c_rev(make_cluster):
+    """(c) Remote Evaluation: P moves component C to namespace B."""
+    cluster = make_cluster(["A", "B"])
+    cluster["A"].register_class(Counter)
+    rev = REV("Counter", "C", "B", mode=FactoryMode.TRADITIONAL,
+              runtime=cluster["A"].namespace)
+    skip = cluster.trace.remote_message_count()
+    rev.bind().increment()
+    return cluster, _remote_kinds(cluster, skip)
+
+
+def _panel_d_ma(make_cluster):
+    """(d) Mobile Agent: the component moves itself; results stay remote."""
+    cluster = make_cluster(["A", "B"])
+    cluster["A"].register_class(Counter)
+    ma = MAgent("C", "B", class_name="Counter",
+                runtime=cluster["A"].namespace)
+    skip = cluster.trace.remote_message_count()
+    ma.bind()
+    ma.send("increment")
+    cluster.quiesce()
+    return cluster, _remote_kinds(cluster, skip)
+
+
+PANELS = {
+    "a_rpc": _panel_a_rpc,
+    "b_cod": _panel_b_cod,
+    "c_rev": _panel_c_rev,
+    "d_ma": _panel_d_ma,
+}
+
+
+def test_fig1a_rpc_no_component_movement(benchmark, report, make_cluster):
+    cluster, kinds = benchmark.pedantic(
+        _panel_a_rpc, args=(make_cluster,), iterations=1, rounds=1
+    )
+    # RPC: pure invocation traffic, nothing about classes or objects moves.
+    assert kinds == ["INVOKE", "REPLY(INVOKE)"]
+    report("figure1a_rpc", render_arrows(
+        "Figure 1(a) — Remote Procedure Call",
+        cluster.trace.arrows(remote_only=True),
+    ))
+
+
+def test_fig1b_cod_downloads_code(benchmark, report, make_cluster):
+    cluster, kinds = benchmark.pedantic(
+        _panel_b_cod, args=(make_cluster,), iterations=1, rounds=1
+    )
+    # COD: the class crosses toward the caller, the invocation stays local.
+    assert kinds == ["CLASS_REQUEST", "REPLY(CLASS_REQUEST)"]
+    assert "INVOKE" not in kinds  # execution happened in the local namespace
+    report("figure1b_cod", render_arrows(
+        "Figure 1(b) — Code on Demand",
+        cluster.trace.arrows(remote_only=True),
+    ))
+
+
+def test_fig1c_rev_ships_code_out_and_result_back(benchmark, report,
+                                                  make_cluster):
+    cluster, kinds = benchmark.pedantic(
+        _panel_c_rev, args=(make_cluster,), iterations=1, rounds=1
+    )
+    assert kinds == [
+        "CLASS_TRANSFER", "REPLY(CLASS_TRANSFER)",    # probe
+        "CLASS_TRANSFER", "REPLY(CLASS_TRANSFER)",    # body
+        "INSTANTIATE", "REPLY(INSTANTIATE)",
+        "REGISTRY_BIND", "REPLY(REGISTRY_BIND)",      # publish
+        "INVOKE", "REPLY(INVOKE)",                    # result returns
+    ]
+    report("figure1c_rev", render_arrows(
+        "Figure 1(c) — Remote Evaluation",
+        cluster.trace.arrows(remote_only=True),
+    ))
+
+
+def test_fig1d_ma_result_stays_remote(benchmark, report, make_cluster):
+    cluster, kinds = benchmark.pedantic(
+        _panel_d_ma, args=(make_cluster,), iterations=1, rounds=1
+    )
+    # MA deploys like REV but the final INVOKE is one-way: no reply.
+    assert kinds[-1] == "INVOKE"
+    assert kinds.count("INVOKE") == 1
+    assert "REPLY(INVOKE)" not in kinds
+    report("figure1d_ma", render_arrows(
+        "Figure 1(d) — Mobile Agent",
+        cluster.trace.arrows(remote_only=True),
+    ))

@@ -1,0 +1,78 @@
+"""Figure 3: Current Location Evaluation.
+
+"In Figure 3, P finds C to make its invocation request" — while a
+controller keeps moving C.  The bench drives the §3.3 printer scenario:
+clients invoke through CLE as the job controller migrates the print server
+across the fleet, asserting every job lands on the *same component*
+("CLE … can refer to the same component across invocations and
+namespaces", unlike Jini's interface-level rebinding).
+"""
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import PrintServer
+from repro.core.models import CLE
+
+
+def _printer_scenario(make_cluster, migrations=6):
+    floors = ["floor1", "floor2", "floor3"]
+    cluster = make_cluster(["controller"] + floors)
+    cluster["controller"].register("ps", PrintServer("ps"), shared=True)
+    client = CLE("ps", runtime=cluster["floor1"].namespace,
+                 origin="controller")
+    controller = cluster["controller"].namespace
+
+    rows = []
+    for i in range(migrations):
+        target = floors[i % len(floors)]
+        controller.move("ps", target, origin_hint="controller")
+        receipt = client.bind().print_job(f"job-{i}")
+        rows.append((i, target, client.cloc, receipt))
+    total = client.bind().queue_length()
+    return cluster, rows, total
+
+
+def test_fig3_cle_follows_the_moving_component(benchmark, report,
+                                               make_cluster):
+    cluster, rows, total = benchmark.pedantic(
+        _printer_scenario, args=(make_cluster,), iterations=1, rounds=1
+    )
+    for i, target, found_at, receipt in rows:
+        assert found_at == target, f"job {i}: CLE found {found_at}, not {target}"
+        assert receipt.startswith(f"ps:{i + 1}:")  # one queue, one component
+    assert total == len(rows)
+    report("figure3_cle", render_table(
+        ["Invocation", "Controller moved ps to", "CLE found it at", "Receipt"],
+        rows,
+        title="Figure 3 — Current Location Evaluation "
+              "(printer management, §3.3)",
+    ))
+
+
+def test_fig3_cle_find_cost_scales_with_staleness(benchmark, report,
+                                                  make_cluster):
+    """CLE pays a verified find per bind; path collapsing keeps the cost at
+    one extra round trip once the chain is short."""
+    cluster = make_cluster(["controller", "floor1", "floor2", "floor3"])
+    cluster["controller"].register("ps", PrintServer(), shared=True)
+    client = CLE("ps", runtime=cluster["floor1"].namespace,
+                 origin="controller")
+    controller = cluster["controller"].namespace
+
+    def one_invocation():
+        controller.move("ps", "floor2", origin_hint="controller")
+        controller.move("ps", "floor3", origin_hint="controller")
+        client.bind().print_job("x")
+
+    benchmark(one_invocation)
+    rows = []
+    for _ in range(3):
+        before = cluster.trace.remote_message_count()
+        client.bind().print_job("steady")
+        rows.append(("steady-state bind+invoke",
+                     cluster.trace.remote_message_count() - before))
+    # Steady state: verified FIND round trip + INVOKE round trip.
+    assert all(cost == 4 for _label, cost in rows)
+    report("figure3_cle_cost", render_table(
+        ["Operation", "Remote messages"], rows,
+        title="CLE steady-state cost (find + invoke)",
+    ))

@@ -1,0 +1,170 @@
+"""Figure 8: mobile-object locking — stay/move queues under contention.
+
+"If A.f and B.g both invoke C.g, MAGE must ensure their mutual
+noninterference … Each mobile object has a lock queue … Because object
+migration is so expensive, MAGE's current locking implementation unfairly
+favors invocations that stay lock their object."
+
+Two benches:
+
+* the Figure 8 scenario itself — concurrent stay and move lockers on one
+  object, asserting mutual noninterference (never two copies, no lost
+  updates);
+* the unfairness measurement — stay throughput achieved while a move
+  waits, under the paper's unfair policy versus the fair-FIFO ablation.
+"""
+
+import threading
+import time
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import Counter
+from repro.runtime.locks import LockManager
+
+
+def _contention_round(locks: LockManager, stay_threads=4, stays_per_thread=25):
+    """Hammer one object with stays while one mover waits; returns how many
+    stay grants landed before the move got through.
+
+    Sequencing matters: a primer stay blocks the mover, the mover is
+    *confirmed queued*, and only then do the stayers start and the primer
+    releases — so both policies face the identical situation: a waiting
+    move versus a stream of stay requests.
+    """
+    stays_before_move = []
+    counter_lock = threading.Lock()
+    move_granted = threading.Event()
+    stop = threading.Event()
+    budget = stay_threads * stays_per_thread
+
+    def stayer():
+        from repro.errors import LockTimeoutError
+
+        while not stop.is_set():
+            try:
+                grant = locks.acquire("C", "alpha", "stayer", timeout_ms=50)
+            except LockTimeoutError:
+                if move_granted.is_set():
+                    return  # fair mode: blocked until the move went through
+                continue
+            with counter_lock:
+                if not move_granted.is_set():
+                    stays_before_move.append(1)
+                done = len(stays_before_move) >= budget
+            locks.release("C", grant.token)
+            if done or move_granted.is_set():
+                stop.set()
+
+    def mover():
+        grant = locks.acquire("C", "beta", "mover")
+        move_granted.set()
+        locks.release("C", grant.token)
+
+    hold = locks.acquire("C", "alpha", "primer")  # make the mover queue up
+    mover_thread = threading.Thread(target=mover)
+    mover_thread.start()
+    while locks.snapshot("C")["queued"] < 1:
+        time.sleep(0.001)  # until the move request is demonstrably queued
+    threads = [threading.Thread(target=stayer) for _ in range(stay_threads)]
+    for t in threads:
+        t.start()
+    locks.release("C", hold.token)
+    mover_thread.join(timeout=30)
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    return len(stays_before_move), locks.stats
+
+
+def test_fig8_mutual_noninterference(benchmark, report, make_cluster):
+    """The A.f / B.g scenario live: two attributes, different targets,
+    interleaved moves — exactly one copy and no lost updates."""
+    from repro.core.models import COD, GREV
+    from repro.errors import LockMovedError, LockTimeoutError
+
+    def scenario():
+        cluster = make_cluster(["home", "alpha", "beta"])
+        cluster["home"].register("C", Counter(), shared=True)
+        errors = []
+
+        def worker(node, attribute_factory, rounds=4):
+            try:
+                landed = 0
+                attempts = 0
+                while landed < rounds and attempts < 80:
+                    attempts += 1
+                    attribute = attribute_factory()
+                    try:
+                        with attribute.locked(timeout_ms=5000) as stub:
+                            stub.increment()
+                        landed += 1
+                    except (LockMovedError, LockTimeoutError):
+                        continue
+                if landed != rounds:
+                    raise AssertionError(f"{node}: only {landed} rounds")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(
+                "alpha",
+                lambda: COD("C", runtime=cluster["alpha"].namespace,
+                            origin="home"),
+            )),
+            threading.Thread(target=worker, args=(
+                "beta",
+                lambda: GREV("C", "beta", runtime=cluster["beta"].namespace,
+                             origin="home"),
+            )),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == [], errors
+        hosts = [n.node_id for n in cluster
+                 if n.namespace.store.contains("C")]
+        assert len(hosts) == 1
+        final = cluster[hosts[0]].stub("C", location=hosts[0]).get()
+        assert final == 8  # 2 workers x 4 increments, none lost
+        return final
+
+    final = benchmark.pedantic(scenario, iterations=1, rounds=1)
+    report("figure8_noninterference",
+           "Figure 8 — concurrent COD vs GREV on one object:\n"
+           f"  exactly one copy survived, final count = {final} "
+           "(2 invokers x 4 locked increments, none lost)")
+
+
+def test_fig8_unfair_vs_fair_lock_policy(benchmark, report):
+    """The unfairness ablation: under the paper's policy, stays granted
+    while a move waits vastly exceed the fair-FIFO baseline."""
+
+    def run_both():
+        unfair_stays, unfair_stats = _contention_round(LockManager("alpha"))
+        fair_stays, fair_stats = _contention_round(
+            LockManager("alpha", fair=True)
+        )
+        return unfair_stays, fair_stays, unfair_stats, fair_stats
+
+    unfair_stays, fair_stays, unfair_stats, fair_stats = benchmark.pedantic(
+        run_both, iterations=1, rounds=1
+    )
+    # Unfair: the move waits while stays keep jumping the queue.
+    # Fair: the queued move blocks later stays, so almost none sneak past.
+    assert unfair_stays > fair_stays * 3, (
+        f"unfair {unfair_stays} vs fair {fair_stays}"
+    )
+    rows = [
+        ("unfair (paper §4.4)", unfair_stays, unfair_stats.stays_granted,
+         unfair_stats.moves_granted),
+        ("fair FIFO (ablation)", fair_stays, fair_stats.stays_granted,
+         fair_stats.moves_granted),
+    ]
+    report("figure8_locking", render_table(
+        ["Policy", "Stays granted while move waited",
+         "Total stays", "Total moves"],
+        rows,
+        title="Figure 8 — stay-preference unfairness "
+              "(paper policy vs FIFO ablation)",
+    ))

@@ -1,0 +1,57 @@
+"""Extension sweep: find cost as a function of forwarding-chain length.
+
+§4.1's registry walks chains of forwarding addresses.  This sweep grows
+the chain from 1 to 8 hops and measures the first (walking) find and the
+steady-state find from a cold observer, with path collapsing on and off —
+the curve behind the single-point ablation.
+"""
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import Counter
+from repro.cluster import Cluster
+
+MAX_HOPS = 8
+
+
+def _find_costs(make_cluster, hops: int, collapsing: bool):
+    nodes = [f"n{i}" for i in range(hops + 1)]
+    cluster = make_cluster(nodes + ["observer"],
+                           path_collapsing=collapsing)
+    cluster["n0"].register("obj", Counter())
+    location = "n0"
+    for target in nodes[1:]:
+        location = cluster[location].namespace.move("obj", target)
+    observer = cluster["observer"].namespace
+    before = cluster.trace.remote_message_count()
+    assert observer.find("obj", origin_hint="n0", verify=True) == location
+    first = cluster.trace.remote_message_count() - before
+    before = cluster.trace.remote_message_count()
+    assert observer.find("obj", origin_hint="n0", verify=True) == location
+    second = cluster.trace.remote_message_count() - before
+    return first, second
+
+
+def test_sweep_chain_length(benchmark, report, make_cluster):
+    rows = []
+    for hops in range(1, MAX_HOPS + 1):
+        first_on, second_on = _find_costs(make_cluster, hops, True)
+        first_off, second_off = _find_costs(make_cluster, hops, False)
+        rows.append((hops, first_on, second_on, first_off, second_off))
+    benchmark.pedantic(
+        lambda: _find_costs(make_cluster, MAX_HOPS, True),
+        iterations=1, rounds=1,
+    )
+    # First find walks the whole chain regardless of policy.
+    for hops, first_on, second_on, first_off, second_off in rows:
+        assert first_on == first_off == 2 * (hops + 1)
+        # Collapsed: the repeat find is one direct round trip.
+        assert second_on == 2
+        # Uncollapsed: the repeat find re-walks everything.
+        assert second_off == first_off
+    report("sweep_chains", render_table(
+        ["Chain hops", "first find (msgs)", "repeat, collapsing on",
+         "first find (off)", "repeat, collapsing off"],
+        rows,
+        title="Extension sweep — find cost vs forwarding-chain length "
+              "(§4.1 path collapsing)",
+    ))

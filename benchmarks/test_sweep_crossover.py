@@ -1,0 +1,91 @@
+"""Extension sweep: where moving computation beats moving data.
+
+The paper's raison d'être (§1, §7): "computation and resources must be
+dynamically collocated … usually for performance and efficiency reasons."
+Table 3 measures the *overhead* of mobility; this sweep measures its
+*payoff*: at what data size does shipping the filter to the sensor (REV)
+become cheaper than shipping every reading to the lab (static RPC)?
+
+For each raw-data size the bench runs both strategies on a 10 Mb/s
+bandwidth model and reports virtual time and bytes; the crossover is
+asserted to exist and to sit below the paper's "enormous amount of data"
+regime.
+"""
+
+from repro.bench.tables import render_table
+from repro.bench.workloads import GeoDataFilterImpl
+from repro.core.factory import FactoryMode
+from repro.core.models import REV
+from repro.net.conditions import ConstantLatency
+
+BANDWIDTH = 1250.0  # 10 Mb/s
+SIZES = (10, 100, 1_000, 10_000, 50_000)
+
+
+def _mage_strategy(make_cluster, n_readings):
+    """Move the filter to the data; only the summary crosses back."""
+    cluster = make_cluster(
+        ["lab", "sensor"],
+        latency=ConstantLatency(bandwidth_bytes_per_ms=BANDWIDTH),
+    )
+    cluster["lab"].register_class(GeoDataFilterImpl)
+    lab = cluster["lab"].namespace
+    start = cluster.clock.now_ms()
+    rev = REV("GeoDataFilterImpl", "geo", "sensor",
+              mode=FactoryMode.SINGLE_USE, ctor_args=(0.99,), runtime=lab)
+    geo = rev.bind()
+    # The sensor's feed is local to the filter: no wire crossing.
+    cluster["sensor"].namespace.store.get("geo").ingest([0.5] * n_readings)
+    geo.filter_data()
+    summary = geo.process_data()
+    assert summary["samples"] == 0
+    return cluster.clock.now_ms() - start, cluster.trace.remote_bytes()
+
+
+def _static_strategy(make_cluster, n_readings):
+    """Classic RPC: every reading crosses to the stationary filter."""
+    cluster = make_cluster(
+        ["lab", "sensor"],
+        latency=ConstantLatency(bandwidth_bytes_per_ms=BANDWIDTH),
+    )
+    cluster["lab"].register("geo", GeoDataFilterImpl(0.99))
+    stub = cluster["sensor"].namespace.stub("geo", location="lab")
+    start = cluster.clock.now_ms()
+    batch = 1_000
+    for offset in range(0, n_readings, batch):
+        count = min(batch, n_readings - offset)
+        stub.ingest([0.5] * count)
+    stub.filter_data()
+    stub.process_data()
+    return cluster.clock.now_ms() - start, cluster.trace.remote_bytes()
+
+
+def test_sweep_computation_vs_data_crossover(benchmark, report, make_cluster):
+    rows = []
+    winners = []
+    for size in SIZES:
+        mage_ms, mage_bytes = _mage_strategy(make_cluster, size)
+        static_ms, static_bytes = _static_strategy(make_cluster, size)
+        winner = "REV (move code)" if mage_ms < static_ms else "RPC (move data)"
+        winners.append(winner)
+        rows.append((
+            size,
+            f"{mage_ms:.1f}", f"{static_ms:.1f}",
+            mage_bytes, static_bytes, winner,
+        ))
+    benchmark.pedantic(
+        lambda: _mage_strategy(make_cluster, SIZES[-1]),
+        iterations=1, rounds=1,
+    )
+    # Small data: mobility overhead loses.  Big data: mobility wins.  A
+    # crossover must exist, and the big-data end must favour mobility.
+    assert winners[0] == "RPC (move data)"
+    assert winners[-1] == "REV (move code)"
+    assert "REV (move code)" in winners  # crossover happened inside the sweep
+    report("sweep_crossover", render_table(
+        ["Raw readings", "REV strategy (vms)", "RPC strategy (vms)",
+         "REV bytes", "RPC bytes", "winner"],
+        rows,
+        title="Extension sweep — colocation payoff: move the computation "
+              "or move the data? (10 Mb/s)",
+    ))

@@ -1,0 +1,80 @@
+"""Cluster observability: watch a MAGE deployment move work around.
+
+Runs a small synthetic "day" on a 4-node cluster — REV deployments,
+load-driven migrations, an agent survey — and prints the per-namespace
+metrics dashboard after each phase: objects hosted, traffic in/out,
+invocations served, moves, locks.
+
+Run with::
+
+    python examples/cluster_dashboard.py
+"""
+
+from repro import Cluster, FactoryMode, LoadBalancing, REV
+from repro.bench.tables import render_table
+from repro.bench.workloads import ProbeAgent
+from repro.runtime.metrics import METRICS_HEADER, collect_cluster
+
+
+class Worker:
+    """A unit of deployable work."""
+
+    def __init__(self, job=""):
+        self.job = job
+        self.progress = 0
+
+    def step(self):
+        self.progress += 1
+        return self.progress
+
+
+def dashboard(cluster, phase):
+    rows = [metrics.row() for metrics in collect_cluster(cluster)]
+    print()
+    print(render_table(METRICS_HEADER, rows, title=f"After: {phase}"))
+
+
+def main():
+    hosts = ["control", "h1", "h2", "h3"]
+    with Cluster(hosts) as cluster:
+        control = cluster["control"]
+        control.register_class(Worker)
+
+        # Phase 1: deploy three workers across the farm with REV.
+        workers = []
+        for i, host in enumerate(["h1", "h2", "h3"]):
+            rev = REV("Worker", f"worker{i}", host,
+                      mode=FactoryMode.SINGLE_USE,
+                      ctor_args=(f"job-{i}",), runtime=control.namespace)
+            stub = rev.bind()
+            stub.step()
+            workers.append((f"worker{i}", rev))
+        dashboard(cluster, "REV deployment of 3 workers")
+
+        # Phase 2: h2 gets pegged; its worker flees via a load policy.
+        cluster["h2"].set_load(400.0)
+        cluster["h1"].set_load(20.0)
+        cluster["h3"].set_load(30.0)
+        policy = LoadBalancing("worker1", candidates=["h1", "h3"],
+                               threshold=100.0, runtime=control.namespace,
+                               origin="h2")
+        policy.bind().step()
+        print(f"\n  worker1 migrated to {policy.cloc} "
+              f"(h2 load 400 > threshold 100)")
+        dashboard(cluster, "load-driven migration off h2")
+
+        # Phase 3: an agent surveys every host's load.
+        control.agents.launch(ProbeAgent(), "surveyor", ("h1", "h2", "h3"))
+        cluster.quiesce()
+        report = cluster["h3"].stub("surveyor", location="h3").report()
+        print("\n  surveyor loads:", report["samples"])
+        dashboard(cluster, "agent survey tour")
+
+        total = cluster.trace.remote_message_count()
+        print(f"\n  whole day: {total} remote messages, "
+              f"{cluster.trace.remote_bytes()} bytes, "
+              f"{cluster.clock.now_ms():.1f} virtual ms")
+
+
+if __name__ == "__main__":
+    main()

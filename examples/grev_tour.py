@@ -1,0 +1,80 @@
+"""GREV and mobile agents over a 5-node ring.
+
+Two §3.3/§3.5 features on one topology:
+
+* **GREV** moves a component "regardless of whether the component was
+  initially local or remote and whether the target is local or remote" —
+  here a coordinator that never hosts the component shuttles it between
+  arbitrary pairs of nodes.
+* A **mobile agent** then walks the whole ring asynchronously, sampling
+  host load at each hop (network-aware routing, Sumatra-style).
+
+Run with::
+
+    python examples/grev_tour.py
+"""
+
+from repro import Agent, Cluster, GREV
+
+
+class Payload:
+    """The GREV-moved component: records every namespace it executes in."""
+
+    def __init__(self):
+        self.executed_at = []
+
+    def run(self, where):
+        self.executed_at.append(where)
+        return f"computed at {where}"
+
+    def history(self):
+        return self.executed_at
+
+
+class LoadSurveyor(Agent):
+    """An agent that tours the ring and reports the loads it saw."""
+
+    def __init__(self):
+        super().__init__()
+        self.readings = {}
+
+    def on_arrival(self, ctx):
+        super().on_arrival(ctx)
+        self.readings[ctx.node_id] = ctx.query_load()
+
+    def report(self):
+        return dict(sorted(self.readings.items()))
+
+
+def main():
+    ring = [f"node{i}" for i in range(5)]
+    with Cluster(ring) as cluster:
+        # --- GREV: arbitrary-to-arbitrary moves, driven by a bystander ----
+        cluster["node0"].register("payload", Payload())
+        coordinator = cluster["node2"].namespace  # never hosts the payload
+
+        for target in ("node3", "node1", "node4", "node2", "node0"):
+            grev = GREV("payload", target, runtime=coordinator,
+                        origin="node0")
+            stub = grev.bind()
+            print(" ", stub.run(target),
+                  f"(coercion: {grev.last_outcome.action.value})")
+
+        trail = cluster["node0"].stub("payload").history()
+        print("  GREV trail:", " → ".join(trail))
+
+        # --- Mobile agent: asynchronous multi-hop ring walk ---------------
+        for i, node in enumerate(ring):
+            cluster[node].set_load(10.0 * (i + 1))
+
+        cluster["node0"].agents.launch(
+            LoadSurveyor(), "surveyor", tuple(ring[1:]) + ("node0",)
+        )
+        cluster.quiesce()
+        surveyor = cluster["node0"].stub("surveyor", location="node0")
+        print("  agent visited:", " → ".join(surveyor.report()))
+        print("  loads sampled:", surveyor.report())
+
+
+if __name__ == "__main__":
+    main()

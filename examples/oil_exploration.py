@@ -1,0 +1,125 @@
+"""§3.6's oil-exploration scenario, line for line.
+
+An oil company's sensors generate "an enormous amount of data, which we
+would like to filter in place, at the sensor".  The filter component is
+instantiated at sensor1 with REV, moved to sensor2 with an MA when the
+first sensor is exhausted, and finally brought back to the research lab
+with COD to process the accumulated results — then the whole tour is
+rewritten with one CombinedMA, the paper's punchline.
+
+Run with::
+
+    python examples/oil_exploration.py
+"""
+
+import random
+
+from repro import COD, Cluster, Combined, FactoryMode, MAgent, REV
+
+
+class GeoDataFilter:
+    """The paper's GeoDataFilterImpl: gathers and filters geologic data."""
+
+    def __init__(self, threshold=0.6):
+        self.threshold = threshold
+        self.filtered = []
+        self.sites = []
+
+    def gather(self, site, n_readings, seed):
+        """Pull readings off the (co-located) sensor and filter in place."""
+        rng = random.Random(seed)
+        raw = [rng.random() for _ in range(n_readings)]
+        kept = [r for r in raw if r >= self.threshold]
+        self.filtered.extend(kept)
+        self.sites.append(site)
+        return len(kept)
+
+    def process_data(self):
+        """Reduce to a survey summary (run back at the lab)."""
+        if not self.filtered:
+            return {"samples": 0, "sites": self.sites}
+        return {
+            "samples": len(self.filtered),
+            "mean": round(sum(self.filtered) / len(self.filtered), 4),
+            "peak": round(max(self.filtered), 4),
+            "sites": self.sites,
+        }
+
+
+def explicit_tour(cluster):
+    """The paper's first version: three attributes, applied by hand."""
+    lab = cluster["researchLab"].namespace
+    cluster["researchLab"].register_class(GeoDataFilter)
+
+    rev = REV("GeoDataFilter", "geoData", "sensor1",
+              mode=FactoryMode.SINGLE_USE, runtime=lab)
+    geo = rev.bind()
+    kept = geo.gather("sensor1", 10_000, seed=1)
+    print(f"  REV  → filtered at sensor1, kept {kept} readings in place")
+
+    magent = MAgent("geoData", "sensor2", runtime=lab, origin="sensor1")
+    geo = magent.bind()
+    kept = geo.gather("sensor2", 10_000, seed=2)
+    print(f"  MA   → moved to sensor2, kept {kept} more")
+
+    cod = COD("geoData", runtime=lab, origin="sensor1")
+    geo = cod.bind()
+    print(f"  COD  → back at the lab: {geo.process_data()}")
+
+
+def combined_tour(cluster):
+    """The paper's rewrite: one CombinedMA drives the whole campaign.
+
+    'This fragment is more compact and general than the code it replaces.
+    It seamlessly handles the addition of new sensors.'
+    """
+    lab = cluster["researchLab"].namespace
+    seed = REV("GeoDataFilter", "geoData2", "sensor1",
+               mode=FactoryMode.SINGLE_USE, runtime=lab)
+    seed.bind()
+
+    sensors = ["sensor1", "sensor2", "sensor3"]  # sensor3 is new — no edits
+    status = {s: "active" for s in sensors}
+
+    def select_target(attr):
+        for sensor in sensors:
+            if status[sensor] == "active":
+                return sensor
+        return "researchLab"
+
+    combined = Combined(
+        "geoData2",
+        {
+            **{
+                s: MAgent("geoData2", s, runtime=lab, origin="sensor1")
+                for s in sensors
+            },
+            "researchLab": COD("geoData2", runtime=lab, origin="sensor1"),
+        },
+        chooser=select_target,
+        runtime=lab,
+    )
+
+    for i, sensor in enumerate(sensors):
+        geo = combined.bind()
+        kept = geo.gather(sensor, 10_000, seed=10 + i)
+        status[sensor] = "exhausted"
+        print(f"  CombinedMA → {sensor}: kept {kept}")
+    geo = combined.bind()
+    print(f"  CombinedMA → researchLab: {geo.process_data()}")
+    print(f"  tour: {' → '.join(combined.history)}")
+
+
+def main():
+    nodes = ["researchLab", "sensor1", "sensor2", "sensor3"]
+    with Cluster(nodes) as cluster:
+        print("explicit three-attribute version (§3.6):")
+        explicit_tour(cluster)
+        print("\nCombinedMA rewrite (§3.6):")
+        combined_tour(cluster)
+        print(f"\n{cluster.trace.remote_message_count()} remote messages, "
+              f"{cluster.clock.now_ms():.1f} virtual ms")
+
+
+if __name__ == "__main__":
+    main()

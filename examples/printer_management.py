@@ -1,0 +1,84 @@
+"""§3.3's printer-management scenario: CLE clients, a migrating server.
+
+"Clients could fruitfully use CLE to invoke a print server component while
+the job controller moved the print server components around the network in
+response to printer availability."
+
+A job controller reacts to printers jamming and recovering by migrating
+the print-server component; clients never learn where it is — CLE finds it
+per invocation (and, unlike Jini, it is the *same component*: the job
+queue survives every move).
+
+Run with::
+
+    python examples/printer_management.py
+"""
+
+from repro import CLE, Cluster
+
+
+class PrintServer:
+    """A mobile print server: its queue travels with it."""
+
+    def __init__(self):
+        self.receipts = []
+
+    def print_job(self, client, document):
+        receipt = f"job#{len(self.receipts) + 1} {document!r} for {client}"
+        self.receipts.append(receipt)
+        return receipt
+
+    def totals(self):
+        return len(self.receipts)
+
+
+class JobController:
+    """Moves the print server toward whichever floor has a working printer."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.printer_ok = {}
+
+    def printer_event(self, floor, ok):
+        self.printer_ok[floor] = ok
+        working = [f for f, good in sorted(self.printer_ok.items()) if good]
+        if working:
+            new_home = working[0]
+            self.runtime.move("ps", new_home, origin_hint="controller")
+            print(f"  controller: printer event on {floor} "
+                  f"({'up' if ok else 'down'}) → server now at {new_home}")
+
+
+def main():
+    floors = ["floor1", "floor2", "floor3"]
+    with Cluster(["controller"] + floors) as cluster:
+        controller_node = cluster["controller"]
+        controller_node.register("ps", PrintServer(), shared=True)
+        controller = JobController(controller_node.namespace)
+
+        # Each floor's client holds one CLE attribute, configured once.
+        clients = {
+            floor: CLE("ps", runtime=cluster[floor].namespace,
+                       origin="controller")
+            for floor in floors
+        }
+
+        controller.printer_event("floor2", ok=True)
+        print("  floor1:", clients["floor1"].bind().print_job("floor1", "specs.pdf"))
+
+        controller.printer_event("floor2", ok=False)
+        controller.printer_event("floor3", ok=True)
+        print("  floor1:", clients["floor1"].bind().print_job("floor1", "memo.txt"))
+        print("  floor2:", clients["floor2"].bind().print_job("floor2", "plan.md"))
+
+        controller.printer_event("floor1", ok=True)
+        print("  floor3:", clients["floor3"].bind().print_job("floor3", "poster.svg"))
+
+        # One component the whole time: the queue remembers every job.
+        final = clients["floor1"]
+        print(f"  queue length after all moves: {final.bind().totals()}")
+        print(f"  server ended up at: {final.cloc}")
+
+
+if __name__ == "__main__":
+    main()

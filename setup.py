@@ -1,0 +1,5 @@
+"""Setup shim: lets `pip install -e .` work on environments without the
+`wheel` package (offline boxes) via the legacy develop path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Bench support: workloads, timing harness, table rendering, paper numbers."""
+
+from repro.bench.harness import InvocationSeries, measure_invocations
+from repro.bench.paper import BASELINE, PAPER_TABLE3, PaperRow, TABLE3_ORDERINGS, paper_ratio
+from repro.bench.tables import render_arrows, render_table
+from repro.bench.workloads import Counter, GeoDataFilterImpl, PrintServer, ProbeAgent
+
+__all__ = [
+    "BASELINE",
+    "Counter",
+    "GeoDataFilterImpl",
+    "InvocationSeries",
+    "PAPER_TABLE3",
+    "PaperRow",
+    "PrintServer",
+    "ProbeAgent",
+    "TABLE3_ORDERINGS",
+    "measure_invocations",
+    "paper_ratio",
+    "render_arrows",
+    "render_table",
+]

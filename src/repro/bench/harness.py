@@ -1,0 +1,92 @@
+"""Timing harness for the Table 3 reproduction.
+
+§5's method: measure each model's *invocation* — the full bind-and-invoke
+that the model implies — once from cold ("single invocation time … the
+one-time startup cost of priming the MAGE engine") and amortized over 10
+consecutive invocations.
+
+We record, per invocation:
+
+* **virtual milliseconds** — the simulated network's clock advance: message
+  count × calibrated latency, the paper-comparable number;
+* **wall microseconds** — real CPU cost of the in-process implementation;
+* **remote messages** — the mechanistic explanation (the paper attributes
+  every multiple to "multiple calls to Java's RMI").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cluster.cluster import Cluster
+
+
+@dataclass
+class InvocationSeries:
+    """Per-invocation measurements for one model."""
+
+    label: str
+    virtual_ms: list[float] = field(default_factory=list)
+    wall_us: list[float] = field(default_factory=list)
+    remote_messages: list[int] = field(default_factory=list)
+
+    @property
+    def single_ms(self) -> float:
+        """First (cold) invocation — the paper's "Single Invocation Time"."""
+        return self.virtual_ms[0]
+
+    @property
+    def amortized_ms(self) -> float:
+        """Mean over the series — the paper's "Amortized (10)" column."""
+        return sum(self.virtual_ms) / len(self.virtual_ms)
+
+    @property
+    def amortized_wall_us(self) -> float:
+        return sum(self.wall_us) / len(self.wall_us)
+
+    @property
+    def warm_messages(self) -> int:
+        """Remote messages per invocation once caches are warm."""
+        return self.remote_messages[-1]
+
+    def row(self) -> tuple:
+        """A Table 3 row: model, single ms, amortized ms, msgs, wall µs."""
+        return (
+            self.label,
+            f"{self.single_ms:.1f}",
+            f"{self.amortized_ms:.1f}",
+            f"{self.remote_messages[0]}/{self.warm_messages}",
+            f"{self.amortized_wall_us:.0f}",
+        )
+
+
+def measure_invocations(
+    cluster: Cluster,
+    label: str,
+    operation: Callable[[], Any],
+    iterations: int = 10,
+) -> InvocationSeries:
+    """Run ``operation`` ``iterations`` times, measuring each invocation.
+
+    ``operation`` performs one full model invocation (bind + invoke).  The
+    cluster must use the simulated network with a virtual clock for the
+    virtual-time columns to be meaningful.
+    """
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    series = InvocationSeries(label=label)
+    clock = cluster.clock
+    trace = cluster.trace
+    for _ in range(iterations):
+        virtual_before = clock.now_ms()
+        messages_before = trace.remote_message_count()
+        wall_before = time.perf_counter()
+        operation()
+        series.wall_us.append((time.perf_counter() - wall_before) * 1e6)
+        series.virtual_ms.append(clock.now_ms() - virtual_before)
+        series.remote_messages.append(
+            trace.remote_message_count() - messages_before
+        )
+    return series

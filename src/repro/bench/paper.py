@@ -1,0 +1,48 @@
+"""The paper's reported numbers, for side-by-side comparison.
+
+Testbed (§5): two dual-processor 450 MHz Pentium III machines, 256 MB RAM,
+Linux 2.2.16, 10 Mb/s Ethernet, Sun JDK 1.2.2.  Absolute times from 2001
+hardware are not reproducible targets; the *shape* — each model's cost as
+a multiple of a bare RMI call — is what the reproduction must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of Table 3 (times in milliseconds)."""
+
+    model: str
+    single_ms: float
+    amortized_ms: float
+
+
+#: Table 3: MAGE Overhead Measurements.
+PAPER_TABLE3: dict[str, PaperRow] = {
+    "Java's RMI": PaperRow("Java's RMI", 33.0, 20.0),
+    "Mage's RMI": PaperRow("Mage's RMI", 34.0, 23.0),
+    "Traditional COD (TCOD)": PaperRow("Traditional COD (TCOD)", 66.0, 22.0),
+    "Traditional REV (TREV)": PaperRow("Traditional REV (TREV)", 130.0, 82.0),
+    "MA": PaperRow("MA", 110.0, 63.0),
+}
+
+#: The baseline row every ratio is computed against.
+BASELINE = "Java's RMI"
+
+
+def paper_ratio(model: str) -> float:
+    """The paper's amortized cost of ``model`` relative to bare RMI."""
+    return PAPER_TABLE3[model].amortized_ms / PAPER_TABLE3[BASELINE].amortized_ms
+
+
+#: Who must beat whom (amortized) for the reproduction to count as matching
+#: the paper's shape.  Read "a < b" per tuple.
+TABLE3_ORDERINGS: tuple[tuple[str, str], ...] = (
+    ("Java's RMI", "Mage's RMI"),
+    ("Mage's RMI", "MA"),
+    ("Traditional COD (TCOD)", "MA"),
+    ("MA", "Traditional REV (TREV)"),
+)

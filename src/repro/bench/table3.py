@@ -1,0 +1,145 @@
+"""The five measured models of Table 3, as reusable operations.
+
+§5's method, model for model:
+
+* **Java's RMI** — the baseline: a bare stub invocation over the RMI
+  substrate.  The stub is resolved at setup, so the measured operation is
+  exactly one marshalled round trip (the paper's 20 ms amortized row).
+* **Mage's RMI** — the RPC mobility attribute: "a very thin wrapper of a
+  standard RMI call, since it simply returns a stub".  Constructed inside
+  the first measured invocation, so the cold column includes the
+  attribute's initial registry walk to the origin server.
+* **Traditional COD** — "the test object's class file … is migrated to the
+  local host, the local host instantiates a test object and invokes the
+  appropriate method … the results are returned (local)".
+* **Traditional REV** — "the reverse.  The class file is local and migrated
+  to the remote host where it is instantiated and invoked.  The result is
+  sent back to the local host."
+* **MA** — "similar to TREV except that the result stays at the remote
+  host" (fire-and-forget invocation).
+
+Each builder returns a zero-argument operation performing one full model
+invocation; the harness measures it cold and amortized.  Lazy construction
+keeps every cold-start cost (attribute finds, class transfers) inside the
+measured window, matching the paper's "one-time startup cost of priming
+the MAGE engine".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.bench.workloads import Counter
+from repro.cluster.cluster import Cluster
+from repro.core.factory import FactoryMode
+from repro.core.models import COD, MAgent, REV, RPC
+from repro.util.ids import fresh_token
+
+#: Node names used by every Table 3 setup: the measuring client and the
+#: remote host, mirroring the paper's two-machine testbed.
+CLIENT = "client"
+SERVER = "server"
+
+
+def two_nodes() -> list[str]:
+    """The standard Table 3 topology: measuring client + remote host."""
+    return [CLIENT, SERVER]
+
+
+def bare_rmi_op(cluster: Cluster) -> Callable[[], Any]:
+    """Java's RMI: a resolved stub, one marshalled round trip per call."""
+    server = cluster[SERVER]
+    server.register("rmi-counter", Counter())
+    client_ns = cluster[CLIENT].namespace
+    stub = client_ns.naming.lookup(f"mage://{SERVER}/rmi-counter")
+
+    def operation() -> Any:
+        return stub.increment()
+
+    return operation
+
+
+def mage_rmi_op(cluster: Cluster) -> Callable[[], Any]:
+    """Mage's RMI: the RPC attribute around the same remote counter."""
+    server = cluster[SERVER]
+    server.register("rpc-counter", Counter())
+    client_ns = cluster[CLIENT].namespace
+    state: dict[str, Any] = {}
+
+    def operation() -> Any:
+        if "rpc" not in state:
+            state["rpc"] = RPC(
+                "rpc-counter", target=SERVER,
+                runtime=client_ns, origin=SERVER,
+            )
+        stub = state["rpc"].bind()
+        return stub.increment()
+
+    return operation
+
+
+def tcod_op(cluster: Cluster) -> Callable[[], Any]:
+    """Traditional COD: fetch the class here, instantiate locally, invoke."""
+    cluster[SERVER].register_class(Counter)
+    client_ns = cluster[CLIENT].namespace
+    state: dict[str, Any] = {}
+
+    def operation() -> Any:
+        if "cod" not in state:
+            state["cod"] = COD(
+                f"cod-counter-{fresh_token('t3')}",
+                class_name="Counter",
+                source=SERVER,
+                mode=FactoryMode.TRADITIONAL,
+                runtime=client_ns,
+            )
+        stub = state["cod"].bind()
+        return stub.increment()
+
+    return operation
+
+
+def trev_op(cluster: Cluster) -> Callable[[], Any]:
+    """Traditional REV: push the class to the server, instantiate, invoke."""
+    cluster[CLIENT].register_class(Counter)
+    client_ns = cluster[CLIENT].namespace
+    state: dict[str, Any] = {}
+
+    def operation() -> Any:
+        if "rev" not in state:
+            state["rev"] = REV(
+                "Counter", f"rev-counter-{fresh_token('t3')}", SERVER,
+                mode=FactoryMode.TRADITIONAL,
+                runtime=client_ns,
+            )
+        stub = state["rev"].bind()
+        return stub.increment()
+
+    return operation
+
+
+def ma_op(cluster: Cluster) -> Callable[[], Any]:
+    """MA: deploy to the server like TREV, invoke one-way (result stays)."""
+    cluster[CLIENT].register_class(Counter)
+    client_ns = cluster[CLIENT].namespace
+
+    def operation() -> Any:
+        agent = MAgent(
+            f"ma-counter-{fresh_token('t3')}", SERVER,
+            class_name="Counter", runtime=client_ns,
+        )
+        agent.bind()
+        agent.send("increment")
+        return None
+
+    return operation
+
+
+#: Label → operation builder, in the paper's Table 3 row order.
+TABLE3_MODELS: dict[str, Callable[[Cluster], Callable[[], Any]]] = {
+    "Java's RMI": bare_rmi_op,
+    "Mage's RMI": mage_rmi_op,
+    "Traditional COD (TCOD)": tcod_op,
+    "Traditional REV (TREV)": trev_op,
+    "MA": ma_op,
+}

@@ -1,0 +1,48 @@
+"""ASCII table rendering for the bench harness.
+
+Every table/figure bench prints its result in the same plain format so
+``pytest benchmarks/ --benchmark-only -s`` output reads like the paper's
+tables next to ours.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with a header rule; cells are str()'d."""
+    cells = [[str(c) for c in row] for row in rows]
+    names = [str(h) for h in headers]
+    widths = [len(h) for h in names]
+    for row in cells:
+        if len(row) != len(names):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(names)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(names))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_arrows(title: str, arrows: Sequence[str]) -> str:
+    """Numbered message-sequence rendering (the protocol-figure format)."""
+    lines = [title, "=" * len(title)]
+    for i, arrow in enumerate(arrows, start=1):
+        lines.append(f"  {i}. {arrow}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Shared workload servants for tests, examples, and benches.
+
+These classes live in a real module (not a REPL) so their source is
+retrievable — the requirement for mobility (see
+:mod:`repro.rmi.classdesc`).
+
+* :class:`Counter` — the paper's Table 3 test object: "This class has a
+  single integer attribute, which it increments, so its marshalling
+  overhead is minimal."
+* :class:`GeoDataFilterImpl` — §3.6's oil-exploration filter.
+* :class:`PrintServer` — §3.3's CLE printer-management scenario.
+* :class:`ProbeAgent` — an itinerary-following agent that samples host
+  load at every hop (the MA substrate's test workload).
+"""
+
+from __future__ import annotations
+
+
+class Counter:
+    """Table 3's minimal servant: one integer field plus an increment."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = int(start)
+
+    def increment(self) -> int:
+        """Add one and return the new value."""
+        self.value += 1
+        return self.value
+
+    def add(self, amount: int) -> int:
+        """Add ``amount`` and return the new value."""
+        self.value += amount
+        return self.value
+
+    def get(self) -> int:
+        """Current value."""
+        return self.value
+
+
+class GeoDataFilterImpl:
+    """§3.6's sensor-side component: gathers and filters geologic data.
+
+    "These sensors are generating an enormous amount of data, which we
+    would like to filter in place, at the sensor."  Raw readings are fed
+    in (or synthesized); ``filter_data`` keeps the interesting fraction;
+    ``process_data`` reduces the filtered set to a survey result back at
+    the lab.
+    """
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        self.threshold = float(threshold)
+        self.raw: list[float] = []
+        self.filtered: list[float] = []
+        self.sites_surveyed: list[str] = []
+
+    def ingest(self, readings: list[float]) -> int:
+        """Accept raw sensor readings; returns how many are buffered."""
+        self.raw.extend(float(r) for r in readings)
+        return len(self.raw)
+
+    def filter_data(self) -> int:
+        """Keep readings above the threshold; returns how many survived.
+
+        Runs *at the sensor* under REV — the point of the example is that
+        the enormous raw buffer never crosses the network.
+        """
+        kept = [r for r in self.raw if r >= self.threshold]
+        self.filtered.extend(kept)
+        self.raw.clear()
+        return len(kept)
+
+    def mark_site(self, site: str) -> None:
+        """Record which sensor field this data came from."""
+        self.sites_surveyed.append(site)
+
+    def process_data(self) -> dict:
+        """Reduce filtered data to a survey summary (run back at the lab)."""
+        if not self.filtered:
+            return {"samples": 0, "mean": 0.0, "peak": 0.0,
+                    "sites": list(self.sites_surveyed)}
+        return {
+            "samples": len(self.filtered),
+            "mean": sum(self.filtered) / len(self.filtered),
+            "peak": max(self.filtered),
+            "sites": list(self.sites_surveyed),
+        }
+
+
+class PrintServer:
+    """§3.3's mobile print-server component.
+
+    "Clients could fruitfully use CLE to invoke a print server component
+    while the job controller moved the print server components around the
+    network in response to printer availability."
+    """
+
+    def __init__(self, server_id: str = "ps") -> None:
+        self.server_id = server_id
+        self.jobs_printed: list[str] = []
+
+    def print_job(self, job: str) -> str:
+        """Print ``job``; returns a receipt naming this server."""
+        self.jobs_printed.append(job)
+        return f"{self.server_id}:{len(self.jobs_printed)}:{job}"
+
+    def queue_length(self) -> int:
+        """How many jobs this server has printed."""
+        return len(self.jobs_printed)
+
+
+class ProbeAgent:
+    """A mobile agent that samples host load at every itinerary stop."""
+
+    def __init__(self) -> None:
+        self.visited: list[str] = []
+        self.samples: dict[str, float] = {}
+        self.completed = False
+
+    def on_arrival(self, ctx) -> None:
+        """Record the stop and sample its host load."""
+        self.visited.append(ctx.node_id)
+        self.samples[ctx.node_id] = ctx.query_load()
+
+    def on_complete(self, ctx) -> None:
+        """Mark the tour finished."""
+        self.completed = True
+
+    def report(self) -> dict:
+        """The tour's findings: stops, load samples, completion."""
+        return {
+            "visited": list(self.visited),
+            "samples": dict(self.samples),
+            "completed": self.completed,
+        }

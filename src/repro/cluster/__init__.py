@@ -1,0 +1,15 @@
+"""Cluster harness: nodes, bring-up, discovery, and load modelling."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.discovery import DiscoveryService
+from repro.cluster.load import LoadMonitor, OscillatingProfile, RampProfile
+from repro.cluster.node import Node
+
+__all__ = [
+    "Cluster",
+    "DiscoveryService",
+    "LoadMonitor",
+    "Node",
+    "OscillatingProfile",
+    "RampProfile",
+]

@@ -1,0 +1,184 @@
+"""Cluster bring-up: N cooperating namespaces over one transport.
+
+The paper's Figure 6 system — "Cooperating Java virtual machines comprise
+MAGE; these JVMs layer a homogeneous and consistent programming
+environment over the underlying heterogeneous network hardware" — reduced
+to one call::
+
+    with Cluster(["lab", "sensor1", "sensor2"]) as cluster:
+        lab = cluster["lab"]
+        ...
+
+The default substrate is the deterministic simulated network; pass
+``transport="tcp"`` to run the same topology over real loopback sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.cluster.node import Node
+from repro.net.conditions import LatencyModel, LossModel
+from repro.net.simnet import SimNetwork
+from repro.net.tcpnet import TcpNetwork
+from repro.net.trace import MessageTrace
+from repro.net.transport import Transport
+from repro.util.clock import Clock
+
+
+class Cluster:
+    """A set of nodes sharing one transport, brought up and torn down together."""
+
+    def __init__(
+        self,
+        node_ids: list[str] | tuple[str, ...],
+        transport: str | Transport = "sim",
+        latency: LatencyModel | None = None,
+        loss: LossModel | None = None,
+        clock: Clock | None = None,
+        fair_locks: bool = False,
+        class_cache: bool = True,
+        path_collapsing: bool = True,
+        always_ship_class: bool = False,
+        synchronous_casts: bool = False,
+    ) -> None:
+        if not node_ids:
+            raise ConfigurationError("a cluster needs at least one node")
+        if len(set(node_ids)) != len(node_ids):
+            raise ConfigurationError(f"duplicate node ids: {sorted(node_ids)}")
+        self.transport = self._build_transport(
+            transport, latency, loss, clock, synchronous_casts
+        )
+        self._nodes: dict[str, Node] = {}
+        for node_id in node_ids:
+            self._nodes[node_id] = Node(
+                node_id,
+                self.transport,
+                fair_locks=fair_locks,
+                class_cache=class_cache,
+                path_collapsing=path_collapsing,
+                always_ship_class=always_ship_class,
+            )
+
+    @staticmethod
+    def _build_transport(
+        transport: str | Transport,
+        latency: LatencyModel | None,
+        loss: LossModel | None,
+        clock: Clock | None,
+        synchronous_casts: bool,
+    ) -> Transport:
+        if isinstance(transport, Transport):
+            if latency is not None or loss is not None or clock is not None:
+                raise ConfigurationError(
+                    "pass latency/loss/clock to the transport you construct, "
+                    "not to Cluster"
+                )
+            return transport
+        if transport == "sim":
+            return SimNetwork(
+                clock=clock, latency=latency, loss=loss,
+                synchronous_casts=synchronous_casts,
+            )
+        if transport == "tcp":
+            if latency is not None or loss is not None:
+                raise ConfigurationError(
+                    "latency/loss models apply to the simulated network only"
+                )
+            return TcpNetwork(clock=clock)
+        raise ConfigurationError(
+            f"unknown transport {transport!r} (expected 'sim', 'tcp', or an instance)"
+        )
+
+    # -- access -------------------------------------------------------------------
+
+    def node(self, node_id: str) -> Node:
+        """The named node; raises for unknown ids."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise ConfigurationError(
+                f"no node {node_id!r} in cluster {sorted(self._nodes)}"
+            )
+        return node
+
+    def __getitem__(self, node_id: str) -> Node:
+        return self.node(node_id)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node_ids(self) -> list[str]:
+        """Node ids in creation order."""
+        return list(self._nodes)
+
+    @property
+    def clock(self) -> Clock:
+        return self.transport.clock
+
+    @property
+    def trace(self) -> MessageTrace:
+        return self.transport.trace
+
+    # -- orchestration ----------------------------------------------------------------
+
+    def add_node(self, node_id: str, **node_kwargs) -> Node:
+        """Grow the cluster ("systems joining", §1)."""
+        if node_id in self._nodes:
+            raise ConfigurationError(f"node {node_id!r} already exists")
+        node = Node(node_id, self.transport, **node_kwargs)
+        self._nodes[node_id] = node
+        return node
+
+    def quiesce(self, timeout_s: float = 30.0) -> None:
+        """Wait for in-flight asynchronous work (agent tours) to settle."""
+        if isinstance(self.transport, SimNetwork):
+            self.transport.drain_casts(timeout_s)
+
+    # -- fault injection (simulated network only) ----------------------------------------
+
+    def _simnet(self) -> SimNetwork:
+        if not isinstance(self.transport, SimNetwork):
+            raise ConfigurationError(
+                "fault injection requires the simulated network"
+            )
+        return self.transport
+
+    def crash(self, node_id: str) -> None:
+        """Make a node unreachable (simulated network only)."""
+        self._simnet().crash(node_id)
+
+    def recover(self, node_id: str) -> None:
+        """Undo :meth:`crash`."""
+        self._simnet().recover(node_id)
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever the link between two nodes (bidirectional)."""
+        self._simnet().partition(a, b)
+
+    def heal(self, a: str, b: str) -> None:
+        """Undo :meth:`partition`."""
+        self._simnet().heal(a, b)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Tear everything down (idempotent)."""
+        for node in self._nodes.values():
+            node.shutdown()
+        shutdown = getattr(self.transport, "shutdown", None)
+        if callable(shutdown):
+            shutdown()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        kind = type(self.transport).__name__
+        return f"Cluster({self.node_ids()}, transport={kind})"

@@ -1,0 +1,60 @@
+"""Host discovery.
+
+The introduction requires distributed systems to "support host and
+resource discovery, incorporate new hardware and robustly cope with
+changing network conditions".  This service answers: which namespaces
+exist, which are alive, and where should work go — the primitive the
+load-balancing policy and the examples' controllers build on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MageError, TransportError
+from repro.runtime.namespace import Namespace
+
+
+class DiscoveryService:
+    """Cluster-membership queries issued from one namespace."""
+
+    def __init__(self, namespace: Namespace) -> None:
+        self.ns = namespace
+
+    def hosts(self) -> list[str]:
+        """Every node currently registered with the transport (sorted)."""
+        return self.ns.transport.nodes()
+
+    def peers(self) -> list[str]:
+        """Every node except this one."""
+        return [n for n in self.hosts() if n != self.ns.node_id]
+
+    def is_alive(self, node_id: str) -> bool:
+        """Liveness probe: a PING answered within the retry budget."""
+        try:
+            return self.ns.server.ping(node_id)
+        except (TransportError, MageError):
+            return False
+
+    def alive_peers(self) -> list[str]:
+        """Peers that answer a PING right now."""
+        return [n for n in self.peers() if self.is_alive(n)]
+
+    def loads(self, candidates: list[str] | None = None) -> dict[str, float]:
+        """Current load of each candidate (default: all alive peers)."""
+        nodes = candidates if candidates is not None else self.alive_peers()
+        result: dict[str, float] = {}
+        for node in nodes:
+            try:
+                result[node] = self.ns.query_load(node)
+            except (TransportError, MageError):
+                continue  # a host that vanished mid-query simply drops out
+        return result
+
+    def least_loaded(self, candidates: list[str] | None = None) -> str:
+        """The least-loaded candidate (ties broken by name).
+
+        Raises :class:`MageError` when no candidate answered.
+        """
+        loads = self.loads(candidates)
+        if not loads:
+            raise MageError("no candidate host answered a load query")
+        return min(loads.items(), key=lambda item: (item[1], item[0]))[0]

@@ -1,0 +1,78 @@
+"""The paper's contribution: mobility attributes.
+
+First-class objects that bind to program components, intercept invocation
+requests, and decide whether and where the component moves before it
+executes (§3).  The canonical models (Figure 5) live in
+:mod:`~repro.core.models`; the design-space triples (Table 1) in
+:mod:`~repro.core.triple`; the coercion engine (Table 2) in
+:mod:`~repro.core.coercion`; user-defined policies in
+:mod:`~repro.core.policy`; asynchronous multi-hop agents in
+:mod:`~repro.core.agents`.
+"""
+
+from repro.core.agents import Agent, AgentContext, AgentManager, agent_manager_for
+from repro.core.attribute import MobilityAttribute
+from repro.core.coercion import (
+    Action,
+    CoercionOutcome,
+    Placement,
+    TABLE2,
+    TABLE2_MODELS,
+    classify,
+    coerce,
+    effective_model,
+)
+from repro.core.context import current_runtime, maybe_current_runtime, use_runtime
+from repro.core.factory import FactoryMode
+from repro.core.models import CANONICAL_MODELS, CLE, COD, GREV, LPC, MAgent, REV, RPC
+from repro.core.policy import Combined, LoadBalancing, Restricted
+from repro.core.strong import ResumableAgent, launch_resumable
+from repro.core.triple import (
+    CANONICAL_TRIPLES,
+    Locus,
+    MobilityTriple,
+    TABLE1_ORDER,
+    design_space,
+    model_for,
+    models_covering,
+)
+
+__all__ = [
+    "Action",
+    "Agent",
+    "AgentContext",
+    "AgentManager",
+    "CANONICAL_MODELS",
+    "CANONICAL_TRIPLES",
+    "CLE",
+    "COD",
+    "CoercionOutcome",
+    "Combined",
+    "FactoryMode",
+    "GREV",
+    "LPC",
+    "LoadBalancing",
+    "Locus",
+    "MAgent",
+    "MobilityAttribute",
+    "MobilityTriple",
+    "Placement",
+    "REV",
+    "RPC",
+    "Restricted",
+    "ResumableAgent",
+    "TABLE1_ORDER",
+    "TABLE2",
+    "TABLE2_MODELS",
+    "agent_manager_for",
+    "classify",
+    "coerce",
+    "current_runtime",
+    "design_space",
+    "effective_model",
+    "maybe_current_runtime",
+    "launch_resumable",
+    "model_for",
+    "models_covering",
+    "use_runtime",
+]

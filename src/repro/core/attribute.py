@@ -1,0 +1,214 @@
+"""``MobilityAttribute`` — the paper's core abstraction (§3, Figure 4).
+
+"Mobility attributes are first class objects that bind to program
+components.  A mobility attribute intercepts invocation requests on the
+components to which it has been bound.  For a given network configuration,
+mobility attributes describe where their component should execute.  If
+necessary, the component moves before executing."
+
+The Java abstract class of Figure 4 maps onto Python as follows:
+
+===========================  ===============================================
+Figure 4 (Java)              here
+===========================  ===============================================
+``target`` field             :attr:`MobilityAttribute.target`
+``cloc`` field               :attr:`MobilityAttribute.cloc` (found in the
+                             constructor, re-found on bind when shared)
+``name`` field               :attr:`MobilityAttribute.name`
+``find(String)``             :meth:`find`
+``isShared(String)``         :meth:`is_shared`
+``bind(String n)``           :meth:`bind` with the ``name=`` argument
+``abstract Remote bind()``   :meth:`_bind` (subclass hook)
+===========================  ===============================================
+
+No casts are needed on the returned stub — "We must always cast bind
+invocations because Java does not currently support genericity" does not
+apply to Python.
+
+Locking (§4.4) stays explicit, as in the paper's bracket, but
+:meth:`locked` packages it::
+
+    with attr.locked() as stub:
+        stub.filter_data()
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.core.context import current_runtime
+from repro.core.coercion import Action, CoercionOutcome, Placement, classify, coerce, effective_model
+from repro.core.triple import CANONICAL_TRIPLES, MobilityTriple
+from repro.errors import ComponentNotFoundError, NoSuchObjectError
+from repro.rmi.stub import Stub
+from repro.runtime.namespace import Namespace
+
+
+class MobilityAttribute(ABC):
+    """Base class for every distribution policy (Figure 4's abstract class).
+
+    Subclasses implement :meth:`_bind`, which realizes the model: decide
+    whether/where the component moves, move it, and return a stub for the
+    computation target.  The concrete models in
+    :mod:`repro.core.models` consult the coercion engine (§3.4) and record
+    each decision in :attr:`last_outcome`.
+    """
+
+    #: Canonical model name ("REV", "COD", …) — keys the coercion table.
+    MODEL: str = "ABSTRACT"
+
+    def __init__(
+        self,
+        name: str,
+        target: str | None = None,
+        runtime: Namespace | None = None,
+        origin: str | None = None,
+    ) -> None:
+        """Mirror of Figure 4's constructor (target, name → find cloc).
+
+        ``origin`` is the §7 shared-knowledge hint: the node whose registry
+        first bound the component.  ``runtime`` defaults to the ambient
+        namespace (see :mod:`repro.core.context`).
+        """
+        self.runtime = runtime if runtime is not None else current_runtime()
+        self.name = name
+        self.target = target
+        self.origin = origin
+        self.cloc: str | None = self._try_find()
+        self.last_outcome: CoercionOutcome | None = None
+        self._grants = threading.local()  # per-thread active lock grant
+
+    # -- Figure 4 methods -----------------------------------------------------
+
+    def find(self, verify: bool = True) -> str:
+        """Current location of the bound component (walks the registry)."""
+        return self.runtime.find(self.name, self.origin, verify=verify)
+
+    def is_shared(self) -> bool:
+        """Whether other threads may move the component between binds."""
+        try:
+            return self.runtime.is_shared(self.name)
+        except NoSuchObjectError:
+            return True
+
+    def bind(self, name: str | None = None) -> Stub:
+        """Apply the model: relocate the component if needed, return a stub.
+
+        With ``name`` given, the attribute re-binds to that component first
+        (Figure 4's ``bind(String n)``).  For shared objects ``cloc`` is
+        re-found — "it may have been moved by another thread in between
+        invocations by the current thread" (§3.5).
+        """
+        if name is not None:
+            self.name = name
+            self.cloc = self._try_find()
+        self.refresh()
+        return self._bind()
+
+    @abstractmethod
+    def _bind(self) -> Stub:
+        """Model-specific binding (Figure 4's ``abstract Remote bind()``)."""
+
+    def get_target(self) -> str | None:
+        """The computation target, as the §4.4 locking bracket needs it."""
+        return self.target
+
+    # -- shared helpers for subclasses -------------------------------------------
+
+    @property
+    def triple(self) -> MobilityTriple:
+        """This model's point in the §3.2 design space."""
+        return CANONICAL_TRIPLES[self.MODEL]
+
+    def refresh(self) -> None:
+        """Re-find ``cloc`` when the component is shared (or never found).
+
+        Private objects move only through this attribute, so their cached
+        ``cloc`` "always accurately represents the bound object's current
+        location" (§3.5) and no lookup is spent.
+        """
+        if self.cloc is None or self.is_shared():
+            self.cloc = self._try_find()
+
+    def _try_find(self) -> str | None:
+        """Like find(), but absence is data (class-mode binds have no object)."""
+        try:
+            return self.runtime.find(self.name, self.origin, verify=False)
+        except (ComponentNotFoundError, NoSuchObjectError):
+            return None
+
+    def placement(self) -> Placement | None:
+        """Classify ``cloc`` against this namespace and the target (§3.4)."""
+        if self.cloc is None:
+            return None
+        return classify(self.cloc, self.runtime.node_id, self.target)
+
+    def decide(self, placement: Placement) -> Action:
+        """Consult the coercion engine and record the outcome."""
+        action = coerce(self.MODEL, placement)
+        self.last_outcome = CoercionOutcome(
+            model=self.MODEL,
+            placement=placement,
+            action=action,
+            effective_model=effective_model(self.MODEL, action),
+        )
+        return action
+
+    def stub_at(self, location: str) -> Stub:
+        """A live stub for the component at ``location``."""
+        return self.runtime.stub(self.name, location=location)
+
+    def lock_token(self) -> str:
+        """The move-lock token this thread holds via :meth:`locked`, if any.
+
+        Model binds pass it to move operations so a locked bind is allowed
+        to relocate a contended object.
+        """
+        grant = getattr(self._grants, "grant", None)
+        return grant.token if grant is not None else ""
+
+    def move_component(self, target: str) -> str:
+        """Move the bound component, presenting any held lock token.
+
+        The just-refreshed ``cloc`` is handed to the runtime so the move
+        spends no redundant lookup; staleness is healed by the runtime's
+        retry.
+        """
+        location = self.runtime.move(
+            self.name, target, origin_hint=self.origin,
+            lock_token=self.lock_token(), location=self.cloc,
+        )
+        self.cloc = location
+        return location
+
+    # -- locking bracket (§4.4) ------------------------------------------------------
+
+    @contextlib.contextmanager
+    def locked(self, timeout_ms: float | None = None) -> Iterator[Stub]:
+        """The §4.4 lock/bind/invoke/unlock bracket as a context manager.
+
+        Acquires the stay or move lock for the component at its current
+        host (kind decided there from :meth:`get_target`), binds — move
+        binds present the grant's token, so they are permitted to relocate
+        the contended object — and releases on exit.  Object-mode
+        attributes only: a class-mode bind has no object to lock yet.
+        """
+        target = self.target if self.target is not None else self.runtime.node_id
+        grant = self.runtime.lock(
+            self.name, target, origin_hint=self.origin, timeout_ms=timeout_ms
+        )
+        self._grants.grant = grant
+        try:
+            yield self.bind()
+        finally:
+            self._grants.grant = None
+            self.runtime.unlock(grant)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, target={self.target!r}, "
+            f"cloc={self.cloc!r}, at={self.runtime.node_id!r})"
+        )

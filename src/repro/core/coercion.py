@@ -1,0 +1,142 @@
+"""Mobility coercion (§3.4, Table 2).
+
+"A mobility attribute can specify component migration that does not make
+sense, as when applying COD to a component that is already local …
+Whenever a mismatch occurs, MAGE attempts to coerce the computation into a
+distributed programming paradigm that matches the actual distribution of
+code and data."
+
+This module encodes Table 2 as data and a pure classification function.
+Every concrete attribute's ``bind`` consults it, records the outcome, and
+acts on it — so the Table 2 bench regenerates the matrix from live binds,
+not from this table echoing itself (the engine decides *what to do*; the
+bench observes *what happened*).
+
+The paper's table has three columns: Local, Remote-at-target, and
+Remote-not-at-target.  "Local" there means the component sits in the
+caller's namespace while the model's target is elsewhere; the fourth
+combination — local *and* at the target (target == caller's namespace) —
+is listed separately here since, e.g., COD's whole Local column is that
+case and REV's is not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CoercionError
+
+
+class Placement(enum.Enum):
+    """Where the component actually is, relative to caller and target."""
+
+    LOCAL_AT_TARGET = "local, at target"            # cloc == here == target
+    LOCAL_NOT_AT_TARGET = "local"                   # cloc == here != target
+    REMOTE_AT_TARGET = "remote, at target"          # cloc == target != here
+    REMOTE_NOT_AT_TARGET = "remote, not at target"  # cloc ∉ {here, target}
+
+
+class Action(enum.Enum):
+    """What Table 2 says a model does for a placement."""
+
+    DEFAULT = "Default Behavior"
+    COERCE_RPC = "RPC"
+    COERCE_LPC = "LPC"
+    RAISE = "Exception thrown"
+    NOT_APPLICABLE = "n/a"
+
+
+@dataclass(frozen=True)
+class CoercionOutcome:
+    """The decision one bind made, for tracing and the Table 2 bench."""
+
+    model: str
+    placement: Placement
+    action: Action
+    effective_model: str  # the model whose semantics actually ran
+
+
+def classify(cloc: str, here: str, target: str | None) -> Placement:
+    """Map actual locations onto a Table 2 column.
+
+    ``target=None`` (an unspecified-target model such as CLE) classifies as
+    "at target" — wherever the component is, that is where it runs.
+    """
+    local = cloc == here
+    at_target = target is None or cloc == target
+    if local and at_target:
+        return Placement.LOCAL_AT_TARGET
+    if local:
+        return Placement.LOCAL_NOT_AT_TARGET
+    if at_target:
+        return Placement.REMOTE_AT_TARGET
+    return Placement.REMOTE_NOT_AT_TARGET
+
+
+#: Table 2, cell for cell (rows MA, REV, COD, RPC, CLE; LOCAL_AT_TARGET is
+#: the extra column discussed in the module docstring).
+TABLE2: dict[tuple[str, Placement], Action] = {
+    # MA: move unless already at the target (then behave as RPC).
+    ("MA", Placement.LOCAL_AT_TARGET): Action.DEFAULT,
+    ("MA", Placement.LOCAL_NOT_AT_TARGET): Action.DEFAULT,
+    ("MA", Placement.REMOTE_AT_TARGET): Action.COERCE_RPC,
+    ("MA", Placement.REMOTE_NOT_AT_TARGET): Action.DEFAULT,
+    # REV: identical coercion row to MA (single-hop, synchronous semantics).
+    ("REV", Placement.LOCAL_AT_TARGET): Action.DEFAULT,
+    ("REV", Placement.LOCAL_NOT_AT_TARGET): Action.DEFAULT,
+    ("REV", Placement.REMOTE_AT_TARGET): Action.COERCE_RPC,
+    ("REV", Placement.REMOTE_NOT_AT_TARGET): Action.DEFAULT,
+    # COD: target is the caller's namespace, so "local" means already at
+    # the target (coerce to LPC) and remote-at-target cannot arise.
+    ("COD", Placement.LOCAL_AT_TARGET): Action.COERCE_LPC,
+    ("COD", Placement.LOCAL_NOT_AT_TARGET): Action.NOT_APPLICABLE,
+    ("COD", Placement.REMOTE_AT_TARGET): Action.NOT_APPLICABLE,
+    ("COD", Placement.REMOTE_NOT_AT_TARGET): Action.DEFAULT,
+    # RPC: denotes an immobile object; anywhere but the target is an error.
+    ("RPC", Placement.LOCAL_AT_TARGET): Action.DEFAULT,
+    ("RPC", Placement.LOCAL_NOT_AT_TARGET): Action.RAISE,
+    ("RPC", Placement.REMOTE_AT_TARGET): Action.DEFAULT,
+    ("RPC", Placement.REMOTE_NOT_AT_TARGET): Action.RAISE,
+    # CLE: evaluate wherever the component currently resides.
+    ("CLE", Placement.LOCAL_AT_TARGET): Action.DEFAULT,
+    ("CLE", Placement.LOCAL_NOT_AT_TARGET): Action.DEFAULT,
+    ("CLE", Placement.REMOTE_AT_TARGET): Action.DEFAULT,
+    ("CLE", Placement.REMOTE_NOT_AT_TARGET): Action.DEFAULT,
+    # GREV (§3.3 extension): move from anywhere to anywhere; already-there
+    # degenerates to RPC exactly as REV does.
+    ("GREV", Placement.LOCAL_AT_TARGET): Action.DEFAULT,
+    ("GREV", Placement.LOCAL_NOT_AT_TARGET): Action.DEFAULT,
+    ("GREV", Placement.REMOTE_AT_TARGET): Action.COERCE_RPC,
+    ("GREV", Placement.REMOTE_NOT_AT_TARGET): Action.DEFAULT,
+    # LPC (completeness): a local call is only defined for local components.
+    ("LPC", Placement.LOCAL_AT_TARGET): Action.DEFAULT,
+    ("LPC", Placement.LOCAL_NOT_AT_TARGET): Action.DEFAULT,
+    ("LPC", Placement.REMOTE_AT_TARGET): Action.RAISE,
+    ("LPC", Placement.REMOTE_NOT_AT_TARGET): Action.RAISE,
+}
+
+#: The models and columns the paper's Table 2 actually prints.
+TABLE2_MODELS: tuple[str, ...] = ("MA", "REV", "COD", "RPC", "CLE")
+TABLE2_COLUMNS: tuple[Placement, ...] = (
+    Placement.LOCAL_NOT_AT_TARGET,
+    Placement.REMOTE_AT_TARGET,
+    Placement.REMOTE_NOT_AT_TARGET,
+)
+
+
+def coerce(model: str, placement: Placement) -> Action:
+    """Table 2 lookup; raises for models the engine does not know."""
+    action = TABLE2.get((model, placement))
+    if action is None:
+        raise CoercionError(f"no coercion rule for model {model!r} at {placement}")
+    return action
+
+
+def effective_model(model: str, action: Action) -> str:
+    """The model whose semantics actually run after coercion."""
+    if action is Action.COERCE_RPC:
+        return "RPC"
+    if action is Action.COERCE_LPC:
+        return "LPC"
+    return model

@@ -1,0 +1,47 @@
+"""Ambient runtime context.
+
+The paper's Java code constructs mobility attributes without naming the
+local JVM — the runtime is ambient.  Python prefers explicitness, so every
+attribute accepts ``runtime=``; this module provides the ambient fallback
+for paper-faithful code::
+
+    with use_runtime(lab):
+        rev = REV("GeoDataFilterImpl", "geoData", "sensor1")
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.runtime.namespace import Namespace
+
+_CURRENT: ContextVar[Namespace | None] = ContextVar("mage_runtime", default=None)
+
+
+def current_runtime() -> Namespace:
+    """The ambient namespace, or raise if none is active."""
+    runtime = _CURRENT.get()
+    if runtime is None:
+        raise ConfigurationError(
+            "no ambient MAGE runtime: pass runtime=<Namespace> or enter "
+            "a `with use_runtime(ns):` block"
+        )
+    return runtime
+
+
+def maybe_current_runtime() -> Namespace | None:
+    """The ambient namespace, or None."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use_runtime(runtime: Namespace) -> Iterator[Namespace]:
+    """Make ``runtime`` the ambient namespace within the block."""
+    token = _CURRENT.set(runtime)
+    try:
+        yield runtime
+    finally:
+        _CURRENT.reset(token)

@@ -1,0 +1,27 @@
+"""Factory semantics for REV and COD (§4.2).
+
+"In Java, objects cannot exist without classes … MAGE maps its notion of
+component to this pair" — and because attributes bind to classes *and*
+objects, REV and COD each admit three semantics:
+
+* ``TRADITIONAL`` — the model as classically defined: move the **class**
+  to the target and instantiate a fresh object there on every bind
+  (an object factory).
+* ``OBJECT`` — move an **existing object** to the target (the §4.2
+  extension MAGE adds because objects are mobile).
+* ``SINGLE_USE`` — a traditional first bind that then *binds to the object
+  it created*: subsequent binds move that object instead of instantiating
+  new ones.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FactoryMode(enum.Enum):
+    """Which of the §4.2 REV/COD semantics an attribute uses."""
+
+    TRADITIONAL = "traditional"
+    OBJECT = "object"
+    SINGLE_USE = "single-use"

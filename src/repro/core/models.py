@@ -1,0 +1,425 @@
+"""The canonical mobility attributes (§3.3, §3.5, Figure 5).
+
+The class hierarchy of Figure 5, rooted at
+:class:`~repro.core.attribute.MobilityAttribute`:
+
+* :class:`LPC` — local procedure call (component must be here).
+* :class:`RPC` — invoke at a fixed remote host; "a programmer could use it
+  to denote an immobile object.  MAGE RPC throws an exception if it does
+  not find its object on its target."
+* :class:`COD` — code on demand: bring the component (class or object) to
+  the caller's namespace and run it here.
+* :class:`REV` — remote evaluation: send the local component to the target
+  and run it there (single hop, synchronous).
+* :class:`GREV` — §3.3's generalization: move the component to the target
+  "regardless of whether the component was initially local or remote and
+  whether the target is local or remote".
+* :class:`CLE` — §3.3's current-location evaluation: no target; evaluate
+  the component in whatever namespace it currently occupies.
+* :class:`MAgent` — mobile agent: weak migration (§3.5), multi-hop and
+  asynchronous via an itinerary, with fire-and-forget invocation so the
+  result can stay at the remote host.
+
+Every ``bind`` consults the §3.4 coercion engine and records the outcome
+in ``last_outcome``; the Table 2 bench replays all placements and prints
+what actually happened.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.attribute import MobilityAttribute
+from repro.core.coercion import Action, Placement
+from repro.core.factory import FactoryMode
+from repro.errors import (
+    CoercionError,
+    ComponentNotFoundError,
+    ImmobileObjectError,
+    NoSuchObjectError,
+)
+from repro.rmi.stub import RemoteRef, Stub
+from repro.runtime.namespace import Namespace
+from repro.util.ids import fresh_token
+
+
+class LPC(MobilityAttribute):
+    """Local procedure call: the component must already live here."""
+
+    MODEL = "LPC"
+
+    def __init__(self, name: str, runtime: Namespace | None = None,
+                 origin: str | None = None) -> None:
+        super().__init__(name, target=None, runtime=runtime, origin=origin)
+        self.target = self.runtime.node_id  # LPC's target is always "here"
+
+    def _bind(self) -> Stub:
+        if self.cloc is None:
+            raise ComponentNotFoundError(self.name, "LPC found no component")
+        action = self.decide(self.placement())
+        if action is Action.RAISE:
+            raise CoercionError(
+                f"LPC bound to {self.name!r} but it lives on {self.cloc!r}, "
+                f"not {self.runtime.node_id!r}"
+            )
+        return self.stub_at(self.runtime.node_id)
+
+
+class RPC(MobilityAttribute):
+    """Remote procedure call at a statically known host (Table 2 row RPC).
+
+    The target defaults to wherever the component was found at
+    construction — RPC "requires static knowledge of its remote
+    component's location" (§2) and then pins it.
+    """
+
+    MODEL = "RPC"
+
+    def __init__(self, name: str, target: str | None = None,
+                 runtime: Namespace | None = None,
+                 origin: str | None = None) -> None:
+        super().__init__(name, target=target, runtime=runtime, origin=origin)
+        if self.target is None:
+            self.target = self.cloc if self.cloc is not None else origin
+
+    def _bind(self) -> Stub:
+        if self.target is None:
+            raise ImmobileObjectError(self.name, "<unknown>", str(self.cloc))
+        if self.cloc is None:
+            raise ImmobileObjectError(self.name, self.target, "<not found>")
+        action = self.decide(self.placement())
+        if action is Action.RAISE:
+            raise ImmobileObjectError(self.name, self.target, self.cloc)
+        return self._guarded_stub()
+
+    def _guarded_stub(self) -> Stub:
+        """A stub that turns a missing servant into Table 2's exception.
+
+        RPC stays "a very thin wrapper of a standard RMI call" — bind does
+        no verified registry walk — so a concurrent move is discovered at
+        the intercepted invocation.  The guard re-finds (verified) purely
+        for the diagnostic, then raises :class:`ImmobileObjectError`.
+        """
+        client = self.runtime.client
+        attribute = self
+
+        def checked_invoke(ref: RemoteRef, method: str, args: tuple,
+                           kwargs: dict):
+            try:
+                return client.invoke(ref, method, args, kwargs)
+            except NoSuchObjectError:
+                try:
+                    actual = attribute.find(verify=True)
+                except ComponentNotFoundError:
+                    actual = "<not found>"
+                attribute.cloc = None if actual == "<not found>" else actual
+                raise ImmobileObjectError(
+                    attribute.name, attribute.target, actual
+                ) from None
+
+        return Stub(RemoteRef(node_id=self.target, name=self.name), checked_invoke)
+
+
+class CLE(MobilityAttribute):
+    """Current-location evaluation (§3.3, Figure 3).
+
+    "CLE does not specify a computation target; rather, CLE evaluates its
+    component in the namespace in which the component currently resides."
+    Its target is conceptually the set of all namespaces, so every bind
+    performs a verified find — the component is expected to be moved
+    around by others (the printer-fleet scenario).
+    """
+
+    MODEL = "CLE"
+
+    def __init__(self, name: str, runtime: Namespace | None = None,
+                 origin: str | None = None) -> None:
+        super().__init__(name, target=None, runtime=runtime, origin=origin)
+
+    def refresh(self) -> None:
+        """No-op: ``_bind`` performs its own authoritative find."""
+
+    def _bind(self) -> Stub:
+        self.cloc = self.find(verify=True)
+        self.decide(self.placement())
+        return self.stub_at(self.cloc)
+
+
+class COD(MobilityAttribute):
+    """Code on demand: bring the component to the caller's namespace.
+
+    Object mode (the paper's ``new COD("geoData")``) moves an existing
+    object here; with a ``class_name`` the attribute is a factory in one of
+    the §4.2 modes: ``TRADITIONAL`` fetches the class (conditionally, once
+    cached) and instantiates a fresh local object per bind; ``SINGLE_USE``
+    does that once, then binds to the object it created.
+    """
+
+    MODEL = "COD"
+
+    def __init__(
+        self,
+        name: str,
+        class_name: str | None = None,
+        source: str | None = None,
+        mode: FactoryMode | None = None,
+        ctor_args: tuple = (),
+        ctor_kwargs: dict | None = None,
+        shared: bool = True,
+        runtime: Namespace | None = None,
+        origin: str | None = None,
+    ) -> None:
+        super().__init__(name, target=None, runtime=runtime, origin=origin)
+        self.target = self.runtime.node_id  # COD's target is always "here"
+        self.class_name = class_name
+        self.source = source if source is not None else origin
+        if mode is None:
+            mode = FactoryMode.OBJECT if class_name is None else FactoryMode.TRADITIONAL
+        self.mode = mode
+        self.ctor_args = tuple(ctor_args)
+        self.ctor_kwargs = dict(ctor_kwargs) if ctor_kwargs is not None else {}
+        self.shared = shared
+        self._instantiated = False
+        self._validate_mode()
+
+    def _validate_mode(self) -> None:
+        if self.mode is not FactoryMode.OBJECT and self.class_name is None:
+            raise CoercionError(f"{self.mode.value} COD requires a class_name")
+        if self.mode is not FactoryMode.OBJECT and self.source is None:
+            raise CoercionError(
+                "factory COD needs a source node to fetch the class from"
+            )
+
+    def _bind(self) -> Stub:
+        if self.mode is FactoryMode.TRADITIONAL or (
+            self.mode is FactoryMode.SINGLE_USE and not self._instantiated
+        ):
+            return self._bind_factory()
+        return self._bind_object()
+
+    def _bind_factory(self) -> Stub:
+        here = self.runtime.node_id
+        self.runtime.server.fetch_class(self.class_name, self.source)
+        instance = (
+            self.name
+            if self.mode is FactoryMode.SINGLE_USE
+            else f"{self.name}-{fresh_token('cod')}"
+        )
+        ref = self.runtime.server.instantiate(
+            self.class_name, instance, here,
+            args=self.ctor_args, kwargs=self.ctor_kwargs, shared=self.shared,
+        )
+        # The class was remote and the target is local: COD's defining move.
+        self.decide(Placement.REMOTE_NOT_AT_TARGET)
+        if self.mode is FactoryMode.SINGLE_USE:
+            self._instantiated = True
+            self.name = instance
+            self.cloc = here
+        return self.runtime.client.stub_for(ref)
+
+    def _bind_object(self) -> Stub:
+        here = self.runtime.node_id
+        if self.cloc is None:
+            raise ComponentNotFoundError(self.name, "COD found no component")
+        action = self.decide(self.placement())
+        if action is Action.NOT_APPLICABLE:
+            raise CoercionError(
+                f"COD on {self.name!r}: placement {self.last_outcome.placement} "
+                "cannot arise for a local-target model"
+            )
+        if action is Action.DEFAULT:
+            self.move_component(here)
+        # COERCE_LPC: already local — invoke in place.
+        return self.stub_at(here)
+
+
+class REV(MobilityAttribute):
+    """Remote evaluation: run the local component at the target (Figure 1c).
+
+    The paper's constructor order is kept —
+    ``REV("GeoDataFilterImpl", "geoData", "sensor1")`` — with
+    ``class_name=None`` selecting object mode (move an existing object to
+    the target, the §4.2 extension).  REV is single-hop and synchronous;
+    contrast :class:`MAgent`.
+    """
+
+    MODEL = "REV"
+
+    def __init__(
+        self,
+        class_name: str | None,
+        name: str,
+        target: str,
+        mode: FactoryMode | None = None,
+        ctor_args: tuple = (),
+        ctor_kwargs: dict | None = None,
+        shared: bool = True,
+        runtime: Namespace | None = None,
+        origin: str | None = None,
+    ) -> None:
+        super().__init__(name, target=target, runtime=runtime, origin=origin)
+        self.class_name = class_name
+        if mode is None:
+            mode = FactoryMode.OBJECT if class_name is None else FactoryMode.TRADITIONAL
+        self.mode = mode
+        self.ctor_args = tuple(ctor_args)
+        self.ctor_kwargs = dict(ctor_kwargs) if ctor_kwargs is not None else {}
+        self.shared = shared
+        self._instantiated = False
+        if self.mode is not FactoryMode.OBJECT and self.class_name is None:
+            raise CoercionError(f"{self.mode.value} REV requires a class_name")
+
+    def _bind(self) -> Stub:
+        if self.mode is FactoryMode.TRADITIONAL or (
+            self.mode is FactoryMode.SINGLE_USE and not self._instantiated
+        ):
+            return self._bind_factory()
+        return self._bind_object()
+
+    def _bind_factory(self) -> Stub:
+        self.runtime.server.push_class(self.class_name, self.target)
+        instance = (
+            self.name
+            if self.mode is FactoryMode.SINGLE_USE
+            else f"{self.name}-{fresh_token('rev')}"
+        )
+        ref = self.runtime.server.instantiate(
+            self.class_name, instance, self.target,
+            args=self.ctor_args, kwargs=self.ctor_kwargs, shared=self.shared,
+        )
+        # The class was local and the target remote: REV's defining move.
+        self.decide(Placement.LOCAL_NOT_AT_TARGET)
+        if self.mode is FactoryMode.SINGLE_USE:
+            self._instantiated = True
+            self.name = instance
+            self.cloc = self.target
+        return self.runtime.client.stub_for(ref)
+
+    def _bind_object(self) -> Stub:
+        if self.cloc is None:
+            raise ComponentNotFoundError(self.name, "REV found no component")
+        action = self.decide(self.placement())
+        if action is Action.DEFAULT:
+            self.move_component(self.target)
+        # COERCE_RPC: already at the target — plain remote invocation.
+        return self.stub_at(self.target)
+
+
+class GREV(MobilityAttribute):
+    """Generalized remote evaluation (§3.3, Figure 2).
+
+    "GREV moves its component to its target, regardless of whether the
+    component was initially local or remote and whether the target is
+    local or remote.  While more expensive than either REV or COD, GREV
+    applies to a wider array of component distributions … well suited to
+    distributed systems in which components are constantly moving."
+    """
+
+    MODEL = "GREV"
+
+    def __init__(self, name: str, target: str,
+                 runtime: Namespace | None = None,
+                 origin: str | None = None) -> None:
+        super().__init__(name, target=target, runtime=runtime, origin=origin)
+
+    def refresh(self) -> None:
+        """No-op: ``_bind`` performs its own authoritative find."""
+
+    def _bind(self) -> Stub:
+        # Components are "constantly moving": always re-verify location.
+        self.cloc = self.find(verify=True)
+        action = self.decide(self.placement())
+        if action is Action.DEFAULT:
+            self.move_component(self.target)
+        return self.stub_at(self.target)
+
+
+class MAgent(MobilityAttribute):
+    """Mobile agent (MA): multi-hop, asynchronous, weak migration (§3.5).
+
+    Object mode (``MAgent("geoData", "sensor2")``) moves an existing
+    component toward the target, hopping through ``itinerary`` namespaces
+    asynchronously when one is given.  Deploy mode (``class_name=``) ships
+    the class and instantiates at the target, like REV — MA's Table 3
+    measurement — but offers :meth:`send` so results stay remote.
+    """
+
+    MODEL = "MA"
+
+    def __init__(
+        self,
+        name: str,
+        target: str,
+        itinerary: tuple[str, ...] = (),
+        class_name: str | None = None,
+        ctor_args: tuple = (),
+        ctor_kwargs: dict | None = None,
+        shared: bool = True,
+        runtime: Namespace | None = None,
+        origin: str | None = None,
+    ) -> None:
+        super().__init__(name, target=target, runtime=runtime, origin=origin)
+        self.itinerary = tuple(itinerary)
+        self.class_name = class_name
+        self.ctor_args = tuple(ctor_args)
+        self.ctor_kwargs = dict(ctor_kwargs) if ctor_kwargs is not None else {}
+        self.shared = shared
+
+    def _bind(self) -> Stub:
+        if self.class_name is not None and self.cloc is None:
+            return self._bind_deploy()
+        return self._bind_object()
+
+    def _bind_deploy(self) -> Stub:
+        self.runtime.server.push_class(self.class_name, self.target)
+        ref = self.runtime.server.instantiate(
+            self.class_name, self.name, self.target,
+            args=self.ctor_args, kwargs=self.ctor_kwargs, shared=self.shared,
+        )
+        self.decide(Placement.LOCAL_NOT_AT_TARGET)
+        self.cloc = self.target
+        return self.runtime.client.stub_for(ref)
+
+    def _bind_object(self) -> Stub:
+        if self.cloc is None:
+            raise ComponentNotFoundError(self.name, "MA found no component")
+        action = self.decide(self.placement())
+        if action is Action.DEFAULT:
+            if self.itinerary:
+                self._hop_through_itinerary()
+            else:
+                self.move_component(self.target)
+        return self.stub_at(self.target)
+
+    def _hop_through_itinerary(self) -> None:
+        """Asynchronous multi-hop travel via the agent manager."""
+        from repro.core.agents import agent_manager_for
+
+        manager = agent_manager_for(self.runtime)
+        manager.send_through(
+            self.name, self.itinerary + (self.target,),
+            origin_hint=self.origin, lock_token=self.lock_token(),
+        )
+        self.cloc = self.target
+
+    def send(self, method: str, *args: Any, **kwargs: Any) -> None:
+        """Fire-and-forget invocation — "the result stays at the remote host".
+
+        The asynchronous half of MA's contrast with REV (§3.5).
+        """
+        where = self.cloc if self.cloc is not None else self.target
+        self.runtime.server.send_oneway(
+            RemoteRef(node_id=where, name=self.name), method, args, kwargs
+        )
+
+
+#: Figure 5's hierarchy, for the Table 1 bench and docs.
+CANONICAL_MODELS: dict[str, type[MobilityAttribute]] = {
+    "LPC": LPC,
+    "RPC": RPC,
+    "COD": COD,
+    "REV": REV,
+    "GREV": GREV,
+    "CLE": CLE,
+    "MA": MAgent,
+}

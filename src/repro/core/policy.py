@@ -1,0 +1,149 @@
+"""User-defined mobility attributes (§3.1, §3.3, §3.6).
+
+The paper's pitch is that programmers write their *own* distribution
+policies as mobility attributes.  This module provides the three the paper
+sketches:
+
+* :class:`LoadBalancing` — §3.1's opening example: "a migration policy
+  based on load": when the component's host is loaded beyond a threshold,
+  move the component to the least-loaded candidate before invoking.
+* :class:`Combined` — §3.6's ``CombinedMA``: one attribute containing
+  several, selecting which to apply per bind from application state.
+* :class:`Restricted` — §3.3: "mobility attributes that restrict the
+  namespace on which a component can execute by restricting current
+  location and target to subsets of the available hosts."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.attribute import MobilityAttribute
+from repro.errors import TargetRestrictedError
+from repro.rmi.stub import Stub
+from repro.runtime.namespace import Namespace
+
+
+class LoadBalancing(MobilityAttribute):
+    """Migrate away from overloaded hosts (§3.1's ``bind`` example).
+
+    On bind: query the current host's load; if it exceeds ``threshold``,
+    move the component to the least-loaded node among ``candidates`` and
+    return a stub there; otherwise leave it in place (CLE-style).
+    """
+
+    MODEL = "CLE"  # placement-wise it evaluates wherever the object ends up
+
+    def __init__(
+        self,
+        name: str,
+        candidates: Iterable[str],
+        threshold: float = 100.0,
+        runtime: Namespace | None = None,
+        origin: str | None = None,
+    ) -> None:
+        super().__init__(name, target=None, runtime=runtime, origin=origin)
+        self.candidates = tuple(candidates)
+        if not self.candidates:
+            raise TargetRestrictedError("LoadBalancing needs at least one candidate")
+        self.threshold = threshold
+        self.migrations = 0
+
+    def select_new_host(self) -> str:
+        """The least-loaded candidate (ties broken by name for determinism)."""
+        loads = [(self.runtime.query_load(node), node) for node in self.candidates]
+        return min(loads)[1]
+
+    def _bind(self) -> Stub:
+        self.cloc = self.find(verify=True)
+        current_load = self.runtime.query_load(self.cloc)
+        if current_load > self.threshold:
+            target = self.select_new_host()
+            if target != self.cloc:
+                self.move_component(target)
+                self.migrations += 1
+        self.decide(self.placement())
+        return self.stub_at(self.cloc)
+
+
+class Combined(MobilityAttribute):
+    """Compose several attributes behind one bind (§3.6's ``CombinedMA``).
+
+    ``chooser`` inspects whatever application state it likes and returns
+    which inner attribute handles this bind.  The §3.6 oil-exploration
+    example builds one from {REV, MAgent, COD} keyed on sensor status.
+    """
+
+    MODEL = "CLE"  # the union of its parts; coercion happens inside them
+
+    def __init__(
+        self,
+        name: str,
+        attributes: dict[str, MobilityAttribute],
+        chooser: Callable[["Combined"], str],
+        runtime: Namespace | None = None,
+        origin: str | None = None,
+    ) -> None:
+        super().__init__(name, target=None, runtime=runtime, origin=origin)
+        if not attributes:
+            raise TargetRestrictedError("Combined needs at least one inner attribute")
+        self.attributes = dict(attributes)
+        self.chooser = chooser
+        self.history: list[str] = []
+
+    def _bind(self) -> Stub:
+        key = self.chooser(self)
+        if key not in self.attributes:
+            raise TargetRestrictedError(
+                f"chooser returned {key!r}, not one of {sorted(self.attributes)}"
+            )
+        self.history.append(key)
+        inner = self.attributes[key]
+        stub = inner.bind(self.name)
+        self.last_outcome = inner.last_outcome
+        self.cloc = inner.cloc
+        self.target = inner.target
+        return stub
+
+
+class Restricted(MobilityAttribute):
+    """Constrain an inner attribute to allowed locations/targets (§3.3)."""
+
+    MODEL = "CLE"
+
+    def __init__(
+        self,
+        inner: MobilityAttribute,
+        allowed_targets: Iterable[str] | None = None,
+        allowed_locations: Iterable[str] | None = None,
+    ) -> None:
+        super().__init__(
+            inner.name, target=inner.target,
+            runtime=inner.runtime, origin=inner.origin,
+        )
+        self.inner = inner
+        self.allowed_targets = frozenset(allowed_targets) if allowed_targets else None
+        self.allowed_locations = (
+            frozenset(allowed_locations) if allowed_locations else None
+        )
+
+    def _bind(self) -> Stub:
+        if self.allowed_targets is not None and self.inner.target is not None \
+                and self.inner.target not in self.allowed_targets:
+            raise TargetRestrictedError(
+                f"target {self.inner.target!r} outside the allowed set "
+                f"{sorted(self.allowed_targets)}"
+            )
+        if self.allowed_locations is not None:
+            location = self.inner.runtime.find(
+                self.name, self.inner.origin, verify=True
+            )
+            if location not in self.allowed_locations:
+                raise TargetRestrictedError(
+                    f"component {self.name!r} currently on {location!r}, "
+                    f"outside the allowed set {sorted(self.allowed_locations)}"
+                )
+        stub = self.inner.bind()
+        self.last_outcome = self.inner.last_outcome
+        self.cloc = self.inner.cloc
+        return stub

@@ -1,0 +1,153 @@
+"""Simulated strong migration: resumable state-machine agents.
+
+§3.5: "Strong migration moves a thread's stack along with heap state,
+while weak migration just moves heap state.  Since the standard Java
+virtual machine does not provide access to execution state, MAGE uses weak
+migration."  CPython withholds execution state just the same — generator
+and frame objects do not pickle — so true strong migration is as
+unavailable here as it was on the JVM.
+
+This module implements the classic workaround (used by Ara and the
+continuation-passing agent systems the paper surveys): the *program
+counter becomes data*.  A :class:`ResumableAgent` is written as a set of
+named **stages**; the runtime records which stage comes next in ordinary
+heap state, so an agent interrupted by a hop resumes exactly where it left
+off at the destination — observably equivalent to strong migration for
+programs expressed in stage form.
+
+Example::
+
+    class Crawler(ResumableAgent):
+        def stage_collect(self, ctx):
+            self.data.append(ctx.query_load())
+            if len(self.data) < len(self.plan):
+                return self.goto("collect", hop=self.plan[len(self.data)])
+            return self.goto("summarize")
+
+        def stage_summarize(self, ctx):
+            self.summary = sum(self.data)
+            return self.finish()
+
+A stage returns one of three instructions: ``self.goto(stage)`` (run
+another stage here), ``self.goto(stage, hop=node)`` (migrate, then resume
+at that stage), or ``self.finish()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.agents import Agent, AgentContext
+from repro.errors import MageError
+
+#: Prefix that marks a method as a stage.
+STAGE_PREFIX = "stage_"
+
+
+@dataclass(frozen=True)
+class _Instruction:
+    """What a stage tells the scheduler to do next."""
+
+    next_stage: str | None   # None = finished
+    hop_to: str | None       # namespace to migrate to before resuming
+
+
+class ResumableAgent(Agent):
+    """An agent whose control state is explicit, hence migratable.
+
+    Subclasses define ``stage_<name>(self, ctx)`` methods and set
+    ``START`` (default ``"start"``).  The scheduler runs stages until one
+    requests a hop (the agent migrates and resumes there) or finishes.
+    """
+
+    START = "start"
+
+    #: Guard against runaway stage loops within a single namespace visit.
+    MAX_STAGES_PER_VISIT = 1000
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.current_stage: str = self.START
+        self.finished = False
+
+    # -- instructions a stage may return --------------------------------------
+
+    def goto(self, stage: str, hop: str | None = None) -> _Instruction:
+        """Continue at ``stage`` — here, or at ``hop`` after migrating."""
+        self._check_stage(stage)
+        return _Instruction(next_stage=stage, hop_to=hop)
+
+    def finish(self) -> _Instruction:
+        """The agent's program has completed."""
+        return _Instruction(next_stage=None, hop_to=None)
+
+    # -- scheduler (runs inside the agent-manager arrival hook) -----------------
+
+    def on_arrival(self, ctx: AgentContext) -> None:
+        super().on_arrival(ctx)
+        if self.finished:
+            ctx.stay()
+            return
+        for _ in range(self.MAX_STAGES_PER_VISIT):
+            stage_method = self._stage_method(self.current_stage)
+            instruction = stage_method(ctx)
+            if not isinstance(instruction, _Instruction):
+                raise MageError(
+                    f"stage {self.current_stage!r} returned "
+                    f"{type(instruction).__name__}; stages must return "
+                    "self.goto(...) or self.finish()"
+                )
+            if instruction.next_stage is None:
+                self.finished = True
+                ctx.stay()
+                self.on_finished(ctx)
+                return
+            self.current_stage = instruction.next_stage
+            if instruction.hop_to is not None:
+                # The "program counter" (current_stage) is now heap state;
+                # migrating here is the simulated strong migration.
+                ctx.go(instruction.hop_to)
+                return
+        raise MageError(
+            f"agent ran {self.MAX_STAGES_PER_VISIT} stages without hopping "
+            "or finishing — runaway stage loop?"
+        )
+
+    def on_finished(self, ctx: AgentContext) -> None:
+        """Hook invoked once, where the program completed."""
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _stage_method(self, stage: str):
+        method = getattr(self, STAGE_PREFIX + stage, None)
+        if not callable(method):
+            raise MageError(
+                f"{type(self).__name__} defines no stage {stage!r} "
+                f"(expected a {STAGE_PREFIX}{stage} method)"
+            )
+        return method
+
+    def _check_stage(self, stage: str) -> None:
+        self._stage_method(stage)  # raises if undefined
+
+    def stages(self) -> list[str]:
+        """All stage names this agent defines (sorted)."""
+        return sorted(
+            name[len(STAGE_PREFIX):]
+            for name in dir(type(self))
+            if name.startswith(STAGE_PREFIX)
+            and callable(getattr(self, name, None))
+        )
+
+
+def launch_resumable(node, agent: ResumableAgent, name: str,
+                     first_hop: str | None = None) -> None:
+    """Start ``agent``'s program on ``node`` (or at ``first_hop``).
+
+    A convenience over ``node.agents.launch``: resumable agents carry
+    their own routing, so the itinerary is just the entry hop (defaulting
+    to a run-in-place start on ``node``).
+    """
+    target = first_hop if first_hop is not None else node.node_id
+    node.agents.launch(agent, name, (target,))

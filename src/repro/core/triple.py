@@ -1,0 +1,105 @@
+"""The design space: ``<Location, Target, Moves>`` triples (§3.2, Table 1).
+
+"All distributed programming models specify a network configuration and a
+target … The triple <Location, Target, Moves>, where Location, Target ∈
+{remote, local, not specified} and Moves ∈ {yes, no}, uniquely specifies
+all distributed programming models discussed in this paper."
+
+This module is Table 1 as executable data: the canonical triples for LPC,
+RPC, COD, REV, MA, CLE — and GREV, the §3.3 generalization whose location
+and target are unconstrained.  The Table 1 bench regenerates the paper's
+table from these definitions and checks uniqueness; property tests verify
+the enumeration covers the full 3 × 3 × 2 space.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+
+class Locus(enum.Enum):
+    """Where a component (or target) sits relative to the invoking namespace."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+    UNSPECIFIED = "not specified"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class MobilityTriple:
+    """One point in the paper's design space."""
+
+    location: Locus
+    target: Locus
+    moves: bool
+
+    def row(self) -> tuple[str, str, str]:
+        """The Table 1 rendering: (Current Location, Target, Moves Component)."""
+        return (str(self.location), str(self.target), "yes" if self.moves else "no")
+
+    def __str__(self) -> str:
+        return f"<{self.location}, {self.target}, {'yes' if self.moves else 'no'}>"
+
+
+#: Table 1, row for row.  GREV is §3.3's generalization: it "moves its
+#: component to its target, regardless of whether the component was
+#: initially local or remote and whether the target is local or remote".
+CANONICAL_TRIPLES: dict[str, MobilityTriple] = {
+    "MA": MobilityTriple(Locus.REMOTE, Locus.REMOTE, True),
+    "REV": MobilityTriple(Locus.LOCAL, Locus.REMOTE, True),
+    "RPC": MobilityTriple(Locus.REMOTE, Locus.REMOTE, False),
+    "CLE": MobilityTriple(Locus.UNSPECIFIED, Locus.UNSPECIFIED, False),
+    "COD": MobilityTriple(Locus.REMOTE, Locus.LOCAL, True),
+    "LPC": MobilityTriple(Locus.LOCAL, Locus.LOCAL, False),
+    "GREV": MobilityTriple(Locus.UNSPECIFIED, Locus.UNSPECIFIED, True),
+}
+
+#: The rows Table 1 prints, in the paper's order (GREV is introduced in
+#: §3.3, after the table).
+TABLE1_ORDER: tuple[str, ...] = ("MA", "REV", "RPC", "CLE", "COD", "LPC")
+
+
+def design_space() -> list[MobilityTriple]:
+    """Every triple in the 3 × 3 × 2 space (18 points)."""
+    return [
+        MobilityTriple(location, target, moves)
+        for location, target, moves in itertools.product(
+            Locus, Locus, (True, False)
+        )
+    ]
+
+
+def model_for(triple: MobilityTriple) -> str | None:
+    """The canonical model matching ``triple`` exactly, if any.
+
+    ``None`` means the point has no named classical model — §3.3 notes that
+    mobility attributes "are capable of expressing all models in the design
+    space", named or not.
+    """
+    for name, canonical in CANONICAL_TRIPLES.items():
+        if canonical == triple:
+            return name
+    return None
+
+
+def models_covering(triple: MobilityTriple) -> list[str]:
+    """Models whose triple *subsumes* ``triple``.
+
+    UNSPECIFIED acts as a wildcard: CLE (no location, no target, no move)
+    applies wherever nothing moves, GREV wherever something does.
+    """
+    names = []
+    for name, canonical in CANONICAL_TRIPLES.items():
+        if canonical.moves != triple.moves:
+            continue
+        if canonical.location not in (Locus.UNSPECIFIED, triple.location):
+            continue
+        if canonical.target not in (Locus.UNSPECIFIED, triple.target):
+            continue
+        names.append(name)
+    return sorted(names)

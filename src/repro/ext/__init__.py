@@ -1,0 +1,36 @@
+"""§7 future-work extensions: access control and resource allocation.
+
+"We also are working on adding access control and resource allocation
+models to MAGE" — these are those models, implemented as wrappers around a
+namespace's inbound dispatcher so the core runtime stays exactly the
+paper's trusting design.
+"""
+
+from repro.ext.access import ANY, AccessPolicy, AccessRule, GuardedNamespace, VERBS, guard
+from repro.ext.audit import AuditEntry, Auditor
+from repro.ext.jini import JiniClient, JiniLookupService, JiniProvider, relocate
+from repro.ext.resources import (
+    OBJECT_SLOTS,
+    MeteredNamespace,
+    ResourceBudget,
+    meter,
+)
+
+__all__ = [
+    "ANY",
+    "AccessPolicy",
+    "AccessRule",
+    "AuditEntry",
+    "Auditor",
+    "GuardedNamespace",
+    "JiniClient",
+    "JiniLookupService",
+    "JiniProvider",
+    "MeteredNamespace",
+    "OBJECT_SLOTS",
+    "ResourceBudget",
+    "VERBS",
+    "guard",
+    "meter",
+    "relocate",
+]

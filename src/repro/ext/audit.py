@@ -1,0 +1,130 @@
+"""Audit trail: a record of every mobility decision a runtime makes.
+
+The §7 WAN vision needs accountability across "competing and disjoint
+administrative domains": which attribute moved what, where, and why.  The
+core already decides (the coercion engine) and records the last outcome on
+each attribute; the auditor turns that into a durable, queryable trail by
+observing binds.
+
+Usage::
+
+    auditor = Auditor()
+    rev = auditor.watch(REV("GeoDataFilterImpl", "geoData", "sensor1",
+                            runtime=lab))
+    rev.bind()
+    auditor.entries()   # → [AuditEntry(model="REV", action=..., ...)]
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.attribute import MobilityAttribute
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One audited bind."""
+
+    seq: int
+    issuer: str            # namespace the bind was issued from
+    attribute: str         # attribute class name
+    model: str             # canonical model
+    name: str              # component name
+    placement: str         # where the component was (coercion column)
+    action: str            # what Table 2 said to do
+    effective_model: str   # whose semantics actually ran
+    cloc: str | None       # component location after the bind
+    target: str | None
+    error: str | None      # exception type when the bind failed
+
+    def line(self) -> str:
+        """One-line rendering for :meth:`Auditor.report`."""
+        status = self.error if self.error else self.action
+        return (
+            f"[{self.seq}] {self.issuer}: {self.attribute}({self.name!r}) "
+            f"{self.model} @ {self.placement} -> {status}; "
+            f"component at {self.cloc!r}"
+        )
+
+
+class _WatchedAttribute:
+    """Transparent proxy recording every bind of the wrapped attribute."""
+
+    def __init__(self, inner: MobilityAttribute, auditor: "Auditor") -> None:
+        self._inner = inner
+        self._auditor = auditor
+
+    def bind(self, name: str | None = None):
+        inner = self._inner
+        error: str | None = None
+        try:
+            return inner.bind(name)
+        except Exception as exc:
+            error = type(exc).__name__
+            raise
+        finally:
+            self._auditor._record(inner, error)
+
+    def locked(self, timeout_ms: float | None = None):
+        return self._inner.locked(timeout_ms)
+
+    def __getattr__(self, attribute_name: str):
+        return getattr(self._inner, attribute_name)
+
+
+class Auditor:
+    """Collects :class:`AuditEntry` records from watched attributes."""
+
+    def __init__(self) -> None:
+        self._entries: list[AuditEntry] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def watch(self, attribute: MobilityAttribute) -> _WatchedAttribute:
+        """Wrap ``attribute`` so its binds land in this trail."""
+        return _WatchedAttribute(attribute, self)
+
+    def _record(self, attribute: MobilityAttribute, error: str | None) -> None:
+        outcome = attribute.last_outcome
+        with self._lock:
+            self._seq += 1
+            self._entries.append(AuditEntry(
+                seq=self._seq,
+                issuer=attribute.runtime.node_id,
+                attribute=type(attribute).__name__,
+                model=attribute.MODEL,
+                name=attribute.name,
+                placement=outcome.placement.value if outcome else "?",
+                action=outcome.action.value if outcome else "?",
+                effective_model=outcome.effective_model if outcome
+                else attribute.MODEL,
+                cloc=attribute.cloc,
+                target=attribute.target,
+                error=error,
+            ))
+
+    def entries(self) -> list[AuditEntry]:
+        """Snapshot of the trail, in bind order."""
+        with self._lock:
+            return list(self._entries)
+
+    def failures(self) -> list[AuditEntry]:
+        """Binds that raised."""
+        return [e for e in self.entries() if e.error is not None]
+
+    def coercions(self) -> list[AuditEntry]:
+        """Binds whose effective model differed from the declared one."""
+        return [
+            e for e in self.entries()
+            if e.error is None and e.effective_model != e.model
+        ]
+
+    def report(self) -> str:
+        """The trail rendered as one line per bind."""
+        return "\n".join(entry.line() for entry in self.entries())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,106 @@
+"""A Jini-style baseline: interface-level service lookup (§3.3's contrast).
+
+"MAGE migrates computations, while Java's Jini migrates code.  Thus, CLE
+differs from Jini in that it can refer to the same component across
+invocations and namespaces.  Jini refers to the same functionality or
+interface, but must destroy and create new objects when moving that
+functionality from one namespace to another."
+
+To make that comparison executable, this module implements the minimum of
+the Jini model the paper invokes:
+
+* a **lookup service** where providers register *service types* (interface
+  names), not named objects;
+* clients that **discover by type** and download a stub to whichever
+  provider currently advertises it;
+* "moving" a service = the old provider **retires** its instance and a new
+  provider **instantiates a fresh one** from the class — the state of the
+  old instance is gone.
+
+The CLE-versus-Jini tests then show the same relocation sequence keeping
+state under MAGE and losing it under Jini.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import NotBoundError
+from repro.runtime.namespace import Namespace
+from repro.util.ids import fresh_token
+
+
+class JiniLookupService:
+    """Type-indexed service directory (one per federation)."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, tuple[str, str]] = {}  # type -> (node, name)
+        self._lock = threading.Lock()
+
+    def advertise(self, service_type: str, node_id: str, name: str) -> None:
+        """Register the instance currently providing ``service_type``."""
+        with self._lock:
+            self._services[service_type] = (node_id, name)
+
+    def withdraw(self, service_type: str) -> None:
+        with self._lock:
+            self._services.pop(service_type, None)
+
+    def discover(self, service_type: str) -> tuple[str, str]:
+        """Where ``service_type`` is currently provided; raises if nowhere."""
+        with self._lock:
+            entry = self._services.get(service_type)
+        if entry is None:
+            raise NotBoundError(service_type)
+        return entry
+
+
+class JiniProvider:
+    """A namespace that can host instances of a registered service class."""
+
+    def __init__(self, namespace: Namespace, lookup: JiniLookupService) -> None:
+        self.ns = namespace
+        self.lookup = lookup
+
+    def offer(self, service_type: str, cls: type, *ctor_args) -> str:
+        """Instantiate the service here and advertise it.
+
+        Jini's relocation model: whoever offers next *creates a new
+        object* — no state carries over from a previous provider.
+        """
+        self.ns.register_class(cls)
+        instance_name = f"jini-{service_type}-{fresh_token('svc')}"
+        self.ns.register(instance_name, cls(*ctor_args))
+        self.lookup.advertise(service_type, self.ns.node_id, instance_name)
+        return instance_name
+
+    def retire(self, service_type: str, instance_name: str) -> None:
+        """Withdraw and destroy the local instance (its state dies here)."""
+        self.lookup.withdraw(service_type)
+        if self.ns.store.contains(instance_name):
+            self.ns.unregister(instance_name)
+
+
+class JiniClient:
+    """Discover-by-type client: downloads a stub per invocation epoch."""
+
+    def __init__(self, namespace: Namespace, lookup: JiniLookupService) -> None:
+        self.ns = namespace
+        self.lookup = lookup
+
+    def service(self, service_type: str):
+        """A stub for whichever instance currently provides the type."""
+        node_id, name = self.lookup.discover(service_type)
+        return self.ns.stub(name, location=node_id)
+
+
+def relocate(service_type: str, cls: type,
+             old_provider: JiniProvider, old_instance: str,
+             new_provider: JiniProvider, *ctor_args) -> str:
+    """Move a Jini service between providers: destroy, then re-create.
+
+    Returns the fresh instance's name.  This is the operation the paper
+    contrasts with CLE — the interface survives, the object does not.
+    """
+    old_provider.retire(service_type, old_instance)
+    return new_provider.offer(service_type, cls, *ctor_args)

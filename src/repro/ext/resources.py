@@ -1,0 +1,145 @@
+"""Resource allocation (§7 future work).
+
+The second model the conclusion promises: namespaces advertise capacity,
+migrations request admission, and over-budget moves are refused — the
+mechanism a WAN-scale MAGE needs so "resources appear and disappear"
+without hosts being overrun.
+
+A :class:`ResourceBudget` tracks named capacities (slots, memory units,
+whatever the deployment measures).  A :class:`MeteredNamespace` wraps a
+namespace's dispatcher: inbound object transfers, instantiations, and
+agent hops must fit the budget or fail with
+:class:`~repro.errors.ResourceExhaustedError`; departures and
+unregistrations release their share.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import ResourceExhaustedError
+from repro.net.message import Message, MessageKind
+from repro.runtime.namespace import Namespace
+
+#: Default resource dimension: how many mobile objects a node will host.
+OBJECT_SLOTS = "object_slots"
+
+
+class ResourceBudget:
+    """Named capacities with admission control."""
+
+    def __init__(self, node_id: str, capacities: dict[str, float] | None = None) -> None:
+        self.node_id = node_id
+        self._capacity: dict[str, float] = dict(capacities or {})
+        self._used: dict[str, float] = {name: 0.0 for name in self._capacity}
+        self._lock = threading.Lock()
+
+    def set_capacity(self, resource: str, capacity: float) -> None:
+        """Declare (or change) the capacity of ``resource``."""
+        if capacity < 0:
+            raise ValueError(f"capacity cannot be negative: {capacity}")
+        with self._lock:
+            self._capacity[resource] = float(capacity)
+            self._used.setdefault(resource, 0.0)
+
+    def capacity(self, resource: str) -> float:
+        """Declared capacity (unbounded when never declared)."""
+        with self._lock:
+            return self._capacity.get(resource, float("inf"))
+
+    def used(self, resource: str) -> float:
+        """Currently admitted amount."""
+        with self._lock:
+            return self._used.get(resource, 0.0)
+
+    def available(self, resource: str) -> float:
+        """Remaining headroom."""
+        with self._lock:
+            cap = self._capacity.get(resource, float("inf"))
+            return cap - self._used.get(resource, 0.0)
+
+    def admit(self, resource: str, amount: float = 1.0) -> None:
+        """Take ``amount`` of ``resource`` or raise (atomic)."""
+        with self._lock:
+            cap = self._capacity.get(resource, float("inf"))
+            used = self._used.get(resource, 0.0)
+            if used + amount > cap:
+                raise ResourceExhaustedError(
+                    node_id=self.node_id, resource=resource,
+                    requested=amount, available=cap - used,
+                )
+            self._used[resource] = used + amount
+
+    def release(self, resource: str, amount: float = 1.0) -> None:
+        """Give back ``amount`` (floored at zero; releases never fail)."""
+        with self._lock:
+            used = self._used.get(resource, 0.0)
+            self._used[resource] = max(0.0, used - amount)
+
+
+#: Inbound kinds that consume an object slot on success.
+_ADMITTING_KINDS = frozenset({
+    MessageKind.OBJECT_TRANSFER,
+    MessageKind.INSTANTIATE,
+    MessageKind.AGENT_HOP,
+})
+
+#: Kinds whose success means an object left this namespace.
+_RELEASING_KINDS = frozenset({MessageKind.MOVE_REQUEST})
+
+
+class MeteredNamespace:
+    """Wraps a namespace's inbound dispatcher with admission control.
+
+    Occupancy accounting: an arrival (transfer / instantiate / agent hop)
+    that the inner handler accepts consumes one ``object_slots`` unit; a
+    completed MOVE_REQUEST (the object left) releases one.  Agent hops
+    that immediately depart again release their slot through the same
+    accounting because the hop-out path raises MOVE_REQUEST-free — so the
+    wrapper also re-syncs to the store's true census after every gated
+    message.
+    """
+
+    def __init__(self, namespace: Namespace, budget: ResourceBudget) -> None:
+        self.ns = namespace
+        self.budget = budget
+        self.rejections = 0
+        self._lock = threading.Lock()
+        self._inner_handle = namespace.external.handle
+        namespace.transport.register(namespace.node_id, self.handle)
+
+    def handle(self, message: Message) -> Any:
+        """Meter one inbound message, then delegate to the real dispatcher."""
+        if message.kind in _ADMITTING_KINDS and not message.is_local:
+            try:
+                self.budget.admit(OBJECT_SLOTS, 1.0)
+            except ResourceExhaustedError:
+                with self._lock:
+                    self.rejections += 1
+                raise
+            try:
+                result = self._inner_handle(message)
+            except BaseException:
+                self.budget.release(OBJECT_SLOTS, 1.0)
+                raise
+            self._resync()
+            return result
+        result = self._inner_handle(message)
+        if message.kind in _RELEASING_KINDS:
+            self.budget.release(OBJECT_SLOTS, 1.0)
+        return result
+
+    def _resync(self) -> None:
+        """Clamp usage to the store's actual census (agents may hop away
+        inside the handler, freeing their slot immediately)."""
+        actual = float(len(self.ns.store))
+        used = self.budget.used(OBJECT_SLOTS)
+        if used > actual:
+            self.budget.release(OBJECT_SLOTS, used - actual)
+
+
+def meter(namespace: Namespace, capacities: dict[str, float]) -> MeteredNamespace:
+    """Install admission control on ``namespace`` with ``capacities``."""
+    budget = ResourceBudget(namespace.node_id, capacities)
+    return MeteredNamespace(namespace, budget)

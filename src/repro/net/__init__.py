@@ -1,0 +1,45 @@
+"""Network substrate: messages, traces, delivery conditions, and transports.
+
+Two interchangeable transports implement :class:`repro.net.transport.Transport`:
+
+* :class:`repro.net.simnet.SimNetwork` — in-process, deterministic, with a
+  virtual clock, configurable latency/loss, partitions, and full message
+  tracing.  This is the default substrate for tests and benches, standing in
+  for the paper's 10 Mb/s Ethernet testbed.
+* :class:`repro.net.tcpnet.TcpNetwork` — real TCP sockets on loopback, used
+  by integration tests to show the stack also runs over a genuine network.
+"""
+
+from repro.net.conditions import (
+    BernoulliLoss,
+    ConstantLatency,
+    DeterministicLoss,
+    LatencyModel,
+    LossModel,
+    NoLoss,
+    PerLinkLatency,
+    UniformLatency,
+)
+from repro.net.message import Message, MessageKind
+from repro.net.simnet import SimNetwork
+from repro.net.tcpnet import TcpNetwork
+from repro.net.trace import MessageTrace, TraceEvent
+from repro.net.transport import Transport
+
+__all__ = [
+    "BernoulliLoss",
+    "ConstantLatency",
+    "DeterministicLoss",
+    "LatencyModel",
+    "LossModel",
+    "Message",
+    "MessageKind",
+    "MessageTrace",
+    "NoLoss",
+    "PerLinkLatency",
+    "SimNetwork",
+    "TcpNetwork",
+    "TraceEvent",
+    "Transport",
+    "UniformLatency",
+]

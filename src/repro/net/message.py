@@ -1,0 +1,134 @@
+"""Wire messages.
+
+Every interaction in the system — RMI invocations, registry lookups, object
+and class transfers, lock traffic, agent hops — travels as a
+:class:`Message` envelope through a transport.  This uniformity is what lets
+the figure-reproduction benches read protocols straight off the message
+trace: the GREV protocol of the paper's Figure 7, for instance, appears as
+its literal message sequence.
+
+Local interactions (a mobility attribute consulting the registry in its own
+namespace) also travel as messages with ``src == dst``; the latency model
+charges them (near-)zero time.  The paper draws these local consultations as
+messages 1 and 2 of Figure 7, so modelling them uniformly keeps our traces
+comparable with the paper's figures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.ids import fresh_token
+
+
+class MessageKind(enum.Enum):
+    """Every message type in the MAGE protocol family."""
+
+    # --- RMI substrate -----------------------------------------------------
+    INVOKE = "INVOKE"                    # method invocation on a servant
+    REGISTRY_LOOKUP = "REGISTRY_LOOKUP"  # Naming.lookup against a node registry
+    REGISTRY_BIND = "REGISTRY_BIND"      # Naming.bind / rebind
+    REGISTRY_UNBIND = "REGISTRY_UNBIND"  # Naming.unbind
+    REGISTRY_LIST = "REGISTRY_LIST"      # Naming.list_bindings
+
+    # --- MAGE runtime ------------------------------------------------------
+    FIND = "FIND"                        # forwarding-chain component lookup
+    MOVE_REQUEST = "MOVE_REQUEST"        # ask the hosting node to ship an object
+    OBJECT_TRANSFER = "OBJECT_TRANSFER"  # host -> target: serialized object (+class)
+    MOVE_COMPLETE = "MOVE_COMPLETE"      # host -> requester: move finished
+    CLASS_REQUEST = "CLASS_REQUEST"      # pull a class definition (conditional)
+    CLASS_TRANSFER = "CLASS_TRANSFER"    # push a class definition (probe or body)
+    INSTANTIATE = "INSTANTIATE"          # create an object from a cached class
+    LOCK_REQUEST = "LOCK_REQUEST"        # stay/move lock acquisition
+    UNLOCK = "UNLOCK"                    # lock release
+    AGENT_HOP = "AGENT_HOP"              # one-way mobile-agent hop
+    AGENT_LAUNCH = "AGENT_LAUNCH"        # start an itinerary at the agent's host
+    LOAD_QUERY = "LOAD_QUERY"            # host load for migration policies
+    PING = "PING"                        # liveness probe
+
+    # --- Replies -----------------------------------------------------------
+    REPLY = "REPLY"                      # response envelope for any request
+
+
+#: Kinds sent with ``Transport.cast`` — fire-and-forget, never answered.
+#: Mobile-agent hops are the paper's one asynchronous interaction (§3.5).
+ONEWAY_KINDS = frozenset({MessageKind.AGENT_HOP})
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message on the wire.
+
+    ``payload`` holds a protocol dataclass from :mod:`repro.rmi.protocol`
+    (or a plain value for simple kinds).  ``in_reply_to`` carries the kind of
+    the request a REPLY answers so traces read like the paper's figures,
+    e.g. ``REPLY(INVOKE)``.
+    """
+
+    kind: MessageKind
+    src: str
+    dst: str
+    payload: Any = None
+    msg_id: str = field(default_factory=lambda: fresh_token("msg"))
+    in_reply_to: MessageKind | None = None
+
+    def reply(self, payload: Any) -> "Message":
+        """Build the response envelope for this request."""
+        return Message(
+            kind=MessageKind.REPLY,
+            src=self.dst,
+            dst=self.src,
+            payload=payload,
+            in_reply_to=self.kind,
+        )
+
+    @property
+    def is_local(self) -> bool:
+        """True when the message never leaves its namespace."""
+        return self.src == self.dst
+
+    def describe(self) -> str:
+        """Human-readable one-liner used by traces and debug output."""
+        kind = self.kind.value
+        if self.kind is MessageKind.REPLY and self.in_reply_to is not None:
+            kind = f"REPLY({self.in_reply_to.value})"
+        return f"{self.src} -> {self.dst}: {kind}"
+
+
+def payload_nbytes(message: "Message") -> int:
+    """Approximate wire size of a message's payload.
+
+    Blob-carrying payloads are measured by pickling (their bytes dominate);
+    unpicklable payloads — which only arise for in-process-only values —
+    fall back to a flat estimate.  Used by bandwidth-aware latency models
+    and by the trace's bytes-on-the-wire accounting.
+    """
+    import pickle
+
+    payload = message.payload
+    if payload is None:
+        return 64
+    try:
+        return 64 + len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 256
+
+
+@dataclass(frozen=True)
+class ReplyPayload:
+    """Reply body: either a value or a marshalled exception.
+
+    Exactly one of ``value``/``error`` is meaningful; ``error`` wins when
+    set.  ``remote_traceback`` preserves the servant-side stack for
+    :class:`repro.errors.RemoteInvocationError`.
+    """
+
+    value: Any = None
+    error: BaseException | None = None
+    remote_traceback: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        return self.error is not None

@@ -1,0 +1,193 @@
+"""Real TCP transport on loopback.
+
+The simulated network answers "does the model behave as the paper says";
+this transport answers "does the stack actually run over sockets".  Each
+registered node owns a listening socket on ``127.0.0.1`` (ephemeral port);
+messages are length-prefixed pickled envelopes; each ``call`` opens a fresh
+connection, mirroring the connection-per-call behaviour of early RMI.
+
+TCP provides reliable, ordered delivery, so no loss model applies here —
+loss/retry behaviour is exercised on the simulated network.  The clock is
+real time by default.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+
+from repro.errors import MarshalError, NodeUnreachableError
+from repro.net.message import ONEWAY_KINDS, Message
+from repro.net.trace import MessageTrace
+from repro.net.transport import MessageHandler, ReplyCache, Transport
+from repro.util.clock import Clock, WallClock
+
+_LENGTH_PREFIX = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024  # 64 MiB: a generous bound on one message
+
+
+def _send_frame(sock: socket.socket, message: Message) -> None:
+    try:
+        blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise MarshalError(f"cannot pickle {message.describe()}: {exc}") from exc
+    if len(blob) > _MAX_FRAME:
+        raise MarshalError(f"message too large: {len(blob)} bytes")
+    sock.sendall(_LENGTH_PREFIX.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Message:
+    header = _recv_exact(sock, _LENGTH_PREFIX.size)
+    (length,) = _LENGTH_PREFIX.unpack(header)
+    if length > _MAX_FRAME:
+        raise MarshalError(f"incoming frame too large: {length} bytes")
+    blob = _recv_exact(sock, length)
+    message = pickle.loads(blob)
+    if not isinstance(message, Message):
+        raise MarshalError(f"expected a Message frame, got {type(message).__name__}")
+    return message
+
+
+class _NodeServer:
+    """Accept loop for one node: one thread per connection."""
+
+    def __init__(self, node_id: str, handler: MessageHandler, trace: MessageTrace,
+                 clock: Clock) -> None:
+        self.node_id = node_id
+        self.handler = handler
+        self.reply_cache = ReplyCache()
+        self._trace = trace
+        self._clock = clock
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(64)
+        self.port = self._sock.getsockname()[1]
+        self._closing = False
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"tcpnet-{node_id}", daemon=True
+        )
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # listening socket closed
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True,
+                name=f"tcpnet-{self.node_id}-conn",
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        with conn:
+            try:
+                message = _recv_frame(conn)
+            except (ConnectionError, MarshalError, EOFError):
+                return
+            self._trace.record(message, self._clock.now_ms())
+            payload = Transport.execute_handler(message, self.handler, self.reply_cache)
+            if message.kind in ONEWAY_KINDS:
+                return  # one-way traffic carries no reply frame
+            reply = message.reply(payload)
+            self._trace.record(reply, self._clock.now_ms())
+            try:
+                _send_frame(conn, reply)
+            except (ConnectionError, OSError):
+                pass  # caller gave up; the reply cache covers their retry
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TcpNetwork(Transport):
+    """Transport over real loopback TCP sockets."""
+
+    def __init__(self, clock: Clock | None = None, trace: MessageTrace | None = None,
+                 connect_timeout_s: float = 5.0, io_timeout_s: float = 30.0) -> None:
+        super().__init__(clock=clock if clock is not None else WallClock(), trace=trace)
+        self._servers: dict[str, _NodeServer] = {}
+        self._lock = threading.Lock()
+        self.connect_timeout_s = connect_timeout_s
+        self.io_timeout_s = io_timeout_s
+
+    def register(self, node_id: str, handler: MessageHandler) -> None:
+        with self._lock:
+            if node_id in self._servers:
+                self._servers[node_id].close()
+            self._servers[node_id] = _NodeServer(
+                node_id, handler, self.trace, self.clock
+            )
+
+    def unregister(self, node_id: str) -> None:
+        with self._lock:
+            server = self._servers.pop(node_id, None)
+        if server is not None:
+            server.close()
+
+    def nodes(self) -> list[str]:
+        with self._lock:
+            return sorted(self._servers)
+
+    def port_of(self, node_id: str) -> int:
+        """The TCP port ``node_id`` listens on (for diagnostics)."""
+        with self._lock:
+            server = self._servers.get(node_id)
+        if server is None:
+            raise NodeUnreachableError(node_id, "not registered")
+        return server.port
+
+    def _connect(self, dst: str) -> socket.socket:
+        port = self.port_of(dst)
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", port), timeout=self.connect_timeout_s
+            )
+        except OSError as exc:
+            raise NodeUnreachableError(dst, f"connect failed: {exc}") from exc
+        sock.settimeout(self.io_timeout_s)
+        return sock
+
+    def _transmit(self, message: Message) -> Message:
+        sock = self._connect(message.dst)
+        with sock:
+            try:
+                _send_frame(sock, message)
+                return _recv_frame(sock)
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                raise NodeUnreachableError(message.dst, f"io failed: {exc}") from exc
+
+    def _transmit_oneway(self, message: Message) -> None:
+        sock = self._connect(message.dst)
+        with sock:
+            try:
+                _send_frame(sock, message)
+            except (ConnectionError, OSError) as exc:
+                raise NodeUnreachableError(message.dst, f"io failed: {exc}") from exc
+
+    def shutdown(self) -> None:
+        """Close every listening socket (idempotent)."""
+        with self._lock:
+            servers = list(self._servers.values())
+            self._servers.clear()
+        for server in servers:
+            server.close()

@@ -1,0 +1,123 @@
+"""Message tracing.
+
+The trace is the reproduction's instrument for the paper's protocol figures
+(Figures 1, 2, 3, 7): every message a transport delivers is recorded with a
+global sequence number and the virtual timestamp at which it was sent.
+Benches then assert on, and pretty-print, the causal message sequences.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.net.message import Message, MessageKind, payload_nbytes
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One delivered message, as observed by the transport."""
+
+    seq: int
+    time_ms: float
+    kind: str          # e.g. "INVOKE" or "REPLY(INVOKE)"
+    src: str
+    dst: str
+    msg_id: str
+    local: bool        # src == dst (in-namespace interaction)
+    dropped: bool      # the loss model ate this transmission attempt
+    nbytes: int        # approximate payload size on the wire
+
+    def arrow(self) -> str:
+        """Render as ``src -> dst: KIND`` (with a ✗ suffix for drops)."""
+        suffix = "  [LOST]" if self.dropped else ""
+        return f"{self.src} -> {self.dst}: {self.kind}{suffix}"
+
+
+class MessageTrace:
+    """Thread-safe, append-only record of transport activity."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def record(self, message: Message, time_ms: float, dropped: bool = False) -> TraceEvent:
+        """Append an event for ``message``; returns the stored event."""
+        kind = message.kind.value
+        if message.kind is MessageKind.REPLY and message.in_reply_to is not None:
+            kind = f"REPLY({message.in_reply_to.value})"
+        with self._lock:
+            self._seq += 1
+            event = TraceEvent(
+                seq=self._seq,
+                time_ms=time_ms,
+                kind=kind,
+                src=message.src,
+                dst=message.dst,
+                msg_id=message.msg_id,
+                local=message.is_local,
+                dropped=dropped,
+                nbytes=payload_nbytes(message),
+            )
+            self._events.append(event)
+        return event
+
+    def events(self) -> list[TraceEvent]:
+        """Snapshot of all events in sequence order."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- queries used by tests and figure benches ---------------------------
+
+    def filtered(
+        self,
+        kinds: Iterable[str] | None = None,
+        remote_only: bool = False,
+        include_dropped: bool = False,
+    ) -> list[TraceEvent]:
+        """Events restricted by kind / locality / drop status."""
+        wanted = set(kinds) if kinds is not None else None
+        result = []
+        for event in self.events():
+            if event.dropped and not include_dropped:
+                continue
+            if remote_only and event.local:
+                continue
+            if wanted is not None and event.kind not in wanted:
+                continue
+            result.append(event)
+        return result
+
+    def kinds(self, remote_only: bool = False) -> list[str]:
+        """The sequence of message kinds, in order."""
+        return [e.kind for e in self.filtered(remote_only=remote_only)]
+
+    def summary(self) -> Counter:
+        """Counter of delivered (non-dropped) message kinds."""
+        return Counter(e.kind for e in self.events() if not e.dropped)
+
+    def remote_message_count(self) -> int:
+        """Messages that actually crossed the network (the paper's RMI cost)."""
+        return sum(1 for e in self.events() if not e.local and not e.dropped)
+
+    def remote_bytes(self) -> int:
+        """Approximate payload bytes that crossed the network."""
+        return sum(
+            e.nbytes for e in self.events() if not e.local and not e.dropped
+        )
+
+    def arrows(self, remote_only: bool = False) -> list[str]:
+        """The trace rendered as ``src -> dst: KIND`` lines (figure format)."""
+        return [e.arrow() for e in self.filtered(remote_only=remote_only)]

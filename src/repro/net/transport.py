@@ -1,0 +1,183 @@
+"""Transport abstraction.
+
+A transport delivers :class:`~repro.net.message.Message` envelopes between
+named nodes.  Two interaction styles exist, matching the paper's protocols:
+
+* ``call`` — synchronous request/response, the shape of an RMI call.  All
+  of RPC/REV/COD/GREV/CLE traffic is built from calls.
+* ``cast`` — one-way, asynchronous.  Mobile-agent hops use casts: the
+  paper's §3.5 distinguishes REV (single hop, synchronous) from MA
+  (multi-hop, asynchronous).
+
+Reliability: §4.3 requires protocols to "recover from message loss", so
+``call`` retries lost transmissions up to a budget.  Because a reply can be
+lost *after* the handler ran, every node's dispatch path is wrapped in a
+:class:`ReplyCache` keyed by message id, giving at-most-once execution —
+retries of an executed request replay the cached reply instead of
+re-executing a (possibly non-idempotent) move.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.errors import MessageLostError, NodeUnreachableError
+from repro.net.message import Message, MessageKind, ReplyPayload
+from repro.net.trace import MessageTrace
+from repro.util.clock import Clock
+
+#: A node's message dispatcher: receives a request, returns the reply payload
+#: value (or raises; the transport marshals the exception back to the caller).
+MessageHandler = Callable[[Message], Any]
+
+#: How many times ``call`` retransmits after a loss before giving up.
+DEFAULT_RETRY_BUDGET = 8
+
+
+class ReplyCache:
+    """At-most-once execution: remembers replies by request message id.
+
+    A bounded LRU; old entries are evicted once ``capacity`` is exceeded.
+    Retries reuse the same message id, so a retransmission of an
+    already-executed request returns the remembered reply.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: OrderedDict[str, ReplyPayload] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, msg_id: str) -> ReplyPayload | None:
+        """The cached reply for ``msg_id``, refreshing its recency."""
+        with self._lock:
+            payload = self._entries.get(msg_id)
+            if payload is not None:
+                self._entries.move_to_end(msg_id)
+            return payload
+
+    def put(self, msg_id: str, payload: ReplyPayload) -> None:
+        """Remember ``payload`` as the reply for ``msg_id``."""
+        with self._lock:
+            self._entries[msg_id] = payload
+            self._entries.move_to_end(msg_id)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class Transport(ABC):
+    """Delivers messages between registered nodes; see module docstring."""
+
+    def __init__(self, clock: Clock, trace: MessageTrace | None = None,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET) -> None:
+        self.clock = clock
+        self.trace = trace if trace is not None else MessageTrace()
+        self.retry_budget = retry_budget
+
+    # -- node management ----------------------------------------------------
+
+    @abstractmethod
+    def register(self, node_id: str, handler: MessageHandler) -> None:
+        """Attach ``handler`` as the dispatcher for ``node_id``."""
+
+    @abstractmethod
+    def unregister(self, node_id: str) -> None:
+        """Detach ``node_id`` (it becomes unreachable)."""
+
+    @abstractmethod
+    def nodes(self) -> list[str]:
+        """Currently registered node ids."""
+
+    # -- delivery (one attempt; implemented per transport) -------------------
+
+    @abstractmethod
+    def _transmit(self, message: Message) -> Message:
+        """Deliver one request attempt and return the reply envelope.
+
+        Raises :class:`MessageLostError` when the loss model ate either the
+        request or the reply, and :class:`NodeUnreachableError` when the
+        destination is gone.
+        """
+
+    @abstractmethod
+    def _transmit_oneway(self, message: Message) -> None:
+        """Deliver one one-way attempt (no reply)."""
+
+    # -- public API ----------------------------------------------------------
+
+    def call(self, src: str, dst: str, kind: MessageKind, payload: Any = None) -> Any:
+        """Request/response exchange; returns the reply payload value.
+
+        Retries lost transmissions up to the retry budget, then surfaces
+        :class:`MessageLostError`.  Exceptions raised by the remote handler
+        re-raise here.
+        """
+        message = Message(kind=kind, src=src, dst=dst, payload=payload)
+        attempts = self.retry_budget + 1
+        last_loss: MessageLostError | None = None
+        for _ in range(attempts):
+            try:
+                reply = self._transmit(message)
+            except MessageLostError as exc:
+                last_loss = exc
+                continue
+            return self._unwrap(reply)
+        raise MessageLostError(
+            f"{message.describe()} lost {attempts} times (retry budget exhausted)"
+        ) from last_loss
+
+    def cast(self, src: str, dst: str, kind: MessageKind, payload: Any = None) -> None:
+        """One-way send; best-effort.
+
+        Fire-and-forget semantics all the way down: a cast lost in flight
+        or aimed at an unreachable node vanishes silently (the trace still
+        records drops), exactly like a datagram.  Mobile-agent hops ride
+        this — §3.5's asynchrony — so an agent sent into a dead node is
+        lost, and the registry's verified find reports it missing.
+        """
+        message = Message(kind=kind, src=src, dst=dst, payload=payload)
+        try:
+            self._transmit_oneway(message)
+        except (MessageLostError, NodeUnreachableError):
+            pass
+
+    # -- shared plumbing ------------------------------------------------------
+
+    @staticmethod
+    def _unwrap(reply: Message) -> Any:
+        """Surface the reply value, re-raising marshalled handler exceptions.
+
+        Protocol-level errors (our own :class:`~repro.errors.MageError`
+        family) propagate as themselves; *servant* exceptions were already
+        wrapped in :class:`~repro.errors.RemoteInvocationError` by the RMI
+        invoker, traceback attached, before they reached the wire.
+        """
+        payload = reply.payload
+        if isinstance(payload, ReplyPayload):
+            if payload.is_error:
+                raise payload.error
+            return payload.value
+        return payload
+
+    @staticmethod
+    def execute_handler(message: Message, handler: MessageHandler,
+                        cache: ReplyCache) -> ReplyPayload:
+        """Run ``handler`` under at-most-once semantics; shared by transports."""
+        cached = cache.get(message.msg_id)
+        if cached is not None:
+            return cached
+        try:
+            value = handler(message)
+            payload = ReplyPayload(value=value)
+        except BaseException as exc:  # marshalled back to the caller
+            payload = ReplyPayload(error=exc)
+        cache.put(message.msg_id, payload)
+        return payload

@@ -1,0 +1,38 @@
+"""The RMI substrate MAGE is layered on.
+
+The paper builds MAGE on Java RMI; this package is the from-scratch Python
+equivalent: marshalling with by-value data and by-reference stubs
+(:mod:`~repro.rmi.marshal`), transportable class definitions
+(:mod:`~repro.rmi.classdesc`), per-node registries and ``Naming``
+(:mod:`~repro.rmi.registry`, :mod:`~repro.rmi.naming`), dynamic proxies
+(:mod:`~repro.rmi.stub`), and server-side dispatch
+(:mod:`~repro.rmi.invoker`).
+"""
+
+from repro.rmi.classdesc import ClassDescriptor, describe_class, is_mobile_instance, load_class
+from repro.rmi.client import RmiClient
+from repro.rmi.invoker import Invoker
+from repro.rmi.marshal import marshal, marshal_call, marshalled_size, unmarshal, unmarshal_call
+from repro.rmi.naming import Naming
+from repro.rmi.registry import RmiRegistry
+from repro.rmi.stub import RemoteRef, Stub, detached_stub, interface_methods
+
+__all__ = [
+    "ClassDescriptor",
+    "Invoker",
+    "Naming",
+    "RemoteRef",
+    "RmiClient",
+    "RmiRegistry",
+    "Stub",
+    "describe_class",
+    "detached_stub",
+    "interface_methods",
+    "is_mobile_instance",
+    "load_class",
+    "marshal",
+    "marshal_call",
+    "marshalled_size",
+    "unmarshal",
+    "unmarshal_call",
+]

@@ -1,0 +1,122 @@
+"""Class descriptors: shipping class definitions between namespaces.
+
+The paper moves Java ``.class`` files between JVMs and caches them: "MAGE
+currently clones classes, leaving behind a copy of each object's class that
+visited a particular node" (§4.2).  Python has no class files, so we ship
+**source**: a :class:`ClassDescriptor` carries the class's source text and
+enough naming to re-``exec`` it at the destination.
+
+Fidelity notes:
+
+* Each namespace ``exec``s its own clone, so class-level ("static") fields
+  are independent per namespace — reproducing the paper's stated limitation
+  that static fields get no coherency.
+* Symbolic references in the source (imports, module helpers, base classes)
+  resolve against the defining module's globals at load time, the analogue
+  of resolving a class file against the target's classpath.
+* Descriptors are content-hashed; the hash keys the per-node class cache,
+  so re-shipping an already-cached class is skipped (the §4.2 optimization,
+  ablatable in the benches).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import sys
+import textwrap
+from dataclasses import dataclass
+
+from repro.errors import ClassTransferError
+from repro.rmi.marshal import MOBILE_CLASS_MARKER
+
+
+@dataclass(frozen=True)
+class ClassDescriptor:
+    """A transportable class definition."""
+
+    class_name: str   # simple name, also the name bound by ``exec``
+    module: str       # defining module (globals provider at load time)
+    source: str       # dedented source text of the class statement
+    source_hash: str  # sha256 of the source, cache key
+
+    def __post_init__(self) -> None:
+        if not self.class_name.isidentifier():
+            raise ClassTransferError(f"not a class name: {self.class_name!r}")
+
+    def __str__(self) -> str:
+        return f"<classdesc {self.class_name} #{self.source_hash[:8]}>"
+
+
+def _hash_source(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def describe_class(cls: type) -> ClassDescriptor:
+    """Build the descriptor that ships ``cls`` to another namespace.
+
+    Requires retrievable source (``inspect.getsource``); builtins and
+    C-implemented classes are not mobile — the paper's analogue would be
+    trying to migrate a JVM-internal class.
+    """
+    if not isinstance(cls, type):
+        raise ClassTransferError(f"expected a class, got {type(cls).__name__}")
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError) as exc:
+        raise ClassTransferError(
+            f"class {cls.__name__!r} has no retrievable source; "
+            "only source-backed classes are mobile"
+        ) from exc
+    return ClassDescriptor(
+        class_name=cls.__name__,
+        module=cls.__module__,
+        source=source,
+        source_hash=_hash_source(source),
+    )
+
+
+def load_class(desc: ClassDescriptor, namespace_id: str) -> type:
+    """``exec`` a descriptor into a fresh clone for ``namespace_id``.
+
+    The clone's ``__module__`` is rewritten to a synthetic per-namespace
+    name so that (a) two namespaces' clones are distinguishable and (b)
+    accidental pickle-by-reference of mobile instances fails loudly instead
+    of silently resolving to the wrong class.
+    """
+    env = _module_globals(desc.module)
+    local_env = dict(env)
+    try:
+        code = compile(desc.source, f"<mobile:{desc.class_name}>", "exec")
+        exec(code, local_env)  # noqa: S102 — the whole point is code mobility
+    except Exception as exc:
+        raise ClassTransferError(
+            f"loading class {desc.class_name!r} failed: {exc}"
+        ) from exc
+    cls = local_env.get(desc.class_name)
+    if not isinstance(cls, type):
+        raise ClassTransferError(
+            f"source for {desc.class_name!r} did not define that class"
+        )
+    cls.__module__ = f"repro._mobile.{namespace_id}.{desc.source_hash[:12]}"
+    # Marker consumed by repro.rmi.marshal: instances of this clone must not
+    # be marshalled by value.
+    setattr(cls, MOBILE_CLASS_MARKER, True)
+    setattr(cls, "__mage_source_hash__", desc.source_hash)
+    return cls
+
+
+def _module_globals(module_name: str) -> dict:
+    """Globals environment that the shipped source resolves names against."""
+    module = sys.modules.get(module_name)
+    if module is None:
+        raise ClassTransferError(
+            f"defining module {module_name!r} is not loadable in this "
+            "process; cannot resolve the class's symbolic references"
+        )
+    return dict(vars(module))
+
+
+def is_mobile_instance(obj: object) -> bool:
+    """True if ``obj``'s class came from :func:`load_class`."""
+    return bool(getattr(type(obj), MOBILE_CLASS_MARKER, False))

@@ -1,0 +1,38 @@
+"""Client-side RMI: turning stubs' method calls into INVOKE messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.net.message import MessageKind
+from repro.net.transport import Transport
+from repro.rmi.marshal import marshal_call, unmarshal
+from repro.rmi.protocol import InvokeRequest
+from repro.rmi.stub import RemoteRef, Stub
+
+
+class RmiClient:
+    """One per namespace: issues invocations on behalf of local callers.
+
+    Also serves as the namespace's stub factory — every stub it creates (or
+    re-attaches during unmarshalling) routes invocations back through this
+    client, so results containing further stubs keep working recursively.
+    """
+
+    def __init__(self, node_id: str, transport: Transport) -> None:
+        self.node_id = node_id
+        self._transport = transport
+
+    def invoke(self, ref: RemoteRef, method: str, args: tuple, kwargs: dict) -> Any:
+        """Perform one remote invocation: marshal, send, unmarshal."""
+        request = InvokeRequest(
+            name=ref.name, method=method, args_blob=marshal_call(args, kwargs)
+        )
+        result_blob = self._transport.call(
+            self.node_id, ref.node_id, MessageKind.INVOKE, request
+        )
+        return unmarshal(result_blob, self.stub_for)
+
+    def stub_for(self, ref: RemoteRef) -> Stub:
+        """A live stub bound to this namespace's transport."""
+        return Stub(ref, self.invoke)

@@ -1,0 +1,64 @@
+"""Server-side invocation dispatch.
+
+The invoker is the receiving half of an RMI call: it resolves the servant
+named by an :class:`~repro.rmi.protocol.InvokeRequest`, unmarshals the
+arguments against the local namespace (re-attaching any stubs), runs the
+method, and marshals the result.
+
+Servant exceptions are wrapped in
+:class:`~repro.errors.RemoteInvocationError` with the remote traceback
+attached, so callers can diagnose failures without access to the remote
+namespace.  Errors of the library's own :class:`~repro.errors.MageError`
+family raised *by the dispatch machinery* (e.g. ``NoSuchObjectError``)
+propagate unwrapped — they are protocol semantics, not application bugs.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Callable
+
+from repro.errors import NoSuchObjectError, RemoteInvocationError
+from repro.rmi.marshal import StubFactory, marshal, unmarshal_call
+from repro.rmi.protocol import InvokeRequest
+
+#: Resolves a servant name to the live object, or raises ``NoSuchObjectError``.
+ServantLookup = Callable[[str], Any]
+
+
+class Invoker:
+    """Dispatches INVOKE requests onto local servants."""
+
+    def __init__(self, node_id: str, servant_lookup: ServantLookup,
+                 stub_factory: StubFactory) -> None:
+        self.node_id = node_id
+        self._servant_lookup = servant_lookup
+        self._stub_factory = stub_factory
+
+    def handle(self, request: InvokeRequest) -> bytes:
+        """Execute the request; returns the marshalled result."""
+        servant = self._servant_lookup(request.name)
+        method = self._resolve_method(servant, request)
+        args, kwargs = unmarshal_call(request.args_blob, self._stub_factory)
+        try:
+            result = method(*args, **kwargs)
+        except Exception as exc:
+            raise RemoteInvocationError(
+                f"{type(servant).__name__}.{request.method} raised "
+                f"{type(exc).__name__}: {exc}",
+                remote_traceback=traceback.format_exc(),
+            ) from exc
+        return marshal(result)
+
+    def _resolve_method(self, servant: Any, request: InvokeRequest) -> Callable:
+        if request.method.startswith("_"):
+            raise NoSuchObjectError(
+                f"{request.name}.{request.method} (private methods are not remote)",
+                self.node_id,
+            )
+        method = getattr(servant, request.method, None)
+        if not callable(method):
+            raise NoSuchObjectError(
+                f"{request.name}.{request.method}", self.node_id
+            )
+        return method

@@ -1,0 +1,110 @@
+"""Marshalling: by-value data, by-reference stubs.
+
+Arguments, results, and migrated object state cross namespaces as bytes, so
+even on the in-process simulated network a remote call cannot mutate the
+caller's objects — the semantics a real network imposes.
+
+Two special cases ride on pickle's *persistent id* hook:
+
+* **Stubs** marshal as their :class:`~repro.rmi.stub.RemoteRef` only and are
+  re-attached to the receiving namespace's transport on unmarshal, exactly
+  like Java RMI stubs.
+* **Mobile instances** (objects of exec-loaded, cache-cloned classes) refuse
+  to marshal implicitly: moving an object is a runtime operation with
+  registry and locking consequences, so it must go through the mover, never
+  hide inside an argument list.  (Java RMI's analogue: a non-Serializable,
+  non-exported object.)
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any, Callable
+
+from repro.errors import MarshalError
+from repro.rmi.stub import RemoteRef, Stub, detached_stub
+
+#: Factory used to re-attach stubs on unmarshal: ``ref -> live Stub``.
+StubFactory = Callable[[RemoteRef], Stub]
+
+#: Attribute stamped onto exec-loaded mobile classes by the class cache, so
+#: the marshaller can recognize their instances.
+MOBILE_CLASS_MARKER = "__mage_mobile_class__"
+
+
+class _MagePickler(pickle.Pickler):
+    def persistent_id(self, obj: Any):  # noqa: D102 (pickle hook)
+        if isinstance(obj, Stub):
+            return ("stub", obj.ref)
+        if getattr(type(obj), MOBILE_CLASS_MARKER, False):
+            raise MarshalError(
+                f"mobile object of class {type(obj).__name__!r} cannot be "
+                "marshalled by value; move it with the MAGE runtime instead"
+            )
+        return None
+
+
+class _MageUnpickler(pickle.Unpickler):
+    def __init__(self, file: io.BytesIO, stub_factory: StubFactory) -> None:
+        super().__init__(file)
+        self._stub_factory = stub_factory
+
+    def persistent_load(self, pid: Any) -> Any:  # noqa: D102 (pickle hook)
+        if isinstance(pid, tuple) and len(pid) == 2 and pid[0] == "stub":
+            return self._stub_factory(pid[1])
+        raise MarshalError(f"unknown persistent id in stream: {pid!r}")
+
+
+def marshal(value: Any) -> bytes:
+    """Serialize ``value`` for the wire.
+
+    Raises :class:`MarshalError` for unpicklable values and for mobile
+    instances (which must travel via the mover).
+    """
+    buffer = io.BytesIO()
+    try:
+        _MagePickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(value)
+    except MarshalError:
+        raise
+    except Exception as exc:
+        raise MarshalError(f"cannot marshal {type(value).__name__}: {exc}") from exc
+    return buffer.getvalue()
+
+
+def unmarshal(blob: bytes, stub_factory: StubFactory | None = None) -> Any:
+    """Deserialize wire bytes, re-attaching stubs via ``stub_factory``.
+
+    Without a factory, embedded stubs come back *detached* (usable as refs,
+    raising if invoked).
+    """
+    factory = stub_factory if stub_factory is not None else detached_stub
+    try:
+        return _MageUnpickler(io.BytesIO(blob), factory).load()
+    except MarshalError:
+        raise
+    except Exception as exc:
+        raise MarshalError(f"cannot unmarshal {len(blob)}-byte blob: {exc}") from exc
+
+
+def marshalled_size(value: Any) -> int:
+    """Size in bytes of ``value`` on the wire (for bandwidth accounting)."""
+    return len(marshal(value))
+
+
+def marshal_call(args: tuple, kwargs: dict) -> bytes:
+    """Marshal an argument list for an INVOKE request."""
+    return marshal((tuple(args), dict(kwargs)))
+
+
+def unmarshal_call(blob: bytes, stub_factory: StubFactory | None = None) -> tuple[tuple, dict]:
+    """Inverse of :func:`marshal_call`."""
+    value = unmarshal(blob, stub_factory)
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 2
+        or not isinstance(value[0], tuple)
+        or not isinstance(value[1], dict)
+    ):
+        raise MarshalError("call blob did not contain an (args, kwargs) pair")
+    return value

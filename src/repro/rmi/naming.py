@@ -1,0 +1,82 @@
+"""``Naming`` — the client API onto RMI registries.
+
+The analogue of Java's ``java.rmi.Naming``: URL-addressed lookup, bind,
+rebind, unbind, and listing against any node's registry.  The paper's
+mobility attributes "boil down to RMI calls … in essence, a complex wrapper
+for RMI's ``Naming.lookup``" (§4.2); this is the wrapped layer.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import MessageKind
+from repro.net.transport import Transport
+from repro.rmi.protocol import BindRequest, ListRequest, LookupRequest, UnbindRequest
+from repro.rmi.stub import RemoteRef, Stub
+from repro.util.ids import MageUrl
+
+
+class Naming:
+    """Registry operations issued from one namespace."""
+
+    def __init__(self, node_id: str, transport: Transport, client) -> None:
+        self.node_id = node_id
+        self._transport = transport
+        self._client = client  # RmiClient; provides stub_for
+
+    def _resolve(self, url: str | MageUrl) -> MageUrl:
+        if isinstance(url, MageUrl):
+            return url
+        return MageUrl.parse(url)
+
+    def lookup(self, url: str | MageUrl) -> Stub:
+        """Resolve a ``mage://node/name`` URL to a live stub.
+
+        Raises :class:`~repro.errors.NotBoundError` when the name has no
+        binding at that node.
+        """
+        where = self._resolve(url)
+        ref = self._transport.call(
+            self.node_id, where.node_id,
+            MessageKind.REGISTRY_LOOKUP, LookupRequest(name=where.name),
+        )
+        return self._client.stub_for(ref)
+
+    def lookup_ref(self, url: str | MageUrl) -> RemoteRef:
+        """Like :meth:`lookup` but returns the raw reference, not a stub."""
+        where = self._resolve(url)
+        return self._transport.call(
+            self.node_id, where.node_id,
+            MessageKind.REGISTRY_LOOKUP, LookupRequest(name=where.name),
+        )
+
+    def bind(self, url: str | MageUrl, ref: RemoteRef) -> None:
+        """Publish ``ref`` at the URL's node; refuses to overwrite."""
+        where = self._resolve(url)
+        self._transport.call(
+            self.node_id, where.node_id,
+            MessageKind.REGISTRY_BIND,
+            BindRequest(name=where.name, ref=ref, replace=False),
+        )
+
+    def rebind(self, url: str | MageUrl, ref: RemoteRef) -> None:
+        """Publish ``ref`` at the URL's node, replacing any binding."""
+        where = self._resolve(url)
+        self._transport.call(
+            self.node_id, where.node_id,
+            MessageKind.REGISTRY_BIND,
+            BindRequest(name=where.name, ref=ref, replace=True),
+        )
+
+    def unbind(self, url: str | MageUrl) -> None:
+        """Remove the binding at the URL's node."""
+        where = self._resolve(url)
+        self._transport.call(
+            self.node_id, where.node_id,
+            MessageKind.REGISTRY_UNBIND, UnbindRequest(name=where.name),
+        )
+
+    def list_bindings(self, node_id: str) -> list[str]:
+        """All names bound in ``node_id``'s registry."""
+        return self._transport.call(
+            self.node_id, node_id, MessageKind.REGISTRY_LIST, ListRequest()
+        )

@@ -1,0 +1,239 @@
+"""Wire payload vocabulary.
+
+Every :class:`~repro.net.message.Message` carries one of these dataclasses.
+They are deliberately dumb records: all behaviour lives in the services that
+exchange them.  Binary fields (``*_blob``) hold marshalled data produced by
+:mod:`repro.rmi.marshal`, so arguments and object state cross namespaces
+**by value** even on the in-process simulated network — the semantics a real
+wire would impose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# RMI substrate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvokeRequest:
+    """Invoke ``method`` on the servant bound as ``name`` at the target node."""
+
+    name: str
+    method: str
+    args_blob: bytes  # marshalled (args, kwargs)
+
+
+@dataclass(frozen=True)
+class LookupRequest:
+    """``Naming.lookup``: resolve ``name`` in the target node's RMI registry."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BindRequest:
+    """``Naming.bind``/``rebind``: publish a remote reference under ``name``."""
+
+    name: str
+    ref: "object"  # a repro.rmi.stub.RemoteRef (kept loose to avoid a cycle)
+    replace: bool = False
+
+
+@dataclass(frozen=True)
+class UnbindRequest:
+    """``Naming.unbind``: remove the binding for ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ListRequest:
+    """``Naming.list_bindings``: enumerate bound names."""
+
+
+# ---------------------------------------------------------------------------
+# MAGE runtime
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FindRequest:
+    """Forwarding-chain walk: where does ``name`` live now?
+
+    ``hops`` carries the nodes visited so far — both a cycle guard and the
+    list of registries whose forwarding addresses get collapsed onto the
+    final location when the answer propagates back (paper §4.1).
+    ``origin_hint`` names the component's origin server (§7: clients share
+    "the name of the mobile object's origin server"), consulted when a
+    registry has no forwarding information of its own.
+
+    ``verify=False`` lets the *first* (local) registry answer straight from
+    its forwarding table without walking the chain — the fast path behind
+    the paper's observation that the RPC attribute is "a very thin wrapper
+    of a standard RMI call".  A stale answer then surfaces as
+    ``NoSuchObjectError`` at invocation time, after which callers re-find
+    with ``verify=True``.  Chain hops always verify (a walk terminates only
+    at the node actually hosting the component).
+    """
+
+    name: str
+    hops: tuple[str, ...] = ()
+    origin_hint: str = ""
+    verify: bool = True
+
+
+@dataclass(frozen=True)
+class MoveRequest:
+    """Ask the node currently hosting ``name`` to ship it to ``target``.
+
+    ``lock_token`` proves the requester holds the object's move lock when
+    locking is in force (empty string when the caller runs unlocked).
+    """
+
+    name: str
+    target: str
+    lock_token: str = ""
+
+
+@dataclass(frozen=True)
+class ObjectTransfer:
+    """Host → target: a weakly-migrated object.
+
+    Weak migration ships heap state only (paper §3.5): the class descriptor
+    plus the marshalled ``__dict__``/``__getstate__`` of the instance.  The
+    class descriptor may be omitted when the sender believes the receiver
+    caches the class (``class_hash`` lets the receiver validate; a cache
+    miss makes it pull the class from ``origin``).
+    """
+
+    name: str
+    class_name: str
+    state_blob: bytes
+    class_desc: "object | None"  # repro.rmi.classdesc.ClassDescriptor | None
+    class_hash: str
+    origin: str                  # node the object departed
+    transfer_id: str             # dedup token: retries must not double-apply
+    shared: bool = True          # public (lockable) vs private object
+
+
+@dataclass(frozen=True)
+class MoveComplete:
+    """Host → original requester: the move finished; object now at ``location``."""
+
+    name: str
+    location: str
+
+
+@dataclass(frozen=True)
+class ClassRequest:
+    """Pull a class definition from a node (conditional fetch).
+
+    When ``if_hash`` names the version the requester already caches, the
+    reply is the small marker ``"unchanged"`` instead of the full source —
+    the conditional-fetch pattern that makes warm COD binds cost one round
+    trip (paper Table 3's amortized TCOD row).
+    """
+
+    class_name: str
+    if_hash: str = ""
+
+
+@dataclass(frozen=True)
+class ClassPush:
+    """Push a class definition to a node (REV direction).
+
+    A *probe* (``desc is None``) asks "do you cache ``source_hash``?" and the
+    reply is a boolean; a push with a body installs the descriptor.
+    """
+
+    class_name: str
+    source_hash: str
+    desc: "object | None" = None  # ClassDescriptor when carrying the body
+
+
+@dataclass(frozen=True)
+class InstantiateRequest:
+    """Create an object of an already-cached class and register it.
+
+    The REV/COD *factory* semantics of §4.2: the class moved first (via
+    ClassPush or ClassRequest), then the target instantiates.
+    """
+
+    class_name: str
+    name: str
+    args_blob: bytes
+    shared: bool = True
+
+
+@dataclass(frozen=True)
+class LockRequestPayload:
+    """Stay/move lock acquisition for a mobile object (paper §4.4).
+
+    The request carries the mobility attribute's computation ``target``; the
+    lock manager grants a *stay* lock if the object is already there and a
+    *move* lock otherwise.
+    """
+
+    name: str
+    target: str
+    requester: str
+    wait_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class UnlockPayload:
+    """Release a previously granted lock."""
+
+    name: str
+    token: str
+
+
+@dataclass(frozen=True)
+class AgentHopPayload:
+    """One-way mobile-agent hop: agent state + remaining itinerary.
+
+    MA is "multi-hop and asynchronous" (§3.5): each hop is a cast, the
+    receiver runs the agent's arrival hook, then forwards it to the next
+    namespace on the itinerary.
+    """
+
+    name: str
+    class_name: str
+    state_blob: bytes
+    class_desc: "object | None"
+    class_hash: str
+    origin: str                       # node the agent departed (class pulls)
+    tour_id: str                      # dedup token for retransmitted hops
+    itinerary: tuple[str, ...] = ()   # remaining namespaces to visit
+    shared: bool = False              # agents default to private objects
+
+
+@dataclass(frozen=True)
+class AgentLaunch:
+    """Ask the node hosting ``name`` to start an itinerary tour.
+
+    Synchronous control message; the tour itself proceeds asynchronously
+    via AGENT_HOP casts.
+    """
+
+    name: str
+    itinerary: tuple[str, ...]
+    lock_token: str = ""
+
+
+@dataclass(frozen=True)
+class LoadQuery:
+    """Ask a node for its current load metric (migration policies use this)."""
+
+
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """Diagnostic dump of a node's registry (bindings + forwarding table)."""
+
+    bindings: dict = field(default_factory=dict)
+    forwarding: dict = field(default_factory=dict)
+    class_names: tuple[str, ...] = ()

@@ -1,0 +1,69 @@
+"""The plain RMI registry.
+
+One per node: a thread-safe name → :class:`~repro.rmi.stub.RemoteRef` table
+with Java-RMI-shaped semantics (``bind`` refuses to overwrite, ``rebind``
+replaces, ``lookup`` of an unbound name raises).  The MAGE registry of
+§4.1 *wraps* this — forwarding addresses and class tracking live in
+:mod:`repro.runtime.registry`, not here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import AlreadyBoundError, NotBoundError
+from repro.rmi.stub import RemoteRef
+from repro.util.ids import validate_component_name
+
+
+class RmiRegistry:
+    """Name → remote-reference bindings for a single node."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self._bindings: dict[str, RemoteRef] = {}
+        self._lock = threading.RLock()
+
+    def bind(self, name: str, ref: RemoteRef) -> None:
+        """Publish ``ref`` under ``name``; refuses to overwrite."""
+        validate_component_name(name)
+        with self._lock:
+            if name in self._bindings:
+                raise AlreadyBoundError(name)
+            self._bindings[name] = ref
+
+    def rebind(self, name: str, ref: RemoteRef) -> None:
+        """Publish ``ref`` under ``name``, replacing any existing binding."""
+        validate_component_name(name)
+        with self._lock:
+            self._bindings[name] = ref
+
+    def unbind(self, name: str) -> None:
+        """Remove the binding for ``name``; raises if absent."""
+        with self._lock:
+            if name not in self._bindings:
+                raise NotBoundError(name)
+            del self._bindings[name]
+
+    def lookup(self, name: str) -> RemoteRef:
+        """Resolve ``name``; raises :class:`NotBoundError` if unbound."""
+        with self._lock:
+            ref = self._bindings.get(name)
+        if ref is None:
+            raise NotBoundError(name)
+        return ref
+
+    def contains(self, name: str) -> bool:
+        """Whether ``name`` currently has a binding."""
+        with self._lock:
+            return name in self._bindings
+
+    def list_bindings(self) -> list[str]:
+        """All bound names, sorted."""
+        with self._lock:
+            return sorted(self._bindings)
+
+    def snapshot(self) -> dict[str, RemoteRef]:
+        """Copy of the binding table (diagnostics)."""
+        with self._lock:
+            return dict(self._bindings)

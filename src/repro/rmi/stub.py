@@ -1,0 +1,143 @@
+"""Remote references and stubs.
+
+A :class:`RemoteRef` names a servant: which node exports it and under what
+name.  A :class:`Stub` is the client-side proxy around a ref — the paper's
+"handles, or Java interfaces, that point to stubs" (§4.2).  Calling a method
+on a stub marshals the arguments, sends an INVOKE message, and unmarshals
+the result.
+
+Stubs travel **by reference**: the marshalling layer pickles only the ref
+and the receiving namespace re-attaches a live stub bound to its own
+transport (see :mod:`repro.rmi.marshal`).  This mirrors Java RMI, where a
+stub crossing the wire arrives connected to the receiver's runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.util.ids import validate_component_name, validate_node_id
+
+#: Client-side invocation function a stub delegates to:
+#: ``(ref, method, args, kwargs) -> result``.
+InvokeFn = Callable[["RemoteRef", str, tuple, dict], Any]
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """A location-addressed name for a servant.
+
+    ``methods`` optionally restricts the stub to an interface's method set
+    (empty tuple = open proxy, any method name forwards).
+    """
+
+    node_id: str
+    name: str
+    methods: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        validate_node_id(self.node_id)
+        validate_component_name(self.name)
+
+    def moved_to(self, node_id: str) -> "RemoteRef":
+        """The same servant, now hosted by ``node_id``."""
+        return RemoteRef(node_id=node_id, name=self.name, methods=self.methods)
+
+    def __str__(self) -> str:
+        return f"mage://{self.node_id}/{self.name}"
+
+
+def interface_methods(iface: type) -> tuple[str, ...]:
+    """Public method names of ``iface``, for restricting a stub to an interface."""
+    names = []
+    for attr in dir(iface):
+        if attr.startswith("_"):
+            continue
+        if callable(getattr(iface, attr, None)):
+            names.append(attr)
+    return tuple(sorted(names))
+
+
+class Stub:
+    """Dynamic proxy: attribute access yields bound remote methods.
+
+    Uses ``__getattr__`` rather than generated classes so any interface works
+    without code generation; Python needs no casts (the paper's Java
+    implementation "must always cast bind invocations").
+    """
+
+    # Everything the proxy itself owns must be listed here, so __setattr__
+    # can distinguish internals from (disallowed) remote field writes.
+    _INTERNALS = frozenset({"_ref", "_invoke_fn"})
+
+    def __init__(self, ref: RemoteRef, invoke_fn: InvokeFn) -> None:
+        object.__setattr__(self, "_ref", ref)
+        object.__setattr__(self, "_invoke_fn", invoke_fn)
+
+    @property
+    def ref(self) -> RemoteRef:
+        return self._ref
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("__") and method.endswith("__"):
+            raise AttributeError(method)  # keep pickle/copy protocols sane
+        ref: RemoteRef = object.__getattribute__(self, "_ref")
+        if ref.methods and method not in ref.methods:
+            raise AttributeError(
+                f"{ref} exposes {ref.methods}, not {method!r}"
+            )
+        invoke_fn: InvokeFn = object.__getattribute__(self, "_invoke_fn")
+
+        def remote_method(*args: Any, **kwargs: Any) -> Any:
+            return invoke_fn(ref, method, args, kwargs)
+
+        remote_method.__name__ = method
+        return remote_method
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in self._INTERNALS:
+            object.__setattr__(self, name, value)
+            return
+        raise ConfigurationError(
+            "remote field writes are not part of the RMI model; "
+            f"call a method instead of assigning {name!r}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Stub) and other._ref == self._ref
+
+    def __hash__(self) -> int:
+        return hash(self._ref)
+
+    def __repr__(self) -> str:
+        return f"Stub({self._ref})"
+
+    def __reduce__(self):
+        # Stubs never pickle directly: the marshalling layer intercepts them
+        # via its persistent-id hook and ships only the ref.  Reaching this
+        # line means someone bypassed repro.rmi.marshal.
+        raise ConfigurationError(
+            "stubs must be marshalled with repro.rmi.marshal, not pickled raw"
+        )
+
+
+class DetachedStubError(ConfigurationError):
+    """A stub was unmarshalled without a namespace to re-attach it to."""
+
+
+def detached_stub(ref: RemoteRef) -> Stub:
+    """A stub that remembers its ref but raises if invoked.
+
+    Used when unmarshalling outside any namespace (e.g. inspecting a blob in
+    a test); real namespaces pass a live ``invoke_fn`` instead.
+    """
+
+    def refuse(_ref: RemoteRef, method: str, args: tuple, kwargs: dict) -> Any:
+        raise DetachedStubError(
+            f"stub for {_ref} is detached; it can only be invoked after "
+            "being received by a namespace"
+        )
+
+    return Stub(ref, refuse)

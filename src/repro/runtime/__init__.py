@@ -1,0 +1,38 @@
+"""The MAGE runtime system (RTS, §4.1).
+
+Cooperating namespaces layered over the transport: each node runs an
+object store, class cache, MAGE registry (forwarding chains), stay/move
+lock manager, migration engine, and the home/remote server pair.
+:class:`~repro.runtime.namespace.Namespace` assembles all of it for one
+node.
+"""
+
+from repro.runtime.classcache import ClassCache
+from repro.runtime.external import MageExternalServer
+from repro.runtime.locks import LockGrant, LockManager, LockStats, MOVE, STAY
+from repro.runtime.metrics import METRICS_HEADER, NamespaceMetrics, collect, collect_cluster
+from repro.runtime.mover import Mover
+from repro.runtime.namespace import Namespace
+from repro.runtime.registry import MageRegistry
+from repro.runtime.server import MageServer
+from repro.runtime.store import ObjectStore, ServantRecord
+
+__all__ = [
+    "ClassCache",
+    "METRICS_HEADER",
+    "NamespaceMetrics",
+    "collect",
+    "collect_cluster",
+    "LockGrant",
+    "LockManager",
+    "LockStats",
+    "MOVE",
+    "STAY",
+    "MageExternalServer",
+    "MageRegistry",
+    "MageServer",
+    "Mover",
+    "Namespace",
+    "ObjectStore",
+    "ServantRecord",
+]

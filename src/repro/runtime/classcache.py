@@ -1,0 +1,135 @@
+"""Per-namespace class cache.
+
+§4.2: "MAGE currently clones classes, leaving behind a copy of each
+object's class that visited a particular node … Caching class definitions
+in this way is an optimization that can speed up object migration."
+
+The cache holds two things per node:
+
+* **descriptors** — class definitions this node can serve to others
+  (keyed by class name, the node acts as a code server), and
+* **clones** — exec-loaded class objects usable in this namespace
+  (keyed by source hash, so a re-shipped identical class is not re-exec'd).
+
+``enabled=False`` turns retention off: every arrival re-ships/reloads — the
+ablation knob for the §4.2 caching claim.  Clones are per-namespace even
+when identical, so class-level ("static") fields never alias across nodes,
+reproducing the paper's stated no-coherency limitation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ClassTransferError
+from repro.rmi.classdesc import ClassDescriptor, describe_class, load_class
+
+
+class ClassCache:
+    """Descriptor store + clone cache for one namespace."""
+
+    def __init__(self, node_id: str, enabled: bool = True) -> None:
+        self.node_id = node_id
+        self.enabled = enabled
+        self._descriptors: dict[str, ClassDescriptor] = {}
+        self._clones: dict[str, type] = {}  # source_hash -> loaded class
+        self._natives: dict[str, type] = {}  # class_name -> locally defined class
+        self._lock = threading.RLock()
+        self.loads = 0       # exec count (ablation metric)
+        self.hits = 0        # clone-cache hits (ablation metric)
+
+    # -- serving side ---------------------------------------------------------
+
+    def register_native(self, cls: type) -> ClassDescriptor:
+        """Publish a locally defined class so it can be shipped from here."""
+        desc = describe_class(cls)
+        with self._lock:
+            self._descriptors[desc.class_name] = desc
+            self._natives[desc.class_name] = cls
+        return desc
+
+    def descriptor(self, class_name: str) -> ClassDescriptor:
+        """The definition this node serves for ``class_name``."""
+        with self._lock:
+            desc = self._descriptors.get(class_name)
+        if desc is None:
+            raise ClassTransferError(
+                f"node {self.node_id!r} serves no class {class_name!r}"
+            )
+        return desc
+
+    def has_class(self, class_name: str) -> bool:
+        """Whether this node can serve a definition for ``class_name``."""
+        with self._lock:
+            return class_name in self._descriptors
+
+    def has_hash(self, source_hash: str) -> bool:
+        """True when a clone for this exact source is already loaded here."""
+        with self._lock:
+            return source_hash in self._clones
+
+    def clone_by_hash(self, source_hash: str) -> type:
+        """The loaded clone for ``source_hash`` (caller checked :meth:`has_hash`)."""
+        with self._lock:
+            cls = self._clones.get(source_hash)
+            if cls is not None:
+                self.hits += 1
+        if cls is None:
+            raise ClassTransferError(
+                f"node {self.node_id!r} caches no clone for hash {source_hash[:12]}"
+            )
+        return cls
+
+    # -- receiving side ---------------------------------------------------------
+
+    def store(self, desc: ClassDescriptor) -> None:
+        """Install a descriptor that arrived over the wire."""
+        with self._lock:
+            self._descriptors[desc.class_name] = desc
+
+    def load(self, desc: ClassDescriptor) -> type:
+        """A class object for ``desc`` usable in this namespace.
+
+        Clones are cached by source hash; with the cache disabled every call
+        re-execs (and nothing is retained, forcing future re-transfers).
+        """
+        with self._lock:
+            cached = self._clones.get(desc.source_hash)
+            if cached is not None:
+                self.hits += 1
+                return cached
+        cls = load_class(desc, self.node_id)
+        with self._lock:
+            self.loads += 1
+            if self.enabled:
+                self._clones[desc.source_hash] = cls
+                self._descriptors[desc.class_name] = desc
+        return cls
+
+    def resolve(self, class_name: str) -> type:
+        """A usable class for ``class_name``: native definition or loaded clone.
+
+        Code defined in this namespace is used directly (its statics are the
+        module's own); code that arrived over the wire resolves to this
+        namespace's clone, loading it on first use.  Within a namespace,
+        repeated instantiations therefore share class-level state, as they
+        would inside one JVM.
+        """
+        with self._lock:
+            native = self._natives.get(class_name)
+            if native is not None:
+                return native
+            desc = self._descriptors.get(class_name)
+            if desc is not None and desc.source_hash in self._clones:
+                self.hits += 1
+                return self._clones[desc.source_hash]
+        if desc is not None:
+            return self.load(desc)
+        raise ClassTransferError(
+            f"node {self.node_id!r} has no class {class_name!r} to instantiate"
+        )
+
+    def class_names(self) -> list[str]:
+        """All class names this node holds definitions for (sorted)."""
+        with self._lock:
+            return sorted(self._descriptors)

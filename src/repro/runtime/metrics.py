@@ -1,0 +1,109 @@
+"""Observability: per-namespace metrics.
+
+The paper's introduction demands systems that "respond to network
+congestion and adapt to the appearance, disappearance and shifting of
+resources" — which requires seeing what the runtime is doing.  This module
+assembles a point-in-time :class:`NamespaceMetrics` from state the
+services already keep (store census, class-cache counters, lock stats,
+mover counters) plus the transport trace (per-node message and byte
+traffic), without instrumenting any hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.trace import MessageTrace
+from repro.runtime.namespace import Namespace
+
+
+@dataclass(frozen=True)
+class NamespaceMetrics:
+    """A snapshot of one namespace's activity."""
+
+    node_id: str
+    # Traffic (remote messages only; local consultations are free).
+    messages_in: int
+    messages_out: int
+    bytes_in: int
+    bytes_out: int
+    invocations_served: int
+    finds_served: int
+    # Mobility.
+    moves_in: int
+    moves_out: int
+    # Code.
+    class_loads: int
+    class_cache_hits: int
+    classes_cached: int
+    # Locking.
+    stays_granted: int
+    moves_granted: int
+    lock_waits: int
+    # Census.
+    objects_hosted: int
+
+    def row(self) -> tuple:
+        """A compact table row for cluster-wide reports."""
+        return (
+            self.node_id,
+            self.objects_hosted,
+            f"{self.messages_in}/{self.messages_out}",
+            f"{self.bytes_in}/{self.bytes_out}",
+            self.invocations_served,
+            f"{self.moves_in}/{self.moves_out}",
+            f"{self.stays_granted}/{self.moves_granted}",
+        )
+
+
+#: Header matching :meth:`NamespaceMetrics.row`.
+METRICS_HEADER = (
+    "Namespace", "Objects", "Msgs in/out", "Bytes in/out",
+    "Invocations", "Moves in/out", "Locks stay/move",
+)
+
+
+def collect(namespace: Namespace, trace: MessageTrace | None = None) -> NamespaceMetrics:
+    """Snapshot ``namespace``'s metrics (trace defaults to its transport's)."""
+    if trace is None:
+        trace = namespace.transport.trace
+    node = namespace.node_id
+    messages_in = messages_out = bytes_in = bytes_out = 0
+    invocations_served = finds_served = 0
+    for event in trace.events():
+        if event.dropped or event.local:
+            continue
+        if event.dst == node:
+            messages_in += 1
+            bytes_in += event.nbytes
+            if event.kind == "INVOKE":
+                invocations_served += 1
+            elif event.kind == "FIND":
+                finds_served += 1
+        elif event.src == node:
+            messages_out += 1
+            bytes_out += event.nbytes
+    lock_stats = namespace.locks.stats
+    return NamespaceMetrics(
+        node_id=node,
+        messages_in=messages_in,
+        messages_out=messages_out,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+        invocations_served=invocations_served,
+        finds_served=finds_served,
+        moves_in=namespace.mover.moves_in,
+        moves_out=namespace.mover.moves_out,
+        class_loads=namespace.classcache.loads,
+        class_cache_hits=namespace.classcache.hits,
+        classes_cached=len(namespace.classcache.class_names()),
+        stays_granted=lock_stats.stays_granted,
+        moves_granted=lock_stats.moves_granted,
+        lock_waits=lock_stats.stay_waits + lock_stats.move_waits,
+        objects_hosted=len(namespace.store),
+    )
+
+
+def collect_cluster(cluster) -> list[NamespaceMetrics]:
+    """Metrics for every node of a :class:`~repro.cluster.cluster.Cluster`."""
+    return [collect(node.namespace, cluster.trace) for node in cluster]

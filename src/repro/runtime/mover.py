@@ -1,0 +1,209 @@
+"""The migration engine: weak migration of objects between namespaces.
+
+§3.5: "Since the standard Java virtual machine does not provide access to
+execution state, MAGE uses weak migration" — heap state moves, stacks do
+not.  CPython imposes the same constraint, so the engine ships
+``(class descriptor, marshalled state)`` pairs, exactly the paper's model.
+
+Move protocol (the wire half of the GREV protocol, Figure 7):
+
+1. the initiator sends ``MOVE_REQUEST`` to the hosting node;
+2. the host packs the object and sends ``OBJECT_TRANSFER`` to the target
+   (class body included only when the host believes the target lacks it —
+   the §4.2 class-cache optimization);
+3. the target reconstructs, registers the arrival, and acknowledges;
+4. the host evicts its copy, records a forwarding address, fails waiting
+   lock requests over to the new location, and answers the initiator.
+
+Transfer-then-evict ordering means a failed transfer leaves the object
+safely at the source; the exclusive move lock prevents the transient
+two-copies window from being observed.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.errors import (
+    ClassTransferError,
+    LockError,
+    MigrationError,
+    ObjectPinnedError,
+)
+from repro.net.message import MessageKind
+from repro.net.transport import Transport
+from repro.rmi.classdesc import ClassDescriptor, describe_class
+from repro.rmi.marshal import StubFactory, marshal, unmarshal
+from repro.rmi.protocol import ClassRequest, ObjectTransfer
+from repro.runtime.classcache import ClassCache
+from repro.runtime.locks import LockManager
+from repro.runtime.registry import MageRegistry
+from repro.runtime.store import ObjectStore
+from repro.util.ids import fresh_token
+
+
+class Mover:
+    """Sends and receives weakly-migrated objects for one namespace."""
+
+    def __init__(
+        self,
+        node_id: str,
+        store: ObjectStore,
+        classcache: ClassCache,
+        registry: MageRegistry,
+        locks: LockManager,
+        transport: Transport,
+        stub_factory: StubFactory,
+        always_ship_class: bool = False,
+    ) -> None:
+        self.node_id = node_id
+        self._store = store
+        self._classcache = classcache
+        self._registry = registry
+        self._locks = locks
+        self._transport = transport
+        self._stub_factory = stub_factory
+        #: Ablation knob: ship the full class body on every move instead of
+        #: trusting the receiver's cache.
+        self.always_ship_class = always_ship_class
+        self._known_at: dict[str, set[str]] = {}  # source_hash -> nodes holding it
+        self._seen_transfers: set[str] = set()
+        self._seen_order: deque[str] = deque()
+        self._lock = threading.Lock()
+        self.moves_out = 0
+        self.moves_in = 0
+
+    # -- packing --------------------------------------------------------------
+
+    def descriptor_for(self, obj: Any) -> ClassDescriptor:
+        """The shippable definition of ``obj``'s class.
+
+        A clone (arrived over the wire earlier) already has its descriptor
+        cached; a native class is registered on first departure.
+        """
+        cls = type(obj)
+        source_hash = getattr(cls, "__mage_source_hash__", None)
+        if source_hash is not None:
+            return self._classcache.descriptor(cls.__name__)
+        return self._classcache.register_native(cls)
+
+    def pack_state(self, obj: Any) -> bytes:
+        """Marshal the heap state of ``obj`` (honours ``__getstate__``)."""
+        getstate = getattr(obj, "__getstate__", None)
+        state = getstate() if callable(getstate) else dict(obj.__dict__)
+        return marshal(state)
+
+    def unpack(self, cls: type, state_blob: bytes) -> Any:
+        """Rebuild an instance from migrated state (honours ``__setstate__``)."""
+        obj = cls.__new__(cls)
+        state = unmarshal(state_blob, self._stub_factory)
+        setstate = getattr(obj, "__setstate__", None)
+        if callable(setstate):
+            setstate(state)
+        else:
+            obj.__dict__.update(state)
+        return obj
+
+    # -- sending side ------------------------------------------------------------
+
+    def move_out(self, name: str, target: str, lock_token: str = "") -> str:
+        """Ship the locally hosted object ``name`` to ``target``.
+
+        Returns the target node id.  A move to the current namespace is a
+        no-op (the stay case).  When the object's lock queue is active, the
+        caller must present the current move-lock token.
+        """
+        if target == self.node_id:
+            return self.node_id
+        record = self._store.record(name)
+        if record.pinned:
+            raise ObjectPinnedError(
+                f"object {name!r} is pinned to {self.node_id!r}"
+            )
+        if self._locks.has_activity(name) and not self._locks.holds_move_lock(
+            name, lock_token
+        ):
+            raise LockError(
+                f"moving {name!r} requires its move lock (object is contended)"
+            )
+        desc = self.descriptor_for(record.obj)
+        transfer = ObjectTransfer(
+            name=name,
+            class_name=desc.class_name,
+            state_blob=self.pack_state(record.obj),
+            class_desc=desc if self._must_ship(target, desc) else None,
+            class_hash=desc.source_hash,
+            origin=self.node_id,
+            transfer_id=fresh_token("xfer"),
+            shared=record.shared,
+        )
+        ack = self._transport.call(
+            self.node_id, target, MessageKind.OBJECT_TRANSFER, transfer
+        )
+        if ack != "ok":
+            raise MigrationError(
+                f"target {target!r} rejected transfer of {name!r}: {ack!r}"
+            )
+        # Transfer acknowledged: now (and only now) evict the local copy.
+        self._store.remove(name)
+        self._registry.record_departure(name, target)
+        self._locks.mark_moved(name, target)
+        self._note_known(target, desc.source_hash)
+        with self._lock:
+            self.moves_out += 1
+        return target
+
+    def _must_ship(self, target: str, desc: ClassDescriptor) -> bool:
+        if self.always_ship_class:
+            return True
+        with self._lock:
+            return target not in self._known_at.get(desc.source_hash, set())
+
+    def _note_known(self, node: str, source_hash: str) -> None:
+        with self._lock:
+            self._known_at.setdefault(source_hash, set()).add(node)
+
+    # -- receiving side --------------------------------------------------------------
+
+    def receive(self, transfer: ObjectTransfer) -> str:
+        """Handle an incoming OBJECT_TRANSFER; returns ``"ok"``.
+
+        Idempotent per ``transfer_id`` so a retransmitted transfer (lost
+        ack) cannot materialize two copies.
+        """
+        with self._lock:
+            if transfer.transfer_id in self._seen_transfers:
+                return "ok"
+        cls = self._class_for(transfer)
+        obj = self.unpack(cls, transfer.state_blob)
+        self._store.add(transfer.name, obj, shared=transfer.shared)
+        self._registry.record_arrival(transfer.name)
+        self._locks.mark_arrived(transfer.name)
+        with self._lock:
+            self._seen_transfers.add(transfer.transfer_id)
+            self._seen_order.append(transfer.transfer_id)
+            while len(self._seen_order) > 4096:
+                self._seen_transfers.discard(self._seen_order.popleft())
+            self.moves_in += 1
+        return "ok"
+
+    def _class_for(self, transfer: ObjectTransfer) -> type:
+        if transfer.class_desc is not None:
+            return self._classcache.load(transfer.class_desc)
+        if self._classcache.has_hash(transfer.class_hash):
+            return self._classcache.clone_by_hash(transfer.class_hash)
+        # Sender trusted a cache we no longer have: pull from the origin.
+        desc = self._transport.call(
+            self.node_id,
+            transfer.origin,
+            MessageKind.CLASS_REQUEST,
+            ClassRequest(class_name=transfer.class_name),
+        )
+        if not isinstance(desc, ClassDescriptor):
+            raise ClassTransferError(
+                f"origin {transfer.origin!r} returned no descriptor "
+                f"for {transfer.class_name!r}"
+            )
+        return self._classcache.load(desc)

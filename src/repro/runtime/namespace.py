@@ -1,0 +1,176 @@
+"""A namespace: one execution environment (§2, §4.1).
+
+The paper's Figure 6 shows each JVM overlaid with a MAGE registry, a
+``MageServer`` (home interface) and a ``MageExternalServer`` (remote
+interface).  :class:`Namespace` is that overlay for one node: it assembles
+the object store, class cache, MAGE registry, lock manager, mover, both
+servers, and the RMI client/naming, then registers its dispatcher with the
+transport.
+
+A ``Namespace`` is also the *runtime* handle that mobility attributes are
+constructed against — either passed explicitly (``REV(..., runtime=ns)``)
+or ambiently via :func:`repro.core.context.use_runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.net.transport import Transport
+from repro.rmi.client import RmiClient
+from repro.rmi.naming import Naming
+from repro.rmi.registry import RmiRegistry
+from repro.runtime.classcache import ClassCache
+from repro.runtime.external import MageExternalServer
+from repro.runtime.locks import LockManager
+from repro.runtime.mover import Mover
+from repro.runtime.registry import MageRegistry
+from repro.runtime.server import MageServer
+from repro.runtime.store import ObjectStore
+from repro.util.ids import validate_node_id
+
+
+class Namespace:
+    """The MAGE runtime for one node.
+
+    Construction wires every runtime service together and registers the
+    inbound dispatcher with the transport; :meth:`shutdown` detaches it.
+
+    Configuration knobs double as the ablation switches the benches study:
+
+    * ``fair_locks`` — strict-FIFO locking instead of the paper's unfair
+      stay preference (§4.4);
+    * ``class_cache`` — retain class clones between migrations (§4.2);
+    * ``path_collapsing`` — rewrite forwarding addresses on find (§4.1);
+    * ``always_ship_class`` — ship class bodies on every move.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        transport: Transport,
+        fair_locks: bool = False,
+        class_cache: bool = True,
+        path_collapsing: bool = True,
+        always_ship_class: bool = False,
+        load_provider: Callable[[], float] | None = None,
+    ) -> None:
+        self.node_id = validate_node_id(node_id)
+        self.transport = transport
+        self.store = ObjectStore(node_id)
+        self.classcache = ClassCache(node_id, enabled=class_cache)
+        self.rmi_registry = RmiRegistry(node_id)
+        self.client = RmiClient(node_id, transport)
+        self.naming = Naming(node_id, transport, self.client)
+        self.registry = MageRegistry(
+            node_id, self.rmi_registry, self.store, transport,
+            path_collapsing=path_collapsing,
+        )
+        self.locks = LockManager(node_id, fair=fair_locks)
+        self.mover = Mover(
+            node_id,
+            self.store,
+            self.classcache,
+            self.registry,
+            self.locks,
+            transport,
+            stub_factory=self.client.stub_for,
+            always_ship_class=always_ship_class,
+        )
+        self.server = MageServer(
+            node_id,
+            self.store,
+            self.classcache,
+            self.registry,
+            self.locks,
+            self.mover,
+            transport,
+            self.client,
+        )
+        self._load_provider = load_provider if load_provider is not None else lambda: 0.0
+        self.external = MageExternalServer(
+            node_id,
+            self.store,
+            self.classcache,
+            self.registry,
+            self.rmi_registry,
+            self.locks,
+            self.mover,
+            stub_factory=self.client.stub_for,
+            load_provider=self._get_load,
+        )
+        #: Filled in lazily by :func:`repro.core.agents.agent_manager_for`.
+        self.agents = None
+        self._running = False
+        transport.register(node_id, self.external.handle)
+        self._running = True
+
+    def _get_load(self) -> float:
+        return float(self._load_provider())
+
+    def set_load_provider(self, provider: Callable[[], float]) -> None:
+        """Swap the host-load source answering LOAD_QUERY messages."""
+        self._load_provider = provider
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def shutdown(self) -> None:
+        """Detach from the transport (idempotent).  Hosted objects remain
+        in the store but become unreachable, like a crashed JVM."""
+        if self._running:
+            self.transport.unregister(self.node_id)
+            self._running = False
+
+    # -- programmer-facing facade (delegates to MageServer) -------------------
+
+    def register(self, name: str, obj: Any, shared: bool = True,
+                 pinned: bool = False):
+        """Host ``obj`` here under ``name`` (this node becomes its origin)."""
+        return self.server.register(name, obj, shared=shared, pinned=pinned)
+
+    def register_class(self, cls: type):
+        """Publish a class definition for REV/COD-style factories."""
+        return self.server.register_class(cls)
+
+    def unregister(self, name: str) -> Any:
+        """Evict a locally hosted component; returns the object."""
+        return self.server.unregister(name)
+
+    def find(self, name: str, origin_hint: str | None = None,
+             verify: bool = True) -> str:
+        """Node id currently hosting ``name``."""
+        return self.server.find(name, origin_hint, verify=verify)
+
+    def is_shared(self, name: str) -> bool:
+        """Whether ``name`` may be moved by other threads between uses."""
+        return self.server.is_shared(name)
+
+    def move(self, name: str, target: str, origin_hint: str | None = None,
+             lock_token: str = "", location: str | None = None) -> str:
+        """Weakly migrate ``name`` to ``target``; returns the new location."""
+        return self.server.move(name, target, origin_hint, lock_token, location)
+
+    def lock(self, name: str, target: str, origin_hint: str | None = None,
+             timeout_ms: float | None = None):
+        """§4.4 bracket: acquire the stay/move lock before binding."""
+        return self.server.lock(name, target, origin_hint, timeout_ms)
+
+    def unlock(self, grant) -> None:
+        """Release a §4.4 lock grant at the host that issued it."""
+        self.server.unlock(grant)
+
+    def stub(self, name: str, location: str | None = None,
+             methods: tuple[str, ...] = ()):
+        """A live proxy for ``name`` (found via the registry if needed)."""
+        return self.server.stub(name, location, methods)
+
+    def query_load(self, node_id: str | None = None) -> float:
+        """Host load of ``node_id`` (or this node), for migration policies."""
+        return self.server.query_load(node_id if node_id is not None else self.node_id)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.node_id!r}, objects={len(self.store)})"

@@ -1,0 +1,158 @@
+"""The MAGE registry (§4.1).
+
+"The MAGE Registry wraps the RMI registry and tracks object locations …
+For mobile objects, the registry maintains a list of all the objects that
+have ever been moved into a namespace in the registry's JVM and their last
+known location.  To find an object, the registry simply follows the chain
+of forwarding addresses until it reaches the MAGE server currently hosting
+the component.  As the result returns, each server updates its forwarding
+address, thus collapsing the path.  Thus, the MAGE Registry defines a
+global, system-wide namespace for both mobile objects and classes."
+
+Implementation: each node keeps ``last_known[name] → node_id``, updated on
+every arrival/departure.  ``find`` answers locally when the object is here;
+otherwise it issues FIND to the last known location, which recurses.  The
+request carries the hop list (cycle guard); when the answer flows back,
+every hop rewrites its forwarding address to the final location — path
+collapsing, which the ablation bench can disable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import ComponentNotFoundError
+from repro.net.message import MessageKind
+from repro.net.transport import Transport
+from repro.rmi.protocol import FindRequest
+from repro.rmi.registry import RmiRegistry
+from repro.runtime.store import ObjectStore
+
+#: Upper bound on forwarding-chain walks; a longer chain means a routing
+#: loop that the hop-list guard somehow missed.
+MAX_HOPS = 64
+
+
+class MageRegistry:
+    """Location tracking + forwarding-chain resolution for one namespace."""
+
+    def __init__(
+        self,
+        node_id: str,
+        rmi_registry: RmiRegistry,
+        store: ObjectStore,
+        transport: Transport,
+        path_collapsing: bool = True,
+    ) -> None:
+        self.node_id = node_id
+        self.rmi = rmi_registry
+        self._store = store
+        self._transport = transport
+        self.path_collapsing = path_collapsing
+        self._last_known: dict[str, str] = {}
+        self._lock = threading.RLock()
+        self.chain_walks = 0   # remote FIND fan-outs issued (ablation metric)
+
+    # -- bookkeeping called by the mover / runtime ----------------------------
+
+    def record_arrival(self, name: str) -> None:
+        """An object just moved into this namespace."""
+        self.note_location(name, self.node_id)
+
+    def record_departure(self, name: str, to_node: str) -> None:
+        """An object just left for ``to_node``; keep a forwarding address."""
+        self.note_location(name, to_node)
+
+    def note_location(self, name: str, node_id: str) -> None:
+        """Record learned knowledge of where ``name`` lives."""
+        with self._lock:
+            self._last_known[name] = node_id
+
+    def forwarding_hint(self, name: str) -> str | None:
+        """Last known location of ``name`` (None when never seen here)."""
+        with self._lock:
+            return self._last_known.get(name)
+
+    def forwarding_table(self) -> dict[str, str]:
+        """Copy of the forwarding-address table (diagnostics, tests)."""
+        with self._lock:
+            return dict(self._last_known)
+
+    # -- resolution -------------------------------------------------------------
+
+    def find(self, name: str, origin_hint: str | None = None) -> str:
+        """Locate ``name``: the node id currently hosting it.
+
+        Resolution order: this namespace's store, then the local forwarding
+        table, then the origin server named in the component's URL (the
+        §7 shared-knowledge requirement).
+        """
+        if self._store.contains(name):
+            return self.node_id
+        hint = self.forwarding_hint(name)
+        if hint is None:
+            hint = origin_hint
+        if hint is None or hint == self.node_id:
+            raise ComponentNotFoundError(
+                name, f"no forwarding information at {self.node_id!r}"
+            )
+        location = self._walk(
+            name, hint, hops=(self.node_id,), origin_hint=origin_hint or ""
+        )
+        if self.path_collapsing:
+            with self._lock:
+                self._last_known[name] = location
+        return location
+
+    def handle_find(self, request: FindRequest) -> str:
+        """Server side of FIND: answer locally or follow our own hint.
+
+        Falls back to the request's origin hint when this registry has no
+        forwarding information — the first find issued by a fresh client
+        knows only the component's origin server (§7).
+        """
+        name = request.name
+        if self._store.contains(name):
+            return self.node_id
+        if self.node_id in request.hops:
+            raise ComponentNotFoundError(
+                name, f"forwarding cycle through {self.node_id!r}"
+            )
+        hint = self.forwarding_hint(name)
+        if not request.verify and not request.hops and hint is not None \
+                and hint != self.node_id:
+            # Fast path: answer from the forwarding table without walking.
+            # Only legal for the first (local) consultation; chain hops must
+            # walk to termination to stay correct.
+            return hint
+        if hint is None or hint == self.node_id:
+            origin = request.origin_hint
+            if origin and origin != self.node_id and origin not in request.hops:
+                hint = origin
+            else:
+                raise ComponentNotFoundError(
+                    name, f"chain went cold at {self.node_id!r}"
+                )
+        location = self._walk(
+            name, hint, hops=request.hops + (self.node_id,),
+            origin_hint=request.origin_hint,
+        )
+        if self.path_collapsing:
+            with self._lock:
+                self._last_known[name] = location
+        return location
+
+    def _walk(
+        self, name: str, next_node: str, hops: tuple[str, ...], origin_hint: str = ""
+    ) -> str:
+        if len(hops) > MAX_HOPS:
+            raise ComponentNotFoundError(name, f"chain longer than {MAX_HOPS} hops")
+        if next_node in hops:
+            raise ComponentNotFoundError(
+                name, f"forwarding cycle at {next_node!r} (hops: {hops})"
+            )
+        self.chain_walks += 1
+        return self._transport.call(
+            self.node_id, next_node, MessageKind.FIND,
+            FindRequest(name=name, hops=hops, origin_hint=origin_hint),
+        )

@@ -1,0 +1,331 @@
+"""``MageServer`` — the home interface (§4.1).
+
+"The ``MageServerImpl`` class implements ``MageServer`` and communicates
+with local mobility attributes … On the behalf of mobility attributes,
+these classes query the registry, lock objects to their current namespace
+and cooperate to move objects and classes."
+
+Every operation a mobility attribute's ``bind`` needs is here:
+
+=================  ==========================================================
+``register``       publish a component in this namespace (it becomes the
+                   component's origin server)
+``find``           locate a component (local registry consultation +
+                   forwarding-chain walk; Figure 7's messages 1–2)
+``move``           weakly migrate a component (MOVE_REQUEST / OBJECT_TRANSFER;
+                   Figure 7's messages 3–5)
+``fetch_class``    pull a class definition here (the COD direction), with
+                   conditional transfer against the local cache
+``push_class``     push a class definition to a node (the REV direction),
+                   probing the remote cache first
+``instantiate``    create an object from a cached class at any node (the
+                   REV/COD factory semantics of §4.2)
+``lock/unlock``    stay/move locking at the object's current host, with
+                   relocation chasing when the object moves mid-request
+``stub``           a live proxy for invoking the component (Figure 7's 6–7)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import LockError, LockMovedError, MigrationError, NoSuchObjectError
+from repro.net.message import MessageKind
+from repro.net.transport import Transport
+from repro.rmi.classdesc import ClassDescriptor
+from repro.rmi.client import RmiClient
+from repro.rmi.marshal import marshal_call
+from repro.rmi.protocol import (
+    BindRequest,
+    ClassPush,
+    ClassRequest,
+    FindRequest,
+    InstantiateRequest,
+    InvokeRequest,
+    LoadQuery,
+    LockRequestPayload,
+    MoveRequest,
+    UnlockPayload,
+)
+from repro.rmi.stub import RemoteRef, Stub
+from repro.runtime.classcache import ClassCache
+from repro.runtime.locks import LockGrant, LockManager
+from repro.runtime.mover import Mover
+from repro.runtime.registry import MageRegistry
+from repro.runtime.store import ObjectStore
+
+#: How many times a lock request chases a moving object before giving up.
+MAX_LOCK_CHASES = 8
+
+
+class MageServer:
+    """Home-interface operations issued from one namespace."""
+
+    def __init__(
+        self,
+        node_id: str,
+        store: ObjectStore,
+        classcache: ClassCache,
+        registry: MageRegistry,
+        locks: LockManager,
+        mover: Mover,
+        transport: Transport,
+        client: RmiClient,
+    ) -> None:
+        self.node_id = node_id
+        self.store = store
+        self.classcache = classcache
+        self.registry = registry
+        self.locks = locks
+        self.mover = mover
+        self.transport = transport
+        self.client = client
+
+    # -- component registration --------------------------------------------------
+
+    def register(
+        self, name: str, obj: Any, shared: bool = True, pinned: bool = False
+    ) -> RemoteRef:
+        """Host ``obj`` here under ``name``; this node becomes its origin.
+
+        The name is bound in the node's RMI registry (static, origin-side)
+        and tracked by the MAGE registry (dynamic, follows moves).
+        """
+        self.store.add(name, obj, shared=shared, pinned=pinned)
+        self.registry.record_arrival(name)
+        ref = RemoteRef(node_id=self.node_id, name=name)
+        self.registry.rmi.rebind(name, ref)
+        return ref
+
+    def register_class(self, cls: type) -> ClassDescriptor:
+        """Publish a class definition so this node can serve it."""
+        return self.classcache.register_native(cls)
+
+    def unregister(self, name: str) -> Any:
+        """Remove a locally hosted component; returns the evicted object."""
+        obj = self.store.remove(name)
+        if self.registry.rmi.contains(name):
+            self.registry.rmi.unbind(name)
+        return obj
+
+    # -- discovery ---------------------------------------------------------------
+
+    def find(self, name: str, origin_hint: str | None = None,
+             verify: bool = True) -> str:
+        """Locate a component: the node id currently hosting it.
+
+        Modelled as a FIND message to this namespace's own registry so the
+        consultation appears in traces exactly as Figure 7 draws its
+        messages 1 and 2.  ``verify=False`` accepts the local forwarding
+        table's (possibly stale) answer without walking the chain — the
+        thin fast path the RPC attribute rides.
+        """
+        return self.transport.call(
+            self.node_id, self.node_id, MessageKind.FIND,
+            FindRequest(name=name, origin_hint=origin_hint or "", verify=verify),
+        )
+
+    def is_shared(self, name: str) -> bool:
+        """Whether ``name`` may be moved by other threads between uses.
+
+        Only the local store knows an object's sharing mode; components
+        hosted elsewhere are conservatively treated as shared.
+        """
+        if self.store.contains(name):
+            return self.store.is_shared(name)
+        return True
+
+    # -- movement -----------------------------------------------------------------
+
+    def move(
+        self,
+        name: str,
+        target: str,
+        origin_hint: str | None = None,
+        lock_token: str = "",
+        location: str | None = None,
+    ) -> str:
+        """Move ``name`` to ``target`` wherever it currently lives.
+
+        Local objects ship directly; remote ones via MOVE_REQUEST to their
+        host (which performs the OBJECT_TRANSFER and answers when done —
+        Figure 7's messages 3–5).  Returns the component's new location.
+
+        ``location`` lets a caller that just found the component skip the
+        redundant lookup; a stale value is healed by the retry below.
+        """
+        if self.store.contains(name):
+            return self.mover.move_out(name, target, lock_token)
+        if location is None or location == self.node_id:
+            location = self.find(name, origin_hint, verify=False)
+        for attempt in (1, 2):
+            if location == target:
+                return location
+            try:
+                new_location = self.transport.call(
+                    self.node_id, location, MessageKind.MOVE_REQUEST,
+                    MoveRequest(name=name, target=target, lock_token=lock_token),
+                )
+            except NoSuchObjectError:
+                if attempt == 2:
+                    raise
+                # The fast find was stale; walk the chain and retry once.
+                location = self.find(name, origin_hint, verify=True)
+                continue
+            self.registry.note_location(name, new_location)
+            return new_location
+        raise MigrationError(f"unreachable retry state moving {name!r}")
+
+    # -- class mobility --------------------------------------------------------------
+
+    def fetch_class(self, class_name: str, from_node: str) -> type:
+        """Pull ``class_name`` here (COD direction); conditional when cached.
+
+        When the local cache already holds a version, the request carries
+        its hash and the server answers ``"unchanged"`` instead of
+        re-shipping the body.
+        """
+        if from_node == self.node_id:
+            return self.classcache.resolve(class_name)
+        if_hash = ""
+        if self.classcache.has_class(class_name):
+            if_hash = self.classcache.descriptor(class_name).source_hash
+        reply = self.transport.call(
+            self.node_id, from_node, MessageKind.CLASS_REQUEST,
+            ClassRequest(class_name=class_name, if_hash=if_hash),
+        )
+        if reply == "unchanged":
+            return self.classcache.load(self.classcache.descriptor(class_name))
+        return self.classcache.load(reply)
+
+    def push_class(self, class_name: str, to_node: str) -> str:
+        """Push ``class_name`` to ``to_node`` (REV direction); returns its hash.
+
+        Probes the remote cache first; the body travels only on a miss —
+        making warm REV binds cost one round trip for the class step.
+        """
+        desc = self.classcache.descriptor(class_name)
+        if to_node == self.node_id:
+            return desc.source_hash
+        have = self.transport.call(
+            self.node_id, to_node, MessageKind.CLASS_TRANSFER,
+            ClassPush(class_name=class_name, source_hash=desc.source_hash),
+        )
+        if not have:
+            self.transport.call(
+                self.node_id, to_node, MessageKind.CLASS_TRANSFER,
+                ClassPush(
+                    class_name=class_name, source_hash=desc.source_hash, desc=desc
+                ),
+            )
+        return desc.source_hash
+
+    def instantiate(
+        self,
+        class_name: str,
+        name: str,
+        target: str,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        shared: bool = True,
+    ) -> RemoteRef:
+        """Create an object of a cached class at ``target`` and register it."""
+        kwargs = kwargs if kwargs is not None else {}
+        if target == self.node_id:
+            cls = self.classcache.resolve(class_name)
+            obj = cls(*args, **kwargs)
+            return self.register(name, obj, shared=shared)
+        ref = self.transport.call(
+            self.node_id, target, MessageKind.INSTANTIATE,
+            InstantiateRequest(
+                class_name=class_name,
+                name=name,
+                args_blob=marshal_call(args, kwargs),
+                shared=shared,
+            ),
+        )
+        # Publish the new object in its host's RMI registry — a separate
+        # Naming call, as in Java RMI (and as the paper's REV message count
+        # attests: class push, instantiate, publish, invoke).
+        self.transport.call(
+            self.node_id, target, MessageKind.REGISTRY_BIND,
+            BindRequest(name=name, ref=ref, replace=True),
+        )
+        self.registry.note_location(name, target)
+        return ref
+
+    # -- locking ------------------------------------------------------------------------
+
+    def lock(
+        self,
+        name: str,
+        target: str,
+        origin_hint: str | None = None,
+        timeout_ms: float | None = None,
+    ) -> LockGrant:
+        """Acquire the stay/move lock for ``name`` at its current host.
+
+        §4.4's bracket: ``lock("geoData", cod.get_target())`` before the
+        bind, ``unlock`` after the invocation.  If the object moves while
+        the request waits, the request chases it to the new host (bounded).
+        """
+        location = self.find(name, origin_hint)
+        for _ in range(MAX_LOCK_CHASES):
+            try:
+                return self.transport.call(
+                    self.node_id, location, MessageKind.LOCK_REQUEST,
+                    LockRequestPayload(
+                        name=name,
+                        target=target,
+                        requester=self.node_id,
+                        wait_ms=timeout_ms,
+                    ),
+                )
+            except LockMovedError as exc:
+                location = exc.new_location
+        raise LockError(
+            f"object {name!r} kept moving; gave up after {MAX_LOCK_CHASES} chases"
+        )
+
+    def unlock(self, grant: LockGrant) -> None:
+        """Release a grant at the host that issued it."""
+        self.transport.call(
+            self.node_id, grant.location, MessageKind.UNLOCK,
+            UnlockPayload(name=grant.name, token=grant.token),
+        )
+
+    # -- invocation ----------------------------------------------------------------------
+
+    def stub(self, name: str, location: str | None = None,
+             methods: tuple[str, ...] = ()) -> Stub:
+        """A live proxy for ``name`` at ``location`` (or wherever it is found)."""
+        where = location if location is not None else self.find(name)
+        return self.client.stub_for(RemoteRef(node_id=where, name=name, methods=methods))
+
+    def send_oneway(self, ref: RemoteRef, method: str, args: tuple = (),
+                    kwargs: dict | None = None) -> None:
+        """Fire-and-forget invocation: the result stays at the remote host.
+
+        This is the MA measurement mode of Table 3 ("the result stays at
+        the remote host").
+        """
+        self.transport.cast(
+            self.node_id, ref.node_id, MessageKind.INVOKE,
+            InvokeRequest(
+                name=ref.name, method=method,
+                args_blob=marshal_call(args, kwargs if kwargs is not None else {}),
+            ),
+        )
+
+    # -- miscellany ------------------------------------------------------------------------
+
+    def query_load(self, node_id: str) -> float:
+        """A node's load metric, for migration policies like §3.1's example."""
+        return self.transport.call(
+            self.node_id, node_id, MessageKind.LOAD_QUERY, LoadQuery()
+        )
+
+    def ping(self, node_id: str) -> bool:
+        """Liveness probe."""
+        return self.transport.call(self.node_id, node_id, MessageKind.PING) == "pong"

@@ -1,0 +1,93 @@
+"""The object store: servants currently living in a namespace.
+
+MAGE's object model (§4.2) is deliberately simple: "objects exist in only
+one namespace at a time.  MAGE does not partition their state across
+namespaces, nor does MAGE clone them.  MAGE objects can be public or
+private."  The store tracks, per object: the live instance, whether it is
+*shared* (public — reachable by multiple threads, so finds must re-run and
+locking applies) and whether it is *pinned* (refuses migration; the
+behaviour the RPC attribute denotes).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import NoSuchObjectError
+from repro.util.ids import validate_component_name
+
+
+@dataclass
+class ServantRecord:
+    """One hosted object and its placement metadata."""
+
+    name: str
+    obj: Any
+    shared: bool = True
+    pinned: bool = False
+
+
+class ObjectStore:
+    """Thread-safe name → servant table for one namespace."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self._records: dict[str, ServantRecord] = {}
+        self._lock = threading.RLock()
+
+    def add(self, name: str, obj: Any, shared: bool = True, pinned: bool = False) -> None:
+        """Host ``obj`` under ``name`` (replacing any previous tenant)."""
+        validate_component_name(name)
+        with self._lock:
+            self._records[name] = ServantRecord(
+                name=name, obj=obj, shared=shared, pinned=pinned
+            )
+
+    def remove(self, name: str) -> Any:
+        """Evict and return the servant (it is migrating away)."""
+        with self._lock:
+            record = self._records.pop(name, None)
+        if record is None:
+            raise NoSuchObjectError(name, self.node_id)
+        return record.obj
+
+    def get(self, name: str) -> Any:
+        """The live servant, or :class:`NoSuchObjectError`."""
+        return self.record(name).obj
+
+    def record(self, name: str) -> ServantRecord:
+        """The full servant record (object + placement metadata)."""
+        with self._lock:
+            record = self._records.get(name)
+        if record is None:
+            raise NoSuchObjectError(name, self.node_id)
+        return record
+
+    def contains(self, name: str) -> bool:
+        """Whether ``name`` is hosted in this namespace right now."""
+        with self._lock:
+            return name in self._records
+
+    def is_shared(self, name: str) -> bool:
+        """Public objects may be moved by other threads between invocations."""
+        return self.record(name).shared
+
+    def is_pinned(self, name: str) -> bool:
+        """Pinned objects refuse migration (the RPC-denoted immobiles)."""
+        return self.record(name).pinned
+
+    def names(self) -> list[str]:
+        """All hosted names (sorted)."""
+        with self._lock:
+            return sorted(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[ServantRecord]:
+        with self._lock:
+            records = list(self._records.values())
+        return iter(records)

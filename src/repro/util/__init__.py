@@ -1,0 +1,15 @@
+"""Utility layer: identifiers, URLs, and clocks shared by every subsystem."""
+
+from repro.util.clock import Clock, SimClock, Stopwatch, WallClock
+from repro.util.ids import MageUrl, fresh_token, validate_component_name, validate_node_id
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "Stopwatch",
+    "WallClock",
+    "MageUrl",
+    "fresh_token",
+    "validate_component_name",
+    "validate_node_id",
+]

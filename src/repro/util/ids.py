@@ -1,0 +1,99 @@
+"""Identifiers and URLs.
+
+MAGE names live in a global, system-wide namespace maintained by the MAGE
+registry (paper §4.1).  A component is addressed by a plain string name, and
+its *origin server* is the node whose registry first bound it — the paper's
+§7 notes that clients must know this origin.  We expose that pairing as a
+``mage://<node>/<name>`` URL, the analogue of an ``rmi://host/name`` URL.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Characters that may appear in node ids and component names.  Conservative
+#: on purpose: identifiers travel inside wire messages and URL strings.
+_IDENT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-."
+)
+
+_URL_SCHEME = "mage://"
+
+
+def validate_node_id(node_id: str) -> str:
+    """Return ``node_id`` if it is a legal node identifier, else raise."""
+    _validate_ident(node_id, "node id")
+    return node_id
+
+
+def validate_component_name(name: str) -> str:
+    """Return ``name`` if it is a legal component name, else raise."""
+    _validate_ident(name, "component name")
+    return name
+
+
+def _validate_ident(value: str, what: str) -> None:
+    if not isinstance(value, str):
+        raise ConfigurationError(f"{what} must be a string, got {type(value).__name__}")
+    if not value:
+        raise ConfigurationError(f"{what} must be non-empty")
+    bad = set(value) - _IDENT_CHARS
+    if bad:
+        raise ConfigurationError(
+            f"{what} {value!r} contains illegal characters: {sorted(bad)!r}"
+        )
+
+
+@dataclass(frozen=True)
+class MageUrl:
+    """A ``mage://<node>/<name>`` address pairing a name with its origin node."""
+
+    node_id: str
+    name: str
+
+    def __post_init__(self) -> None:
+        validate_node_id(self.node_id)
+        validate_component_name(self.name)
+
+    @classmethod
+    def parse(cls, url: str) -> "MageUrl":
+        """Parse a ``mage://node/name`` string into a :class:`MageUrl`."""
+        if not url.startswith(_URL_SCHEME):
+            raise ConfigurationError(f"not a mage URL (missing {_URL_SCHEME!r}): {url!r}")
+        rest = url[len(_URL_SCHEME):]
+        node_id, sep, name = rest.partition("/")
+        if not sep or not name:
+            raise ConfigurationError(f"mage URL must be mage://node/name, got {url!r}")
+        return cls(node_id=node_id, name=name)
+
+    def __str__(self) -> str:
+        return f"{_URL_SCHEME}{self.node_id}/{self.name}"
+
+
+class _TokenCounter:
+    """Process-wide monotonically increasing token source (thread safe)."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def next(self, prefix: str) -> str:
+        with self._lock:
+            value = next(self._counter)
+        return f"{prefix}-{value}"
+
+
+_TOKENS = _TokenCounter()
+
+
+def fresh_token(prefix: str = "tok") -> str:
+    """Return a process-unique token string, e.g. for lock and message ids.
+
+    Deterministic (a counter, not randomness) so that traces are stable
+    across runs — important for the figure-reproduction benches.
+    """
+    return _TOKENS.next(prefix)

@@ -1,0 +1,124 @@
+"""Cluster bring-up, growth, fault plumbing, and transports."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import ConfigurationError, NodeUnreachableError
+from repro.net.simnet import SimNetwork
+from repro.net.tcpnet import TcpNetwork
+from repro.bench.workloads import Counter
+
+
+class TestConstruction:
+    def test_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Cluster([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(["a", "a"])
+
+    def test_default_transport_is_sim(self, make_cluster):
+        cluster = make_cluster(["a", "b"])
+        assert isinstance(cluster.transport, SimNetwork)
+
+    def test_unknown_transport(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(["a"], transport="carrier-pigeon")
+
+    def test_conflicting_config_rejected(self):
+        from repro.net.conditions import ConstantLatency
+
+        net = SimNetwork()
+        try:
+            with pytest.raises(ConfigurationError):
+                Cluster(["a"], transport=net, latency=ConstantLatency())
+        finally:
+            net.shutdown()
+
+    def test_tcp_rejects_loss_models(self):
+        from repro.net.conditions import BernoulliLoss
+
+        with pytest.raises(ConfigurationError):
+            Cluster(["a"], transport="tcp", loss=BernoulliLoss(0.1))
+
+
+class TestAccess:
+    def test_lookup_and_len(self, trio):
+        assert trio["alpha"].node_id == "alpha"
+        assert len(trio) == 3
+        assert trio.node_ids() == ["alpha", "beta", "gamma"]
+
+    def test_unknown_node(self, trio):
+        with pytest.raises(ConfigurationError):
+            trio.node("zeta")
+
+    def test_iteration(self, trio):
+        assert {node.node_id for node in trio} == {"alpha", "beta", "gamma"}
+
+
+class TestGrowth:
+    def test_add_node_joins_the_network(self, pair):
+        """'Systems joining' (§1): a new namespace is reachable at once."""
+        pair.add_node("gamma")
+        pair["alpha"].register("c", Counter())
+        assert pair["gamma"].find("c", origin_hint="alpha") == "alpha"
+
+    def test_duplicate_add_rejected(self, pair):
+        with pytest.raises(ConfigurationError):
+            pair.add_node("alpha")
+
+
+class TestFaults:
+    def test_crash_recover_round_trip(self, pair):
+        pair["beta"].register("c", Counter())
+        pair.crash("beta")
+        with pytest.raises(NodeUnreachableError):
+            pair["alpha"].stub("c", location="beta").get()
+        pair.recover("beta")
+        assert pair["alpha"].stub("c", location="beta").get() == 0
+
+    def test_partition_blocks_only_that_link(self, trio):
+        trio["gamma"].register("c", Counter())
+        trio.partition("alpha", "gamma")
+        with pytest.raises(NodeUnreachableError):
+            trio["alpha"].stub("c", location="gamma").get()
+        # beta still reaches gamma.
+        assert trio["beta"].stub("c", location="gamma").get() == 0
+        trio.heal("alpha", "gamma")
+        assert trio["alpha"].stub("c", location="gamma").get() == 0
+
+    def test_fault_injection_requires_simnet(self):
+        cluster = Cluster(["a", "b"], transport="tcp")
+        try:
+            with pytest.raises(ConfigurationError):
+                cluster.crash("a")
+        finally:
+            cluster.shutdown()
+
+
+class TestTcpCluster:
+    def test_full_stack_over_tcp(self):
+        """The same runtime, real sockets: register, move, invoke."""
+        cluster = Cluster(["lab", "field"], transport="tcp")
+        try:
+            assert isinstance(cluster.transport, TcpNetwork)
+            cluster["lab"].register("c", Counter(5))
+            cluster["lab"].namespace.move("c", "field")
+            stub = cluster["lab"].stub("c", location="field")
+            assert stub.increment() == 6
+            assert cluster["lab"].find("c") == "field"
+        finally:
+            cluster.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        cluster = Cluster(["a"], transport="tcp")
+        cluster.shutdown()
+        cluster.shutdown()
+
+
+class TestContextManager:
+    def test_with_block_tears_down(self):
+        with Cluster(["a", "b"]) as cluster:
+            cluster["a"].register("c", Counter())
+        assert not cluster["a"].namespace.running

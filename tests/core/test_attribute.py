@@ -1,0 +1,119 @@
+"""MobilityAttribute base behaviour (Figure 4) and the locking bracket."""
+
+import pytest
+
+from repro.core.attribute import MobilityAttribute
+from repro.core.context import use_runtime
+from repro.core.models import CLE, COD, REV
+from repro.core.triple import CANONICAL_TRIPLES
+from repro.errors import ConfigurationError
+from repro.rmi.stub import Stub
+from repro.bench.workloads import Counter
+
+
+class Echo(MobilityAttribute):
+    """Minimal concrete attribute for base-class tests."""
+
+    MODEL = "CLE"
+
+    def _bind(self) -> Stub:
+        self.cloc = self.find(verify=True)
+        return self.stub_at(self.cloc)
+
+
+class TestConstructor:
+    def test_finds_cloc_like_figure_4(self, pair):
+        """Figure 4's constructor ends with ``cloc = find(name)``."""
+        pair["alpha"].register("c", Counter())
+        attr = Echo("c", runtime=pair["alpha"].namespace)
+        assert attr.cloc == "alpha"
+
+    def test_absent_component_gives_none_cloc(self, pair):
+        attr = Echo("ghost", runtime=pair["alpha"].namespace)
+        assert attr.cloc is None
+
+    def test_requires_some_runtime(self, pair):
+        with pytest.raises(ConfigurationError):
+            Echo("c")
+
+    def test_ambient_runtime(self, pair):
+        pair["alpha"].register("c", Counter())
+        with use_runtime(pair["alpha"].namespace):
+            attr = Echo("c")
+        assert attr.runtime is pair["alpha"].namespace
+
+
+class TestBind:
+    def test_bind_with_name_rebinds_component(self, pair):
+        """Figure 4's ``bind(String n)`` overload."""
+        pair["alpha"].register("one", Counter(1))
+        pair["alpha"].register("two", Counter(2))
+        attr = Echo("one", runtime=pair["beta"].namespace, origin="alpha")
+        assert attr.bind().get() == 1
+        assert attr.bind("two").get() == 2
+        assert attr.name == "two"
+
+    def test_shared_objects_are_refound_each_bind(self, trio):
+        """§3.5: a shared object 'may have been moved by another thread in
+        between invocations by the current thread'."""
+        trio["alpha"].register("c", Counter(), shared=True)
+        attr = Echo("c", runtime=trio["gamma"].namespace, origin="alpha")
+        attr.bind()
+        trio["alpha"].namespace.move("c", "beta")
+        attr.bind()
+        assert attr.cloc == "beta"
+
+    def test_private_objects_skip_the_refind(self, pair):
+        """'If the object is private, cloc always accurately represents the
+        bound object's current location' — no lookup spent."""
+        pair["alpha"].register("priv", Counter(), shared=False)
+        attr = Echo("priv", runtime=pair["alpha"].namespace)
+        attr.bind()
+        finds_before = len(pair.trace.filtered(kinds=["FIND"]))
+        attr.refresh()  # private: must not re-find
+        assert len(pair.trace.filtered(kinds=["FIND"])) == finds_before
+
+
+class TestTriple:
+    def test_attribute_exposes_its_design_point(self, pair):
+        pair["alpha"].register("c", Counter())
+        rev = REV(None, "c", "beta", runtime=pair["alpha"].namespace)
+        assert rev.triple == CANONICAL_TRIPLES["REV"]
+
+
+class TestLockedBracket:
+    def test_locked_bind_invoke_unlock(self, pair):
+        """§4.4's bracket: lock, bind, invoke, unlock."""
+        pair["alpha"].register("geoData", Counter())
+        cod = COD("geoData", runtime=pair["beta"].namespace, origin="alpha")
+        with cod.locked() as stub:
+            assert stub.increment() == 1
+        # The lock is gone: a fresh move lock can be had immediately.
+        grant = pair["alpha"].namespace.lock("geoData", "gamma", timeout_ms=100)
+        pair["alpha"].namespace.unlock(grant)
+
+    def test_locked_move_bind_presents_token(self, pair):
+        """A move-locked bind may relocate the contended object."""
+        pair["alpha"].register("geoData", Counter(5))
+        cod = COD("geoData", runtime=pair["beta"].namespace, origin="alpha")
+        with cod.locked() as stub:
+            assert stub.get() == 5
+        assert pair["beta"].namespace.store.contains("geoData")
+
+    def test_lock_released_on_servant_failure(self, pair):
+        pair["alpha"].register("geoData", Counter())
+        cle = CLE("geoData", runtime=pair["beta"].namespace, origin="alpha")
+        from repro.errors import RemoteInvocationError
+
+        with pytest.raises(RemoteInvocationError):
+            with cle.locked() as stub:
+                stub.add("boom")
+        grant = pair["alpha"].namespace.lock("geoData", "beta", timeout_ms=100)
+        pair["alpha"].namespace.unlock(grant)
+
+    def test_repr_is_informative(self, pair):
+        pair["alpha"].register("c", Counter())
+        attr = Echo("c", runtime=pair["alpha"].namespace)
+        text = repr(attr)
+        assert "Echo" in text
+        assert "'c'" in text

@@ -1,0 +1,103 @@
+"""The mobility-coercion engine (Table 2, §3.4)."""
+
+import pytest
+
+from repro.core.coercion import (
+    Action,
+    Placement,
+    TABLE2,
+    TABLE2_MODELS,
+    classify,
+    coerce,
+    effective_model,
+)
+from repro.errors import CoercionError
+
+
+class TestClassify:
+    def test_local_at_target(self):
+        assert classify("here", "here", "here") is Placement.LOCAL_AT_TARGET
+
+    def test_local_not_at_target(self):
+        assert classify("here", "here", "there") is Placement.LOCAL_NOT_AT_TARGET
+
+    def test_remote_at_target(self):
+        assert classify("there", "here", "there") is Placement.REMOTE_AT_TARGET
+
+    def test_remote_not_at_target(self):
+        assert (
+            classify("elsewhere", "here", "there")
+            is Placement.REMOTE_NOT_AT_TARGET
+        )
+
+    def test_unspecified_target_is_always_at_target(self):
+        """CLE's target is 'the set of all namespaces'."""
+        assert classify("here", "here", None) is Placement.LOCAL_AT_TARGET
+        assert classify("there", "here", None) is Placement.REMOTE_AT_TARGET
+
+
+class TestTable2:
+    """Cell-for-cell checks against the paper's Table 2."""
+
+    @pytest.mark.parametrize("model", ["MA", "REV"])
+    def test_ma_rev_local_default(self, model):
+        assert coerce(model, Placement.LOCAL_NOT_AT_TARGET) is Action.DEFAULT
+
+    @pytest.mark.parametrize("model", ["MA", "REV"])
+    def test_ma_rev_at_target_coerces_to_rpc(self, model):
+        assert coerce(model, Placement.REMOTE_AT_TARGET) is Action.COERCE_RPC
+
+    @pytest.mark.parametrize("model", ["MA", "REV"])
+    def test_ma_rev_not_at_target_default(self, model):
+        assert coerce(model, Placement.REMOTE_NOT_AT_TARGET) is Action.DEFAULT
+
+    def test_cod_local_coerces_to_lpc(self):
+        assert coerce("COD", Placement.LOCAL_AT_TARGET) is Action.COERCE_LPC
+
+    def test_cod_remote_at_target_is_na(self):
+        """COD's target is the caller's namespace; 'remote at target' is
+        the paper's n/a cell."""
+        assert coerce("COD", Placement.REMOTE_AT_TARGET) is Action.NOT_APPLICABLE
+
+    def test_cod_remote_default(self):
+        assert coerce("COD", Placement.REMOTE_NOT_AT_TARGET) is Action.DEFAULT
+
+    def test_rpc_local_raises(self):
+        assert coerce("RPC", Placement.LOCAL_NOT_AT_TARGET) is Action.RAISE
+
+    def test_rpc_at_target_default(self):
+        assert coerce("RPC", Placement.REMOTE_AT_TARGET) is Action.DEFAULT
+
+    def test_rpc_not_at_target_raises(self):
+        assert coerce("RPC", Placement.REMOTE_NOT_AT_TARGET) is Action.RAISE
+
+    def test_cle_is_always_default(self):
+        for placement in Placement:
+            assert coerce("CLE", placement) is Action.DEFAULT
+
+    def test_unknown_model(self):
+        with pytest.raises(CoercionError):
+            coerce("TELEPORT", Placement.LOCAL_AT_TARGET)
+
+
+class TestTotality:
+    def test_every_paper_model_covers_every_placement(self):
+        for model in TABLE2_MODELS:
+            for placement in Placement:
+                assert (model, placement) in TABLE2
+
+    def test_extended_models_covered_too(self):
+        for model in ("GREV", "LPC"):
+            for placement in Placement:
+                assert (model, placement) in TABLE2
+
+
+class TestEffectiveModel:
+    def test_default_keeps_model(self):
+        assert effective_model("REV", Action.DEFAULT) == "REV"
+
+    def test_rpc_coercion(self):
+        assert effective_model("MA", Action.COERCE_RPC) == "RPC"
+
+    def test_lpc_coercion(self):
+        assert effective_model("COD", Action.COERCE_LPC) == "LPC"

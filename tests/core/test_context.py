@@ -1,0 +1,65 @@
+"""Ambient runtime context (the paper's implicit JVM)."""
+
+import pytest
+
+from repro.core.context import current_runtime, maybe_current_runtime, use_runtime
+from repro.errors import ConfigurationError
+
+
+class TestContext:
+    def test_no_ambient_runtime_by_default(self):
+        assert maybe_current_runtime() is None
+        with pytest.raises(ConfigurationError):
+            current_runtime()
+
+    def test_with_block_sets_and_resets(self, pair):
+        ns = pair["alpha"].namespace
+        with use_runtime(ns) as active:
+            assert active is ns
+            assert current_runtime() is ns
+        assert maybe_current_runtime() is None
+
+    def test_nesting(self, pair):
+        alpha = pair["alpha"].namespace
+        beta = pair["beta"].namespace
+        with use_runtime(alpha):
+            with use_runtime(beta):
+                assert current_runtime() is beta
+            assert current_runtime() is alpha
+
+    def test_reset_on_exception(self, pair):
+        ns = pair["alpha"].namespace
+        with pytest.raises(RuntimeError):
+            with use_runtime(ns):
+                raise RuntimeError("boom")
+        assert maybe_current_runtime() is None
+
+    def test_node_activate_sugar(self, pair):
+        with pair["alpha"].activate():
+            assert current_runtime() is pair["alpha"].namespace
+
+    def test_attributes_pick_up_ambient_runtime(self, pair):
+        from repro.core.models import CLE
+        from repro.bench.workloads import Counter
+
+        pair["beta"].register("c", Counter())
+        with pair["alpha"].activate():
+            cle = CLE("c", origin="beta")
+        assert cle.runtime is pair["alpha"].namespace
+        assert cle.bind().increment() == 1
+
+    def test_threads_do_not_inherit_ambient_runtime(self, pair):
+        """Context variables are per-thread-of-execution: a worker thread
+        spawned inside the block sees no ambient runtime."""
+        import threading
+
+        observed = []
+
+        def probe():
+            observed.append(maybe_current_runtime())
+
+        with pair["alpha"].activate():
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert observed == [None]

@@ -1,0 +1,142 @@
+"""Model edge cases: rebinding, interface restriction, kwargs, composition."""
+
+import pytest
+
+from repro.core.factory import FactoryMode
+from repro.core.models import CLE, COD, GREV, MAgent, REV
+from repro.core.policy import Combined, LoadBalancing, Restricted
+from repro.bench.workloads import Counter, GeoDataFilterImpl
+
+
+class TestRebinding:
+    """Figure 4's ``bind(String n)`` across the model family."""
+
+    def test_cle_rebinds_between_components(self, pair):
+        pair["alpha"].register("one", Counter(1))
+        pair["beta"].register("two", Counter(2))
+        cle = CLE("one", runtime=pair["alpha"].namespace)
+        assert cle.bind().get() == 1
+        # Rebind needs a resolvable name: "two" lives on beta, so the
+        # origin must be supplied (or known) — here via local knowledge.
+        pair["alpha"].find("two", origin_hint="beta")
+        assert cle.bind("two").get() == 2
+
+    def test_grev_rebinding_moves_the_new_component(self, trio):
+        trio["alpha"].register("a", Counter())
+        trio["alpha"].register("b", Counter())
+        grev = GREV("a", "gamma", runtime=trio["beta"].namespace,
+                    origin="alpha")
+        grev.bind()
+        assert trio["gamma"].namespace.store.contains("a")
+        grev.bind("b")
+        assert trio["gamma"].namespace.store.contains("b")
+
+
+class TestInterfaceRestriction:
+    def test_runtime_stub_with_interface(self, pair):
+        from repro.rmi.stub import interface_methods
+
+        class GeoDataFilter:
+            def filter_data(self):
+                ...
+
+            def process_data(self):
+                ...
+
+        pair["beta"].register("geo", GeoDataFilterImpl())
+        stub = pair["alpha"].namespace.stub(
+            "geo", location="beta",
+            methods=interface_methods(GeoDataFilter),
+        )
+        stub.filter_data()  # allowed by the interface
+        with pytest.raises(AttributeError):
+            stub.ingest([1.0])  # implementation detail, not on the interface
+
+
+class TestConstructorPlumbing:
+    def test_rev_kwargs(self, pair):
+        pair["alpha"].register_class(Counter)
+        rev = REV("Counter", "k", "beta", ctor_kwargs={"start": 41},
+                  runtime=pair["alpha"].namespace)
+        assert rev.bind().increment() == 42
+
+    def test_cod_kwargs(self, pair):
+        pair["beta"].register_class(GeoDataFilterImpl)
+        cod = COD("g", class_name="GeoDataFilterImpl", source="beta",
+                  ctor_kwargs={"threshold": 0.9},
+                  runtime=pair["alpha"].namespace)
+        stub = cod.bind()
+        stub.ingest([0.5, 0.95])
+        assert stub.filter_data() == 1
+
+    def test_private_deployment(self, pair):
+        pair["alpha"].register_class(Counter)
+        rev = REV("Counter", "priv", "beta", mode=FactoryMode.SINGLE_USE,
+                  shared=False, runtime=pair["alpha"].namespace)
+        rev.bind()
+        assert pair["beta"].namespace.store.is_shared("priv") is False
+
+
+class TestComposition:
+    def test_restricted_combined(self, trio):
+        """Policies compose: a Combined inside a Restricted."""
+        trio["alpha"].register("c", Counter())
+        alpha = trio["alpha"].namespace
+        combined = Combined(
+            "c",
+            {
+                "go": REV(None, "c", "beta", runtime=alpha),
+                "far": REV(None, "c", "gamma", runtime=alpha),
+            },
+            chooser=lambda attr: "far",
+            runtime=alpha,
+        )
+        fenced = Restricted(combined, allowed_targets=None,
+                            allowed_locations=["alpha", "beta"])
+        stub = fenced.bind()  # "far" moves it to gamma — allowed (location
+        assert stub.increment() == 1  # restriction checks the *current* spot)
+        # Now the component sits on gamma, outside the allowed locations:
+        from repro.errors import TargetRestrictedError
+
+        with pytest.raises(TargetRestrictedError):
+            fenced.bind()
+
+    def test_load_balancing_inside_combined(self, trio):
+        trio["alpha"].register("svc", Counter())
+        trio["alpha"].set_load(500.0)
+        trio["beta"].set_load(5.0)
+        trio["gamma"].set_load(50.0)
+        alpha = trio["alpha"].namespace
+        combined = Combined(
+            "svc",
+            {"balance": LoadBalancing("svc", candidates=["beta", "gamma"],
+                                      threshold=100.0, runtime=alpha)},
+            chooser=lambda attr: "balance",
+            runtime=alpha,
+        )
+        combined.bind()
+        assert combined.cloc == "beta"
+
+
+class TestMAgentEdges:
+    def test_deploy_then_object_mode_on_same_attribute(self, trio):
+        """After a deploy-mode bind creates the agent, later binds of the
+        same attribute move the existing object."""
+        trio["alpha"].register_class(Counter)
+        ma = MAgent("roam", "beta", class_name="Counter",
+                    runtime=trio["alpha"].namespace)
+        ma.bind()
+        assert trio["beta"].namespace.store.contains("roam")
+        ma.target = "gamma"
+        ma.bind()
+        assert trio["gamma"].namespace.store.contains("roam")
+        assert not trio["beta"].namespace.store.contains("roam")
+
+    def test_itinerary_with_locked_start(self, trio):
+        trio["alpha"].register("tour", Counter(), shared=True)
+        ma = MAgent("tour", "gamma", itinerary=("beta",),
+                    runtime=trio["alpha"].namespace)
+        with ma.locked() as stub:
+            pass  # the locked bracket held the move lock through the bind
+        trio.quiesce()
+        assert trio["gamma"].namespace.store.contains("tour")

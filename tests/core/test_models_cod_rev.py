@@ -1,0 +1,170 @@
+"""COD and REV: factory modes (§4.2) and coercion rows (Table 2)."""
+
+import pytest
+
+from repro.core.coercion import Action
+from repro.core.factory import FactoryMode
+from repro.core.models import COD, REV
+from repro.errors import CoercionError, ComponentNotFoundError
+from repro.bench.workloads import Counter
+
+
+class TestCODObjectMode:
+    def test_moves_remote_object_here(self, pair):
+        pair["beta"].register("c", Counter(5))
+        cod = COD("c", runtime=pair["alpha"].namespace, origin="beta")
+        stub = cod.bind()
+        assert stub.increment() == 6
+        assert pair["alpha"].namespace.store.contains("c")
+        assert cod.last_outcome.action is Action.DEFAULT
+
+    def test_local_object_coerces_to_lpc(self, pair):
+        """Table 2: COD on a local component behaves as LPC (no move)."""
+        pair["alpha"].register("c", Counter())
+        cod = COD("c", runtime=pair["alpha"].namespace)
+        stub = cod.bind()
+        assert stub.increment() == 1
+        assert cod.last_outcome.action is Action.COERCE_LPC
+        assert cod.last_outcome.effective_model == "LPC"
+
+    def test_missing_object(self, pair):
+        cod = COD("ghost", runtime=pair["alpha"].namespace, origin="beta")
+        with pytest.raises(ComponentNotFoundError):
+            cod.bind()
+
+
+class TestCODTraditional:
+    def test_fetches_class_and_instantiates_fresh_objects(self, pair):
+        pair["beta"].register_class(Counter)
+        cod = COD("tc", class_name="Counter", source="beta",
+                  runtime=pair["alpha"].namespace, ctor_args=(10,))
+        first = cod.bind()
+        second = cod.bind()
+        assert first.increment() == 11
+        assert second.increment() == 11  # fresh object per bind
+        assert first.ref.name != second.ref.name
+
+    def test_objects_live_locally(self, pair):
+        pair["beta"].register_class(Counter)
+        cod = COD("tc", class_name="Counter", source="beta",
+                  runtime=pair["alpha"].namespace)
+        stub = cod.bind()
+        assert stub.ref.node_id == "alpha"
+
+    def test_class_cached_after_first_bind(self, pair):
+        pair["beta"].register_class(Counter)
+        cod = COD("tc", class_name="Counter", source="beta",
+                  runtime=pair["alpha"].namespace)
+        cod.bind()
+        before = pair.trace.summary()["CLASS_REQUEST"]
+        cod.bind()
+        after = pair.trace.summary()["CLASS_REQUEST"]
+        # The warm bind re-validates (conditional) but ships no body.
+        assert after == before + 1
+        assert pair["alpha"].namespace.classcache.hits > 0
+
+    def test_requires_source(self, pair):
+        with pytest.raises(CoercionError):
+            COD("tc", class_name="Counter", runtime=pair["alpha"].namespace)
+
+
+class TestCODSingleUse:
+    def test_first_bind_creates_then_binds_object(self, pair):
+        pair["beta"].register_class(Counter)
+        cod = COD("su", class_name="Counter", source="beta",
+                  mode=FactoryMode.SINGLE_USE,
+                  runtime=pair["alpha"].namespace)
+        first = cod.bind()
+        first.increment()
+        second = cod.bind()
+        # Same object now: state accumulates.
+        assert second.increment() == 2
+
+    def test_subsequent_binds_move_the_created_object(self, pair):
+        pair["beta"].register_class(Counter)
+        cod = COD("su2", class_name="Counter", source="beta",
+                  mode=FactoryMode.SINGLE_USE,
+                  runtime=pair["alpha"].namespace)
+        cod.bind()
+        # Push the object away; the next COD bind must bring it back.
+        pair["alpha"].namespace.move("su2", "beta")
+        stub = cod.bind()
+        assert stub.ref.node_id == "alpha"
+        assert pair["alpha"].namespace.store.contains("su2")
+
+
+class TestREVTraditional:
+    def test_pushes_class_and_instantiates_at_target(self, pair):
+        pair["alpha"].register_class(Counter)
+        rev = REV("Counter", "rv", "beta", runtime=pair["alpha"].namespace,
+                  ctor_args=(7,))
+        stub = rev.bind()
+        assert stub.ref.node_id == "beta"
+        assert stub.increment() == 8
+        assert rev.last_outcome.action is Action.DEFAULT
+
+    def test_fresh_object_per_bind(self, pair):
+        pair["alpha"].register_class(Counter)
+        rev = REV("Counter", "rv", "beta", runtime=pair["alpha"].namespace)
+        a = rev.bind()
+        b = rev.bind()
+        assert a.ref.name != b.ref.name
+
+    def test_class_pushed_once(self, pair):
+        pair["alpha"].register_class(Counter)
+        rev = REV("Counter", "rv", "beta", runtime=pair["alpha"].namespace)
+        rev.bind()
+        rev.bind()
+        pushes = [
+            e for e in pair.trace.events()
+            if e.kind == "CLASS_TRANSFER" and not e.local
+        ]
+        # probe+body (cold) then probe only (warm): 3 requests total.
+        requests = [e for e in pushes if not e.kind.startswith("REPLY")]
+        assert len(requests) == 3
+
+    def test_mode_requires_class_name(self, pair):
+        with pytest.raises(CoercionError):
+            REV(None, "rv", "beta", mode=FactoryMode.TRADITIONAL,
+                runtime=pair["alpha"].namespace)
+
+
+class TestREVObjectMode:
+    def test_moves_local_object_to_target(self, pair):
+        pair["alpha"].register("c", Counter(3))
+        rev = REV(None, "c", "beta", runtime=pair["alpha"].namespace)
+        stub = rev.bind()
+        assert stub.ref.node_id == "beta"
+        assert stub.increment() == 4
+        assert not pair["alpha"].namespace.store.contains("c")
+
+    def test_already_at_target_coerces_to_rpc(self, pair):
+        """Table 2: REV remote-at-target behaves as RPC (no move)."""
+        pair["beta"].register("c", Counter())
+        rev = REV(None, "c", "beta", runtime=pair["alpha"].namespace,
+                  origin="beta")
+        moves_before = pair["beta"].namespace.mover.moves_out
+        stub = rev.bind()
+        assert stub.increment() == 1
+        assert rev.last_outcome.action is Action.COERCE_RPC
+        assert rev.last_outcome.effective_model == "RPC"
+        assert pair["beta"].namespace.mover.moves_out == moves_before
+
+    def test_remote_not_at_target_still_moves(self, trio):
+        """Table 2 REV row: remote-not-at-target is Default (move)."""
+        trio["gamma"].register("c", Counter())
+        rev = REV(None, "c", "beta", runtime=trio["alpha"].namespace,
+                  origin="gamma")
+        stub = rev.bind()
+        assert stub.ref.node_id == "beta"
+        assert trio["beta"].namespace.store.contains("c")
+
+    def test_single_use_rev(self, pair):
+        pair["alpha"].register_class(Counter)
+        rev = REV("Counter", "su-rev", "beta", mode=FactoryMode.SINGLE_USE,
+                  runtime=pair["alpha"].namespace)
+        first = rev.bind()
+        first.increment()
+        second = rev.bind()
+        assert second.increment() == 2  # bound to the created object
+        assert rev.name == "su-rev"

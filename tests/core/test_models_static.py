@@ -1,0 +1,132 @@
+"""LPC, RPC and CLE: the non-moving models."""
+
+import pytest
+
+from repro.core.models import CLE, LPC, RPC
+from repro.core.coercion import Action
+from repro.errors import (
+    CoercionError,
+    ComponentNotFoundError,
+    ImmobileObjectError,
+)
+from repro.bench.workloads import Counter
+
+
+class TestLPC:
+    def test_local_invocation(self, pair):
+        pair["alpha"].register("c", Counter(1))
+        lpc = LPC("c", runtime=pair["alpha"].namespace)
+        assert lpc.bind().increment() == 2
+        assert lpc.last_outcome.action is Action.DEFAULT
+
+    def test_remote_component_rejected(self, pair):
+        pair["beta"].register("c", Counter())
+        lpc = LPC("c", runtime=pair["alpha"].namespace, origin="beta")
+        with pytest.raises(CoercionError):
+            lpc.bind()
+
+    def test_missing_component(self, pair):
+        lpc = LPC("ghost", runtime=pair["alpha"].namespace)
+        with pytest.raises(ComponentNotFoundError):
+            lpc.bind()
+
+    def test_target_is_always_here(self, pair):
+        lpc = LPC("x", runtime=pair["alpha"].namespace)
+        assert lpc.get_target() == "alpha"
+
+
+class TestRPC:
+    def test_invocation_at_target(self, pair):
+        pair["beta"].register("c", Counter(10))
+        rpc = RPC("c", target="beta", runtime=pair["alpha"].namespace,
+                  origin="beta")
+        assert rpc.bind().increment() == 11
+        assert rpc.last_outcome.action is Action.DEFAULT
+
+    def test_target_defaults_to_found_location(self, pair):
+        pair["beta"].register("c", Counter())
+        rpc = RPC("c", runtime=pair["alpha"].namespace, origin="beta")
+        assert rpc.target == "beta"
+
+    def test_exception_when_component_moved(self, trio):
+        """'MAGE RPC throws an exception if it does not find its object on
+        its target.'  RPC stays a thin wrapper, so a concurrent move
+        surfaces at the intercepted invocation."""
+        trio["beta"].register("c", Counter())
+        rpc = RPC("c", target="beta", runtime=trio["alpha"].namespace,
+                  origin="beta")
+        rpc.bind().increment()  # fine: at target
+        trio["beta"].namespace.move("c", "gamma")
+        with pytest.raises(ImmobileObjectError) as excinfo:
+            rpc.bind().increment()
+        assert excinfo.value.expected == "beta"
+        assert excinfo.value.actual == "gamma"
+
+    def test_exception_at_bind_once_staleness_is_known(self, trio):
+        """Once the local registry knows the true location, bind itself
+        raises (Table 2's bind-time row)."""
+        trio["beta"].register("c", Counter())
+        rpc = RPC("c", target="beta", runtime=trio["alpha"].namespace,
+                  origin="beta")
+        trio["beta"].namespace.move("c", "gamma")
+        trio["alpha"].find("c", verify=True)  # refresh alpha's table
+        with pytest.raises(ImmobileObjectError):
+            rpc.bind()
+
+    def test_exception_when_component_local(self, pair):
+        """Table 2: RPC's Local column is 'Exception thrown'."""
+        pair["alpha"].register("c", Counter())
+        rpc = RPC("c", target="beta", runtime=pair["alpha"].namespace)
+        with pytest.raises(ImmobileObjectError):
+            rpc.bind()
+
+    def test_missing_component(self, pair):
+        rpc = RPC("ghost", target="beta", runtime=pair["alpha"].namespace)
+        with pytest.raises(ImmobileObjectError):
+            rpc.bind()
+
+    def test_denotes_immobile_object(self, pair):
+        """The paper provides RPC 'so that a programmer could use it to
+        denote an immobile object' — repeated binds keep working while the
+        object stays put."""
+        pair["beta"].register("c", Counter())
+        rpc = RPC("c", target="beta", runtime=pair["alpha"].namespace,
+                  origin="beta")
+        for expected in (1, 2, 3):
+            assert rpc.bind().increment() == expected
+
+
+class TestCLE:
+    def test_invokes_wherever_component_is(self, trio):
+        trio["alpha"].register("c", Counter())
+        cle = CLE("c", runtime=trio["gamma"].namespace, origin="alpha")
+        assert cle.bind().increment() == 1
+        assert cle.cloc == "alpha"
+        # Someone moves the component; CLE follows without re-configuration.
+        trio["alpha"].namespace.move("c", "beta")
+        assert cle.bind().increment() == 2
+        assert cle.cloc == "beta"
+
+    def test_refers_to_same_component_across_namespaces(self, trio):
+        """CLE vs Jini (§3.3): same component, not same interface —
+        state must persist across namespace changes."""
+        trio["alpha"].register("c", Counter(100))
+        cle = CLE("c", runtime=trio["gamma"].namespace, origin="alpha")
+        cle.bind().increment()
+        trio["alpha"].namespace.move("c", "beta")
+        assert cle.bind().get() == 101
+
+    def test_always_default_action(self, pair):
+        pair["alpha"].register("c", Counter())
+        cle = CLE("c", runtime=pair["beta"].namespace, origin="alpha")
+        cle.bind()
+        assert cle.last_outcome.action is Action.DEFAULT
+
+    def test_no_target(self, pair):
+        cle = CLE("c", runtime=pair["alpha"].namespace)
+        assert cle.get_target() is None
+
+    def test_missing_component(self, pair):
+        cle = CLE("ghost", runtime=pair["alpha"].namespace, origin="beta")
+        with pytest.raises(ComponentNotFoundError):
+            cle.bind()

@@ -1,0 +1,134 @@
+"""User-defined attributes: LoadBalancing, Combined, Restricted."""
+
+import pytest
+
+from repro.core.models import COD, MAgent, REV
+from repro.core.policy import Combined, LoadBalancing, Restricted
+from repro.errors import TargetRestrictedError
+from repro.bench.workloads import Counter
+
+
+class TestLoadBalancing:
+    def test_stays_put_under_threshold(self, trio):
+        trio["alpha"].register("svc", Counter())
+        trio["alpha"].set_load(50.0)
+        policy = LoadBalancing(
+            "svc", candidates=["beta", "gamma"], threshold=100.0,
+            runtime=trio["alpha"].namespace,
+        )
+        policy.bind()
+        assert policy.cloc == "alpha"
+        assert policy.migrations == 0
+
+    def test_migrates_when_overloaded(self, trio):
+        """§3.1's policy: ``if (cloc.getLoad() > 100) ... send(target)``."""
+        trio["alpha"].register("svc", Counter(3))
+        trio["alpha"].set_load(150.0)
+        trio["beta"].set_load(80.0)
+        trio["gamma"].set_load(10.0)
+        policy = LoadBalancing(
+            "svc", candidates=["beta", "gamma"], threshold=100.0,
+            runtime=trio["alpha"].namespace,
+        )
+        stub = policy.bind()
+        assert policy.cloc == "gamma"  # least loaded candidate
+        assert policy.migrations == 1
+        assert stub.get() == 3
+
+    def test_follows_load_shifts(self, trio):
+        trio["alpha"].register("svc", Counter())
+        trio["alpha"].set_load(150.0)
+        trio["beta"].set_load(0.0)
+        trio["gamma"].set_load(999.0)
+        policy = LoadBalancing(
+            "svc", candidates=["beta", "gamma"], threshold=100.0,
+            runtime=trio["alpha"].namespace,
+        )
+        policy.bind()
+        assert policy.cloc == "beta"
+        # beta heats up, gamma cools down: next bind moves on.
+        trio["beta"].set_load(500.0)
+        trio["gamma"].set_load(5.0)
+        policy.bind()
+        assert policy.cloc == "gamma"
+        assert policy.migrations == 2
+
+    def test_needs_candidates(self, pair):
+        with pytest.raises(TargetRestrictedError):
+            LoadBalancing("svc", candidates=[], runtime=pair["alpha"].namespace)
+
+
+class TestCombined:
+    def test_chooser_routes_between_attributes(self, trio):
+        """§3.6's CombinedMA: one attribute, several models inside."""
+        trio["alpha"].register("geoData", Counter(), shared=True)
+        alpha_ns = trio["alpha"].namespace
+        phase = {"current": "survey"}
+
+        inner = {
+            "survey": REV(None, "geoData", "beta", runtime=alpha_ns),
+            "retrieve": COD("geoData", runtime=alpha_ns, origin="beta"),
+        }
+        combined = Combined(
+            "geoData", inner,
+            chooser=lambda attr: phase["current"],
+            runtime=alpha_ns,
+        )
+        stub = combined.bind()
+        stub.increment()
+        assert combined.cloc == "beta"
+        phase["current"] = "retrieve"
+        stub = combined.bind()
+        assert stub.get() == 1
+        assert combined.cloc == "alpha"
+        assert combined.history == ["survey", "retrieve"]
+
+    def test_unknown_choice_rejected(self, pair):
+        pair["alpha"].register("x", Counter())
+        combined = Combined(
+            "x", {"only": COD("x", runtime=pair["alpha"].namespace)},
+            chooser=lambda attr: "other",
+            runtime=pair["alpha"].namespace,
+        )
+        with pytest.raises(TargetRestrictedError):
+            combined.bind()
+
+    def test_needs_inner_attributes(self, pair):
+        with pytest.raises(TargetRestrictedError):
+            Combined("x", {}, chooser=lambda a: "y",
+                     runtime=pair["alpha"].namespace)
+
+
+class TestRestricted:
+    def test_allowed_target_passes(self, pair):
+        pair["alpha"].register("c", Counter())
+        rev = REV(None, "c", "beta", runtime=pair["alpha"].namespace)
+        restricted = Restricted(rev, allowed_targets=["beta"])
+        assert restricted.bind().increment() == 1
+
+    def test_forbidden_target_refused(self, trio):
+        trio["alpha"].register("c", Counter())
+        rev = REV(None, "c", "gamma", runtime=trio["alpha"].namespace)
+        restricted = Restricted(rev, allowed_targets=["beta"])
+        with pytest.raises(TargetRestrictedError):
+            restricted.bind()
+        # And the component did not move.
+        assert trio["alpha"].namespace.store.contains("c")
+
+    def test_location_restriction(self, trio):
+        """§3.3: restrict 'current location … to subsets of the available
+        hosts'."""
+        trio["gamma"].register("c", Counter())
+        ma = MAgent("c", "beta", runtime=trio["alpha"].namespace,
+                    origin="gamma")
+        restricted = Restricted(
+            ma, allowed_locations=["alpha", "beta"],
+        )
+        with pytest.raises(TargetRestrictedError):
+            restricted.bind()
+
+    def test_unrestricted_dimensions_pass(self, pair):
+        pair["alpha"].register("c", Counter())
+        rev = REV(None, "c", "beta", runtime=pair["alpha"].namespace)
+        restricted = Restricted(rev)  # no restrictions at all
+        assert restricted.bind().increment() == 1

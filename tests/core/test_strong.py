@@ -1,0 +1,135 @@
+"""Simulated strong migration: resumable state-machine agents."""
+
+import pytest
+
+from repro.core.strong import ResumableAgent, launch_resumable
+from repro.errors import MageError
+
+
+class Accumulator(ResumableAgent):
+    """Visits a fixed plan of namespaces, accumulating loads, then sums."""
+
+    def __init__(self, plan):
+        super().__init__()
+        self.plan = list(plan)
+        self.samples = []
+        self.total = None
+
+    def stage_start(self, ctx):
+        return self.goto("collect", hop=self.plan[0])
+
+    def stage_collect(self, ctx):
+        self.samples.append(ctx.query_load())
+        nxt = len(self.samples)
+        if nxt < len(self.plan):
+            return self.goto("collect", hop=self.plan[nxt])
+        return self.goto("summarize")
+
+    def stage_summarize(self, ctx):
+        self.total = sum(self.samples)
+        return self.finish()
+
+
+class BadReturn(ResumableAgent):
+    def stage_start(self, ctx):
+        return "not an instruction"
+
+
+class Runaway(ResumableAgent):
+    MAX_STAGES_PER_VISIT = 10
+
+    def stage_start(self, ctx):
+        return self.goto("start")
+
+
+class TestResumableProgram:
+    def test_resumes_mid_program_across_hops(self, quad):
+        """The defining property: the agent's 'program counter' survives
+        migration — collect resumes where it stopped, at the next node."""
+        for i, node in enumerate(("beta", "gamma", "delta")):
+            quad[node].set_load(float(10 * (i + 1)))
+        agent = Accumulator(["beta", "gamma", "delta"])
+        launch_resumable(quad["alpha"], agent, "acc")
+        quad.quiesce()
+        final = quad["delta"].namespace.store.get("acc")
+        assert final.samples == [10.0, 20.0, 30.0]
+        assert final.total == 60.0
+        assert final.finished is True
+        # It ended where the program completed (delta), untouched after.
+        assert final.visited == ["alpha", "beta", "gamma", "delta"]
+
+    def test_single_namespace_program(self, pair):
+        class Local(ResumableAgent):
+            def __init__(self):
+                super().__init__()
+                self.steps = []
+
+            def stage_start(self, ctx):
+                self.steps.append("a")
+                return self.goto("second")
+
+            def stage_second(self, ctx):
+                self.steps.append("b")
+                return self.finish()
+
+        agent = Local()
+        launch_resumable(pair["alpha"], agent, "local")
+        pair.quiesce()
+        final = pair["alpha"].namespace.store.get("local")
+        assert final.steps == ["a", "b"]
+
+    def test_on_finished_hook(self, pair):
+        class Noting(ResumableAgent):
+            def __init__(self):
+                super().__init__()
+                self.note = None
+
+            def stage_start(self, ctx):
+                return self.finish()
+
+            def on_finished(self, ctx):
+                self.note = f"done at {ctx.node_id}"
+
+        agent = Noting()
+        launch_resumable(pair["alpha"], agent, "noting", first_hop="beta")
+        pair.quiesce()
+        assert pair["beta"].namespace.store.get("noting").note == "done at beta"
+
+    def test_stage_introspection(self):
+        agent = Accumulator([])
+        assert agent.stages() == ["collect", "start", "summarize"]
+
+    def test_goto_unknown_stage_fails_fast(self):
+        agent = Accumulator([])
+        with pytest.raises(MageError, match="no stage"):
+            agent.goto("nonexistent")
+
+
+class TestSchedulerGuards:
+    def test_bad_return_type_is_reported(self, pair):
+        agent = BadReturn()
+        with pytest.raises(MageError, match="must return"):
+            launch_resumable(pair["alpha"], agent, "bad")
+
+    def test_runaway_loop_is_bounded(self, pair):
+        agent = Runaway()
+        with pytest.raises(MageError, match="runaway"):
+            launch_resumable(pair["alpha"], agent, "runaway")
+
+    def test_finished_agent_does_not_rerun(self, pair):
+        class Once(ResumableAgent):
+            def __init__(self):
+                super().__init__()
+                self.runs = 0
+
+            def stage_start(self, ctx):
+                self.runs += 1
+                return self.finish()
+
+        agent = Once()
+        launch_resumable(pair["alpha"], agent, "once")
+        pair.quiesce()
+        # Move the finished agent around: its program must not restart.
+        pair["alpha"].agents.start_tour("once", ("beta",))
+        pair.quiesce()
+        assert pair["beta"].namespace.store.get("once").runs == 1

@@ -1,0 +1,84 @@
+"""The <Location, Target, Moves> design space (Table 1, §3.2)."""
+
+from repro.core.triple import (
+    CANONICAL_TRIPLES,
+    Locus,
+    MobilityTriple,
+    TABLE1_ORDER,
+    design_space,
+    model_for,
+    models_covering,
+)
+
+
+class TestTable1:
+    def test_paper_rows_exactly(self):
+        """Table 1, cell for cell."""
+        expected = {
+            "MA": ("remote", "remote", "yes"),
+            "REV": ("local", "remote", "yes"),
+            "RPC": ("remote", "remote", "no"),
+            "CLE": ("not specified", "not specified", "no"),
+            "COD": ("remote", "local", "yes"),
+            "LPC": ("local", "local", "no"),
+        }
+        for model, row in expected.items():
+            assert CANONICAL_TRIPLES[model].row() == row
+
+    def test_table_order_matches_paper(self):
+        assert TABLE1_ORDER == ("MA", "REV", "RPC", "CLE", "COD", "LPC")
+
+    def test_classical_triples_are_unique(self):
+        """The triple 'uniquely specifies all distributed programming
+        models discussed in this paper'."""
+        classical = [CANONICAL_TRIPLES[m] for m in TABLE1_ORDER]
+        assert len(set(classical)) == len(classical)
+
+    def test_grev_is_the_moving_wildcard(self):
+        grev = CANONICAL_TRIPLES["GREV"]
+        assert grev.location is Locus.UNSPECIFIED
+        assert grev.target is Locus.UNSPECIFIED
+        assert grev.moves is True
+
+
+class TestDesignSpace:
+    def test_full_enumeration(self):
+        space = design_space()
+        assert len(space) == 18  # 3 x 3 x 2
+        assert len(set(space)) == 18
+
+    def test_model_for_exact_matches(self):
+        assert model_for(MobilityTriple(Locus.REMOTE, Locus.LOCAL, True)) == "COD"
+        assert model_for(MobilityTriple(Locus.LOCAL, Locus.REMOTE, True)) == "REV"
+
+    def test_model_for_unnamed_points(self):
+        # local -> local with movement: no classical model names this.
+        assert model_for(MobilityTriple(Locus.LOCAL, Locus.LOCAL, True)) is None
+
+    def test_str_rendering(self):
+        triple = MobilityTriple(Locus.REMOTE, Locus.LOCAL, True)
+        assert str(triple) == "<remote, local, yes>"
+
+
+class TestCoverage:
+    def test_grev_covers_every_moving_concrete_point(self):
+        """§3.3: GREV 'applies to a wider array of component distributions
+        than either REV or COD alone'."""
+        for location in (Locus.LOCAL, Locus.REMOTE):
+            for target in (Locus.LOCAL, Locus.REMOTE):
+                triple = MobilityTriple(location, target, True)
+                assert "GREV" in models_covering(triple)
+
+    def test_cle_covers_every_static_concrete_point(self):
+        for location in (Locus.LOCAL, Locus.REMOTE):
+            for target in (Locus.LOCAL, Locus.REMOTE):
+                triple = MobilityTriple(location, target, False)
+                assert "CLE" in models_covering(triple)
+
+    def test_rev_covers_only_its_own_point(self):
+        assert "REV" in models_covering(
+            MobilityTriple(Locus.LOCAL, Locus.REMOTE, True)
+        )
+        assert "REV" not in models_covering(
+            MobilityTriple(Locus.REMOTE, Locus.REMOTE, True)
+        )

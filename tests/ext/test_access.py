@@ -1,0 +1,122 @@
+"""Access control (§7 future work): domains, verbs, guarded namespaces."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.ext.access import ANY, AccessPolicy, guard
+from repro.bench.workloads import Counter
+
+
+class TestPolicy:
+    def test_trusting_by_default(self):
+        """The paper's current MAGE 'trusts its constituent servers'."""
+        policy = AccessPolicy()
+        assert policy.permits("anyone", "invoke")
+        assert policy.permits("anyone", "move_in")
+
+    def test_restrict_flips_default(self):
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        assert not policy.permits("anyone", "invoke")
+
+    def test_explicit_allow(self):
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        policy.allow("friend", "invoke")
+        assert policy.permits("friend", "invoke")
+        assert not policy.permits("friend", "move_in")
+        assert not policy.permits("stranger", "invoke")
+
+    def test_allow_all_verbs(self):
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        policy.allow("friend")
+        assert policy.permits("friend", "move_out")
+
+    def test_wildcard_principal(self):
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        policy.allow(ANY, "invoke")
+        assert policy.permits("anyone", "invoke")
+
+    def test_same_domain_trust(self):
+        policy = AccessPolicy(domain="labnet").restrict()
+        policy.join_domain("peer", "labnet")
+        policy.join_domain("outsider", "wildnet")
+        assert policy.permits("peer", "move_in")
+        assert not policy.permits("outsider", "move_in")
+
+    def test_domain_name_rules(self):
+        policy = AccessPolicy(domain="labnet").restrict()
+        policy.trust_domain = False
+        policy.join_domain("visitor", "partnernet")
+        policy.allow("partnernet", "invoke")
+        assert policy.permits("visitor", "invoke")
+        assert not policy.permits("visitor", "move_in")
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPolicy().permits("x", "teleport")
+
+    def test_rule_validates_verbs(self):
+        with pytest.raises(ValueError):
+            AccessPolicy().allow("x", "teleport")
+
+
+class TestGuardedNamespace:
+    def test_denied_invoke(self, pair):
+        pair["beta"].register("c", Counter())
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        guarded = guard(pair["beta"].namespace, policy)
+        with pytest.raises(AccessDeniedError):
+            pair["alpha"].stub("c", location="beta").get()
+        assert guarded.denials == 1
+
+    def test_allowed_invoke(self, pair):
+        pair["beta"].register("c", Counter())
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        policy.allow("alpha", "invoke")
+        guard(pair["beta"].namespace, policy)
+        assert pair["alpha"].stub("c", location="beta").get() == 0
+
+    def test_denied_move_in(self, pair):
+        pair["alpha"].register("c", Counter())
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        policy.allow("alpha", "invoke")  # but not move_in
+        guard(pair["beta"].namespace, policy)
+        from repro.errors import MageError
+
+        with pytest.raises((AccessDeniedError, MageError)):
+            pair["alpha"].namespace.move("c", "beta")
+        # The object must still be safely at home.
+        assert pair["alpha"].namespace.store.contains("c")
+
+    def test_denied_move_out(self, pair):
+        pair["beta"].register("c", Counter())
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        policy.allow("alpha", "invoke")
+        guard(pair["beta"].namespace, policy)
+        with pytest.raises(AccessDeniedError):
+            pair["alpha"].namespace.move("c", "alpha", origin_hint="beta")
+
+    def test_local_traffic_never_gated(self, pair):
+        pair["alpha"].register("c", Counter())
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        guard(pair["alpha"].namespace, policy)
+        # alpha's own finds/invokes keep working.
+        assert pair["alpha"].find("c") == "alpha"
+        assert pair["alpha"].stub("c", location="alpha").get() == 0
+
+    def test_registry_lookups_not_gated(self, pair):
+        """Naming stays open — only mobility verbs are access-controlled."""
+        pair["beta"].register("c", Counter())
+        policy = AccessPolicy().restrict()
+        policy.trust_domain = False
+        guard(pair["beta"].namespace, policy)
+        ref = pair["alpha"].namespace.naming.lookup_ref("mage://beta/c")
+        assert ref.node_id == "beta"

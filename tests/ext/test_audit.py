@@ -1,0 +1,84 @@
+"""The mobility audit trail."""
+
+import pytest
+
+from repro.core.models import COD, REV, RPC
+from repro.errors import ImmobileObjectError
+from repro.ext.audit import Auditor
+from repro.bench.workloads import Counter
+
+
+@pytest.fixture
+def auditor():
+    return Auditor()
+
+
+class TestTrail:
+    def test_successful_bind_recorded(self, pair, auditor):
+        pair["alpha"].register("c", Counter())
+        rev = auditor.watch(REV(None, "c", "beta",
+                                runtime=pair["alpha"].namespace))
+        rev.bind().increment()
+        (entry,) = auditor.entries()
+        assert entry.model == "REV"
+        assert entry.action == "Default Behavior"
+        assert entry.cloc == "beta"
+        assert entry.error is None
+
+    def test_coercions_are_queryable(self, pair, auditor):
+        pair["alpha"].register("c", Counter())
+        cod = auditor.watch(COD("c", runtime=pair["alpha"].namespace))
+        cod.bind()  # local → coerces to LPC
+        assert len(auditor.coercions()) == 1
+        assert auditor.coercions()[0].effective_model == "LPC"
+
+    def test_failures_are_recorded_and_reraised(self, pair, auditor):
+        pair["alpha"].register("c", Counter())
+        rpc = auditor.watch(RPC("c", target="beta",
+                                runtime=pair["alpha"].namespace))
+        with pytest.raises(ImmobileObjectError):
+            rpc.bind()
+        (entry,) = auditor.failures()
+        assert entry.error == "ImmobileObjectError"
+
+    def test_sequence_numbers_order_the_trail(self, pair, auditor):
+        pair["alpha"].register("c", Counter())
+        cod = auditor.watch(COD("c", runtime=pair["alpha"].namespace))
+        cod.bind()
+        cod.bind()
+        seqs = [e.seq for e in auditor.entries()]
+        assert seqs == sorted(seqs)
+        assert len(auditor) == 2
+
+    def test_one_auditor_many_attributes(self, trio, auditor):
+        trio["alpha"].register("c", Counter(), shared=True)
+        alpha = trio["alpha"].namespace
+        rev = auditor.watch(REV(None, "c", "beta", runtime=alpha))
+        cod = auditor.watch(COD("c", runtime=alpha, origin="beta"))
+        rev.bind()
+        cod.bind()
+        models = [e.model for e in auditor.entries()]
+        assert models == ["REV", "COD"]
+
+    def test_report_renders_lines(self, pair, auditor):
+        pair["alpha"].register("c", Counter())
+        cod = auditor.watch(COD("c", runtime=pair["alpha"].namespace))
+        cod.bind()
+        report = auditor.report()
+        assert "COD('c')" in report
+        assert "[1]" in report
+
+    def test_proxy_is_transparent(self, pair, auditor):
+        pair["alpha"].register("c", Counter())
+        rev = auditor.watch(REV(None, "c", "beta",
+                                runtime=pair["alpha"].namespace))
+        # Attribute API passes straight through the proxy.
+        assert rev.MODEL == "REV"
+        assert rev.get_target() == "beta"
+
+    def test_locked_bracket_through_proxy(self, pair, auditor):
+        pair["alpha"].register("geoData", Counter())
+        cod = auditor.watch(COD("geoData", runtime=pair["beta"].namespace,
+                                origin="alpha"))
+        with cod.locked() as stub:
+            assert stub.increment() == 1

@@ -1,0 +1,93 @@
+"""CLE versus Jini (§3.3): same component versus same interface.
+
+"CLE differs from Jini in that it can refer to the same component across
+invocations and namespaces.  Jini refers to the same functionality or
+interface, but must destroy and create new objects when moving that
+functionality from one namespace to another."
+"""
+
+import pytest
+
+from repro.core.models import CLE
+from repro.errors import NotBoundError
+from repro.ext.jini import JiniClient, JiniLookupService, JiniProvider, relocate
+from repro.bench.workloads import PrintServer
+
+
+@pytest.fixture
+def federation(trio):
+    """A Jini lookup service over the standard trio."""
+    lookup = JiniLookupService()
+    providers = {
+        node.node_id: JiniProvider(node.namespace, lookup) for node in trio
+    }
+    return trio, lookup, providers
+
+
+class TestJiniModel:
+    def test_discover_by_type(self, federation):
+        trio, lookup, providers = federation
+        providers["alpha"].offer("printing", PrintServer, "ps-alpha")
+        client = JiniClient(trio["gamma"].namespace, lookup)
+        receipt = client.service("printing").print_job("doc")
+        assert receipt.startswith("ps-alpha:1")
+
+    def test_undiscovered_type(self, federation):
+        trio, lookup, _providers = federation
+        client = JiniClient(trio["gamma"].namespace, lookup)
+        with pytest.raises(NotBoundError):
+            client.service("scanning")
+
+    def test_relocation_reaches_the_new_provider(self, federation):
+        trio, lookup, providers = federation
+        old = providers["alpha"].offer("printing", PrintServer, "ps-alpha")
+        relocate("printing", PrintServer, providers["alpha"], old,
+                 providers["beta"], "ps-beta")
+        client = JiniClient(trio["gamma"].namespace, lookup)
+        receipt = client.service("printing").print_job("doc")
+        assert receipt.startswith("ps-beta:1")
+        # The old instance is gone from alpha.
+        assert not trio["alpha"].namespace.store.contains(old)
+
+
+class TestThePapersContrast:
+    """The §3.3 sentence, as one test per system."""
+
+    def test_jini_loses_state_across_relocation(self, federation):
+        trio, lookup, providers = federation
+        old = providers["alpha"].offer("printing", PrintServer, "ps")
+        client = JiniClient(trio["gamma"].namespace, lookup)
+        client.service("printing").print_job("job-1")
+        client.service("printing").print_job("job-2")
+        # Printer moves buildings: Jini destroys and re-creates.
+        relocate("printing", PrintServer, providers["alpha"], old,
+                 providers["beta"], "ps")
+        assert client.service("printing").queue_length() == 0  # history gone
+
+    def test_cle_keeps_the_same_component(self, trio):
+        trio["alpha"].register("ps", PrintServer("ps"), shared=True)
+        client = CLE("ps", runtime=trio["gamma"].namespace, origin="alpha")
+        client.bind().print_job("job-1")
+        client.bind().print_job("job-2")
+        # The same relocation under MAGE: the component itself migrates.
+        trio["alpha"].namespace.move("ps", "beta")
+        assert client.bind().queue_length() == 2  # history survived
+
+    def test_side_by_side(self, federation):
+        """Both systems serve the interface after the move; only MAGE's
+        component is the same object."""
+        trio, lookup, providers = federation
+        # Jini side.
+        old = providers["alpha"].offer("printing", PrintServer, "jini-ps")
+        jini_client = JiniClient(trio["gamma"].namespace, lookup)
+        jini_client.service("printing").print_job("before")
+        relocate("printing", PrintServer, providers["alpha"], old,
+                 providers["beta"], "jini-ps")
+        # MAGE side.
+        trio["alpha"].register("mage-ps", PrintServer("mage-ps"), shared=True)
+        cle = CLE("mage-ps", runtime=trio["gamma"].namespace, origin="alpha")
+        cle.bind().print_job("before")
+        trio["alpha"].namespace.move("mage-ps", "beta")
+        # Both answer; their histories differ exactly as §3.3 says.
+        assert jini_client.service("printing").queue_length() == 0
+        assert cle.bind().queue_length() == 1

@@ -1,0 +1,102 @@
+"""Resource allocation (§7 future work): budgets and admission control."""
+
+import pytest
+
+from repro.errors import ResourceExhaustedError
+from repro.ext.resources import OBJECT_SLOTS, ResourceBudget, meter
+from repro.bench.workloads import Counter
+
+
+class TestBudget:
+    def test_admit_and_release(self):
+        budget = ResourceBudget("alpha", {"slots": 2})
+        budget.admit("slots")
+        budget.admit("slots")
+        assert budget.available("slots") == 0
+        budget.release("slots")
+        assert budget.available("slots") == 1
+
+    def test_over_admission_raises(self):
+        budget = ResourceBudget("alpha", {"slots": 1})
+        budget.admit("slots")
+        with pytest.raises(ResourceExhaustedError) as excinfo:
+            budget.admit("slots")
+        assert excinfo.value.node_id == "alpha"
+        assert excinfo.value.available == 0
+
+    def test_unknown_resource_is_unbounded(self):
+        budget = ResourceBudget("alpha")
+        for _ in range(100):
+            budget.admit("anything")
+
+    def test_release_floors_at_zero(self):
+        budget = ResourceBudget("alpha", {"slots": 5})
+        budget.release("slots", 10)
+        assert budget.used("slots") == 0.0
+
+    def test_set_capacity(self):
+        budget = ResourceBudget("alpha")
+        budget.set_capacity("mem", 100.0)
+        assert budget.capacity("mem") == 100.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceBudget("alpha").set_capacity("mem", -1.0)
+
+    def test_fractional_amounts(self):
+        budget = ResourceBudget("alpha", {"mem": 1.0})
+        budget.admit("mem", 0.6)
+        with pytest.raises(ResourceExhaustedError):
+            budget.admit("mem", 0.6)
+
+
+class TestMeteredNamespace:
+    def test_admits_until_full(self, trio):
+        metered = meter(trio["gamma"].namespace, {OBJECT_SLOTS: 2})
+        trio["alpha"].register("a", Counter())
+        trio["alpha"].register("b", Counter())
+        trio["alpha"].register("c", Counter())
+        trio["alpha"].namespace.move("a", "gamma")
+        trio["alpha"].namespace.move("b", "gamma")
+        with pytest.raises(ResourceExhaustedError):
+            trio["alpha"].namespace.move("c", "gamma")
+        assert metered.rejections == 1
+        # The rejected object stayed home, consistent state everywhere.
+        assert trio["alpha"].namespace.store.contains("c")
+        assert len(trio["gamma"].namespace.store) == 2
+
+    def test_departures_free_slots(self, trio):
+        meter(trio["gamma"].namespace, {OBJECT_SLOTS: 1})
+        trio["alpha"].register("a", Counter())
+        trio["alpha"].register("b", Counter())
+        trio["alpha"].namespace.move("a", "gamma")
+        with pytest.raises(ResourceExhaustedError):
+            trio["alpha"].namespace.move("b", "gamma")
+        # Move the tenant out; the slot opens up.
+        trio["alpha"].namespace.move("a", "beta")
+        trio["alpha"].namespace.move("b", "gamma")
+        assert trio["gamma"].namespace.store.contains("b")
+
+    def test_instantiate_is_metered(self, pair):
+        meter(pair["beta"].namespace, {OBJECT_SLOTS: 1})
+        pair["alpha"].register_class(Counter)
+        server = pair["alpha"].namespace.server
+        server.push_class("Counter", "beta")
+        server.instantiate("Counter", "one", "beta")
+        with pytest.raises(ResourceExhaustedError):
+            server.instantiate("Counter", "two", "beta")
+
+    def test_local_registration_not_metered(self, pair):
+        """Admission control gates *migration*, not local residents."""
+        meter(pair["beta"].namespace, {OBJECT_SLOTS: 0})
+        pair["beta"].register("local-obj", Counter())
+        assert pair["beta"].namespace.store.contains("local-obj")
+
+    def test_failed_transfer_releases_slot(self, pair):
+        metered = meter(pair["beta"].namespace, {OBJECT_SLOTS: 5})
+        pair["alpha"].register("fixed", Counter(), pinned=True)
+        from repro.errors import ObjectPinnedError
+
+        with pytest.raises(ObjectPinnedError):
+            pair["alpha"].namespace.move("fixed", "beta")
+        assert metered.budget.used(OBJECT_SLOTS) == 0.0

@@ -1,0 +1,103 @@
+"""Concurrent invocations on shared mobile objects (§4.4's raison d'être)."""
+
+import threading
+
+import pytest
+
+from repro.core.models import CLE, COD, GREV
+from repro.errors import LockError, LockMovedError, LockTimeoutError, MageError
+from repro.bench.workloads import Counter
+
+
+class TestConcurrentLocking:
+    def test_two_attributes_different_targets_do_not_interleave(self, trio):
+        """The §4.4 scenario: two invocations apply different attributes
+        naming different targets; locking serializes the moves so the
+        object is neither cloned nor lost."""
+        trio["alpha"].register("C", Counter(), shared=True)
+        errors: list[Exception] = []
+        done = threading.Barrier(3)
+
+        def invoker(node, target_model):
+            try:
+                attr = target_model()
+                successes = 0
+                attempts = 0
+                while successes < 5 and attempts < 100:
+                    attempts += 1
+                    try:
+                        with attr.locked(timeout_ms=5000) as stub:
+                            stub.increment()
+                        successes += 1
+                    except (LockMovedError, LockTimeoutError):
+                        continue  # contention is expected; retry the bracket
+                if successes != 5:
+                    raise AssertionError(f"only {successes} increments landed")
+            except Exception as exc:  # noqa: BLE001 — recorded for the assert
+                errors.append(exc)
+            finally:
+                done.wait(timeout=10)
+
+        beta_puller = lambda: COD("C", runtime=trio["beta"].namespace, origin="alpha")
+        gamma_puller = lambda: GREV("C", "gamma", runtime=trio["gamma"].namespace, origin="alpha")
+
+        threads = [
+            threading.Thread(target=invoker, args=("beta", beta_puller)),
+            threading.Thread(target=invoker, args=("gamma", gamma_puller)),
+        ]
+        for t in threads:
+            t.start()
+        done.wait(timeout=10)
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []
+        # Exactly one copy exists, somewhere, with all increments applied.
+        hosts = [
+            node.node_id for node in trio
+            if node.namespace.store.contains("C")
+        ]
+        assert len(hosts) == 1
+        final = trio[hosts[0]].stub("C", location=hosts[0])
+        assert final.get() == 10
+
+    def test_readers_share_stay_locks(self, pair):
+        pair["alpha"].register("C", Counter(), shared=True)
+        results = []
+
+        def reader():
+            cle = CLE("C", runtime=pair["alpha"].namespace)
+            with cle.locked(timeout_ms=5000) as stub:
+                results.append(stub.increment())
+
+        threads = [threading.Thread(target=reader) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(results) == list(range(1, 9))
+
+    def test_unlocked_concurrent_moves_are_refused(self, trio):
+        """Without the move lock, a second mover is turned away while the
+        object is contended."""
+        trio["alpha"].register("C", Counter(), shared=True)
+        grant = trio["beta"].namespace.lock("C", "beta", origin_hint="alpha")
+        with pytest.raises((LockError, MageError)):
+            trio["gamma"].namespace.move("C", "gamma", origin_hint="alpha")
+        trio["beta"].namespace.unlock(grant)
+
+
+class TestConcurrentInvocations:
+    def test_parallel_increments_on_stationary_object(self, pair):
+        pair["beta"].register("C", Counter(), shared=True)
+        stub = pair["alpha"].stub("C", location="beta")
+
+        def hammer():
+            for _ in range(25):
+                stub.increment()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=20)
+        assert stub.get() == 100

@@ -1,0 +1,36 @@
+"""Every shipped example must run clean (exit 0, expected landmarks)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script name → a landmark string its output must contain.
+LANDMARKS = {
+    "quickstart.py": "calls survived every move",
+    "oil_exploration.py": "CombinedMA → researchLab",
+    "printer_management.py": "queue length after all moves: 4",
+    "load_balancing.py": "migrations: 2",
+    "grev_tour.py": "GREV trail:",
+    "cluster_dashboard.py": "whole day:",
+}
+
+
+@pytest.mark.parametrize("script", sorted(LANDMARKS))
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert LANDMARKS[script] in result.stdout, result.stdout
+
+
+def test_every_example_is_covered():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(LANDMARKS), "update LANDMARKS for new examples"

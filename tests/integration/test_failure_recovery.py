@@ -1,0 +1,90 @@
+"""Fault tolerance: message loss with retries, crashes, partitions."""
+
+import pytest
+
+from repro.errors import NodeUnreachableError
+from repro.net.conditions import BernoulliLoss, DeterministicLoss
+from repro.bench.workloads import Counter
+
+
+class TestMessageLoss:
+    def test_migration_survives_lossy_network(self, make_cluster):
+        """§4.3: protocols 'must recover from message loss'."""
+        cluster = make_cluster(
+            ["alpha", "beta"], loss=BernoulliLoss(0.15, seed=5)
+        )
+        cluster["alpha"].register("c", Counter(10))
+        cluster["alpha"].namespace.move("c", "beta")
+        stub = cluster["alpha"].stub("c", location="beta")
+        for expected in range(11, 21):
+            assert stub.increment() == expected
+
+    def test_lost_transfer_does_not_duplicate_object(self, make_cluster):
+        """The OBJECT_TRANSFER ack is lost; the retry must not create a
+        second copy or reset state (at-most-once execution)."""
+        cluster = make_cluster(
+            ["alpha", "beta"],
+            loss=DeterministicLoss({"REPLY": 1}),
+        )
+        cluster["alpha"].register("c", Counter(5))
+        cluster["alpha"].namespace.move("c", "beta")
+        assert not cluster["alpha"].namespace.store.contains("c")
+        assert cluster["beta"].stub("c", location="beta").get() == 5
+
+    def test_lost_find_retries(self, make_cluster):
+        cluster = make_cluster(
+            ["alpha", "beta"], loss=DeterministicLoss({"FIND": 2})
+        )
+        cluster["beta"].register("c", Counter())
+        assert cluster["alpha"].find("c", origin_hint="beta") == "beta"
+
+
+class TestCrashes:
+    def test_crashed_host_surfaces_clean_error(self, pair):
+        pair["beta"].register("c", Counter())
+        pair.crash("beta")
+        with pytest.raises(NodeUnreachableError):
+            pair["alpha"].namespace.move("c", "alpha", origin_hint="beta")
+
+    def test_work_resumes_after_recovery(self, pair):
+        pair["beta"].register("c", Counter())
+        pair.crash("beta")
+        with pytest.raises(NodeUnreachableError):
+            pair["alpha"].find("c", origin_hint="beta")
+        pair.recover("beta")
+        assert pair["alpha"].find("c", origin_hint="beta") == "beta"
+        assert pair["alpha"].namespace.move("c", "alpha",
+                                            origin_hint="beta") == "alpha"
+
+    def test_crash_of_chain_intermediate(self, trio):
+        """A dead forwarding hop breaks the walk with a clean error."""
+        trio["alpha"].register("c", Counter())
+        trio["alpha"].namespace.move("c", "beta")
+        trio["beta"].namespace.move("c", "gamma")
+        trio.crash("beta")
+        # alpha's stale hint names beta; the walk dies at the crash, loudly.
+        with pytest.raises(NodeUnreachableError):
+            trio["alpha"].find("c", verify=True)
+        trio.recover("beta")
+        assert trio["alpha"].find("c", verify=True) == "gamma"
+
+
+class TestPartitions:
+    def test_partitioned_move_fails_atomically(self, pair):
+        pair["alpha"].register("c", Counter(7))
+        pair.partition("alpha", "beta")
+        with pytest.raises(NodeUnreachableError):
+            pair["alpha"].namespace.move("c", "beta")
+        # Transfer-then-evict ordering: the object is still whole at home.
+        assert pair["alpha"].namespace.store.contains("c")
+        pair.heal("alpha", "beta")
+        assert pair["alpha"].namespace.move("c", "beta") == "beta"
+        assert pair["beta"].stub("c", location="beta").get() == 7
+
+    def test_unaffected_paths_keep_working(self, trio):
+        trio["alpha"].register("c", Counter())
+        trio.partition("alpha", "beta")
+        # gamma can still orchestrate a move around the broken link.
+        assert trio["gamma"].namespace.move(
+            "c", "gamma", origin_hint="alpha"
+        ) == "gamma"

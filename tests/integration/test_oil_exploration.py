@@ -1,0 +1,135 @@
+"""§3.6 end to end: the oil-exploration scenario.
+
+REV instantiates the filter at sensor1; when the sensor is exhausted an MA
+moves it to sensor2; finally COD brings the object (and its accumulated
+data) back to the lab for processing — including the CombinedMA rewrite.
+"""
+
+import pytest
+
+from repro.core.factory import FactoryMode
+from repro.core.models import COD, MAgent, REV
+from repro.core.policy import Combined
+from repro.bench.workloads import GeoDataFilterImpl
+
+
+@pytest.fixture
+def field(make_cluster):
+    cluster = make_cluster(["lab", "sensor1", "sensor2"])
+    cluster["lab"].register_class(GeoDataFilterImpl)
+    return cluster
+
+
+def feed_sensor(cluster, sensor, stub, readings):
+    """Simulate the sensor feeding raw data into the co-located filter."""
+    assert stub.ref.node_id == sensor
+    stub.ingest(readings)
+    stub.mark_site(sensor)
+
+
+class TestPaperSequence:
+    def test_rev_then_ma_then_cod(self, field):
+        lab = field["lab"].namespace
+
+        # "We declare an REV mobility attribute and call its bind to
+        #  instantiate geoData on its target, sensor1."
+        rev = REV("GeoDataFilterImpl", "geoData", "sensor1",
+                  mode=FactoryMode.SINGLE_USE, ctor_args=(0.5,), runtime=lab)
+        geo_filter = rev.bind()
+        feed_sensor(field, "sensor1", geo_filter, [0.2, 0.7, 0.9])
+        assert geo_filter.filter_data() == 2  # filtering happened in place
+
+        # "When sensor1 is exhausted, we move geoData to sensor2."
+        magent = MAgent("geoData", "sensor2", runtime=lab, origin="sensor1")
+        geo_filter = magent.bind()
+        feed_sensor(field, "sensor2", geo_filter, [0.8, 0.1])
+        assert geo_filter.filter_data() == 1
+
+        # "Finally, we'd return the data to our research lab by binding a
+        #  COD mobility attribute to the geoData object."
+        cod = COD("geoData", runtime=lab, origin="sensor1")
+        geo_filter = cod.bind()
+        summary = geo_filter.process_data()
+        assert summary["samples"] == 3
+        assert summary["sites"] == ["sensor1", "sensor2"]
+        assert field["lab"].namespace.store.contains("geoData")
+
+    def test_filtering_in_place_keeps_raw_data_off_the_wire(self, field):
+        """The point of REV here: the enormous raw buffer never crosses
+        the network — only the component and the filtered summary do."""
+        lab = field["lab"].namespace
+        rev = REV("GeoDataFilterImpl", "geoData", "sensor1",
+                  mode=FactoryMode.SINGLE_USE, ctor_args=(0.99,), runtime=lab)
+        geo_filter = rev.bind()
+        big = [0.0] * 10_000
+        geo_filter.ingest(big)   # crosses once as an argument (unavoidable)
+        geo_filter.filter_data()
+        cod = COD("geoData", runtime=lab, origin="sensor1")
+        geo_filter = cod.bind()
+        # The filter came home with zero survivors, not 10k readings.
+        assert geo_filter.process_data()["samples"] == 0
+
+
+class TestCombinedRewrite:
+    def test_combined_ma_drives_the_whole_tour(self, field):
+        """§3.6's CombinedMA: 'a single mobility attribute that controls
+        where geoData executes across all method invocations'."""
+        lab = field["lab"].namespace
+        # Seed the component at sensor1 as in the plain sequence.
+        seed = REV("GeoDataFilterImpl", "geoData", "sensor1",
+                   mode=FactoryMode.SINGLE_USE, ctor_args=(0.5,), runtime=lab)
+        seed.bind()
+
+        sensor_status = {"sensor1": "active", "sensor2": "active"}
+
+        def select_target(attr):
+            for sensor, status in sensor_status.items():
+                if status == "active":
+                    return sensor
+            return "researchLab"
+
+        combined = Combined(
+            "geoData",
+            {
+                "sensor1": MAgent("geoData", "sensor1", runtime=lab,
+                                  origin="sensor1"),
+                "sensor2": MAgent("geoData", "sensor2", runtime=lab,
+                                  origin="sensor1"),
+                "researchLab": COD("geoData", runtime=lab, origin="sensor1"),
+            },
+            chooser=select_target,
+            runtime=lab,
+        )
+
+        # Loop over sensors exactly like the paper's while-loop.
+        for sensor in ("sensor1", "sensor2"):
+            geo_filter = combined.bind()
+            feed_sensor(field, sensor, geo_filter, [0.6, 0.3])
+            geo_filter.filter_data()
+            sensor_status[sensor] = "exhausted"
+
+        geo_filter = combined.bind()  # all sensors spent: come home
+        summary = geo_filter.process_data()
+        assert summary["samples"] == 2
+        assert combined.history == ["sensor1", "sensor2", "researchLab"]
+        assert field["lab"].namespace.store.contains("geoData")
+
+    def test_seamlessly_handles_new_sensors(self, field):
+        """'It seamlessly handles the addition of new sensors.'"""
+        field.add_node("sensor3")
+        lab = field["lab"].namespace
+        seed = REV("GeoDataFilterImpl", "geoData", "sensor1",
+                   mode=FactoryMode.SINGLE_USE, ctor_args=(0.5,), runtime=lab)
+        seed.bind()
+
+        itinerary = iter(["sensor2", "sensor3", "researchLab"])
+        attributes = {
+            "sensor2": MAgent("geoData", "sensor2", runtime=lab, origin="sensor1"),
+            "sensor3": MAgent("geoData", "sensor3", runtime=lab, origin="sensor1"),
+            "researchLab": COD("geoData", runtime=lab, origin="sensor1"),
+        }
+        combined = Combined("geoData", attributes,
+                            chooser=lambda attr: next(itinerary), runtime=lab)
+        for expected in ("sensor2", "sensor3", "lab"):
+            stub = combined.bind()
+            assert stub.ref.node_id == expected

@@ -1,0 +1,57 @@
+"""§3.3's CLE scenario: clients print via CLE while a job controller moves
+print servers around in response to printer availability."""
+
+import pytest
+
+from repro.core.models import CLE
+from repro.bench.workloads import PrintServer
+
+
+@pytest.fixture
+def office(make_cluster):
+    cluster = make_cluster(["controller", "floor1", "floor2", "floor3"])
+    cluster["controller"].register("ps", PrintServer("ps"), shared=True)
+    return cluster
+
+
+class TestPrinterManagement:
+    def test_clients_follow_the_moving_server(self, office):
+        controller = office["controller"].namespace
+        client = CLE("ps", runtime=office["floor3"].namespace,
+                     origin="controller")
+
+        assert client.bind().print_job("q1").startswith("ps:1")
+        controller.move("ps", "floor1")          # printer came online
+        assert client.bind().print_job("q2").startswith("ps:2")
+        controller.move("ps", "floor2")          # floor1's printer jammed
+        assert client.bind().print_job("q3").startswith("ps:3")
+        # One component, one queue, three namespaces: CLE ≠ Jini.
+        assert client.bind().queue_length() == 3
+
+    def test_multiple_clients_one_component(self, office):
+        clients = [
+            CLE("ps", runtime=office[node].namespace, origin="controller")
+            for node in ("floor1", "floor2", "floor3")
+        ]
+        for i, client in enumerate(clients):
+            client.bind().print_job(f"job-{i}")
+        office["controller"].namespace.move("ps", "floor2")
+        for i, client in enumerate(clients):
+            client.bind().print_job(f"job2-{i}")
+        final = CLE("ps", runtime=office["controller"].namespace,
+                    origin="controller")
+        assert final.bind().queue_length() == 6
+
+    def test_locked_printing_during_migration_pressure(self, office):
+        """Clients bracket their jobs with stay locks; the controller's
+        moves interleave safely (§4.4)."""
+        client = CLE("ps", runtime=office["floor1"].namespace,
+                     origin="controller")
+        controller = office["controller"].namespace
+
+        with client.locked() as stub:
+            stub.print_job("protected")
+        controller.move("ps", "floor3")
+        with client.locked() as stub:
+            receipt = stub.print_job("after-move")
+        assert receipt.startswith("ps:2")

@@ -1,0 +1,132 @@
+"""Latency and loss models."""
+
+import pytest
+
+from repro.net.conditions import (
+    BernoulliLoss,
+    ConstantLatency,
+    DeterministicLoss,
+    NoLoss,
+    PerLinkLatency,
+    UniformLatency,
+    payload_nbytes,
+)
+from repro.net.message import Message, MessageKind
+
+
+def _remote(payload=None) -> Message:
+    return Message(kind=MessageKind.INVOKE, src="a", dst="b", payload=payload)
+
+
+def _local(payload=None) -> Message:
+    return Message(kind=MessageKind.FIND, src="a", dst="a", payload=payload)
+
+
+class TestConstantLatency:
+    def test_remote_vs_local(self):
+        model = ConstantLatency(remote_ms=10.0, local_ms=0.1)
+        assert model.latency_ms(_remote()) == 10.0
+        assert model.latency_ms(_local()) == 0.1
+
+    def test_default_calibration_is_ten_ms(self):
+        assert ConstantLatency().latency_ms(_remote()) == 10.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(remote_ms=-1.0)
+
+    def test_bandwidth_charges_by_size(self):
+        model = ConstantLatency(remote_ms=10.0, bandwidth_bytes_per_ms=1250.0)
+        small = model.latency_ms(_remote(payload=b"x"))
+        big = model.latency_ms(_remote(payload=b"x" * 12500))
+        assert big - small == pytest.approx(12499 / 1250.0, rel=0.01)
+
+    def test_bandwidth_does_not_affect_local(self):
+        model = ConstantLatency(local_ms=0.1, bandwidth_bytes_per_ms=1250.0)
+        assert model.latency_ms(_local(payload=b"x" * 100000)) == 0.1
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(bandwidth_bytes_per_ms=0.0)
+
+
+class TestPayloadSize:
+    def test_none_payload_has_floor(self):
+        assert payload_nbytes(_remote(None)) == 64
+
+    def test_bytes_payload_counts_length(self):
+        assert payload_nbytes(_remote(b"x" * 1000)) >= 1000
+
+    def test_unpicklable_payload_falls_back(self):
+        assert payload_nbytes(_remote(lambda: None)) == 256
+
+
+class TestPerLinkLatency:
+    def test_configured_link(self):
+        model = PerLinkLatency({("a", "b"): 50.0})
+        assert model.latency_ms(_remote()) == 50.0
+
+    def test_directionality(self):
+        model = PerLinkLatency({("b", "a"): 50.0})
+        assert model.latency_ms(_remote()) == 10.0  # falls back to default
+
+    def test_fallback_model(self):
+        model = PerLinkLatency({}, default=ConstantLatency(remote_ms=3.0))
+        assert model.latency_ms(_remote()) == 3.0
+
+
+class TestUniformLatency:
+    def test_within_bounds(self):
+        model = UniformLatency(5.0, 15.0, seed=42)
+        for _ in range(100):
+            assert 5.0 <= model.latency_ms(_remote()) < 15.0
+
+    def test_deterministic_for_seed(self):
+        a = UniformLatency(5.0, 15.0, seed=7)
+        b = UniformLatency(5.0, 15.0, seed=7)
+        assert [a.latency_ms(_remote()) for _ in range(10)] == [
+            b.latency_ms(_remote()) for _ in range(10)
+        ]
+
+    def test_local_is_constant(self):
+        model = UniformLatency(5.0, 15.0, local_ms=0.2)
+        assert model.latency_ms(_local()) == 0.2
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(10.0, 5.0)
+
+
+class TestLossModels:
+    def test_no_loss(self):
+        assert not NoLoss().should_drop(_remote(), 0)
+
+    def test_bernoulli_respects_probability_roughly(self):
+        model = BernoulliLoss(0.5, seed=1)
+        drops = sum(model.should_drop(_remote(), 0) for _ in range(1000))
+        assert 400 < drops < 600
+
+    def test_bernoulli_never_drops_local(self):
+        model = BernoulliLoss(0.99, seed=1)
+        assert not any(model.should_drop(_local(), 0) for _ in range(100))
+
+    def test_bernoulli_rejects_certain_loss(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.0)
+
+    def test_deterministic_drops_first_n(self):
+        model = DeterministicLoss({"INVOKE": 2})
+        assert model.should_drop(_remote(), 0)
+        assert model.should_drop(_remote(), 1)
+        assert not model.should_drop(_remote(), 2)
+
+    def test_deterministic_per_link_budget(self):
+        model = DeterministicLoss({"INVOKE": 1})
+        other_link = Message(kind=MessageKind.INVOKE, src="x", dst="y")
+        assert model.should_drop(_remote(), 0)
+        assert model.should_drop(other_link, 0)  # separate budget per link
+
+    def test_deterministic_ignores_other_kinds(self):
+        model = DeterministicLoss({"INVOKE": 5})
+        ping = Message(kind=MessageKind.PING, src="a", dst="b")
+        assert not model.should_drop(ping, 0)

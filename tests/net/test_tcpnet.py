@@ -1,0 +1,85 @@
+"""The real TCP loopback transport."""
+
+import threading
+
+import pytest
+
+from repro.errors import NodeUnreachableError
+from repro.net.message import MessageKind
+from repro.net.tcpnet import TcpNetwork
+
+
+@pytest.fixture
+def net():
+    network = TcpNetwork()
+    yield network
+    network.shutdown()
+
+
+class TestTcpDelivery:
+    def test_round_trip(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: ("echo", m.payload))
+        assert net.call("a", "b", MessageKind.PING, 42) == ("echo", 42)
+
+    def test_payloads_cross_real_sockets(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: sum(m.payload))
+        assert net.call("a", "b", MessageKind.PING, list(range(100))) == 4950
+
+    def test_handler_exception_propagates(self, net):
+        net.register("a", lambda m: None)
+
+        def boom(message):
+            raise ValueError("remote failure")
+
+        net.register("b", boom)
+        with pytest.raises(ValueError, match="remote failure"):
+            net.call("a", "b", MessageKind.PING)
+
+    def test_unknown_destination(self, net):
+        net.register("a", lambda m: None)
+        with pytest.raises(NodeUnreachableError):
+            net.call("a", "ghost", MessageKind.PING)
+
+    def test_unregistered_node_connection_refused(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: "ok")
+        net.unregister("b")
+        with pytest.raises(NodeUnreachableError):
+            net.call("a", "b", MessageKind.PING)
+
+    def test_each_node_gets_a_port(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        assert net.port_of("a") != net.port_of("b")
+
+    def test_oneway_cast(self, net):
+        done = threading.Event()
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: done.set())
+        net.cast("a", "b", MessageKind.AGENT_HOP, "state")
+        assert done.wait(timeout=5.0)
+
+    def test_concurrent_calls(self, net):
+        net.register("client", lambda m: None)
+        net.register("server", lambda m: m.payload * 2)
+        results = {}
+
+        def worker(i):
+            results[i] = net.call("client", "server", MessageKind.PING, i)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {i: i * 2 for i in range(8)}
+
+    def test_trace_records_tcp_messages(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: "ok")
+        net.call("a", "b", MessageKind.PING)
+        kinds = net.trace.kinds()
+        assert "PING" in kinds
+        assert "REPLY(PING)" in kinds

@@ -1,0 +1,79 @@
+"""Message-trace recording and queries (the figure-reproduction instrument)."""
+
+from repro.net.message import Message, MessageKind
+from repro.net.trace import MessageTrace
+
+
+def _msg(kind=MessageKind.PING, src="a", dst="b") -> Message:
+    return Message(kind=kind, src=src, dst=dst)
+
+
+class TestRecording:
+    def test_sequence_numbers_increase(self):
+        trace = MessageTrace()
+        first = trace.record(_msg(), time_ms=0.0)
+        second = trace.record(_msg(), time_ms=1.0)
+        assert (first.seq, second.seq) == (1, 2)
+
+    def test_reply_kind_rendering(self):
+        trace = MessageTrace()
+        event = trace.record(_msg().reply("x"), time_ms=0.0)
+        assert event.kind == "REPLY(PING)"
+
+    def test_len_and_clear(self):
+        trace = MessageTrace()
+        trace.record(_msg(), 0.0)
+        trace.record(_msg(), 0.0)
+        assert len(trace) == 2
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_local_flag(self):
+        trace = MessageTrace()
+        event = trace.record(_msg(src="a", dst="a"), 0.0)
+        assert event.local
+
+
+class TestQueries:
+    def _traced(self) -> MessageTrace:
+        trace = MessageTrace()
+        trace.record(_msg(MessageKind.FIND, "a", "a"), 0.0)
+        trace.record(_msg(MessageKind.INVOKE, "a", "b"), 1.0)
+        trace.record(_msg(MessageKind.INVOKE, "a", "b"), 2.0, dropped=True)
+        trace.record(_msg(MessageKind.OBJECT_TRANSFER, "b", "c"), 3.0)
+        return trace
+
+    def test_filtered_by_kind(self):
+        events = self._traced().filtered(kinds=["INVOKE"])
+        assert [e.kind for e in events] == ["INVOKE"]
+
+    def test_filtered_remote_only(self):
+        events = self._traced().filtered(remote_only=True)
+        assert all(not e.local for e in events)
+        assert len(events) == 2
+
+    def test_dropped_hidden_by_default(self):
+        assert all(not e.dropped for e in self._traced().filtered())
+
+    def test_dropped_visible_on_request(self):
+        events = self._traced().filtered(include_dropped=True)
+        assert any(e.dropped for e in events)
+
+    def test_kinds_sequence(self):
+        assert self._traced().kinds() == ["FIND", "INVOKE", "OBJECT_TRANSFER"]
+
+    def test_summary_excludes_drops(self):
+        summary = self._traced().summary()
+        assert summary["INVOKE"] == 1
+
+    def test_remote_message_count(self):
+        assert self._traced().remote_message_count() == 2
+
+    def test_arrows_format(self):
+        arrows = self._traced().arrows()
+        assert arrows[0] == "a -> a: FIND"
+
+    def test_dropped_arrow_is_marked(self):
+        trace = MessageTrace()
+        event = trace.record(_msg(), 0.0, dropped=True)
+        assert "[LOST]" in event.arrow()

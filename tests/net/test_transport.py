@@ -1,0 +1,69 @@
+"""Transport-shared plumbing: the at-most-once reply cache."""
+
+from repro.net.message import Message, MessageKind, ReplyPayload
+from repro.net.transport import ReplyCache, Transport
+
+import pytest
+
+
+class TestReplyCache:
+    def test_miss_then_hit(self):
+        cache = ReplyCache()
+        assert cache.get("m1") is None
+        cache.put("m1", ReplyPayload(value=1))
+        assert cache.get("m1").value == 1
+
+    def test_lru_eviction(self):
+        cache = ReplyCache(capacity=2)
+        cache.put("a", ReplyPayload(value=1))
+        cache.put("b", ReplyPayload(value=2))
+        cache.put("c", ReplyPayload(value=3))
+        assert cache.get("a") is None  # oldest evicted
+        assert cache.get("c").value == 3
+
+    def test_get_refreshes_recency(self):
+        cache = ReplyCache(capacity=2)
+        cache.put("a", ReplyPayload(value=1))
+        cache.put("b", ReplyPayload(value=2))
+        cache.get("a")  # refresh: "b" is now oldest
+        cache.put("c", ReplyPayload(value=3))
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ReplyCache(capacity=0)
+
+
+class TestExecuteHandler:
+    def _message(self) -> Message:
+        return Message(kind=MessageKind.PING, src="a", dst="b")
+
+    def test_executes_once_per_msg_id(self):
+        cache = ReplyCache()
+        message = self._message()
+        calls = []
+
+        def handler(msg):
+            calls.append(msg.msg_id)
+            return "result"
+
+        first = Transport.execute_handler(message, handler, cache)
+        second = Transport.execute_handler(message, handler, cache)
+        assert first.value == "result"
+        assert second.value == "result"
+        assert len(calls) == 1  # the retry replayed the cached reply
+
+    def test_caches_errors_too(self):
+        cache = ReplyCache()
+        message = self._message()
+        calls = []
+
+        def handler(msg):
+            calls.append(1)
+            raise RuntimeError("failed")
+
+        first = Transport.execute_handler(message, handler, cache)
+        second = Transport.execute_handler(message, handler, cache)
+        assert first.is_error and second.is_error
+        assert len(calls) == 1

@@ -1,0 +1,91 @@
+"""Property-based tests: the coercion engine and the design space."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coercion import (
+    Action,
+    Placement,
+    TABLE2_MODELS,
+    classify,
+    coerce,
+    effective_model,
+)
+from repro.core.triple import (
+    CANONICAL_TRIPLES,
+    Locus,
+    MobilityTriple,
+    design_space,
+    model_for,
+    models_covering,
+)
+
+_IDENT = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6
+)
+
+
+@given(cloc=_IDENT, here=_IDENT, target=st.none() | _IDENT)
+def test_classify_is_total_and_consistent(cloc, here, target):
+    placement = classify(cloc, here, target)
+    assert isinstance(placement, Placement)
+    local = cloc == here
+    if local:
+        assert placement in (
+            Placement.LOCAL_AT_TARGET, Placement.LOCAL_NOT_AT_TARGET
+        )
+    else:
+        assert placement in (
+            Placement.REMOTE_AT_TARGET, Placement.REMOTE_NOT_AT_TARGET
+        )
+
+
+@given(
+    model=st.sampled_from(TABLE2_MODELS + ("GREV", "LPC")),
+    placement=st.sampled_from(list(Placement)),
+)
+def test_coerce_is_total_over_known_models(model, placement):
+    action = coerce(model, placement)
+    assert isinstance(action, Action)
+    # The effective model is always itself a known model name.
+    assert effective_model(model, action) in (
+        model, "RPC", "LPC",
+    )
+
+
+@given(
+    model=st.sampled_from(TABLE2_MODELS),
+    placement=st.sampled_from(list(Placement)),
+)
+def test_at_target_never_moves(model, placement):
+    """Whenever the component is already at the target, no coercion outcome
+    may imply movement: the action is RPC/LPC coercion or plain default
+    for the no-move models."""
+    if placement not in (Placement.LOCAL_AT_TARGET, Placement.REMOTE_AT_TARGET):
+        return
+    action = coerce(model, placement)
+    if model in ("MA", "REV"):
+        assert action in (Action.DEFAULT, Action.COERCE_RPC)
+    if model == "COD" and placement is Placement.LOCAL_AT_TARGET:
+        assert action is Action.COERCE_LPC
+
+
+@given(st.sampled_from(design_space()))
+def test_model_for_agrees_with_canonical_table(triple):
+    name = model_for(triple)
+    if name is not None:
+        assert CANONICAL_TRIPLES[name] == triple
+
+
+@given(
+    location=st.sampled_from([Locus.LOCAL, Locus.REMOTE]),
+    target=st.sampled_from([Locus.LOCAL, Locus.REMOTE]),
+    moves=st.booleans(),
+)
+def test_every_concrete_point_is_covered(location, target, moves):
+    """§3.3: mobility attributes can express every point in the space —
+    every concrete (non-wildcard) point has at least one covering model."""
+    covering = models_covering(MobilityTriple(location, target, moves))
+    assert covering, f"uncovered point: {location}, {target}, {moves}"
+    wildcard = "GREV" if moves else "CLE"
+    assert wildcard in covering

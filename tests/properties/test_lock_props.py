@@ -1,0 +1,78 @@
+"""Property-based tests: lock-table safety invariants (§4.4).
+
+Whatever sequence of acquires/releases arrives, the table must never hold
+a move lock together with any other lock on the same object, and released
+state must be garbage-collected.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import LockError, LockTimeoutError
+from repro.runtime.locks import LockManager, MOVE, STAY
+
+TARGETS = ["alpha", "beta", "gamma"]  # alpha == the lock manager's node
+
+
+class LockMachine(RuleBasedStateMachine):
+    """Drive one object's lock queue with non-blocking acquires."""
+
+    def __init__(self):
+        super().__init__()
+        self.locks = LockManager("alpha")
+        self.held: dict[str, str] = {}  # token -> kind
+
+    @rule(target_node=st.sampled_from(TARGETS))
+    def try_acquire(self, target_node):
+        try:
+            grant = self.locks.acquire(
+                "obj", target_node, "client", timeout_ms=0
+            )
+        except LockTimeoutError:
+            return
+        self.held[grant.token] = grant.kind
+
+    @rule(data=st.data())
+    def release_one(self, data):
+        if not self.held:
+            return
+        token = data.draw(st.sampled_from(sorted(self.held)))
+        self.locks.release("obj", token)
+        del self.held[token]
+
+    @rule()
+    def release_bogus_token_fails(self):
+        try:
+            self.locks.release("obj", "bogus")
+        except LockError:
+            pass
+        else:
+            raise AssertionError("bogus release must fail")
+
+    @invariant()
+    def move_is_exclusive(self):
+        kinds = list(self.held.values())
+        if MOVE in kinds:
+            assert len(kinds) == 1, f"move held alongside {kinds}"
+
+    @invariant()
+    def snapshot_matches_model(self):
+        snap = self.locks.snapshot("obj")
+        kinds = list(self.held.values())
+        assert snap["stays"] == kinds.count(STAY)
+        assert snap["move"] == (MOVE in kinds)
+
+
+TestLockMachine = LockMachine.TestCase
+TestLockMachine.settings = settings(max_examples=50, stateful_step_count=30)
+
+
+@given(st.lists(st.sampled_from(TARGETS), min_size=1, max_size=20))
+def test_grant_kind_is_a_pure_function_of_target(targets):
+    locks = LockManager("alpha")
+    for i, target in enumerate(targets):
+        grant = locks.acquire(f"obj{i}", target, "client")
+        expected = STAY if target == "alpha" else MOVE
+        assert grant.kind == expected
+        locks.release(f"obj{i}", grant.token)

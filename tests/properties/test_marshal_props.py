@@ -1,0 +1,63 @@
+"""Property-based tests: marshalling round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rmi.marshal import marshal, marshal_call, unmarshal, unmarshal_call
+from repro.rmi.stub import RemoteRef, detached_stub
+
+
+def json_like(max_leaves: int = 20):
+    """Picklable, __eq__-friendly values shaped like real RMI payloads."""
+    return st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.floats(allow_nan=False)
+        | st.text(max_size=30)
+        | st.binary(max_size=30),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4)
+        | st.tuples(children, children),
+        max_leaves=max_leaves,
+    )
+
+
+@given(json_like())
+@settings(max_examples=200)
+def test_marshal_round_trips(value):
+    assert unmarshal(marshal(value)) == value
+
+
+@given(json_like(max_leaves=8))
+def test_marshal_is_a_deep_copy(value):
+    blob = marshal([value])
+    copy = unmarshal(blob)
+    assert copy == [value]
+    copy.append("mutation")
+    assert unmarshal(blob) == [value]
+
+
+@given(
+    st.tuples(json_like(max_leaves=5)),
+    st.dictionaries(st.text(min_size=1, max_size=8), json_like(max_leaves=5),
+                    max_size=3),
+)
+def test_call_blobs_round_trip(args, kwargs):
+    got_args, got_kwargs = unmarshal_call(marshal_call(args, kwargs))
+    assert got_args == args
+    assert got_kwargs == kwargs
+
+
+_IDENT = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12
+)
+
+
+@given(_IDENT, _IDENT)
+def test_stubs_round_trip_as_refs(node_id, name):
+    ref = RemoteRef(node_id=node_id, name=name)
+    value = {"stub": detached_stub(ref), "plain": 1}
+    result = unmarshal(marshal(value))
+    assert result["stub"].ref == ref
+    assert result["plain"] == 1

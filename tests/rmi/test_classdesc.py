@@ -1,0 +1,135 @@
+"""Class descriptors: source shipping, per-namespace cloning, static fields."""
+
+import pytest
+
+from repro.errors import ClassTransferError
+from repro.rmi.classdesc import describe_class, is_mobile_instance, load_class
+from repro.bench.workloads import Counter
+
+
+class WithStatics:
+    """Test class carrying class-level ("static") state."""
+
+    population = 0
+
+    def __init__(self):
+        WithStatics.population += 1
+
+    def census(self):
+        return type(self).population
+
+
+class WithHelpers:
+    """Class whose methods reference module-level names (the import below)."""
+
+    def describe(self):
+        return describe_class(Counter).class_name  # resolves via module globals
+
+
+class TestDescribe:
+    def test_captures_name_and_source(self):
+        desc = describe_class(Counter)
+        assert desc.class_name == "Counter"
+        assert "def increment" in desc.source
+        assert desc.module == Counter.__module__
+
+    def test_hash_is_stable(self):
+        assert describe_class(Counter).source_hash == describe_class(Counter).source_hash
+
+    def test_different_classes_different_hashes(self):
+        assert (
+            describe_class(Counter).source_hash
+            != describe_class(WithStatics).source_hash
+        )
+
+    def test_builtin_classes_are_not_mobile(self):
+        with pytest.raises(ClassTransferError):
+            describe_class(dict)
+
+    def test_non_class_rejected(self):
+        with pytest.raises(ClassTransferError):
+            describe_class(42)
+
+
+class TestLoad:
+    def test_clone_behaves_like_original(self):
+        clone = load_class(describe_class(Counter), "ns1")
+        counter = clone(10)
+        assert counter.increment() == 11
+
+    def test_clone_is_a_distinct_class(self):
+        clone = load_class(describe_class(Counter), "ns1")
+        assert clone is not Counter
+        assert clone.__name__ == "Counter"
+
+    def test_clone_module_is_synthetic(self):
+        clone = load_class(describe_class(Counter), "ns1")
+        assert clone.__module__.startswith("repro._mobile.ns1.")
+
+    def test_clone_instances_are_mobile(self):
+        clone = load_class(describe_class(Counter), "ns1")
+        assert is_mobile_instance(clone(0))
+        assert not is_mobile_instance(Counter(0))
+
+    def test_static_fields_are_per_clone(self):
+        """The §4.2 limitation: no coherency for class-level state."""
+        desc = describe_class(WithStatics)
+        clone_a = load_class(desc, "nsA")
+        clone_b = load_class(desc, "nsB")
+        clone_a()
+        clone_a()
+        clone_b()
+        assert clone_a.population == 2
+        assert clone_b.population == 1
+        assert WithStatics.population == 0  # original untouched
+
+    def test_module_globals_resolve(self):
+        clone = load_class(describe_class(WithHelpers), "ns1")
+        assert clone().describe() == "Counter"
+
+    def test_bad_source_raises(self):
+        from repro.rmi.classdesc import ClassDescriptor
+
+        desc = ClassDescriptor(
+            class_name="Broken",
+            module=Counter.__module__,
+            source="class Broken(:\n    pass\n",
+            source_hash="x" * 64,
+        )
+        with pytest.raises(ClassTransferError):
+            load_class(desc, "ns1")
+
+    def test_source_not_defining_the_class_raises(self):
+        from repro.rmi.classdesc import ClassDescriptor
+
+        desc = ClassDescriptor(
+            class_name="Missing",
+            module=Counter.__module__,
+            source="class SomethingElse:\n    pass\n",
+            source_hash="y" * 64,
+        )
+        with pytest.raises(ClassTransferError):
+            load_class(desc, "ns1")
+
+    def test_unknown_module_raises(self):
+        from repro.rmi.classdesc import ClassDescriptor
+
+        desc = ClassDescriptor(
+            class_name="X",
+            module="no.such.module",
+            source="class X:\n    pass\n",
+            source_hash="z" * 64,
+        )
+        with pytest.raises(ClassTransferError):
+            load_class(desc, "ns1")
+
+    def test_descriptor_validates_class_name(self):
+        from repro.rmi.classdesc import ClassDescriptor
+
+        with pytest.raises(ClassTransferError):
+            ClassDescriptor(
+                class_name="not an identifier",
+                module="m",
+                source="",
+                source_hash="h",
+            )

@@ -1,0 +1,113 @@
+"""Marshalling: by-value data, by-reference stubs, mobile-instance refusal."""
+
+import pytest
+
+from repro.errors import MarshalError
+from repro.rmi.classdesc import describe_class, load_class
+from repro.rmi.marshal import (
+    marshal,
+    marshal_call,
+    marshalled_size,
+    unmarshal,
+    unmarshal_call,
+)
+from repro.rmi.stub import RemoteRef, Stub, detached_stub
+from repro.bench.workloads import Counter
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None,
+        42,
+        3.14,
+        "text",
+        b"bytes",
+        [1, 2, 3],
+        {"k": (1, 2)},
+        {1, 2, 3},
+        (None, True, False),
+    ])
+    def test_plain_values(self, value):
+        assert unmarshal(marshal(value)) == value
+
+    def test_by_value_semantics(self):
+        original = {"list": [1, 2]}
+        copy = unmarshal(marshal(original))
+        copy["list"].append(3)
+        assert original["list"] == [1, 2]
+
+    def test_nested_structures(self):
+        value = {"a": [{"b": (1, [2, {"c": 3}])}]}
+        assert unmarshal(marshal(value)) == value
+
+    def test_unpicklable_raises_marshal_error(self):
+        with pytest.raises(MarshalError):
+            marshal(lambda: None)
+
+    def test_size_accounting(self):
+        assert marshalled_size(b"x" * 1000) > 1000
+
+
+class TestStubTransport:
+    def test_stub_travels_as_ref(self):
+        ref = RemoteRef(node_id="beta", name="counter")
+        stub = detached_stub(ref)
+        blob = marshal({"the_stub": stub})
+
+        seen_refs = []
+
+        def factory(incoming_ref):
+            seen_refs.append(incoming_ref)
+            return detached_stub(incoming_ref)
+
+        result = unmarshal(blob, factory)
+        assert seen_refs == [ref]
+        assert result["the_stub"].ref == ref
+
+    def test_default_factory_gives_detached_stub(self):
+        from repro.rmi.stub import DetachedStubError
+
+        ref = RemoteRef(node_id="beta", name="counter")
+        stub = unmarshal(marshal(detached_stub(ref)))
+        assert isinstance(stub, Stub)
+        with pytest.raises(DetachedStubError):
+            stub.increment()
+
+    def test_raw_pickle_of_stub_is_refused(self):
+        import pickle
+
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            pickle.dumps(detached_stub(RemoteRef("a", "x")))
+
+
+class TestMobileInstanceRefusal:
+    def test_mobile_instance_cannot_marshal(self):
+        desc = describe_class(Counter)
+        clone = load_class(desc, "testns")
+        instance = clone(5)
+        with pytest.raises(MarshalError, match="mobile"):
+            marshal(instance)
+
+    def test_native_instance_marshals_fine(self):
+        # The original (non-clone) class is an ordinary picklable object.
+        restored = unmarshal(marshal(Counter(5)))
+        assert restored.get() == 5
+
+
+class TestCallBlobs:
+    def test_args_kwargs_round_trip(self):
+        blob = marshal_call((1, "two"), {"three": 3})
+        args, kwargs = unmarshal_call(blob)
+        assert args == (1, "two")
+        assert kwargs == {"three": 3}
+
+    def test_empty_call(self):
+        args, kwargs = unmarshal_call(marshal_call((), {}))
+        assert args == ()
+        assert kwargs == {}
+
+    def test_rejects_non_call_blob(self):
+        with pytest.raises(MarshalError):
+            unmarshal_call(marshal("not a call"))

@@ -1,0 +1,111 @@
+"""RMI registries and the Naming client."""
+
+import pytest
+
+from repro.errors import AlreadyBoundError, NotBoundError
+from repro.net.simnet import SimNetwork
+from repro.rmi.registry import RmiRegistry
+from repro.rmi.stub import RemoteRef
+from repro.runtime.namespace import Namespace
+from repro.bench.workloads import Counter
+
+
+class TestRmiRegistry:
+    def test_bind_lookup(self):
+        registry = RmiRegistry("alpha")
+        ref = RemoteRef("alpha", "counter")
+        registry.bind("counter", ref)
+        assert registry.lookup("counter") == ref
+
+    def test_bind_refuses_overwrite(self):
+        registry = RmiRegistry("alpha")
+        registry.bind("x", RemoteRef("alpha", "x"))
+        with pytest.raises(AlreadyBoundError):
+            registry.bind("x", RemoteRef("beta", "x"))
+
+    def test_rebind_replaces(self):
+        registry = RmiRegistry("alpha")
+        registry.bind("x", RemoteRef("alpha", "x"))
+        registry.rebind("x", RemoteRef("beta", "x"))
+        assert registry.lookup("x").node_id == "beta"
+
+    def test_lookup_unbound(self):
+        with pytest.raises(NotBoundError):
+            RmiRegistry("alpha").lookup("ghost")
+
+    def test_unbind(self):
+        registry = RmiRegistry("alpha")
+        registry.bind("x", RemoteRef("alpha", "x"))
+        registry.unbind("x")
+        assert not registry.contains("x")
+
+    def test_unbind_unbound(self):
+        with pytest.raises(NotBoundError):
+            RmiRegistry("alpha").unbind("ghost")
+
+    def test_list_bindings_sorted(self):
+        registry = RmiRegistry("alpha")
+        registry.bind("zebra", RemoteRef("alpha", "zebra"))
+        registry.bind("apple", RemoteRef("alpha", "apple"))
+        assert registry.list_bindings() == ["apple", "zebra"]
+
+    def test_snapshot_is_a_copy(self):
+        registry = RmiRegistry("alpha")
+        registry.bind("x", RemoteRef("alpha", "x"))
+        snap = registry.snapshot()
+        snap.clear()
+        assert registry.contains("x")
+
+
+class TestNaming:
+    @pytest.fixture
+    def namespaces(self):
+        net = SimNetwork()
+        alpha = Namespace("alpha", net)
+        beta = Namespace("beta", net)
+        return alpha, beta
+
+    def test_lookup_across_nodes(self, namespaces):
+        alpha, beta = namespaces
+        beta.register("counter", Counter(7))
+        stub = alpha.naming.lookup("mage://beta/counter")
+        assert stub.increment() == 8
+
+    def test_lookup_unbound_raises(self, namespaces):
+        alpha, _beta = namespaces
+        with pytest.raises(NotBoundError):
+            alpha.naming.lookup("mage://beta/ghost")
+
+    def test_remote_bind_and_list(self, namespaces):
+        alpha, beta = namespaces
+        ref = RemoteRef("beta", "published")
+        alpha.naming.bind("mage://beta/published", ref)
+        assert "published" in alpha.naming.list_bindings("beta")
+
+    def test_remote_bind_conflict(self, namespaces):
+        alpha, beta = namespaces
+        ref = RemoteRef("beta", "x")
+        alpha.naming.bind("mage://beta/x", ref)
+        with pytest.raises(AlreadyBoundError):
+            alpha.naming.bind("mage://beta/x", ref)
+
+    def test_remote_rebind(self, namespaces):
+        alpha, beta = namespaces
+        alpha.naming.bind("mage://beta/x", RemoteRef("beta", "x"))
+        alpha.naming.rebind("mage://beta/x", RemoteRef("alpha", "x"))
+        assert alpha.naming.lookup_ref("mage://beta/x").node_id == "alpha"
+
+    def test_remote_unbind(self, namespaces):
+        alpha, beta = namespaces
+        alpha.naming.bind("mage://beta/x", RemoteRef("beta", "x"))
+        alpha.naming.unbind("mage://beta/x")
+        with pytest.raises(NotBoundError):
+            alpha.naming.lookup("mage://beta/x")
+
+    def test_lookup_accepts_mageurl(self, namespaces):
+        from repro.util.ids import MageUrl
+
+        alpha, beta = namespaces
+        beta.register("counter", Counter())
+        stub = alpha.naming.lookup(MageUrl("beta", "counter"))
+        assert stub.increment() == 1

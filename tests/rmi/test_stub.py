@@ -1,0 +1,95 @@
+"""Remote references and dynamic proxies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rmi.stub import RemoteRef, Stub, detached_stub, interface_methods
+
+
+class GeoDataFilter:
+    """An interface class, for method restriction."""
+
+    def filter_data(self):
+        ...
+
+    def process_data(self):
+        ...
+
+    def _internal(self):
+        ...
+
+
+class TestRemoteRef:
+    def test_moved_to_keeps_name_and_methods(self):
+        ref = RemoteRef("alpha", "geo", methods=("f",))
+        moved = ref.moved_to("beta")
+        assert moved.node_id == "beta"
+        assert moved.name == "geo"
+        assert moved.methods == ("f",)
+
+    def test_str_is_a_mage_url(self):
+        assert str(RemoteRef("alpha", "geo")) == "mage://alpha/geo"
+
+    def test_validates_parts(self):
+        with pytest.raises(ConfigurationError):
+            RemoteRef("bad node", "geo")
+
+    def test_interface_methods_excludes_private(self):
+        methods = interface_methods(GeoDataFilter)
+        assert "filter_data" in methods
+        assert "process_data" in methods
+        assert "_internal" not in methods
+
+
+class TestStub:
+    def _recording_stub(self, methods=()):
+        calls = []
+
+        def invoke(ref, method, args, kwargs):
+            calls.append((ref, method, args, kwargs))
+            return "result"
+
+        stub = Stub(RemoteRef("beta", "geo", methods=methods), invoke)
+        return stub, calls
+
+    def test_method_call_forwards(self):
+        stub, calls = self._recording_stub()
+        assert stub.filter_data(1, key=2) == "result"
+        ref, method, args, kwargs = calls[0]
+        assert method == "filter_data"
+        assert args == (1,)
+        assert kwargs == {"key": 2}
+
+    def test_interface_restriction(self):
+        stub, _ = self._recording_stub(methods=("filter_data",))
+        stub.filter_data()
+        with pytest.raises(AttributeError):
+            stub.process_data()
+
+    def test_open_proxy_forwards_anything(self):
+        stub, calls = self._recording_stub()
+        stub.totally_arbitrary_method()
+        assert calls[0][1] == "totally_arbitrary_method"
+
+    def test_field_writes_are_refused(self):
+        stub, _ = self._recording_stub()
+        with pytest.raises(ConfigurationError, match="field writes"):
+            stub.value = 5
+
+    def test_equality_by_ref(self):
+        a = detached_stub(RemoteRef("beta", "geo"))
+        b = detached_stub(RemoteRef("beta", "geo"))
+        c = detached_stub(RemoteRef("gamma", "geo"))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_repr_shows_ref(self):
+        assert "mage://beta/geo" in repr(detached_stub(RemoteRef("beta", "geo")))
+
+    def test_dunder_access_raises_attribute_error(self):
+        # Keeps copy/pickle protocol probes from turning into remote calls.
+        stub, calls = self._recording_stub()
+        with pytest.raises(AttributeError):
+            stub.__wrapped__
+        assert calls == []

@@ -1,0 +1,93 @@
+"""The per-namespace class cache (§4.2 cloning + caching)."""
+
+import pytest
+
+from repro.errors import ClassTransferError
+from repro.rmi.classdesc import describe_class
+from repro.runtime.classcache import ClassCache
+from repro.bench.workloads import Counter, PrintServer
+
+
+@pytest.fixture
+def cache():
+    return ClassCache("alpha")
+
+
+class TestServing:
+    def test_register_native_serves_descriptor(self, cache):
+        desc = cache.register_native(Counter)
+        assert cache.descriptor("Counter") == desc
+
+    def test_unknown_class(self, cache):
+        with pytest.raises(ClassTransferError):
+            cache.descriptor("Ghost")
+
+    def test_has_class(self, cache):
+        assert not cache.has_class("Counter")
+        cache.register_native(Counter)
+        assert cache.has_class("Counter")
+
+    def test_class_names_sorted(self, cache):
+        cache.register_native(PrintServer)
+        cache.register_native(Counter)
+        assert cache.class_names() == ["Counter", "PrintServer"]
+
+
+class TestLoading:
+    def test_load_caches_clone_by_hash(self, cache):
+        desc = describe_class(Counter)
+        first = cache.load(desc)
+        second = cache.load(desc)
+        assert first is second
+        assert cache.loads == 1
+        assert cache.hits == 1
+
+    def test_has_hash_after_load(self, cache):
+        desc = describe_class(Counter)
+        assert not cache.has_hash(desc.source_hash)
+        cache.load(desc)
+        assert cache.has_hash(desc.source_hash)
+
+    def test_clone_by_hash(self, cache):
+        desc = describe_class(Counter)
+        loaded = cache.load(desc)
+        assert cache.clone_by_hash(desc.source_hash) is loaded
+
+    def test_clone_by_hash_missing(self, cache):
+        with pytest.raises(ClassTransferError):
+            cache.clone_by_hash("deadbeef")
+
+    def test_disabled_cache_always_reloads(self):
+        cache = ClassCache("alpha", enabled=False)
+        desc = describe_class(Counter)
+        first = cache.load(desc)
+        second = cache.load(desc)
+        assert first is not second
+        assert cache.loads == 2
+        assert not cache.has_hash(desc.source_hash)
+
+
+class TestResolve:
+    def test_resolve_native_directly(self, cache):
+        cache.register_native(Counter)
+        assert cache.resolve("Counter") is Counter
+
+    def test_resolve_stored_descriptor_loads_clone(self, cache):
+        cache.store(describe_class(Counter))
+        cls = cache.resolve("Counter")
+        assert cls is not Counter
+        assert cls.__name__ == "Counter"
+
+    def test_resolve_prefers_native_over_clone(self, cache):
+        cache.store(describe_class(Counter))
+        cache.load(describe_class(Counter))
+        cache.register_native(Counter)
+        assert cache.resolve("Counter") is Counter
+
+    def test_resolve_unknown(self, cache):
+        with pytest.raises(ClassTransferError):
+            cache.resolve("Ghost")
+
+    def test_resolve_reuses_clone_within_namespace(self, cache):
+        cache.store(describe_class(Counter))
+        assert cache.resolve("Counter") is cache.resolve("Counter")

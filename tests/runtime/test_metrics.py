@@ -1,0 +1,83 @@
+"""Per-namespace metrics collection."""
+
+from repro.runtime.metrics import METRICS_HEADER, collect, collect_cluster
+from repro.bench.workloads import Counter
+
+
+class TestCollect:
+    def test_traffic_attribution(self, pair):
+        pair["beta"].register("c", Counter())
+        stub = pair["alpha"].stub("c", location="beta")
+        stub.increment()
+        stub.increment()
+        alpha = collect(pair["alpha"].namespace, pair.trace)
+        beta = collect(pair["beta"].namespace, pair.trace)
+        assert beta.invocations_served == 2
+        assert alpha.invocations_served == 0
+        assert alpha.messages_out == beta.messages_in
+        assert alpha.bytes_out == beta.bytes_in
+        assert alpha.bytes_out > 0
+
+    def test_move_counters(self, pair):
+        pair["alpha"].register("c", Counter())
+        pair["alpha"].namespace.move("c", "beta")
+        alpha = collect(pair["alpha"].namespace, pair.trace)
+        beta = collect(pair["beta"].namespace, pair.trace)
+        assert alpha.moves_out == 1
+        assert beta.moves_in == 1
+        assert alpha.objects_hosted == 0
+        assert beta.objects_hosted == 1
+
+    def test_class_cache_counters(self, pair):
+        pair["alpha"].register("c1", Counter())
+        pair["alpha"].register("c2", Counter())
+        pair["alpha"].namespace.move("c1", "beta")
+        pair["alpha"].namespace.move("c2", "beta")
+        beta = collect(pair["beta"].namespace, pair.trace)
+        assert beta.class_loads == 1       # one exec
+        assert beta.class_cache_hits >= 1  # second arrival hit the cache
+
+    def test_lock_counters(self, pair):
+        pair["alpha"].register("c", Counter())
+        grant = pair["alpha"].namespace.lock("c", "alpha")
+        pair["alpha"].namespace.unlock(grant)
+        grant = pair["beta"].namespace.lock("c", "beta", origin_hint="alpha")
+        pair["beta"].namespace.unlock(grant)
+        alpha = collect(pair["alpha"].namespace, pair.trace)
+        assert alpha.stays_granted == 1
+        assert alpha.moves_granted == 1
+
+    def test_find_service_counter(self, trio):
+        trio["alpha"].register("c", Counter())
+        trio["gamma"].find("c", origin_hint="alpha")
+        alpha = collect(trio["alpha"].namespace, trio.trace)
+        assert alpha.finds_served == 1
+
+    def test_local_traffic_excluded(self, pair):
+        pair["alpha"].register("c", Counter())
+        pair["alpha"].find("c")  # purely local consultation
+        alpha = collect(pair["alpha"].namespace, pair.trace)
+        assert alpha.messages_in == 0
+        assert alpha.messages_out == 0
+
+
+class TestClusterReport:
+    def test_collect_cluster_covers_every_node(self, trio):
+        trio["alpha"].register("c", Counter())
+        trio["alpha"].namespace.move("c", "beta")
+        rows = collect_cluster(trio)
+        assert [m.node_id for m in rows] == ["alpha", "beta", "gamma"]
+        assert sum(m.objects_hosted for m in rows) == 1
+
+    def test_row_matches_header(self, pair):
+        metrics = collect(pair["alpha"].namespace, pair.trace)
+        assert len(metrics.row()) == len(METRICS_HEADER)
+
+    def test_bytes_conservation(self, trio):
+        """Every byte sent by someone is received by someone."""
+        trio["alpha"].register("c", Counter())
+        trio["alpha"].namespace.move("c", "beta")
+        trio["gamma"].find("c", origin_hint="alpha")
+        rows = collect_cluster(trio)
+        assert sum(m.bytes_out for m in rows) == sum(m.bytes_in for m in rows)
+        assert sum(m.messages_out for m in rows) == sum(m.messages_in for m in rows)

@@ -1,0 +1,103 @@
+"""The MAGE registry: forwarding chains and path collapsing (§4.1)."""
+
+import pytest
+
+from repro.errors import ComponentNotFoundError
+from repro.bench.workloads import Counter
+
+
+def register_and_tour(cluster, hops):
+    """Register a counter at the first node and move it along ``hops``."""
+    first = cluster[hops[0]]
+    first.register("wanderer", Counter())
+    for src, dst in zip(hops, hops[1:]):
+        cluster[src].namespace.move("wanderer", dst)
+    return hops[-1]
+
+
+class TestFind:
+    def test_local_find(self, pair):
+        pair["alpha"].register("c", Counter())
+        assert pair["alpha"].find("c") == "alpha"
+
+    def test_find_after_move(self, pair):
+        register_and_tour(pair, ["alpha", "beta"])
+        assert pair["alpha"].find("wanderer") == "beta"
+
+    def test_find_with_origin_hint(self, trio):
+        register_and_tour(trio, ["alpha", "beta"])
+        # gamma knows nothing locally; the origin hint bootstraps the walk.
+        assert trio["gamma"].find("wanderer", origin_hint="alpha") == "beta"
+
+    def test_find_without_any_knowledge(self, trio):
+        trio["alpha"].register("c", Counter())
+        with pytest.raises(ComponentNotFoundError):
+            trio["gamma"].find("c")
+
+    def test_unverified_find_returns_hint(self, trio):
+        final = register_and_tour(trio, ["alpha", "beta", "gamma"])
+        alpha = trio["alpha"].namespace
+        # alpha watched the first move only; its table says beta (stale).
+        assert final == "gamma"
+        assert alpha.registry.forwarding_hint("wanderer") == "beta"
+        assert alpha.find("wanderer", verify=False) == "beta"
+
+    def test_verified_find_walks_stale_chains(self, trio):
+        register_and_tour(trio, ["alpha", "beta", "gamma"])
+        assert trio["alpha"].find("wanderer", verify=True) == "gamma"
+
+
+class TestPathCollapsing:
+    def test_chain_collapses_after_find(self, quad):
+        register_and_tour(quad, ["alpha", "beta", "gamma", "delta"])
+        alpha = quad["alpha"].namespace
+        beta = quad["beta"].namespace
+        assert alpha.find("wanderer", verify=True) == "delta"
+        # Both alpha and the intermediate hop now point straight at delta.
+        assert alpha.registry.forwarding_hint("wanderer") == "delta"
+        assert beta.registry.forwarding_hint("wanderer") == "delta"
+
+    def test_second_find_is_cheaper(self, quad):
+        register_and_tour(quad, ["alpha", "beta", "gamma", "delta"])
+        alpha = quad["alpha"].namespace
+        alpha.find("wanderer", verify=True)
+        before = quad.trace.remote_message_count()
+        alpha.find("wanderer", verify=True)
+        second_cost = quad.trace.remote_message_count() - before
+        assert second_cost == 2  # one direct FIND round trip
+
+    def test_collapsing_disabled_keeps_long_chains(self, make_cluster):
+        cluster = make_cluster(
+            ["alpha", "beta", "gamma", "delta"], path_collapsing=False
+        )
+        register_and_tour(cluster, ["alpha", "beta", "gamma", "delta"])
+        alpha = cluster["alpha"].namespace
+        assert alpha.find("wanderer", verify=True) == "delta"
+        # Without collapsing, alpha's table still names the first hop.
+        assert alpha.registry.forwarding_hint("wanderer") == "beta"
+
+
+class TestChainSafety:
+    def test_cycle_detection(self, pair):
+        alpha = pair["alpha"].namespace
+        beta = pair["beta"].namespace
+        # Manufacture a routing loop: alpha -> beta -> alpha.
+        alpha.registry.note_location("phantom", "beta")
+        beta.registry.note_location("phantom", "alpha")
+        with pytest.raises(ComponentNotFoundError, match="cycle|cold"):
+            alpha.find("phantom", verify=True)
+
+    def test_chain_going_cold(self, trio):
+        alpha = trio["alpha"].namespace
+        beta = trio["beta"].namespace
+        alpha.registry.note_location("phantom", "beta")
+        beta.registry.note_location("phantom", "beta")  # beta points at itself
+        with pytest.raises(ComponentNotFoundError):
+            alpha.find("phantom", verify=True)
+
+    def test_arrival_clears_staleness(self, pair):
+        pair["alpha"].register("c", Counter())
+        pair["alpha"].namespace.move("c", "beta")
+        pair["beta"].namespace.move("c", "alpha")  # comes home
+        assert pair["alpha"].find("c") == "alpha"
+        assert pair["beta"].find("c", verify=True) == "alpha"

@@ -1,0 +1,66 @@
+"""The object store."""
+
+import pytest
+
+from repro.errors import NoSuchObjectError
+from repro.runtime.store import ObjectStore
+from repro.bench.workloads import Counter
+
+
+@pytest.fixture
+def store():
+    return ObjectStore("alpha")
+
+
+class TestStore:
+    def test_add_get(self, store):
+        counter = Counter(1)
+        store.add("c", counter)
+        assert store.get("c") is counter
+
+    def test_get_missing(self, store):
+        with pytest.raises(NoSuchObjectError):
+            store.get("ghost")
+
+    def test_remove_returns_object(self, store):
+        counter = Counter()
+        store.add("c", counter)
+        assert store.remove("c") is counter
+        assert not store.contains("c")
+
+    def test_remove_missing(self, store):
+        with pytest.raises(NoSuchObjectError):
+            store.remove("ghost")
+
+    def test_replace_tenant(self, store):
+        store.add("c", Counter(1))
+        replacement = Counter(2)
+        store.add("c", replacement)
+        assert store.get("c") is replacement
+
+    def test_shared_flag(self, store):
+        store.add("public", Counter(), shared=True)
+        store.add("private", Counter(), shared=False)
+        assert store.is_shared("public")
+        assert not store.is_shared("private")
+
+    def test_pinned_flag(self, store):
+        store.add("fixed", Counter(), pinned=True)
+        assert store.is_pinned("fixed")
+
+    def test_names_sorted(self, store):
+        store.add("zebra", Counter())
+        store.add("apple", Counter())
+        assert store.names() == ["apple", "zebra"]
+
+    def test_len_and_iter(self, store):
+        store.add("a", Counter())
+        store.add("b", Counter())
+        assert len(store) == 2
+        assert {record.name for record in store} == {"a", "b"}
+
+    def test_validates_names(self, store):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            store.add("bad name", Counter())

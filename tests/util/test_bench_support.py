@@ -1,0 +1,92 @@
+"""The bench-support package: table rendering, harness math, paper data."""
+
+import pytest
+
+from repro.bench.harness import InvocationSeries, measure_invocations
+from repro.bench.paper import BASELINE, PAPER_TABLE3, TABLE3_ORDERINGS, paper_ratio
+from repro.bench.tables import render_arrows, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["A", "Blong"], [["xxxxx", "y"]])
+        lines = text.splitlines()
+        assert lines[0] == "A     | Blong"
+        assert lines[2] == "xxxxx | y    "
+
+    def test_title_and_rule(self):
+        text = render_table(["A"], [["1"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1] == "="
+
+    def test_cells_are_stringified(self):
+        text = render_table(["n"], [[42], [3.5]])
+        assert "42" in text
+        assert "3.5" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_render_arrows_numbers_lines(self):
+        text = render_arrows("T", ["a -> b: X", "b -> a: Y"])
+        assert "  1. a -> b: X" in text
+        assert "  2. b -> a: Y" in text
+
+
+class TestInvocationSeries:
+    def _series(self):
+        series = InvocationSeries(label="m")
+        series.virtual_ms.extend([100.0, 20.0, 20.0, 20.0])
+        series.wall_us.extend([1.0, 2.0, 3.0, 4.0])
+        series.remote_messages.extend([10, 2, 2, 2])
+        return series
+
+    def test_single_is_the_cold_run(self):
+        assert self._series().single_ms == 100.0
+
+    def test_amortized_is_the_mean(self):
+        assert self._series().amortized_ms == 40.0
+
+    def test_warm_messages_is_the_last(self):
+        assert self._series().warm_messages == 2
+
+    def test_row_shape(self):
+        row = self._series().row()
+        assert row[0] == "m"
+        assert row[3] == "10/2"
+
+
+class TestMeasureInvocations:
+    def test_measures_virtual_deltas(self, pair):
+        from repro.bench.workloads import Counter
+
+        pair["beta"].register("c", Counter())
+        stub = pair["alpha"].stub("c", location="beta")
+        series = measure_invocations(pair, "t", stub.increment, iterations=5)
+        assert len(series.virtual_ms) == 5
+        # Each invocation is one round trip of the default 10 ms latency.
+        assert all(abs(v - 20.0) < 1.0 for v in series.virtual_ms)
+        assert all(m == 2 for m in series.remote_messages)
+
+    def test_rejects_nonpositive_iterations(self, pair):
+        with pytest.raises(ValueError):
+            measure_invocations(pair, "t", lambda: None, iterations=0)
+
+
+class TestPaperData:
+    def test_baseline_is_rmi(self):
+        assert BASELINE == "Java's RMI"
+        assert paper_ratio(BASELINE) == 1.0
+
+    def test_ratios_match_the_published_numbers(self):
+        assert paper_ratio("Traditional REV (TREV)") == pytest.approx(4.1)
+        assert paper_ratio("MA") == pytest.approx(3.15)
+
+    def test_orderings_are_consistent_with_the_numbers(self):
+        for cheaper, dearer in TABLE3_ORDERINGS:
+            assert (
+                PAPER_TABLE3[cheaper].amortized_ms
+                <= PAPER_TABLE3[dearer].amortized_ms
+            )

@@ -1,0 +1,74 @@
+"""Virtual and wall clocks."""
+
+import pytest
+
+from repro.util.clock import SimClock, Stopwatch, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ms() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start_ms=50.0).now_ms() == 50.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(2.5)
+        assert clock.now_ms() == 12.5
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now_ms() == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_concurrent_advances_all_counted(self):
+        import threading
+
+        clock = SimClock()
+
+        def work():
+            for _ in range(1000):
+                clock.advance(1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now_ms() == 4000.0
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        a = clock.now_ms()
+        b = clock.now_ms()
+        assert b >= a
+
+    def test_advance_sleeps(self):
+        clock = WallClock()
+        before = clock.now_ms()
+        clock.advance(5.0)
+        assert clock.now_ms() - before >= 4.0  # scheduling slop allowed
+
+
+class TestStopwatch:
+    def test_measures_virtual_interval(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(12.5)
+        assert watch.elapsed_ms() == 12.5
+
+    def test_restart(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(10.0)
+        watch.restart()
+        clock.advance(3.0)
+        assert watch.elapsed_ms() == 3.0

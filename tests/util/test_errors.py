@@ -1,0 +1,89 @@
+"""Error contracts: hierarchy, fields, and messages callers rely on."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_roots_at_mage_error(self):
+        families = [
+            errors.ConfigurationError,
+            errors.TransportError,
+            errors.RmiError,
+            errors.RuntimeMageError,
+            errors.AttributeError_,
+            errors.ExtensionError,
+        ]
+        for family in families:
+            assert issubclass(family, errors.MageError)
+
+    def test_one_except_catches_the_world(self):
+        representative = [
+            errors.NodeUnreachableError("n"),
+            errors.MessageLostError("m"),
+            errors.MarshalError("m"),
+            errors.NotBoundError("x"),
+            errors.AlreadyBoundError("x"),
+            errors.NoSuchObjectError("x"),
+            errors.ComponentNotFoundError("x"),
+            errors.ClassTransferError("c"),
+            errors.MigrationError("m"),
+            errors.ObjectPinnedError("p"),
+            errors.LockMovedError("x", "beta"),
+            errors.LockTimeoutError("t"),
+            errors.ImmobileObjectError("x", "a", "b"),
+            errors.CoercionError("c"),
+            errors.TargetRestrictedError("t"),
+            errors.AccessDeniedError("p", "invoke", "r"),
+            errors.ResourceExhaustedError("n", "slots", 1, 0),
+        ]
+        for error in representative:
+            with pytest.raises(errors.MageError):
+                raise error
+
+    def test_transport_family(self):
+        assert issubclass(errors.NodeUnreachableError, errors.TransportError)
+        assert issubclass(errors.MessageLostError, errors.TransportError)
+
+    def test_lock_family(self):
+        assert issubclass(errors.LockMovedError, errors.LockError)
+        assert issubclass(errors.LockTimeoutError, errors.LockError)
+
+
+class TestFields:
+    def test_node_unreachable_carries_node_and_reason(self):
+        error = errors.NodeUnreachableError("beta", "crashed")
+        assert error.node_id == "beta"
+        assert error.reason == "crashed"
+        assert "crashed" in str(error)
+
+    def test_lock_moved_carries_new_location(self):
+        error = errors.LockMovedError("obj", "gamma")
+        assert error.new_location == "gamma"
+        assert "gamma" in str(error)
+
+    def test_immobile_object_names_both_locations(self):
+        error = errors.ImmobileObjectError("obj", "beta", "gamma")
+        assert (error.expected, error.actual) == ("beta", "gamma")
+        assert "beta" in str(error) and "gamma" in str(error)
+
+    def test_not_bound_names_the_name(self):
+        assert errors.NotBoundError("svc").name == "svc"
+
+    def test_remote_invocation_carries_traceback(self):
+        error = errors.RemoteInvocationError("boom", remote_traceback="tb")
+        assert error.remote_traceback == "tb"
+
+    def test_resource_exhausted_quantities(self):
+        error = errors.ResourceExhaustedError("n", "slots", 2.0, 0.5)
+        assert error.requested == 2.0
+        assert error.available == 0.5
+
+    def test_access_denied_triple(self):
+        error = errors.AccessDeniedError("eve", "move_in", "node:X")
+        assert (error.principal, error.action) == ("eve", "move_in")
+
+    def test_no_such_object_mentions_node(self):
+        error = errors.NoSuchObjectError("obj", "beta")
+        assert "beta" in str(error)

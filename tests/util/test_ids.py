@@ -1,0 +1,99 @@
+"""Identifier and URL validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.ids import (
+    MageUrl,
+    fresh_token,
+    validate_component_name,
+    validate_node_id,
+)
+
+
+class TestValidation:
+    def test_accepts_plain_identifiers(self):
+        assert validate_node_id("sensor1") == "sensor1"
+        assert validate_component_name("geoData") == "geoData"
+
+    def test_accepts_dots_dashes_underscores(self):
+        assert validate_component_name("geo.data_v2-final") == "geo.data_v2-final"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            validate_node_id("")
+
+    def test_rejects_slash(self):
+        with pytest.raises(ConfigurationError):
+            validate_component_name("a/b")
+
+    def test_rejects_whitespace(self):
+        with pytest.raises(ConfigurationError):
+            validate_node_id("node one")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ConfigurationError):
+            validate_node_id(42)
+
+    def test_error_names_the_bad_characters(self):
+        with pytest.raises(ConfigurationError, match="!"):
+            validate_component_name("bad!name")
+
+
+class TestMageUrl:
+    def test_round_trip(self):
+        url = MageUrl(node_id="lab", name="geoData")
+        assert MageUrl.parse(str(url)) == url
+
+    def test_str_format(self):
+        assert str(MageUrl("lab", "geoData")) == "mage://lab/geoData"
+
+    def test_parse(self):
+        url = MageUrl.parse("mage://sensor1/filter")
+        assert url.node_id == "sensor1"
+        assert url.name == "filter"
+
+    def test_parse_rejects_wrong_scheme(self):
+        with pytest.raises(ConfigurationError):
+            MageUrl.parse("rmi://lab/geoData")
+
+    def test_parse_rejects_missing_name(self):
+        with pytest.raises(ConfigurationError):
+            MageUrl.parse("mage://lab")
+
+    def test_parse_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            MageUrl.parse("mage://lab/")
+
+    def test_constructor_validates_parts(self):
+        with pytest.raises(ConfigurationError):
+            MageUrl("bad node", "x")
+
+    def test_is_hashable_and_frozen(self):
+        url = MageUrl("lab", "geoData")
+        assert {url: 1}[MageUrl("lab", "geoData")] == 1
+
+
+class TestFreshToken:
+    def test_unique(self):
+        tokens = {fresh_token() for _ in range(100)}
+        assert len(tokens) == 100
+
+    def test_prefix(self):
+        assert fresh_token("lock").startswith("lock-")
+
+    def test_thread_safe_uniqueness(self):
+        import threading
+
+        seen: list[str] = []
+
+        def grab():
+            for _ in range(200):
+                seen.append(fresh_token("t"))
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen))
