@@ -1,0 +1,127 @@
+"""Transport throughput: connection-per-call vs pooled vs pipelined TCP.
+
+Not a paper figure — an engineering bench for the ROADMAP's "fast as the
+hardware allows" north star.  The seed transport mirrored early RMI's
+connection-per-call behaviour (a fresh socket and a fresh server thread
+per request); the pooled transport keeps one persistent connection per
+(src, dst) pair, and the pipelined mode additionally carries many
+concurrent exchanges on that one connection, matching replies to callers
+by message id.
+
+The bench runs 8 concurrent callers against one node in each mode and
+writes the measured rates to ``results/transport_throughput.txt`` so
+future transport changes can diff against a recorded baseline.  The shape
+that must hold: pooling reuses the connect handshake, so the pooled and
+pipelined modes beat connection-per-call by at least 2x.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.net.message import MessageKind
+from repro.net.tcpnet import MODES, TcpNetwork
+
+#: The acceptance shape: pooled/pipelined vs per-call at 8 callers.
+WORKERS = 8
+CALLS_PER_WORKER = 50
+WARMUP_CALLS = 5
+#: Best-of-N sampling to damp scheduler jitter on shared CI hardware.
+SAMPLES = 3
+
+
+def measure_throughput(mode: str, workers: int = WORKERS,
+                       calls: int = CALLS_PER_WORKER) -> float:
+    """Calls/second achieved by ``workers`` concurrent callers."""
+    net = TcpNetwork(mode=mode)
+    try:
+        net.register("client", lambda m: None)
+        net.register("server", lambda m: m.payload)
+        for _ in range(WARMUP_CALLS):  # establish pooled connections
+            net.call("client", "server", MessageKind.PING, 0)
+        barrier = threading.Barrier(workers + 1)
+
+        def worker() -> None:
+            barrier.wait()
+            for i in range(calls):
+                net.call("client", "server", MessageKind.PING, i)
+
+        threads = [threading.Thread(target=worker) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        return workers * calls / elapsed
+    finally:
+        net.shutdown()
+
+
+def measure_batch_round_trips(batch_size: int) -> tuple[int, int]:
+    """Remote messages for N calls vs one call_many batch of N."""
+    net = TcpNetwork()
+    try:
+        net.register("client", lambda m: None)
+        net.register("server", lambda m: m.payload)
+        before = len(net.trace)
+        for i in range(batch_size):
+            net.call("client", "server", MessageKind.PING, i)
+        sequential_msgs = len(net.trace) - before
+        before = len(net.trace)
+        net.call_many(
+            "client", "server",
+            [(MessageKind.PING, i) for i in range(batch_size)],
+        )
+        batched_msgs = len(net.trace) - before
+        return sequential_msgs, batched_msgs
+    finally:
+        net.shutdown()
+
+
+def test_transport_throughput(report):
+    rates = {
+        mode: max(measure_throughput(mode) for _ in range(SAMPLES))
+        for mode in MODES
+    }
+    sequential_msgs, batched_msgs = measure_batch_round_trips(8)
+    speedups = {mode: rates[mode] / rates["per-call"] for mode in MODES}
+    lines = [
+        "Transport throughput -- 8 concurrent callers, loopback TCP",
+        "(connection strategy vs calls/second; speedup over per-call)",
+        "",
+    ]
+    for mode in MODES:
+        lines.append(
+            f"  {mode:<10s} {rates[mode]:>10.0f} calls/s   {speedups[mode]:>5.2f}x"
+        )
+    lines += [
+        "",
+        f"call_many: {sequential_msgs} frames for 8 sequential calls vs "
+        f"{batched_msgs} frames for one batch of 8",
+    ]
+    report("transport_throughput", "\n".join(lines))
+
+    # The tentpole's acceptance shape: persistent connections beat
+    # connection-per-call by >= 2x at 8 concurrent callers.
+    assert rates["pipelined"] >= 2.0 * rates["per-call"], speedups
+    assert rates["pooled"] >= 2.0 * rates["per-call"], speedups
+    # Batching collapses 8 round trips (16 frames) into one (2 frames).
+    assert sequential_msgs == 16
+    assert batched_msgs == 2
+
+
+@pytest.mark.slow
+def test_transport_throughput_sustained():
+    """Stress variant: heavier per-worker volume, pipelined only.
+
+    Excluded from tier-1 (``-m "not slow"``); run explicitly with
+    ``pytest -m slow benchmarks/test_transport_throughput.py``.
+    """
+    rate = measure_throughput("pipelined", workers=8, calls=500)
+    baseline = measure_throughput("per-call", workers=8, calls=500)
+    assert rate >= 2.0 * baseline

@@ -6,8 +6,26 @@ Two interchangeable transports implement :class:`repro.net.transport.Transport`:
   virtual clock, configurable latency/loss, partitions, and full message
   tracing.  This is the default substrate for tests and benches, standing in
   for the paper's 10 Mb/s Ethernet testbed.
-* :class:`repro.net.tcpnet.TcpNetwork` — real TCP sockets on loopback, used
-  by integration tests to show the stack also runs over a genuine network.
+* :class:`repro.net.tcpnet.TcpNetwork` — real TCP sockets on loopback.  By
+  default it keeps one persistent, *pipelined* connection per (src, dst)
+  pair: frames carry message ids, a reader thread matches replies to
+  waiting callers, and the server feeds a bounded worker pool from
+  per-connection serve loops.  ``mode="per-call"`` restores early RMI's
+  connection-per-call behaviour (the throughput bench's baseline) and
+  ``mode="pooled"`` reuses connections without pipelining.
+
+Shared guarantees, regardless of transport:
+
+* **At-most-once, single-flight** — every node's dispatch runs through a
+  :class:`repro.net.transport.ReplyCache`: a retransmission of an executed
+  request replays its cached reply, and one arriving *while* the original
+  is still executing waits for that execution instead of starting a second
+  one.  Non-idempotent moves therefore never run twice for one message id.
+* **Batching** — ``Transport.call_many`` ships many independent requests
+  as one BATCH frame (one round trip), with each sub-request keeping its
+  own message id and at-most-once slot.
+* **Drop tracing** — an undeliverable one-way send is recorded in the
+  :class:`repro.net.trace.MessageTrace` as a drop on both transports.
 """
 
 from repro.net.conditions import (

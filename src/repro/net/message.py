@@ -47,6 +47,7 @@ class MessageKind(enum.Enum):
     AGENT_LAUNCH = "AGENT_LAUNCH"        # start an itinerary at the agent's host
     LOAD_QUERY = "LOAD_QUERY"            # host load for migration policies
     PING = "PING"                        # liveness probe
+    BATCH = "BATCH"                      # several requests riding one frame
 
     # --- Replies -----------------------------------------------------------
     REPLY = "REPLY"                      # response envelope for any request
@@ -64,7 +65,10 @@ class Message:
     ``payload`` holds a protocol dataclass from :mod:`repro.rmi.protocol`
     (or a plain value for simple kinds).  ``in_reply_to`` carries the kind of
     the request a REPLY answers so traces read like the paper's figures,
-    e.g. ``REPLY(INVOKE)``.
+    e.g. ``REPLY(INVOKE)``.  ``reply_to_id`` carries the *message id* of the
+    request a REPLY answers: transports that pipeline several concurrent
+    requests over one connection (the pooled TCP transport) match replies to
+    waiting callers by this id.
     """
 
     kind: MessageKind
@@ -73,6 +77,7 @@ class Message:
     payload: Any = None
     msg_id: str = field(default_factory=lambda: fresh_token("msg"))
     in_reply_to: MessageKind | None = None
+    reply_to_id: str = ""
 
     def reply(self, payload: Any) -> "Message":
         """Build the response envelope for this request."""
@@ -82,6 +87,7 @@ class Message:
             dst=self.src,
             payload=payload,
             in_reply_to=self.kind,
+            reply_to_id=self.msg_id,
         )
 
     @property

@@ -16,6 +16,11 @@ Properties that matter for the reproduction:
   (message counts × latency), not from hard-coded constants.
 * **Fault injection** — per-link partitions, node crashes, and pluggable
   loss models exercise the recovery paths §4.3 demands.
+
+``Transport.call_many`` needs no code here: the base class packs the batch
+into one BATCH envelope, and because this transport charges latency per
+*message*, a batch of N requests costs one round trip on the virtual
+clock — exactly the saving the pooled TCP transport realizes in real time.
 """
 
 from __future__ import annotations
@@ -150,7 +155,14 @@ class SimNetwork(Transport):
         return reply
 
     def _transmit_oneway(self, message: Message) -> None:
-        endpoint = self._endpoint_for(message)
+        try:
+            endpoint = self._endpoint_for(message)
+        except NodeUnreachableError:
+            # Match the TCP transport: an undeliverable one-way send is
+            # recorded as a drop before it vanishes (``cast``'s contract
+            # that "the trace still records drops").
+            self.trace.record(message, self.clock.now_ms(), dropped=True)
+            raise
         self._send_one(message)
         if self.synchronous_casts:
             self._run_cast(endpoint, message)

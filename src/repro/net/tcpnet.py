@@ -1,14 +1,45 @@
-"""Real TCP transport on loopback.
+"""Real TCP transport on loopback, with persistent pooled connections.
 
 The simulated network answers "does the model behave as the paper says";
 this transport answers "does the stack actually run over sockets".  Each
 registered node owns a listening socket on ``127.0.0.1`` (ephemeral port);
-messages are length-prefixed pickled envelopes; each ``call`` opens a fresh
-connection, mirroring the connection-per-call behaviour of early RMI.
+messages are length-prefixed pickled envelopes.
+
+Three client-side connection strategies (``mode=``), slowest to fastest:
+
+* ``"per-call"`` — a fresh connection per request, mirroring early RMI's
+  connection-per-call behaviour.  Kept as the baseline the throughput
+  bench measures against.
+* ``"pooled"`` — one persistent connection per (src, dst) pair, reused
+  across calls but carrying one exchange at a time.  Saves the connect
+  handshake on every call after the first.
+* ``"pipelined"`` (default) — the pooled connection additionally carries
+  many concurrent exchanges at once: frames are written under a send
+  lock, and a reader thread demultiplexes reply frames to waiting
+  callers by ``Message.reply_to_id``.  N threads calling into one
+  destination share one socket and one round-trip pipeline.
+
+Server side, each node runs a per-connection *serve loop* (a thread that
+only reads frames) feeding a bounded worker pool that executes handlers
+and writes replies.  The resident pool is bounded; when every worker is
+busy a submission runs on a temporary overflow thread, so a nested call
+made by a blocked handler (moves trigger OBJECT_TRANSFER, finds walk
+forwarding chains) can always be dispatched and the pool cannot deadlock
+on its own queue.
 
 TCP provides reliable, ordered delivery, so no loss model applies here —
-loss/retry behaviour is exercised on the simulated network.  The clock is
-real time by default.
+loss/retry behaviour is exercised on the simulated network.  An
+undeliverable *one-way* send is recorded in the trace as a drop, matching
+the simulated network's accounting of cast losses (two-way failures raise
+to the caller instead).  A handler that dies with a control-flow exception
+(``KeyboardInterrupt``/``SystemExit``) answers its caller with an uncached
+:class:`~repro.errors.TransportError` — the interrupt itself cannot cross
+the wire, and a retransmission executes afresh.  At-most-once execution holds
+across reconnects: a stale pooled connection is retried only when the
+frame provably never left this side; once a request is on the wire, a
+connection failure surfaces as :class:`NodeUnreachableError` rather than
+risking re-execution against a replaced node's fresh reply cache.  The
+clock is real time by default.
 """
 
 from __future__ import annotations
@@ -17,15 +48,30 @@ import pickle
 import socket
 import struct
 import threading
+from collections import deque
 
-from repro.errors import MarshalError, NodeUnreachableError
-from repro.net.message import ONEWAY_KINDS, Message
+from repro.errors import (
+    CallTimeoutError,
+    ConfigurationError,
+    MarshalError,
+    NodeUnreachableError,
+    TransportError,
+)
+from repro.net.message import ONEWAY_KINDS, Message, ReplyPayload
 from repro.net.trace import MessageTrace
-from repro.net.transport import MessageHandler, ReplyCache, Transport
+from repro.net.transport import (
+    DEFAULT_RETRY_BUDGET,
+    MessageHandler,
+    ReplyCache,
+    Transport,
+)
 from repro.util.clock import Clock, WallClock
 
 _LENGTH_PREFIX = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024  # 64 MiB: a generous bound on one message
+
+#: Valid ``TcpNetwork(mode=...)`` values, slowest to fastest.
+MODES = ("per-call", "pooled", "pipelined")
 
 
 def _send_frame(sock: socket.socket, message: Message) -> None:
@@ -62,22 +108,262 @@ def _recv_frame(sock: socket.socket) -> Message:
     return message
 
 
+class _ChannelClosedError(ConnectionError):
+    """The channel died before this frame was written (safe to retry)."""
+
+
+class _Waiter:
+    """One caller parked on an in-flight pipelined request."""
+
+    __slots__ = ("_event", "_reply", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reply: Message | None = None
+        self._error: Exception | None = None
+
+    def resolve(self, reply: Message) -> None:
+        self._reply = reply
+        self._event.set()
+
+    def fail(self, error: Exception) -> None:
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout_s: float, message: Message) -> Message:
+        if not self._event.wait(timeout_s):
+            raise CallTimeoutError(
+                f"{message.describe()}: no reply within {timeout_s}s"
+            )
+        if self._error is not None:
+            # The frame was already on the wire, so the handler may have
+            # executed; surfacing unreachability (instead of retrying into
+            # a replaced node's fresh reply cache) preserves at-most-once.
+            raise NodeUnreachableError(
+                message.dst, f"connection lost awaiting reply: {self._error}"
+            ) from self._error
+        assert self._reply is not None
+        return self._reply
+
+
+class _Channel:
+    """One persistent client connection to a destination node.
+
+    Frames are written under a send lock; a reader thread demultiplexes
+    reply frames to parked callers by ``reply_to_id``, so many requests
+    can be in flight on one socket at once.  ``serialize=True`` ("pooled"
+    mode) additionally holds a request lock across each whole exchange,
+    keeping the connection reused but never pipelined.
+    """
+
+    def __init__(self, dst: str, sock: socket.socket, serialize: bool) -> None:
+        self.dst = dst
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._request_lock = threading.Lock() if serialize else None
+        # msg_id -> FIFO of waiters: a retransmission can put two frames of
+        # one id in flight; each incoming reply resolves the oldest waiter.
+        self._pending: dict[str, deque[_Waiter]] = {}
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"tcpnet-reader-{dst}", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def request(self, message: Message, timeout_s: float) -> Message:
+        if self._request_lock is not None:
+            with self._request_lock:
+                return self._request(message, timeout_s)
+        return self._request(message, timeout_s)
+
+    def _request(self, message: Message, timeout_s: float) -> Message:
+        waiter = _Waiter()
+        with self._state_lock:
+            if self._closed:
+                raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
+            self._pending.setdefault(message.msg_id, deque()).append(waiter)
+        try:
+            with self._send_lock:
+                _send_frame(self._sock, message)
+        except (ConnectionError, OSError) as exc:
+            self._discard_waiter(message.msg_id, waiter)
+            self.close()
+            raise _ChannelClosedError(f"send to {self.dst!r} failed: {exc}") from exc
+        except BaseException:
+            # e.g. MarshalError while pickling: nothing touched the wire,
+            # the channel stays healthy — just reclaim the parked waiter.
+            self._discard_waiter(message.msg_id, waiter)
+            raise
+        try:
+            return waiter.wait(timeout_s, message)
+        finally:
+            self._discard_waiter(message.msg_id, waiter)
+
+    def _discard_waiter(self, msg_id: str, waiter: _Waiter) -> None:
+        with self._state_lock:
+            waiters = self._pending.get(msg_id)
+            if waiters is None:
+                return
+            try:
+                waiters.remove(waiter)
+            except ValueError:
+                pass  # already resolved and popped by the reader
+            if not waiters:
+                del self._pending[msg_id]
+
+    def send_oneway(self, message: Message) -> None:
+        with self._state_lock:
+            if self._closed:
+                raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
+        try:
+            with self._send_lock:
+                _send_frame(self._sock, message)
+        except (ConnectionError, OSError) as exc:
+            self.close()
+            raise _ChannelClosedError(f"send to {self.dst!r} failed: {exc}") from exc
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                reply = _recv_frame(self._sock)
+            except Exception as exc:
+                self.close(exc)
+                return
+            waiter = None
+            with self._state_lock:
+                waiters = self._pending.get(reply.reply_to_id)
+                if waiters:
+                    waiter = waiters.popleft()
+                    if not waiters:
+                        del self._pending[reply.reply_to_id]
+            if waiter is not None:
+                waiter.resolve(reply)
+            # An unmatched reply (its caller timed out and left) is dropped.
+
+    def close(self, reason: Exception | None = None) -> None:
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = [w for waiters in self._pending.values() for w in waiters]
+            self._pending.clear()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if reason is None:
+            reason = ConnectionError(f"channel to {self.dst!r} closed")
+        for waiter in pending:
+            waiter.fail(reason)
+
+
+class _WorkerPool:
+    """Bounded pool of reusable dispatch workers, with overflow threads.
+
+    Up to ``max_workers`` resident threads execute submitted jobs.  When
+    every resident worker is busy, a submission runs on a temporary
+    overflow thread instead of queueing behind them: a handler blocked on
+    a nested call (a move's OBJECT_TRANSFER, a find's chain walk) may
+    need this pool to dispatch the very request it is waiting on, so a
+    strictly bounded queue could deadlock the whole transport.
+    """
+
+    def __init__(self, max_workers: int, name: str) -> None:
+        if max_workers <= 0:
+            raise ConfigurationError("worker pool needs at least one worker")
+        self._max = max_workers
+        self._name = name
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._jobs: deque = deque()
+        self._idle = 0
+        self._resident = 0
+        self._closed = False
+
+    def submit(self, fn, *args) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._jobs.append((fn, args))
+            # A notified-but-not-yet-woken worker still counts as idle, so
+            # compare idle workers against *queued* jobs: every queued job
+            # must have a distinct worker already parked for it, else a
+            # burst of submissions would serialize behind one worker.
+            if self._idle >= len(self._jobs):
+                self._wakeup.notify()
+                return
+            if self._resident < self._max:
+                self._resident += 1
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"{self._name}-worker-{self._resident}",
+                    daemon=True,
+                ).start()
+                return
+            self._jobs.pop()  # run the just-queued job on an overflow thread
+        threading.Thread(
+            target=self._run_job, args=(fn, args),
+            name=f"{self._name}-overflow", daemon=True,
+        ).start()
+
+    @staticmethod
+    def _run_job(fn, args) -> None:
+        try:
+            fn(*args)
+        except BaseException:
+            pass  # dispatch failures are the connection's problem
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._jobs and not self._closed:
+                    self._idle += 1
+                    self._wakeup.wait()
+                    self._idle -= 1
+                if self._closed:
+                    self._resident -= 1
+                    return
+                fn, args = self._jobs.popleft()
+            self._run_job(fn, args)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._jobs.clear()
+            self._wakeup.notify_all()
+
+
 class _NodeServer:
-    """Accept loop for one node: one thread per connection."""
+    """Listener for one node: per-connection serve loops feed the pool.
+
+    The accept loop hands each connection to a serve loop that only reads
+    frames and submits them to the shared worker pool; handler execution
+    and reply writes happen on pool workers, so a slow handler neither
+    stalls later frames on its connection nor grows one thread per
+    request.  Replies interleave safely under a per-connection write lock.
+    """
 
     def __init__(self, node_id: str, handler: MessageHandler, trace: MessageTrace,
-                 clock: Clock) -> None:
+                 clock: Clock, pool: _WorkerPool) -> None:
         self.node_id = node_id
         self.handler = handler
         self.reply_cache = ReplyCache()
         self._trace = trace
         self._clock = clock
+        self._pool = pool
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind(("127.0.0.1", 0))
         self._sock.listen(64)
         self.port = self._sock.getsockname()[1]
         self._closing = False
+        self._conn_lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
         self._thread = threading.Thread(
             target=self._accept_loop, name=f"tcpnet-{node_id}", daemon=True
         )
@@ -89,60 +375,135 @@ class _NodeServer:
                 conn, _ = self._sock.accept()
             except OSError:
                 return  # listening socket closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                if self._closing:
+                    conn.close()
+                    continue
+                self._conns.add(conn)
             threading.Thread(
                 target=self._serve, args=(conn,), daemon=True,
                 name=f"tcpnet-{self.node_id}-conn",
             ).start()
 
     def _serve(self, conn: socket.socket) -> None:
-        with conn:
+        write_lock = threading.Lock()
+        try:
+            while not self._closing:
+                try:
+                    message = _recv_frame(conn)
+                except (ConnectionError, MarshalError, EOFError, OSError):
+                    return
+                self._trace.record(message, self._clock.now_ms())
+                self._pool.submit(self._dispatch, conn, write_lock, message)
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
             try:
-                message = _recv_frame(conn)
-            except (ConnectionError, MarshalError, EOFError):
-                return
-            self._trace.record(message, self._clock.now_ms())
-            payload = Transport.execute_handler(message, self.handler, self.reply_cache)
-            if message.kind in ONEWAY_KINDS:
-                return  # one-way traffic carries no reply frame
-            reply = message.reply(payload)
-            self._trace.record(reply, self._clock.now_ms())
-            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, conn: socket.socket, write_lock: threading.Lock,
+                  message: Message) -> None:
+        try:
+            payload = Transport.execute_handler(
+                message, self.handler, self.reply_cache
+            )
+        except BaseException as exc:
+            # Control-flow abort (KeyboardInterrupt/SystemExit): the
+            # single-flight cache retained nothing, so a retransmission
+            # executes afresh.  Answer with an *uncached* transport error
+            # so the caller fails fast instead of waiting out its reply
+            # timeout — a KeyboardInterrupt itself cannot cross the wire.
+            payload = ReplyPayload(
+                error=TransportError(
+                    f"handler aborted by {type(exc).__name__}"
+                )
+            )
+        if message.kind in ONEWAY_KINDS:
+            return  # one-way traffic carries no reply frame
+        reply = message.reply(payload)
+        self._trace.record(reply, self._clock.now_ms())
+        try:
+            with write_lock:
                 _send_frame(conn, reply)
-            except (ConnectionError, OSError):
-                pass  # caller gave up; the reply cache covers their retry
+        except (ConnectionError, OSError):
+            pass  # caller gave up; the reply cache covers their retry
 
     def close(self) -> None:
+        """Stop listening and sever live connections, releasing the port.
+
+        In-flight exchanges on severed connections surface to their
+        callers as :class:`NodeUnreachableError` (their client channel's
+        reader sees the close and fails the parked waiters).
+        """
         self._closing = True
         try:
             self._sock.close()
         except OSError:
             pass
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
 
 
 class TcpNetwork(Transport):
-    """Transport over real loopback TCP sockets."""
+    """Transport over real loopback TCP sockets; see module docstring."""
 
     def __init__(self, clock: Clock | None = None, trace: MessageTrace | None = None,
-                 connect_timeout_s: float = 5.0, io_timeout_s: float = 30.0) -> None:
-        super().__init__(clock=clock if clock is not None else WallClock(), trace=trace)
-        self._servers: dict[str, _NodeServer] = {}
-        self._lock = threading.Lock()
+                 connect_timeout_s: float = 5.0, io_timeout_s: float = 30.0,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET,
+                 mode: str = "pipelined", server_workers: int = 8) -> None:
+        super().__init__(
+            clock=clock if clock is not None else WallClock(),
+            trace=trace,
+            retry_budget=retry_budget,
+        )
+        if mode not in MODES:
+            raise ConfigurationError(
+                f"unknown TCP mode {mode!r} (expected one of {MODES})"
+            )
+        self.mode = mode
         self.connect_timeout_s = connect_timeout_s
         self.io_timeout_s = io_timeout_s
+        self._servers: dict[str, _NodeServer] = {}
+        self._lock = threading.Lock()
+        self._channels: dict[tuple[str, str], _Channel] = {}
+        self._chan_lock = threading.Lock()
+        self._pool = _WorkerPool(server_workers, "tcpnet")
+
+    # -- node management ----------------------------------------------------
 
     def register(self, node_id: str, handler: MessageHandler) -> None:
+        # Build the replacement first and swap it in atomically: a call
+        # racing the re-registration sees either the old or the new server,
+        # never a missing node.
+        server = _NodeServer(node_id, handler, self.trace, self.clock, self._pool)
         with self._lock:
-            if node_id in self._servers:
-                self._servers[node_id].close()
-            self._servers[node_id] = _NodeServer(
-                node_id, handler, self.trace, self.clock
-            )
+            old = self._servers.get(node_id)
+            self._servers[node_id] = server
+        if old is not None:
+            # Replacing a live node: release its port and sever its
+            # connections so in-flight calls fail fast instead of hanging.
+            old.close()
+            self._drop_channels(node_id)
 
     def unregister(self, node_id: str) -> None:
         with self._lock:
             server = self._servers.pop(node_id, None)
         if server is not None:
             server.close()
+            self._drop_channels(node_id)
 
     def nodes(self) -> list[str]:
         with self._lock:
@@ -156,6 +517,8 @@ class TcpNetwork(Transport):
             raise NodeUnreachableError(node_id, "not registered")
         return server.port
 
+    # -- client-side connections ---------------------------------------------
+
     def _connect(self, dst: str) -> socket.socket:
         port = self.port_of(dst)
         try:
@@ -164,30 +527,114 @@ class TcpNetwork(Transport):
             )
         except OSError as exc:
             raise NodeUnreachableError(dst, f"connect failed: {exc}") from exc
-        sock.settimeout(self.io_timeout_s)
+        # Frames are small; Nagle-batching them against delayed ACKs stalls
+        # the pipelined mode badly, so send every frame immediately.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return sock
 
-    def _transmit(self, message: Message) -> Message:
-        sock = self._connect(message.dst)
+    def _channel(self, src: str, dst: str) -> _Channel:
+        key = (src, dst)
+        with self._chan_lock:
+            channel = self._channels.get(key)
+            if channel is not None and not channel.closed:
+                return channel
+        sock = self._connect(dst)
+        sock.settimeout(None)  # the reader blocks; reply timeouts are waiter-side
+        channel = _Channel(dst, sock, serialize=(self.mode == "pooled"))
+        with self._chan_lock:
+            current = self._channels.get(key)
+            if current is not None and not current.closed:
+                channel.close()  # lost the race; reuse the winner
+                return current
+            self._channels[key] = channel
+        return channel
+
+    def _drop_channels(self, dst: str) -> None:
+        with self._chan_lock:
+            stale = [key for key in self._channels if key[1] == dst]
+            channels = [self._channels.pop(key) for key in stale]
+        for channel in channels:
+            channel.close()
+
+    def open_channels(self) -> int:
+        """How many live pooled connections exist (for tests/diagnostics)."""
+        with self._chan_lock:
+            return sum(1 for c in self._channels.values() if not c.closed)
+
+    # -- delivery -------------------------------------------------------------
+
+    def _record_drop(self, message: Message) -> None:
+        """Trace an undeliverable *one-way* send, matching the simulated
+        network's accounting (two-way failures raise instead; recording
+        them here would skew cross-transport trace comparisons)."""
+        if message.kind in ONEWAY_KINDS:
+            self.trace.record(message, self.clock.now_ms(), dropped=True)
+
+    def _transmit_pooled(self, message: Message, op):
+        """Send via the pooled channel, with one stale-channel retry.
+
+        A pooled connection may have died since its last use (the peer
+        re-registered or unregistered).  ``_ChannelClosedError`` means the
+        frame provably never left this side, so reconnecting and resending
+        preserves at-most-once; any post-send failure surfaces from ``op``
+        as :class:`NodeUnreachableError` instead.
+        """
+        for _ in range(2):
+            try:
+                channel = self._channel(message.src, message.dst)
+            except NodeUnreachableError:
+                self._record_drop(message)
+                raise
+            try:
+                return op(channel)
+            except _ChannelClosedError:
+                continue
+        self._record_drop(message)
+        raise NodeUnreachableError(message.dst, "connection lost before send")
+
+    def _per_call_send(self, message: Message, want_reply: bool) -> Message | None:
+        """One fresh-connection exchange (the early-RMI baseline mode)."""
+        try:
+            sock = self._connect(message.dst)
+        except NodeUnreachableError:
+            self._record_drop(message)
+            raise
+        sock.settimeout(self.io_timeout_s)
         with sock:
             try:
                 _send_frame(sock, message)
-                return _recv_frame(sock)
+                return _recv_frame(sock) if want_reply else None
             except (ConnectionError, socket.timeout, OSError) as exc:
+                self._record_drop(message)  # one-way only; no-op for calls
                 raise NodeUnreachableError(message.dst, f"io failed: {exc}") from exc
+
+    def _transmit(self, message: Message) -> Message:
+        if self.mode == "per-call":
+            return self._per_call_send(message, want_reply=True)
+        return self._transmit_pooled(
+            message, lambda channel: channel.request(message, self.io_timeout_s)
+        )
 
     def _transmit_oneway(self, message: Message) -> None:
-        sock = self._connect(message.dst)
-        with sock:
-            try:
-                _send_frame(sock, message)
-            except (ConnectionError, OSError) as exc:
-                raise NodeUnreachableError(message.dst, f"io failed: {exc}") from exc
+        if self.mode == "per-call":
+            self._per_call_send(message, want_reply=False)
+            return
+        self._transmit_pooled(
+            message, lambda channel: channel.send_oneway(message)
+        )
+
+    # -- lifecycle -------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Close every listening socket (idempotent)."""
+        """Close every listening socket, connection and worker (idempotent)."""
         with self._lock:
             servers = list(self._servers.values())
             self._servers.clear()
+        with self._chan_lock:
+            channels = list(self._channels.values())
+            self._channels.clear()
+        for channel in channels:
+            channel.close()
         for server in servers:
             server.close()
+        self._pool.close()

@@ -1,10 +1,17 @@
 """Transport abstraction.
 
 A transport delivers :class:`~repro.net.message.Message` envelopes between
-named nodes.  Two interaction styles exist, matching the paper's protocols:
+named nodes.  Three interaction styles exist, matching the paper's
+protocols:
 
 * ``call`` — synchronous request/response, the shape of an RMI call.  All
   of RPC/REV/COD/GREV/CLE traffic is built from calls.
+* ``call_many`` — a *batch* of request/response exchanges riding one
+  frame (one round trip).  Multi-step runtime operations whose requests
+  are independent — e.g. instantiate-then-publish — can collapse their
+  round trips without changing per-request semantics: each sub-request
+  keeps its own message id, its own at-most-once slot in the reply cache,
+  and its own marshalled result or exception.
 * ``cast`` — one-way, asynchronous.  Mobile-agent hops use casts: the
   paper's §3.5 distinguishes REV (single hop, synchronous) from MA
   (multi-hop, asynchronous).
@@ -15,6 +22,13 @@ lost *after* the handler ran, every node's dispatch path is wrapped in a
 :class:`ReplyCache` keyed by message id, giving at-most-once execution —
 retries of an executed request replay the cached reply instead of
 re-executing a (possibly non-idempotent) move.
+
+The at-most-once path is *single-flight*: while a request is executing,
+a concurrently arriving retransmission of the same message id blocks on
+the in-flight execution and then replays its reply, rather than missing
+the cache and running the handler a second time.  Control-flow exceptions
+(``KeyboardInterrupt``, ``SystemExit``) are never cached as replies; they
+propagate out of the dispatch path so a node can actually shut down.
 """
 
 from __future__ import annotations
@@ -22,7 +36,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.errors import MessageLostError, NodeUnreachableError
 from repro.net.message import Message, MessageKind, ReplyPayload
@@ -43,6 +57,13 @@ class ReplyCache:
     A bounded LRU; old entries are evicted once ``capacity`` is exceeded.
     Retries reuse the same message id, so a retransmission of an
     already-executed request returns the remembered reply.
+
+    The cache also tracks *in-flight* executions (:meth:`begin` /
+    :meth:`finish`), giving dispatchers single-flight semantics: a
+    retransmission that arrives while the original request is still
+    executing waits for that execution instead of starting a second one.
+    In-flight slots are unbounded by ``capacity`` (they are bounded by the
+    dispatcher's own concurrency) and are always released by ``finish``.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -50,6 +71,7 @@ class ReplyCache:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._entries: OrderedDict[str, ReplyPayload] = OrderedDict()
+        self._inflight: dict[str, threading.Event] = {}
         self._lock = threading.Lock()
 
     def get(self, msg_id: str) -> ReplyPayload | None:
@@ -63,10 +85,46 @@ class ReplyCache:
     def put(self, msg_id: str, payload: ReplyPayload) -> None:
         """Remember ``payload`` as the reply for ``msg_id``."""
         with self._lock:
-            self._entries[msg_id] = payload
-            self._entries.move_to_end(msg_id)
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
+            self._put_locked(msg_id, payload)
+
+    def _put_locked(self, msg_id: str, payload: ReplyPayload) -> None:
+        self._entries[msg_id] = payload
+        self._entries.move_to_end(msg_id)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def begin(self, msg_id: str) -> ReplyPayload | threading.Event | None:
+        """Single-flight entry point for executing ``msg_id``.
+
+        Returns the cached :class:`ReplyPayload` when the request already
+        executed, a :class:`threading.Event` to wait on when another thread
+        is executing it right now, or ``None`` when the caller now owns the
+        execution and must eventually call :meth:`finish`.
+        """
+        with self._lock:
+            payload = self._entries.get(msg_id)
+            if payload is not None:
+                self._entries.move_to_end(msg_id)
+                return payload
+            event = self._inflight.get(msg_id)
+            if event is not None:
+                return event
+            self._inflight[msg_id] = threading.Event()
+            return None
+
+    def finish(self, msg_id: str, payload: ReplyPayload | None) -> None:
+        """End the flight :meth:`begin` granted, waking any waiters.
+
+        ``payload`` is cached as the reply; pass ``None`` to release the
+        flight without caching (control-flow exceptions), letting a later
+        retransmission execute afresh.
+        """
+        with self._lock:
+            if payload is not None:
+                self._put_locked(msg_id, payload)
+            event = self._inflight.pop(msg_id, None)
+        if event is not None:
+            event.set()
 
     def __len__(self) -> int:
         with self._lock:
@@ -121,15 +179,47 @@ class Transport(ABC):
         re-raise here.
         """
         message = Message(kind=kind, src=src, dst=dst, payload=payload)
+        return self._unwrap(self._transmit_with_retries(message))
+
+    def call_many(self, src: str, dst: str,
+                  requests: Sequence[tuple[MessageKind, Any]]) -> list[Any]:
+        """Batched request/response: many requests, one frame, one round trip.
+
+        Each ``(kind, payload)`` pair executes at the destination exactly as
+        an individual ``call`` would — its own message id, its own
+        at-most-once reply-cache slot — but the batch crosses the network as
+        a single BATCH envelope, so N requests cost one round trip instead
+        of N.  Results return in request order.  Sub-requests execute
+        *sequentially*, and the first failure stops the batch — exactly the
+        behaviour of the sequence of ``call``s the batch replaces, where a
+        raised error prevents the later calls from ever being issued.  That
+        first error re-raises here.
+        """
+        if not requests:
+            return []
+        subs = tuple(
+            Message(kind=kind, src=src, dst=dst, payload=payload)
+            for kind, payload in requests
+        )
+        batch = Message(kind=MessageKind.BATCH, src=src, dst=dst, payload=subs)
+        payloads = self._unwrap(self._transmit_with_retries(batch))
+        results = []
+        for payload in payloads:
+            if payload.is_error:
+                raise payload.error
+            results.append(payload.value)
+        return results
+
+    def _transmit_with_retries(self, message: Message) -> Message:
+        """Shared retry loop for ``call`` / ``call_many``."""
         attempts = self.retry_budget + 1
         last_loss: MessageLostError | None = None
         for _ in range(attempts):
             try:
-                reply = self._transmit(message)
+                return self._transmit(message)
             except MessageLostError as exc:
                 last_loss = exc
                 continue
-            return self._unwrap(reply)
         raise MessageLostError(
             f"{message.describe()} lost {attempts} times (retry budget exhausted)"
         ) from last_loss
@@ -170,14 +260,49 @@ class Transport(ABC):
     @staticmethod
     def execute_handler(message: Message, handler: MessageHandler,
                         cache: ReplyCache) -> ReplyPayload:
-        """Run ``handler`` under at-most-once semantics; shared by transports."""
-        cached = cache.get(message.msg_id)
-        if cached is not None:
-            return cached
-        try:
-            value = handler(message)
-            payload = ReplyPayload(value=value)
-        except BaseException as exc:  # marshalled back to the caller
-            payload = ReplyPayload(error=exc)
-        cache.put(message.msg_id, payload)
-        return payload
+        """Run ``handler`` under at-most-once semantics; shared by transports.
+
+        Single-flight: concurrent retransmissions of one message id (a
+        retry racing a still-running original) converge on one handler
+        execution — the duplicates wait and replay its reply.  Handler
+        exceptions are marshalled into the reply; control-flow exceptions
+        (``KeyboardInterrupt``/``SystemExit``) propagate uncached so they
+        can actually stop the process instead of being replayed to callers
+        forever.  BATCH envelopes dispatch each sub-request through this
+        same path, so sub-requests get per-id deduplication too.
+        """
+        while True:
+            token = cache.begin(message.msg_id)
+            if isinstance(token, ReplyPayload):
+                return token
+            if token is not None:  # another thread owns the flight
+                token.wait()
+                # The flight finished; loop to pick up its cached reply.
+                # (A control-flow abort or eviction under capacity pressure
+                # may have left no entry — then this thread claims the
+                # flight and executes.)
+                continue
+            payload: ReplyPayload | None = None
+            try:
+                if message.kind is MessageKind.BATCH:
+                    # Sequential, fail-fast: a failed step prevents the
+                    # later steps from running, like the sequence of calls
+                    # the batch replaces (an instantiate that raised must
+                    # not be followed by its publish).
+                    sub_payloads: list[ReplyPayload] = []
+                    for sub in message.payload:
+                        sub_payload = Transport.execute_handler(
+                            sub, handler, cache
+                        )
+                        sub_payloads.append(sub_payload)
+                        if sub_payload.is_error:
+                            break
+                    value = tuple(sub_payloads)
+                else:
+                    value = handler(message)
+                payload = ReplyPayload(value=value)
+            except Exception as exc:  # marshalled back to the caller
+                payload = ReplyPayload(error=exc)
+            finally:
+                cache.finish(message.msg_id, payload)
+            return payload

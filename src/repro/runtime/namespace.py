@@ -154,6 +154,19 @@ class Namespace:
         """Weakly migrate ``name`` to ``target``; returns the new location."""
         return self.server.move(name, target, origin_hint, lock_token, location)
 
+    def instantiate(self, class_name: str, name: str, target: str,
+                    args: tuple = (), kwargs: dict | None = None,
+                    shared: bool = True, batched: bool = False):
+        """Create an object of a cached class at ``target`` and register it.
+
+        ``batched=True`` collapses the instantiate and publish round trips
+        into one ``call_many`` frame.
+        """
+        return self.server.instantiate(
+            class_name, name, target, args=args, kwargs=kwargs,
+            shared=shared, batched=batched,
+        )
+
     def lock(self, name: str, target: str, origin_hint: str | None = None,
              timeout_ms: float | None = None):
         """§4.4 bracket: acquire the stay/move lock before binding."""

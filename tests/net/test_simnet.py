@@ -206,3 +206,99 @@ class TestCasts:
 
         net.register("b", boom)
         net.cast("a", "b", MessageKind.AGENT_HOP)  # must not raise
+
+    def test_cast_to_unreachable_node_traces_a_drop(self):
+        net = SimNetwork(synchronous_casts=True)
+        net.register("a", lambda m: None)
+        net.cast("a", "ghost", MessageKind.AGENT_HOP, "state")  # must not raise
+        dropped = [e for e in net.trace.events() if e.dropped]
+        assert len(dropped) == 1
+        assert dropped[0].kind == "AGENT_HOP"
+        assert dropped[0].dst == "ghost"
+
+
+class TestCallMany:
+    def _net(self, **kwargs):
+        net = SimNetwork(**kwargs)
+        net.register("a", lambda m: None)
+        net.register("b", echo_handler)
+        return net
+
+    def test_results_in_request_order(self):
+        net = self._net()
+        values = net.call_many(
+            "a", "b", [(MessageKind.PING, i) for i in range(5)]
+        )
+        assert values == [("echo", i) for i in range(5)]
+
+    def test_empty_batch_sends_nothing(self):
+        net = self._net()
+        assert net.call_many("a", "b", []) == []
+        assert len(net.trace) == 0
+
+    def test_batch_costs_one_round_trip(self):
+        net = self._net(latency=ConstantLatency(remote_ms=10.0, local_ms=0.0))
+        net.call_many("a", "b", [(MessageKind.PING, i) for i in range(5)])
+        # One BATCH frame out, one reply frame back: 20 virtual ms total,
+        # not 5 round trips.
+        assert net.clock.now_ms() == 20.0
+        assert net.trace.kinds() == ["BATCH", "REPLY(BATCH)"]
+
+    def test_subrequest_error_reraises(self):
+        def picky(message):
+            if message.payload == "bad":
+                raise KeyError("nope")
+            return message.payload
+
+        net = SimNetwork()
+        net.register("a", lambda m: None)
+        net.register("b", picky)
+        with pytest.raises(KeyError):
+            net.call_many(
+                "a", "b",
+                [(MessageKind.PING, "ok"), (MessageKind.PING, "bad")],
+            )
+
+    def test_failed_subrequest_stops_the_batch(self):
+        """Fail-fast like the sequence of calls the batch replaces: steps
+        after the failing one never execute."""
+        executed = []
+
+        def picky(message):
+            executed.append(message.payload)
+            if message.payload == "bad":
+                raise KeyError("nope")
+            return message.payload
+
+        net = SimNetwork()
+        net.register("a", lambda m: None)
+        net.register("b", picky)
+        with pytest.raises(KeyError):
+            net.call_many(
+                "a", "b",
+                [
+                    (MessageKind.PING, "ok"),
+                    (MessageKind.PING, "bad"),
+                    (MessageKind.PING, "after"),
+                ],
+            )
+        assert executed == ["ok", "bad"]
+
+    def test_batch_retransmission_is_at_most_once(self):
+        calls = []
+
+        def counting_handler(message):
+            calls.append(message.msg_id)
+            return "done"
+
+        net = SimNetwork(loss=DeterministicLoss({"REPLY": 1}))
+        net.register("a", lambda m: None)
+        net.register("b", counting_handler)
+        values = net.call_many(
+            "a", "b", [(MessageKind.PING, 1), (MessageKind.PING, 2)]
+        )
+        assert values == ["done", "done"]
+        # The reply was lost and the whole batch retransmitted, but each
+        # sub-request executed exactly once (per-id reply-cache slots).
+        assert len(calls) == 2
+        assert len(set(calls)) == 2

@@ -1,12 +1,13 @@
 """The real TCP loopback transport."""
 
 import threading
+import time
 
 import pytest
 
-from repro.errors import NodeUnreachableError
-from repro.net.message import MessageKind
-from repro.net.tcpnet import TcpNetwork
+from repro.errors import ConfigurationError, NodeUnreachableError
+from repro.net.message import Message, MessageKind
+from repro.net.tcpnet import MODES, TcpNetwork
 
 
 @pytest.fixture
@@ -83,3 +84,220 @@ class TestTcpDelivery:
         kinds = net.trace.kinds()
         assert "PING" in kinds
         assert "REPLY(PING)" in kinds
+
+
+class TestConnectionModes:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_round_trip_in_every_mode(self, mode):
+        net = TcpNetwork(mode=mode)
+        try:
+            net.register("a", lambda m: None)
+            net.register("b", lambda m: ("echo", m.payload))
+            assert net.call("a", "b", MessageKind.PING, 5) == ("echo", 5)
+        finally:
+            net.shutdown()
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_concurrent_calls_in_every_mode(self, mode):
+        net = TcpNetwork(mode=mode)
+        try:
+            net.register("client", lambda m: None)
+            net.register("server", lambda m: m.payload * 2)
+            results = {}
+
+            def worker(i):
+                results[i] = net.call("client", "server", MessageKind.PING, i)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results == {i: i * 2 for i in range(8)}
+        finally:
+            net.shutdown()
+
+    def test_pipelined_calls_share_one_connection(self):
+        net = TcpNetwork(mode="pipelined")
+        try:
+            net.register("client", lambda m: None)
+            net.register("server", lambda m: m.payload)
+            threads = [
+                threading.Thread(
+                    target=net.call,
+                    args=("client", "server", MessageKind.PING, i),
+                )
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert net.open_channels() == 1
+        finally:
+            net.shutdown()
+
+    def test_per_call_mode_pools_nothing(self):
+        net = TcpNetwork(mode="per-call")
+        try:
+            net.register("a", lambda m: None)
+            net.register("b", lambda m: "ok")
+            net.call("a", "b", MessageKind.PING)
+            assert net.open_channels() == 0
+        finally:
+            net.shutdown()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcpNetwork(mode="carrier-pigeon")
+
+
+class TestConfig:
+    def test_retry_budget_is_forwarded(self):
+        net = TcpNetwork(retry_budget=3)
+        try:
+            assert net.retry_budget == 3
+        finally:
+            net.shutdown()
+
+
+class TestDropTracing:
+    def test_cast_to_unknown_destination_traces_a_drop(self, net):
+        net.register("a", lambda m: None)
+        net.cast("a", "ghost", MessageKind.AGENT_HOP, "state")  # must not raise
+        dropped = [e for e in net.trace.events() if e.dropped]
+        assert len(dropped) == 1
+        assert dropped[0].kind == "AGENT_HOP"
+        assert dropped[0].dst == "ghost"
+
+    def test_per_call_cast_to_unknown_destination_traces_a_drop(self):
+        net = TcpNetwork(mode="per-call")
+        try:
+            net.register("a", lambda m: None)
+            net.cast("a", "ghost", MessageKind.AGENT_HOP)
+            dropped = [e for e in net.trace.events() if e.dropped]
+            assert len(dropped) == 1
+        finally:
+            net.shutdown()
+
+
+class TestAtMostOnce:
+    def test_duplicate_retransmission_executes_handler_once(self, net):
+        """Two concurrent transmissions of one message id (a retry racing
+        the delayed original) must run the handler exactly once."""
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def slow_handler(message):
+            calls.append(message.msg_id)
+            started.set()
+            release.wait(5)
+            return "slow"
+
+        net.register("a", lambda m: None)
+        net.register("b", slow_handler)
+        message = Message(kind=MessageKind.PING, src="a", dst="b")
+        replies = []
+
+        def transmit():
+            replies.append(net._transmit(message))
+
+        original = threading.Thread(target=transmit)
+        original.start()
+        assert started.wait(5)
+        retransmission = threading.Thread(target=transmit)
+        retransmission.start()
+        time.sleep(0.1)  # the duplicate reaches the server mid-flight
+        release.set()
+        original.join(5)
+        retransmission.join(5)
+        assert len(calls) == 1
+        assert [r.payload.value for r in replies] == ["slow", "slow"]
+
+
+class TestControlFlowAbort:
+    def test_aborted_handler_fails_fast_and_is_not_cached(self, net):
+        """A handler dying with KeyboardInterrupt answers the caller with
+        an uncached TransportError immediately (no reply-timeout hang);
+        a retransmission of the same message id executes afresh."""
+        from repro.errors import TransportError
+        from repro.net.transport import Transport
+
+        calls = []
+
+        def interrupted_once(message):
+            calls.append(1)
+            if len(calls) == 1:
+                raise KeyboardInterrupt()
+            return "recovered"
+
+        net.register("a", lambda m: None)
+        net.register("b", interrupted_once)
+        message = Message(kind=MessageKind.PING, src="a", dst="b")
+        start = time.time()
+        reply = net._transmit(message)
+        with pytest.raises(TransportError, match="aborted by KeyboardInterrupt"):
+            Transport._unwrap(reply)
+        assert time.time() - start < 5  # failed fast, no timeout wait
+        retry = net._transmit(message)
+        assert Transport._unwrap(retry) == "recovered"
+        assert len(calls) == 2
+
+
+class TestRegisterReplacement:
+    def test_replacing_a_live_node_changes_port_and_serves_new_handler(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: "old")
+        assert net.call("a", "b", MessageKind.PING) == "old"
+        old_port = net.port_of("b")
+        net.register("b", lambda m: "new")
+        assert net.port_of("b") != old_port
+        assert net.call("a", "b", MessageKind.PING) == "new"
+
+    def test_in_flight_call_surfaces_unreachable_on_replacement(self, net):
+        entered = threading.Event()
+        hold = threading.Event()
+
+        def stuck_handler(message):
+            entered.set()
+            hold.wait(10)
+            return "too late"
+
+        net.register("a", lambda m: None)
+        net.register("b", stuck_handler)
+        outcome = {}
+
+        def caller():
+            try:
+                outcome["value"] = net.call("a", "b", MessageKind.PING)
+            except NodeUnreachableError:
+                outcome["unreachable"] = True
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        assert entered.wait(5)
+        net.register("b", lambda m: "replacement")  # severs the old server
+        thread.join(5)
+        hold.set()
+        assert outcome == {"unreachable": True}
+        # The transport recovers: new calls reach the replacement handler.
+        assert net.call("a", "b", MessageKind.PING) == "replacement"
+
+
+class TestCallMany:
+    def test_batch_over_tcp(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: ("echo", m.payload))
+        values = net.call_many(
+            "a", "b", [(MessageKind.PING, i) for i in range(4)]
+        )
+        assert values == [("echo", i) for i in range(4)]
+
+    def test_batch_rides_one_frame(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: m.payload)
+        net.call_many("a", "b", [(MessageKind.PING, i) for i in range(6)])
+        assert net.trace.kinds() == ["BATCH", "REPLY(BATCH)"]

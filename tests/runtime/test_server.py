@@ -108,6 +108,58 @@ class TestInstantiate:
         server.instantiate("Counter", "c-remote", "beta")
         assert pair["alpha"].namespace.registry.forwarding_hint("c-remote") == "beta"
 
+    def test_batched_instantiate_rides_one_round_trip(self, pair):
+        """``batched=True`` collapses instantiate + publish into one
+        call_many frame: 2 remote messages instead of 4."""
+        pair["alpha"].register_class(PrintServer)
+        server = pair["alpha"].namespace.server
+        server.push_class("PrintServer", "beta")
+        before = pair.trace.remote_message_count()
+        ref = server.instantiate(
+            "PrintServer", "ps-batched", "beta", args=("inkjet",), batched=True
+        )
+        assert pair.trace.remote_message_count() - before == 2
+        assert ref.node_id == "beta"
+        # The publish step still happened: the name resolves and invokes.
+        stub = pair["alpha"].namespace.naming.lookup("mage://beta/ps-batched")
+        assert stub.print_job("doc") == "inkjet:1:doc"
+        assert (
+            pair["alpha"].namespace.registry.forwarding_hint("ps-batched")
+            == "beta"
+        )
+
+    def test_batched_and_unbatched_publish_identical_refs(self, pair):
+        """The batched path predicts the ref for its REGISTRY_BIND step
+        (it cannot wait for the INSTANTIATE reply inside one frame); this
+        pins the prediction to what the unbatched path actually binds."""
+        pair["alpha"].register_class(Counter)
+        server = pair["alpha"].namespace.server
+        server.push_class("Counter", "beta")
+        server.instantiate("Counter", "c-plain", "beta")
+        server.instantiate("Counter", "c-batch2", "beta", batched=True)
+        plain = pair["beta"].namespace.rmi_registry.lookup("c-plain")
+        batched = pair["beta"].namespace.rmi_registry.lookup("c-batch2")
+        assert plain.node_id == batched.node_id
+        assert plain.methods == batched.methods
+
+    def test_batched_instantiate_failure_does_not_publish(self, pair):
+        """A failed INSTANTIATE stops the batch before the REGISTRY_BIND
+        step, so no dangling binding appears (matching batched=False)."""
+        with pytest.raises(ClassTransferError):
+            pair["alpha"].namespace.server.instantiate(
+                "Ghost", "ghost-batched", "beta", batched=True
+            )
+        assert not pair["beta"].namespace.rmi_registry.contains("ghost-batched")
+
+    def test_batched_instantiate_via_namespace_facade(self, pair):
+        pair["alpha"].register_class(Counter)
+        pair["alpha"].namespace.server.push_class("Counter", "beta")
+        ref = pair["alpha"].namespace.instantiate(
+            "Counter", "c-batch", "beta", args=(4,), batched=True
+        )
+        assert ref.node_id == "beta"
+        assert pair["alpha"].stub("c-batch").get() == 4
+
 
 class TestLockBracket:
     def test_lock_unlock_round_trip(self, pair):
