@@ -1,13 +1,19 @@
-"""Cluster harness: nodes, bring-up, discovery, and load modelling."""
+"""Cluster harness: nodes, bring-up, discovery, load modelling/balancing."""
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.discovery import DiscoveryService
-from repro.cluster.load import LoadMonitor, OscillatingProfile, RampProfile
+from repro.cluster.load import (
+    LoadBalancer,
+    LoadMonitor,
+    OscillatingProfile,
+    RampProfile,
+)
 from repro.cluster.node import Node
 
 __all__ = [
     "Cluster",
     "DiscoveryService",
+    "LoadBalancer",
     "LoadMonitor",
     "Node",
     "OscillatingProfile",

@@ -9,6 +9,7 @@ load-balancing policy and the examples' controllers build on.
 
 from __future__ import annotations
 
+from repro.cluster.load import least_loaded
 from repro.errors import MageError, TransportError
 from repro.runtime.namespace import Namespace
 
@@ -35,26 +36,23 @@ class DiscoveryService:
             return False
 
     def alive_peers(self) -> list[str]:
-        """Peers that answer a PING right now."""
-        return [n for n in self.peers() if self.is_alive(n)]
+        """Peers that answer a PING right now (one parallel sweep)."""
+        answers = self.ns.server.ping_many(self.peers())
+        return [n for n in self.peers() if answers.get(n)]
 
     def loads(self, candidates: list[str] | None = None) -> dict[str, float]:
-        """Current load of each candidate (default: all alive peers)."""
+        """Current load of each candidate (default: all alive peers).
+
+        A scatter-gather LOAD_QUERY sweep: a host that vanished mid-query
+        simply drops out, and on the pipelined TCP transport N candidates
+        cost one round-trip latency, not N.
+        """
         nodes = candidates if candidates is not None else self.alive_peers()
-        result: dict[str, float] = {}
-        for node in nodes:
-            try:
-                result[node] = self.ns.query_load(node)
-            except (TransportError, MageError):
-                continue  # a host that vanished mid-query simply drops out
-        return result
+        return self.ns.server.query_load_many(nodes, skip_unreachable=True)
 
     def least_loaded(self, candidates: list[str] | None = None) -> str:
         """The least-loaded candidate (ties broken by name).
 
         Raises :class:`MageError` when no candidate answered.
         """
-        loads = self.loads(candidates)
-        if not loads:
-            raise MageError("no candidate host answered a load query")
-        return min(loads.items(), key=lambda item: (item[1], item[0]))[0]
+        return least_loaded(self.loads(candidates))

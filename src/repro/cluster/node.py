@@ -30,6 +30,7 @@ class Node:
         class_cache: bool = True,
         path_collapsing: bool = True,
         always_ship_class: bool = False,
+        probe_classes: bool = False,
         initial_load: float = 0.0,
     ) -> None:
         self.load_monitor = LoadMonitor(initial_load)
@@ -40,6 +41,7 @@ class Node:
             class_cache=class_cache,
             path_collapsing=path_collapsing,
             always_ship_class=always_ship_class,
+            probe_classes=probe_classes,
             load_provider=self.load_monitor.get_load,
         )
         self.discovery = DiscoveryService(self.namespace)
@@ -67,9 +69,10 @@ class Node:
         return self.namespace.register_class(cls)
 
     def find(self, name: str, origin_hint: str | None = None,
-             verify: bool = True) -> str:
+             verify: bool = True, candidates=None) -> str:
         """Node id currently hosting ``name``."""
-        return self.namespace.find(name, origin_hint, verify=verify)
+        return self.namespace.find(name, origin_hint, verify=verify,
+                                   candidates=candidates)
 
     def stub(self, name: str, location: str | None = None):
         """A live proxy for ``name``."""

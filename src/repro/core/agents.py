@@ -134,12 +134,14 @@ class AgentManager:
             return
         mover = self.ns.mover
         desc = mover.descriptor_for(agent)
+        probe = mover.begin_class_probe(next_node, desc)
+        state_blob = mover.pack_state(agent)  # overlaps the probe's round trip
         payload = AgentHopPayload(
             name=name,
             class_name=desc.class_name,
-            state_blob=mover.pack_state(agent),
-            class_desc=desc if mover.always_ship_class or not self._receiver_has(
-                next_node, desc
+            state_blob=state_blob,
+            class_desc=desc if mover.resolve_class_probe(
+                probe, next_node, desc
             ) else None,
             class_hash=desc.source_hash,
             origin=self.ns.node_id,
@@ -155,10 +157,6 @@ class AgentManager:
         self.ns.transport.cast(
             self.ns.node_id, next_node, MessageKind.AGENT_HOP, payload
         )
-
-    def _receiver_has(self, node: str, desc: ClassDescriptor) -> bool:
-        # Delegate to the mover's knowledge of which nodes cache which classes.
-        return not self.ns.mover._must_ship(node, desc)  # noqa: SLF001 — same subsystem
 
     def _on_launch(self, payload: AgentLaunch) -> str:
         if not self.ns.store.contains(payload.name):

@@ -26,6 +26,47 @@ Shared guarantees, regardless of transport:
   own message id and at-most-once slot.
 * **Drop tracing** — an undeliverable one-way send is recorded in the
   :class:`repro.net.trace.MessageTrace` as a drop on both transports.
+
+The asynchronous invocation core
+--------------------------------
+
+``Transport.call_async`` and ``Transport.call_many_async`` are the
+future-returning forms of ``call``/``call_many`` — the primitive every
+multi-node runtime operation (class fan-out, load sweeps, parallel find
+probes, cluster broadcast) scatters over.  They return a
+:class:`repro.net.transport.CallFuture`:
+
+``future.result(timeout_s=None)``
+    Block until the exchange completes; return the reply value or re-raise
+    exactly what the blocking call would have raised (marshalled handler
+    exceptions, ``NodeUnreachableError``, ``CallTimeoutError``, ...).
+    ``call(...)`` *is* ``call_async(...).result()``, so the forms cannot
+    drift.  On the pipelined TCP transport the default timeout is the
+    transport's io timeout, and an expired wait abandons the exchange
+    (late replies are dropped; the future fails permanently).
+``future.exception(timeout_s=None)``
+    Block the same way, but *return* the failure (``None`` on success) —
+    what sweeps that tolerate partial failure want.
+``future.done()``
+    Non-blocking completion check.
+``future.map(fn)``
+    A derived future resolving to ``fn(value)``; the mapper runs lazily on
+    the collecting thread (RMI unmarshals results this way, off the
+    transport's reader thread).
+``future.add_done_callback(fn)``
+    Run ``fn(future)`` on completion (immediately if already done).
+
+:func:`repro.net.transport.gather` collects a sequence of futures in
+order; ``gather(fs, return_exceptions=True)`` substitutes the exception
+object for failed entries so one dead node cannot abort a sweep.
+
+Completion model: the **simulated network** completes futures eagerly on
+the calling thread — deterministic messages, traces, and virtual-clock
+charges, identical to the equivalent loop of blocking calls.  The
+**pipelined TCP transport** implements futures natively on its waiter
+mechanism: submission writes the frame, the connection's reader thread
+resolves the future, so N outstanding futures overlap N round trips on
+one socket.
 """
 
 from repro.net.conditions import (
@@ -42,10 +83,11 @@ from repro.net.message import Message, MessageKind
 from repro.net.simnet import SimNetwork
 from repro.net.tcpnet import TcpNetwork
 from repro.net.trace import MessageTrace, TraceEvent
-from repro.net.transport import Transport
+from repro.net.transport import CallFuture, Transport, gather
 
 __all__ = [
     "BernoulliLoss",
+    "CallFuture",
     "ConstantLatency",
     "DeterministicLoss",
     "LatencyModel",
@@ -60,4 +102,5 @@ __all__ = [
     "TraceEvent",
     "Transport",
     "UniformLatency",
+    "gather",
 ]

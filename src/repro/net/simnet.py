@@ -21,6 +21,15 @@ Properties that matter for the reproduction:
 into one BATCH envelope, and because this transport charges latency per
 *message*, a batch of N requests costs one round trip on the virtual
 clock — exactly the saving the pooled TCP transport realizes in real time.
+
+``Transport.call_async`` likewise needs no code: the base class completes
+the future *eagerly on the calling thread*, so a scatter-gather over this
+transport executes its exchanges sequentially in submission order — same
+messages, same trace, same virtual-clock charges as the equivalent loop of
+blocking calls.  Determinism is the point: the figure benches that assert
+literal message sequences keep holding for code written against the async
+API, while the real TCP transport gives that same code genuinely
+overlapped round trips.
 """
 
 from __future__ import annotations

@@ -17,7 +17,12 @@ Three client-side connection strategies (``mode=``), slowest to fastest:
   many concurrent exchanges at once: frames are written under a send
   lock, and a reader thread demultiplexes reply frames to waiting
   callers by ``Message.reply_to_id``.  N threads calling into one
-  destination share one socket and one round-trip pipeline.
+  destination share one socket and one round-trip pipeline.  The same
+  mechanism implements ``call_async`` natively: submission writes the
+  frame and parks a :class:`~repro.net.transport.CallFuture` that the
+  reader thread resolves, so one caller can scatter N requests (to one
+  node or to N nodes) and overlap every round trip without extra
+  threads.
 
 Server side, each node runs a per-connection *serve loop* (a thread that
 only reads frames) feeding a bounded worker pool that executes handlers
@@ -48,6 +53,7 @@ import pickle
 import socket
 import struct
 import threading
+import time
 from collections import deque
 
 from repro.errors import (
@@ -61,6 +67,7 @@ from repro.net.message import ONEWAY_KINDS, Message, ReplyPayload
 from repro.net.trace import MessageTrace
 from repro.net.transport import (
     DEFAULT_RETRY_BUDGET,
+    CallFuture,
     MessageHandler,
     ReplyCache,
     Transport,
@@ -183,26 +190,37 @@ class _Channel:
 
     def _request(self, message: Message, timeout_s: float) -> Message:
         waiter = _Waiter()
-        with self._state_lock:
-            if self._closed:
-                raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
-            self._pending.setdefault(message.msg_id, deque()).append(waiter)
-        try:
-            with self._send_lock:
-                _send_frame(self._sock, message)
-        except (ConnectionError, OSError) as exc:
-            self._discard_waiter(message.msg_id, waiter)
-            self.close()
-            raise _ChannelClosedError(f"send to {self.dst!r} failed: {exc}") from exc
-        except BaseException:
-            # e.g. MarshalError while pickling: nothing touched the wire,
-            # the channel stays healthy — just reclaim the parked waiter.
-            self._discard_waiter(message.msg_id, waiter)
-            raise
+        self.submit(message, waiter)
         try:
             return waiter.wait(timeout_s, message)
         finally:
             self._discard_waiter(message.msg_id, waiter)
+
+    def submit(self, message: Message, sink) -> None:
+        """Park ``sink`` for the reply and write the frame; never waits.
+
+        ``sink`` is anything with ``resolve(reply)`` / ``fail(error)`` — a
+        :class:`_Waiter` for the blocking path, a pipelined
+        :class:`~repro.net.transport.CallFuture` for the asynchronous one.
+        ``resolve`` runs on the reader thread, ``fail`` on whichever thread
+        closes the channel; neither may block.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
+            self._pending.setdefault(message.msg_id, deque()).append(sink)
+        try:
+            with self._send_lock:
+                _send_frame(self._sock, message)
+        except (ConnectionError, OSError) as exc:
+            self._discard_waiter(message.msg_id, sink)
+            self.close()
+            raise _ChannelClosedError(f"send to {self.dst!r} failed: {exc}") from exc
+        except BaseException:
+            # e.g. MarshalError while pickling: nothing touched the wire,
+            # the channel stays healthy — just reclaim the parked sink.
+            self._discard_waiter(message.msg_id, sink)
+            raise
 
     def _discard_waiter(self, msg_id: str, waiter: _Waiter) -> None:
         with self._state_lock:
@@ -260,6 +278,63 @@ class _Channel:
             reason = ConnectionError(f"channel to {self.dst!r} closed")
         for waiter in pending:
             waiter.fail(reason)
+
+
+class _PipelinedCallFuture(CallFuture):
+    """A call future resolved by a pipelined channel's reader thread.
+
+    Doubles as the channel's parked sink: the reader thread calls
+    :meth:`resolve` with the matched reply frame, channel teardown calls
+    :meth:`fail`.  ``result()``/``exception()`` default their timeout to
+    the transport's io timeout *measured from submission* — a sweep that
+    gathers N futures sequentially pays at most one io-timeout window in
+    total, not one per hung host, because every future's clock has been
+    running since its frame was sent.  (An explicit ``timeout_s`` stays
+    relative to the ``result()`` call.)  An expired wait *abandons* the
+    exchange exactly as the blocking path does — the pending slot is
+    released (a late reply is dropped by the reader) and the future fails
+    permanently with :class:`~repro.errors.CallTimeoutError`.
+    """
+
+    def __init__(self, message: Message, batch: bool, timeout_s: float) -> None:
+        super().__init__(message.describe())
+        self._message = message
+        self._batch = batch
+        self._timeout_s = timeout_s
+        self._submitted = time.monotonic()
+        self._channel: _Channel | None = None
+
+    # -- sink protocol (called by the channel) --------------------------------
+
+    def resolve(self, reply: Message) -> None:
+        self._complete_from_reply(reply, self._batch)
+
+    def fail(self, error: Exception) -> None:
+        # The frame was already on the wire, so the handler may have
+        # executed; surfacing unreachability (instead of retrying into a
+        # replaced node's fresh reply cache) preserves at-most-once.
+        wrapped = NodeUnreachableError(
+            self._message.dst, f"connection lost awaiting reply: {error}"
+        )
+        wrapped.__cause__ = error
+        self._fail(wrapped)
+
+    # -- waiting --------------------------------------------------------------
+
+    def _await(self, timeout_s: float | None) -> None:
+        if timeout_s is None:
+            elapsed = time.monotonic() - self._submitted
+            timeout_s = max(0.0, self._timeout_s - elapsed)
+        super()._await(timeout_s)
+
+    def _on_wait_timeout(self, timeout_s: float | None) -> None:
+        channel = self._channel
+        if channel is not None:
+            channel._discard_waiter(self._message.msg_id, self)
+        # First-wins: a reply racing this timeout may still resolve us.
+        self._fail(CallTimeoutError(
+            f"{self._message.describe()}: no reply within {timeout_s}s"
+        ))
 
 
 class _WorkerPool:
@@ -349,13 +424,15 @@ class _NodeServer:
     """
 
     def __init__(self, node_id: str, handler: MessageHandler, trace: MessageTrace,
-                 clock: Clock, pool: _WorkerPool) -> None:
+                 clock: Clock, pool: _WorkerPool,
+                 latency_s: float = 0.0) -> None:
         self.node_id = node_id
         self.handler = handler
         self.reply_cache = ReplyCache()
         self._trace = trace
         self._clock = clock
         self._pool = pool
+        self._latency_s = latency_s
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind(("127.0.0.1", 0))
@@ -406,6 +483,11 @@ class _NodeServer:
 
     def _dispatch(self, conn: socket.socket, write_lock: threading.Lock,
                   message: Message) -> None:
+        if self._latency_s > 0.0:
+            # Emulated link delay (tc-netem style): charged on the worker,
+            # after the serve loop read the frame, so a slow link never
+            # stalls later frames arriving on the same connection.
+            time.sleep(self._latency_s)
         try:
             payload = Transport.execute_handler(
                 message, self.handler, self.reply_cache
@@ -463,7 +545,13 @@ class TcpNetwork(Transport):
     def __init__(self, clock: Clock | None = None, trace: MessageTrace | None = None,
                  connect_timeout_s: float = 5.0, io_timeout_s: float = 30.0,
                  retry_budget: int = DEFAULT_RETRY_BUDGET,
-                 mode: str = "pipelined", server_workers: int = 8) -> None:
+                 mode: str = "pipelined", server_workers: int = 8,
+                 latency_ms: float = 0.0) -> None:
+        """``latency_ms`` emulates a slower link (tc-netem style): every
+        request is delayed that long at the destination before dispatch.
+        Loopback's ~0.1 ms round trip hides latency effects entirely;
+        setting a LAN/WAN-scale delay lets benches and tests measure what
+        scatter-gather and pipelining buy on a real network."""
         super().__init__(
             clock=clock if clock is not None else WallClock(),
             trace=trace,
@@ -473,7 +561,10 @@ class TcpNetwork(Transport):
             raise ConfigurationError(
                 f"unknown TCP mode {mode!r} (expected one of {MODES})"
             )
+        if latency_ms < 0:
+            raise ConfigurationError(f"latency cannot be negative: {latency_ms}")
         self.mode = mode
+        self.latency_ms = latency_ms
         self.connect_timeout_s = connect_timeout_s
         self.io_timeout_s = io_timeout_s
         self._servers: dict[str, _NodeServer] = {}
@@ -488,7 +579,8 @@ class TcpNetwork(Transport):
         # Build the replacement first and swap it in atomically: a call
         # racing the re-registration sees either the old or the new server,
         # never a missing node.
-        server = _NodeServer(node_id, handler, self.trace, self.clock, self._pool)
+        server = _NodeServer(node_id, handler, self.trace, self.clock, self._pool,
+                             latency_s=self.latency_ms / 1000.0)
         with self._lock:
             old = self._servers.get(node_id)
             self._servers[node_id] = server
@@ -614,6 +706,40 @@ class TcpNetwork(Transport):
         return self._transmit_pooled(
             message, lambda channel: channel.request(message, self.io_timeout_s)
         )
+
+    def _transmit_async(self, message: Message, batch: bool) -> CallFuture:
+        """Native futures on the pipelined channel's waiter mechanism.
+
+        The frame is written during submission (with the same
+        provably-unsent reconnect retry as the blocking path); the returned
+        future is resolved by the channel's reader thread when the matching
+        reply frame arrives.  Issuing N futures before collecting any puts
+        N round trips in flight on the shared connection.  The "per-call"
+        and "pooled" modes keep the base class's eager exchange — their
+        wire protocols carry one exchange at a time by design.
+        """
+        if self.mode != "pipelined":
+            return super()._transmit_async(message, batch)
+        future = _PipelinedCallFuture(message, batch, self.io_timeout_s)
+        for _ in range(2):
+            try:
+                channel = self._channel(message.src, message.dst)
+            except NodeUnreachableError as exc:
+                self._record_drop(message)
+                future._fail(exc)
+                return future
+            try:
+                channel.submit(message, future)
+            except _ChannelClosedError:
+                continue  # frame provably never left; reconnect and resend
+            except Exception as exc:  # e.g. MarshalError while pickling
+                future._fail(exc)
+                return future
+            future._channel = channel
+            return future
+        self._record_drop(message)
+        future._fail(NodeUnreachableError(message.dst, "connection lost before send"))
+        return future
 
     def _transmit_oneway(self, message: Message) -> None:
         if self.mode == "per-call":

@@ -16,6 +16,19 @@ protocols:
   paper's §3.5 distinguishes REV (single hop, synchronous) from MA
   (multi-hop, asynchronous).
 
+Each request/response style also exists as a *future-returning* form —
+``call_async`` / ``call_many_async`` — which is the primitive every
+multi-node runtime operation (class fan-out, load sweeps, parallel find
+probes) scatters over.  ``call`` is literally ``call_async(...).result()``
+and ``call_many`` is ``call_many_async(...).result()``, so the two forms
+can never drift apart semantically.  The base implementation completes
+the future *eagerly on the calling thread* — zero extra threads, fully
+deterministic, which is exactly what the simulated network needs for
+reproducible traces.  Transports whose wire protocol already decouples
+send from receive (the pipelined TCP transport) override
+:meth:`Transport._transmit_async` to return a genuinely in-flight future,
+so N futures to N nodes overlap their round trips.
+
 Reliability: §4.3 requires protocols to "recover from message loss", so
 ``call`` retries lost transmissions up to a budget.  Because a reply can be
 lost *after* the handler ran, every node's dispatch path is wrapped in a
@@ -38,7 +51,7 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
-from repro.errors import MessageLostError, NodeUnreachableError
+from repro.errors import CallTimeoutError, MessageLostError, NodeUnreachableError
 from repro.net.message import Message, MessageKind, ReplyPayload
 from repro.net.trace import MessageTrace
 from repro.util.clock import Clock
@@ -49,6 +62,206 @@ MessageHandler = Callable[[Message], Any]
 
 #: How many times ``call`` retransmits after a loss before giving up.
 DEFAULT_RETRY_BUDGET = 8
+
+
+class CallFuture:
+    """The pending result of an asynchronous request/response exchange.
+
+    Completion is first-wins and happens exactly once: the transport either
+    resolves the future with the unwrapped reply value or fails it with the
+    exception the equivalent blocking ``call`` would have raised (marshalled
+    handler errors, :class:`~repro.errors.NodeUnreachableError`,
+    :class:`~repro.errors.MessageLostError`, ...).
+
+    * :meth:`result` blocks until completion, then returns the value or
+      re-raises the exception — so ``call_async(...).result()`` is exactly
+      ``call(...)``.
+    * :meth:`exception` blocks the same way but *returns* the exception
+      (``None`` on success) instead of raising it, which is what fan-out
+      sweeps that tolerate partial failure want.
+    * :meth:`done` never blocks.
+    * :meth:`map` derives a future whose value is ``fn(value)``; the mapper
+      runs lazily on the collecting thread (RMI uses this to unmarshal off
+      the transport's reader thread).
+    * :meth:`add_done_callback` runs ``fn(future)`` on completion (on the
+      completing thread; immediately when already done).
+
+    Futures produced by the base transport are already completed when they
+    are returned (the exchange ran eagerly on the calling thread); only
+    transports with a natively asynchronous wire path hand out futures that
+    are still in flight.
+    """
+
+    def __init__(self, describe: str = "call") -> None:
+        self._describe = describe
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Callable[["CallFuture"], None]] = []
+
+    # -- completion (transport-internal; the first completion wins) ----------
+
+    def _resolve(self, value: Any) -> None:
+        self._complete(value, None)
+
+    def _fail(self, error: BaseException) -> None:
+        self._complete(None, error)
+
+    def _complete(self, value: Any, error: BaseException | None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return  # a racing completion already won
+            self._value = value
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _complete_from_reply(self, reply: Message, batch: bool) -> None:
+        """Unwrap a reply envelope into this future's outcome.
+
+        Mirrors what the blocking path raises/returns: a marshalled handler
+        exception fails the future; a BATCH reply resolves to the list of
+        sub-request values, failing on the first sub-error (the later subs
+        never ran — the batch is fail-fast at the destination).
+        """
+        payload = reply.payload
+        if isinstance(payload, ReplyPayload):
+            if payload.is_error:
+                self._fail(payload.error)
+                return
+            value = payload.value
+        else:
+            value = payload
+        if not batch:
+            self._resolve(value)
+            return
+        results = []
+        for sub_payload in value:
+            if sub_payload.is_error:
+                self._fail(sub_payload.error)
+                return
+            results.append(sub_payload.value)
+        self._resolve(results)
+
+    # -- waiting --------------------------------------------------------------
+
+    def done(self) -> bool:
+        """Whether the exchange completed (value or exception); never blocks."""
+        return self._event.is_set()
+
+    def result(self, timeout_s: float | None = None) -> Any:
+        """The reply value; blocks until completion, re-raises failures."""
+        self._await(timeout_s)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout_s: float | None = None) -> BaseException | None:
+        """The failure (or ``None``); blocks until completion like ``result``."""
+        self._await(timeout_s)
+        return self._error
+
+    def _await(self, timeout_s: float | None) -> None:
+        if not self._event.wait(timeout_s):
+            self._on_wait_timeout(timeout_s)
+
+    def _on_wait_timeout(self, timeout_s: float | None) -> None:
+        # The future may still complete later; waiting merely gave up.
+        # (Natively asynchronous transports override this to abandon the
+        # exchange, matching their blocking call's timeout semantics.)
+        raise CallTimeoutError(
+            f"{self._describe}: not completed within {timeout_s}s"
+        )
+
+    # -- composition -----------------------------------------------------------
+
+    def add_done_callback(self, fn: Callable[["CallFuture"], None]) -> None:
+        """Run ``fn(self)`` once completed (immediately if already done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def map(self, fn: Callable[[Any], Any]) -> "CallFuture":
+        """A future resolving to ``fn(value)``, evaluated on the collector.
+
+        The mapper runs at most once, lazily, on whichever thread collects
+        the result first — never on the transport's reader thread.  A
+        mapper that raises fails the derived future (the source future is
+        unaffected).
+        """
+        return _MappedFuture(self, fn)
+
+    @classmethod
+    def completed(cls, value: Any, describe: str = "call") -> "CallFuture":
+        """An already-resolved future (local fast paths of fan-out ops)."""
+        future = cls(describe)
+        future._resolve(value)
+        return future
+
+
+class _MappedFuture(CallFuture):
+    """Lazy ``fn(value)`` view over a source future (see CallFuture.map)."""
+
+    def __init__(self, source: CallFuture, fn: Callable[[Any], Any]) -> None:
+        super().__init__(source._describe)
+        self._source = source
+        self._fn = fn
+
+    def done(self) -> bool:
+        return self._source.done()
+
+    def result(self, timeout_s: float | None = None) -> Any:
+        value = self._source.result(timeout_s)
+        with self._lock:
+            if not self._event.is_set():
+                try:
+                    self._value = self._fn(value)
+                except Exception as exc:
+                    self._error = exc
+                self._event.set()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout_s: float | None = None) -> BaseException | None:
+        error = self._source.exception(timeout_s)
+        if error is not None:
+            return error
+        try:
+            self.result(timeout_s)
+        except Exception as exc:  # a failing mapper is this future's failure
+            return exc
+        return None
+
+    def add_done_callback(self, fn: Callable[[CallFuture], None]) -> None:
+        self._source.add_done_callback(lambda _source: fn(self))
+
+
+def gather(futures, timeout_s: float | None = None,
+           return_exceptions: bool = False) -> list[Any]:
+    """Collect every future's result, in order.
+
+    The scatter-gather companion: issue N ``call_async``s, then
+    ``gather(futures)``.  With ``return_exceptions=True`` a failed future
+    contributes its exception object instead of raising, so one dead node
+    cannot abort a sweep.  Without it, the first failure (in *input* order,
+    after its own wait) raises and later futures are left to complete on
+    their own.  ``timeout_s`` bounds each individual wait.
+    """
+    results: list[Any] = []
+    for future in futures:
+        try:
+            results.append(future.result(timeout_s))
+        except Exception as exc:
+            if not return_exceptions:
+                raise
+            results.append(exc)
+    return results
 
 
 class ReplyCache:
@@ -176,10 +389,22 @@ class Transport(ABC):
 
         Retries lost transmissions up to the retry budget, then surfaces
         :class:`MessageLostError`.  Exceptions raised by the remote handler
-        re-raise here.
+        re-raise here.  Implemented as ``call_async(...).result()`` so the
+        blocking and future forms cannot diverge.
+        """
+        return self.call_async(src, dst, kind, payload).result()
+
+    def call_async(self, src: str, dst: str, kind: MessageKind,
+                   payload: Any = None) -> CallFuture:
+        """``call`` as a :class:`CallFuture` — the scatter-gather primitive.
+
+        The base transport completes the future eagerly on the calling
+        thread (deterministic; no extra threads); natively asynchronous
+        transports return a future whose round trip is genuinely in flight,
+        so issuing N futures before collecting any overlaps N round trips.
         """
         message = Message(kind=kind, src=src, dst=dst, payload=payload)
-        return self._unwrap(self._transmit_with_retries(message))
+        return self._transmit_async(message, batch=False)
 
     def call_many(self, src: str, dst: str,
                   requests: Sequence[tuple[MessageKind, Any]]) -> list[Any]:
@@ -195,20 +420,41 @@ class Transport(ABC):
         raised error prevents the later calls from ever being issued.  That
         first error re-raises here.
         """
+        return self.call_many_async(src, dst, requests).result()
+
+    def call_many_async(self, src: str, dst: str,
+                        requests: Sequence[tuple[MessageKind, Any]]) -> CallFuture:
+        """``call_many`` as a :class:`CallFuture` resolving to the result list.
+
+        One BATCH frame, one future: combining batching (one round trip per
+        destination) with scattering (futures to many destinations overlap)
+        prices a multi-step fan-out at a single round-trip latency.
+        """
         if not requests:
-            return []
+            return CallFuture.completed([], f"{src} -> {dst}: empty BATCH")
         subs = tuple(
             Message(kind=kind, src=src, dst=dst, payload=payload)
             for kind, payload in requests
         )
         batch = Message(kind=MessageKind.BATCH, src=src, dst=dst, payload=subs)
-        payloads = self._unwrap(self._transmit_with_retries(batch))
-        results = []
-        for payload in payloads:
-            if payload.is_error:
-                raise payload.error
-            results.append(payload.value)
-        return results
+        return self._transmit_async(batch, batch=True)
+
+    def _transmit_async(self, message: Message, batch: bool) -> CallFuture:
+        """Issue one exchange as a future.
+
+        Default: run the whole exchange (with loss retries) eagerly on the
+        calling thread and return the already-completed future — the
+        deterministic behaviour the simulated network's reproducible traces
+        depend on.  Transports with an asynchronous wire path override this.
+        """
+        future = CallFuture(message.describe())
+        try:
+            reply = self._transmit_with_retries(message)
+        except Exception as exc:
+            future._fail(exc)
+        else:
+            future._complete_from_reply(reply, batch)
+        return future
 
     def _transmit_with_retries(self, message: Message) -> Message:
         """Shared retry loop for ``call`` / ``call_many``."""

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.net.message import MessageKind
-from repro.net.transport import Transport
+from repro.net.transport import CallFuture, Transport
 from repro.rmi.marshal import marshal_call, unmarshal
 from repro.rmi.protocol import InvokeRequest
 from repro.rmi.stub import RemoteRef, Stub
@@ -25,14 +25,27 @@ class RmiClient:
 
     def invoke(self, ref: RemoteRef, method: str, args: tuple, kwargs: dict) -> Any:
         """Perform one remote invocation: marshal, send, unmarshal."""
+        return self.invoke_async(ref, method, args, kwargs).result()
+
+    def invoke_async(self, ref: RemoteRef, method: str, args: tuple,
+                     kwargs: dict) -> CallFuture:
+        """One remote invocation as a :class:`CallFuture`.
+
+        A proxy can issue several of these before collecting any, so
+        independent invocations overlap their round trips on transports
+        with a native asynchronous path.  The result blob is unmarshalled
+        lazily on the collecting thread (never on the transport's reader
+        thread), and stubs inside the result re-attach to this namespace
+        exactly as in the blocking path.
+        """
         request = InvokeRequest(
             name=ref.name, method=method, args_blob=marshal_call(args, kwargs)
         )
-        result_blob = self._transport.call(
+        future = self._transport.call_async(
             self.node_id, ref.node_id, MessageKind.INVOKE, request
         )
-        return unmarshal(result_blob, self.stub_for)
+        return future.map(lambda blob: unmarshal(blob, self.stub_for))
 
     def stub_for(self, ref: RemoteRef) -> Stub:
         """A live stub bound to this namespace's transport."""
-        return Stub(ref, self.invoke)
+        return Stub(ref, self.invoke, self.invoke_async)

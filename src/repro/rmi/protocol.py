@@ -148,11 +148,19 @@ class ClassPush:
 
     A *probe* (``desc is None``) asks "do you cache ``source_hash``?" and the
     reply is a boolean; a push with a body installs the descriptor.
+
+    ``only_if_missing`` makes a body-carrying push *conditional*: the
+    receiver installs the descriptor only when it does not already cache
+    ``source_hash``.  Batched pushes ride this — a single BATCH frame
+    carries the probe and the conditional body, collapsing the warm and
+    cold paths into one round trip (at the cost of the body always
+    crossing the wire).
     """
 
     class_name: str
     source_hash: str
     desc: "object | None" = None  # ClassDescriptor when carrying the body
+    only_if_missing: bool = False
 
 
 @dataclass(frozen=True)

@@ -18,11 +18,15 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
+from repro.net.transport import CallFuture
 from repro.util.ids import validate_component_name, validate_node_id
 
 #: Client-side invocation function a stub delegates to:
 #: ``(ref, method, args, kwargs) -> result``.
 InvokeFn = Callable[["RemoteRef", str, tuple, dict], Any]
+
+#: Future-returning variant: ``(ref, method, args, kwargs) -> CallFuture``.
+AsyncInvokeFn = Callable[["RemoteRef", str, tuple, dict], CallFuture]
 
 
 @dataclass(frozen=True)
@@ -60,41 +64,104 @@ def interface_methods(iface: type) -> tuple[str, ...]:
     return tuple(sorted(names))
 
 
+def _bound_remote_method(ref: RemoteRef, method: str,
+                         call_fn: Callable) -> Callable[..., Any]:
+    """One rule for turning attribute access into a bound remote method.
+
+    Shared by the stub's blocking view and its ``futures`` view, so the
+    dunder guard (keeps pickle/copy protocols sane) and the interface
+    restriction cannot drift between them.
+    """
+    if method.startswith("__") and method.endswith("__"):
+        raise AttributeError(method)
+    if ref.methods and method not in ref.methods:
+        raise AttributeError(f"{ref} exposes {ref.methods}, not {method!r}")
+
+    def remote_method(*args: Any, **kwargs: Any) -> Any:
+        return call_fn(ref, method, args, kwargs)
+
+    remote_method.__name__ = method
+    return remote_method
+
+
+class _FutureCaller:
+    """The ``stub.futures`` view: methods return :class:`CallFuture`\\ s.
+
+    ``stub.futures.work(x)`` issues the invocation and returns immediately;
+    collecting ``.result()`` later lets a caller overlap several remote
+    invocations (scatter-gather at the proxy level).  Honours the same
+    interface restriction as the stub itself.
+    """
+
+    __slots__ = ("_ref", "_invoke_async_fn")
+
+    def __init__(self, ref: RemoteRef, invoke_async_fn: AsyncInvokeFn) -> None:
+        self._ref = ref
+        self._invoke_async_fn = invoke_async_fn
+
+    def __getattr__(self, method: str) -> Callable[..., CallFuture]:
+        return _bound_remote_method(self._ref, method, self._invoke_async_fn)
+
+    def __repr__(self) -> str:
+        return f"Stub({self._ref}).futures"
+
+
 class Stub:
     """Dynamic proxy: attribute access yields bound remote methods.
 
     Uses ``__getattr__`` rather than generated classes so any interface works
     without code generation; Python needs no casts (the paper's Java
     implementation "must always cast bind invocations").
+
+    The :attr:`futures` view exposes the same methods returning
+    :class:`CallFuture`\\ s, so independent invocations can overlap.
     """
 
     # Everything the proxy itself owns must be listed here, so __setattr__
     # can distinguish internals from (disallowed) remote field writes.
-    _INTERNALS = frozenset({"_ref", "_invoke_fn"})
+    _INTERNALS = frozenset({"_ref", "_invoke_fn", "_invoke_async_fn"})
 
-    def __init__(self, ref: RemoteRef, invoke_fn: InvokeFn) -> None:
+    def __init__(self, ref: RemoteRef, invoke_fn: InvokeFn,
+                 invoke_async_fn: AsyncInvokeFn | None = None) -> None:
         object.__setattr__(self, "_ref", ref)
         object.__setattr__(self, "_invoke_fn", invoke_fn)
+        object.__setattr__(self, "_invoke_async_fn", invoke_async_fn)
 
     @property
     def ref(self) -> RemoteRef:
         return self._ref
 
+    @property
+    def futures(self) -> _FutureCaller:
+        """Async view of the proxy: ``stub.futures.method(...)`` -> future.
+
+        When the stub was built without an asynchronous invoker (detached
+        stubs, hand-rolled test doubles), each "future" runs the blocking
+        invocation eagerly and arrives already completed — same results,
+        no overlap.
+        """
+        invoke_async_fn = object.__getattribute__(self, "_invoke_async_fn")
+        if invoke_async_fn is None:
+            invoke_fn = object.__getattribute__(self, "_invoke_fn")
+
+            def eager(ref: RemoteRef, method: str, args: tuple,
+                      kwargs: dict) -> CallFuture:
+                future = CallFuture(f"{ref}.{method}")
+                try:
+                    future._resolve(invoke_fn(ref, method, args, kwargs))
+                except Exception as exc:
+                    future._fail(exc)
+                return future
+
+            invoke_async_fn = eager
+        return _FutureCaller(self._ref, invoke_async_fn)
+
     def __getattr__(self, method: str) -> Callable[..., Any]:
-        if method.startswith("__") and method.endswith("__"):
-            raise AttributeError(method)  # keep pickle/copy protocols sane
-        ref: RemoteRef = object.__getattribute__(self, "_ref")
-        if ref.methods and method not in ref.methods:
-            raise AttributeError(
-                f"{ref} exposes {ref.methods}, not {method!r}"
-            )
-        invoke_fn: InvokeFn = object.__getattribute__(self, "_invoke_fn")
-
-        def remote_method(*args: Any, **kwargs: Any) -> Any:
-            return invoke_fn(ref, method, args, kwargs)
-
-        remote_method.__name__ = method
-        return remote_method
+        return _bound_remote_method(
+            object.__getattribute__(self, "_ref"),
+            method,
+            object.__getattribute__(self, "_invoke_fn"),
+        )
 
     def __setattr__(self, name: str, value: Any) -> None:
         if name in self._INTERNALS:

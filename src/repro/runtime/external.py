@@ -156,6 +156,8 @@ class MageExternalServer:
         if push.desc is None:
             # Probe: "do you cache this exact class?"
             return self._classcache.has_hash(push.source_hash)
+        if push.only_if_missing and self._classcache.has_hash(push.source_hash):
+            return True  # conditional push against a warm cache: keep ours
         self._classcache.load(push.desc)
         return True
 

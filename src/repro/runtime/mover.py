@@ -33,10 +33,10 @@ from repro.errors import (
     ObjectPinnedError,
 )
 from repro.net.message import MessageKind
-from repro.net.transport import Transport
+from repro.net.transport import CallFuture, Transport
 from repro.rmi.classdesc import ClassDescriptor, describe_class
 from repro.rmi.marshal import StubFactory, marshal, unmarshal
-from repro.rmi.protocol import ClassRequest, ObjectTransfer
+from repro.rmi.protocol import ClassPush, ClassRequest, ObjectTransfer
 from repro.runtime.classcache import ClassCache
 from repro.runtime.locks import LockManager
 from repro.runtime.registry import MageRegistry
@@ -57,6 +57,7 @@ class Mover:
         transport: Transport,
         stub_factory: StubFactory,
         always_ship_class: bool = False,
+        probe_classes: bool = False,
     ) -> None:
         self.node_id = node_id
         self._store = store
@@ -68,6 +69,13 @@ class Mover:
         #: Ablation knob: ship the full class body on every move instead of
         #: trusting the receiver's cache.
         self.always_ship_class = always_ship_class
+        #: Overlap a remote class-cache probe with state packing before a
+        #: transfer to a target this mover has never shipped the class to.
+        #: A hit (the target got the class from a third node) saves the
+        #: class body on the wire; the probe's round trip hides behind the
+        #: marshalling work.  Off by default: the probe adds a message, and
+        #: the figure benches pin the paper's exact sequences.
+        self.probe_classes = probe_classes
         self._known_at: dict[str, set[str]] = {}  # source_hash -> nodes holding it
         self._seen_transfers: set[str] = set()
         self._seen_order: deque[str] = deque()
@@ -129,11 +137,13 @@ class Mover:
                 f"moving {name!r} requires its move lock (object is contended)"
             )
         desc = self.descriptor_for(record.obj)
+        probe = self.begin_class_probe(target, desc)
+        state_blob = self.pack_state(record.obj)  # overlaps the probe's round trip
         transfer = ObjectTransfer(
             name=name,
             class_name=desc.class_name,
-            state_blob=self.pack_state(record.obj),
-            class_desc=desc if self._must_ship(target, desc) else None,
+            state_blob=state_blob,
+            class_desc=desc if self.resolve_class_probe(probe, target, desc) else None,
             class_hash=desc.source_hash,
             origin=self.node_id,
             transfer_id=fresh_token("xfer"),
@@ -164,6 +174,41 @@ class Mover:
     def _note_known(self, node: str, source_hash: str) -> None:
         with self._lock:
             self._known_at.setdefault(source_hash, set()).add(node)
+
+    def begin_class_probe(self, target: str,
+                          desc: ClassDescriptor) -> CallFuture | None:
+        """Start the class-cache probe that overlaps with state packing.
+
+        Returns ``None`` when no probe is worth sending (probing disabled,
+        always-ship ablation, local move, or this mover already shipped
+        the class there).  Otherwise the returned future's round trip runs
+        while the caller marshals the object's state; hand it to
+        :meth:`resolve_class_probe` for the ship/skip decision.
+        """
+        if not self.probe_classes or self.always_ship_class or target == self.node_id:
+            return None
+        with self._lock:
+            if target in self._known_at.get(desc.source_hash, set()):
+                return None
+        return self._transport.call_async(
+            self.node_id, target, MessageKind.CLASS_TRANSFER,
+            ClassPush(class_name=desc.class_name, source_hash=desc.source_hash),
+        )
+
+    def resolve_class_probe(self, probe: CallFuture | None, target: str,
+                            desc: ClassDescriptor) -> bool:
+        """Whether the class body must ship, once packing has finished."""
+        if probe is None:
+            return self._must_ship(target, desc)
+        try:
+            have = bool(probe.result())
+        except Exception:
+            # An unreachable target fails the transfer itself in a moment;
+            # fall back to local knowledge rather than failing early here.
+            return self._must_ship(target, desc)
+        if have:
+            self._note_known(target, desc.source_hash)
+        return not have
 
     # -- receiving side --------------------------------------------------------------
 

@@ -42,7 +42,11 @@ class Namespace:
       stay preference (§4.4);
     * ``class_cache`` — retain class clones between migrations (§4.2);
     * ``path_collapsing`` — rewrite forwarding addresses on find (§4.1);
-    * ``always_ship_class`` — ship class bodies on every move.
+    * ``always_ship_class`` — ship class bodies on every move;
+    * ``probe_classes`` — overlap an async class-cache probe with state
+      packing before transfers/hops, skipping the class body when the
+      target already caches it (off by default: the figure benches pin
+      the paper's exact message sequences).
     """
 
     def __init__(
@@ -53,6 +57,7 @@ class Namespace:
         class_cache: bool = True,
         path_collapsing: bool = True,
         always_ship_class: bool = False,
+        probe_classes: bool = False,
         load_provider: Callable[[], float] | None = None,
     ) -> None:
         self.node_id = validate_node_id(node_id)
@@ -76,6 +81,7 @@ class Namespace:
             transport,
             stub_factory=self.client.stub_for,
             always_ship_class=always_ship_class,
+            probe_classes=probe_classes,
         )
         self.server = MageServer(
             node_id,
@@ -141,9 +147,29 @@ class Namespace:
         return self.server.unregister(name)
 
     def find(self, name: str, origin_hint: str | None = None,
-             verify: bool = True) -> str:
-        """Node id currently hosting ``name``."""
-        return self.server.find(name, origin_hint, verify=verify)
+             verify: bool = True, candidates=None) -> str:
+        """Node id currently hosting ``name``.
+
+        ``candidates`` probes several registries' forwarding chains in
+        parallel instead of walking one (see ``MageServer.locate_any``).
+        """
+        return self.server.find(name, origin_hint, verify=verify,
+                                candidates=candidates)
+
+    def push_class(self, class_name: str, to_node: str,
+                   batched: bool = False) -> str:
+        """Push a class definition to ``to_node`` (REV direction)."""
+        return self.server.push_class(class_name, to_node, batched=batched)
+
+    def push_class_many(self, class_name: str, targets) -> dict[str, str]:
+        """Scatter a class to many targets in parallel (one frame each)."""
+        return self.server.push_class_many(class_name, targets)
+
+    def query_load_many(self, node_ids, skip_unreachable: bool = False
+                        ) -> dict[str, float]:
+        """Parallel load sweep over ``node_ids``."""
+        return self.server.query_load_many(node_ids,
+                                           skip_unreachable=skip_unreachable)
 
     def is_shared(self, name: str) -> bool:
         """Whether ``name`` may be moved by other threads between uses."""

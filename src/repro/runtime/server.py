@@ -24,15 +24,30 @@ Every operation a mobility attribute's ``bind`` needs is here:
                    relocation chasing when the object moves mid-request
 ``stub``           a live proxy for invoking the component (Figure 7's 6–7)
 =================  ==========================================================
+
+Multi-node operations are *scatter-gather* over the transport's
+future-returning calls (``call_async``/``call_many_async``):
+``push_class_many`` fans a class out to N targets, ``query_load_many`` and
+``ping_many`` sweep N hosts, and ``locate_any`` probes N forwarding chains
+in parallel — each priced at one round-trip latency (plus straggler time)
+instead of N on the pipelined TCP transport, and executing as the exact
+sequential message sequence on the deterministic simulated network.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
-from repro.errors import LockError, LockMovedError, MigrationError, NoSuchObjectError
+from repro.errors import (
+    ClassTransferError,
+    ComponentNotFoundError,
+    LockError,
+    LockMovedError,
+    MigrationError,
+    NoSuchObjectError,
+)
 from repro.net.message import MessageKind
-from repro.net.transport import Transport
+from repro.net.transport import CallFuture, Transport, gather
 from repro.rmi.classdesc import ClassDescriptor
 from repro.rmi.client import RmiClient
 from repro.rmi.marshal import marshal_call
@@ -112,7 +127,8 @@ class MageServer:
     # -- discovery ---------------------------------------------------------------
 
     def find(self, name: str, origin_hint: str | None = None,
-             verify: bool = True) -> str:
+             verify: bool = True,
+             candidates: Sequence[str] | None = None) -> str:
         """Locate a component: the node id currently hosting it.
 
         Modelled as a FIND message to this namespace's own registry so the
@@ -120,10 +136,52 @@ class MageServer:
         messages 1 and 2.  ``verify=False`` accepts the local forwarding
         table's (possibly stale) answer without walking the chain — the
         thin fast path the RPC attribute rides.
+
+        ``candidates`` switches to :meth:`locate_any`: instead of walking
+        one forwarding chain hop by hop, every candidate's chain is probed
+        in parallel and the first resolved location wins — the fan-out
+        form a cluster-wide locate wants when chains may be long or stale.
         """
+        if candidates:
+            return self.locate_any(name, candidates, origin_hint, verify=verify)
         return self.transport.call(
             self.node_id, self.node_id, MessageKind.FIND,
             FindRequest(name=name, origin_hint=origin_hint or "", verify=verify),
+        )
+
+    def locate_any(self, name: str, candidates: Sequence[str],
+                   origin_hint: str | None = None, verify: bool = True) -> str:
+        """Parallel forwarding-chain probes: ask every candidate at once.
+
+        Scatters one FIND to each candidate registry (each walks its own
+        forwarding chain to termination; ``verify=False`` lets candidates
+        answer from their possibly-stale forwarding tables instead).  The
+        first successful answer in candidate order wins, is recorded in
+        the local forwarding table, and returns *immediately* — slower
+        candidates' replies finish in the background and are dropped, so
+        one hung registry cannot delay a locate that already succeeded.
+        Raises :class:`~repro.errors.ComponentNotFoundError` when no
+        candidate could resolve the name.
+        """
+        if not candidates:
+            raise ComponentNotFoundError(name, "no candidate registries to probe")
+        futures = {
+            node: self.transport.call_async(
+                self.node_id, node, MessageKind.FIND,
+                FindRequest(name=name, origin_hint=origin_hint or "",
+                            verify=verify),
+            )
+            for node in candidates
+        }
+        for future in futures.values():
+            try:
+                answer = future.result()
+            except Exception:  # cold chain / dead candidate; others may know
+                continue
+            self.registry.note_location(name, answer)
+            return answer
+        raise ComponentNotFoundError(
+            name, f"none of {list(candidates)} could resolve it"
         )
 
     def is_shared(self, name: str) -> bool:
@@ -199,27 +257,90 @@ class MageServer:
             return self.classcache.load(self.classcache.descriptor(class_name))
         return self.classcache.load(reply)
 
-    def push_class(self, class_name: str, to_node: str) -> str:
+    def push_class(self, class_name: str, to_node: str,
+                   batched: bool = False) -> str:
         """Push ``class_name`` to ``to_node`` (REV direction); returns its hash.
 
         Probes the remote cache first; the body travels only on a miss —
         making warm REV binds cost one round trip for the class step.
+
+        ``batched=True`` rides the probe and a *conditional* body push on
+        one BATCH frame instead: always one round trip, cold or warm, at
+        the cost of the body always crossing the wire (the receiver
+        installs it only on a miss).  The default keeps the paper's
+        two-step REV sequence exactly as the figure benches assert it.
+        """
+        return self.push_class_async(class_name, to_node, batched=batched).result()
+
+    def push_class_async(self, class_name: str, to_node: str,
+                         batched: bool = True) -> CallFuture:
+        """``push_class`` as a future resolving to the class's source hash.
+
+        The asynchronous form always has a single collection point, so it
+        defaults to the batched single-round-trip exchange — the shape
+        :meth:`push_class_many` scatters across targets.
         """
         desc = self.classcache.descriptor(class_name)
         if to_node == self.node_id:
-            return desc.source_hash
-        have = self.transport.call(
-            self.node_id, to_node, MessageKind.CLASS_TRANSFER,
-            ClassPush(class_name=class_name, source_hash=desc.source_hash),
-        )
-        if not have:
-            self.transport.call(
-                self.node_id, to_node, MessageKind.CLASS_TRANSFER,
-                ClassPush(
-                    class_name=class_name, source_hash=desc.source_hash, desc=desc
-                ),
+            return CallFuture.completed(desc.source_hash, f"push {class_name}")
+        probe = ClassPush(class_name=class_name, source_hash=desc.source_hash)
+        if batched:
+            future = self.transport.call_many_async(
+                self.node_id, to_node,
+                [(MessageKind.CLASS_TRANSFER, probe),
+                 (MessageKind.CLASS_TRANSFER, ClassPush(
+                     class_name=class_name, source_hash=desc.source_hash,
+                     desc=desc, only_if_missing=True))],
             )
-        return desc.source_hash
+            return future.map(lambda _results: desc.source_hash)
+        # Unbatched: the paper's two-step sequence runs eagerly (blocking,
+        # no overlap); failures still surface through the future so both
+        # shapes honour the CallFuture contract.
+        future = CallFuture(f"push {class_name} -> {to_node}")
+        try:
+            have = self.transport.call(
+                self.node_id, to_node, MessageKind.CLASS_TRANSFER, probe
+            )
+            if not have:
+                self.transport.call(
+                    self.node_id, to_node, MessageKind.CLASS_TRANSFER,
+                    ClassPush(
+                        class_name=class_name, source_hash=desc.source_hash,
+                        desc=desc,
+                    ),
+                )
+        except Exception as exc:
+            future._fail(exc)
+        else:
+            future._resolve(desc.source_hash)
+        return future
+
+    def push_class_many(self, class_name: str,
+                        targets: Sequence[str]) -> dict[str, str]:
+        """Scatter ``class_name`` to every target in parallel.
+
+        One batched push future per target, all round trips overlapped;
+        returns ``{target: source_hash}``.  Every future is collected
+        before any failure surfaces (no stragglers left running); the
+        first failure then raises as a
+        :class:`~repro.errors.ClassTransferError` naming the lost targets.
+        """
+        futures = {
+            target: self.push_class_async(class_name, target)
+            for target in targets
+        }
+        outcomes = dict(zip(futures, gather(futures.values(),
+                                            return_exceptions=True)))
+        failures = [(t, v) for t, v in outcomes.items()
+                    if isinstance(v, Exception)]
+        if failures:
+            target, first = failures[0]
+            lost = [t for t, _ in failures]
+            raise ClassTransferError(
+                f"pushing {class_name!r} failed at {lost} "
+                f"(first: {target!r}: {first})"
+            ) from first
+        return outcomes
 
     def instantiate(
         self,
@@ -341,12 +462,55 @@ class MageServer:
 
     # -- miscellany ------------------------------------------------------------------------
 
+    def scatter(self, targets: Sequence[str], kind: MessageKind,
+                payload: Any = None) -> dict[str, CallFuture]:
+        """One ``call_async`` per target, all in flight at once.
+
+        The raw fan-out primitive the sweeps below (and
+        ``Cluster.broadcast``) are built on; the caller gathers.
+        """
+        return {
+            target: self.transport.call_async(self.node_id, target, kind, payload)
+            for target in targets
+        }
+
     def query_load(self, node_id: str) -> float:
         """A node's load metric, for migration policies like §3.1's example."""
         return self.transport.call(
             self.node_id, node_id, MessageKind.LOAD_QUERY, LoadQuery()
         )
 
+    def query_load_many(self, node_ids: Sequence[str],
+                        skip_unreachable: bool = False) -> dict[str, float]:
+        """Load sweep: every node's metric gathered from parallel queries.
+
+        ``skip_unreachable=True`` drops hosts that fail to answer — dead
+        node or broken load provider alike, the behaviour balancing
+        policies want (a host that cannot price itself is not a
+        candidate); otherwise the first failure re-raises after every
+        future has been collected.
+        """
+        futures = self.scatter(node_ids, MessageKind.LOAD_QUERY, LoadQuery())
+        outcomes = dict(zip(futures, gather(futures.values(),
+                                            return_exceptions=True)))
+        if not skip_unreachable:
+            for value in outcomes.values():
+                if isinstance(value, Exception):
+                    raise value
+        return {n: v for n, v in outcomes.items()
+                if not isinstance(v, Exception)}
+
     def ping(self, node_id: str) -> bool:
         """Liveness probe."""
         return self.transport.call(self.node_id, node_id, MessageKind.PING) == "pong"
+
+    def ping_many(self, node_ids: Sequence[str]) -> dict[str, bool]:
+        """Liveness sweep: all probes in flight at once, no fail-fast.
+
+        A dead host answers ``False`` instead of raising, so one crash
+        costs a single timeout, not an aborted sweep.
+        """
+        futures = self.scatter(node_ids, MessageKind.PING)
+        outcomes = gather(futures.values(), return_exceptions=True)
+        return {node: answer == "pong"
+                for node, answer in zip(futures, outcomes)}

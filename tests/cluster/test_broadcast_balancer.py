@@ -1,0 +1,136 @@
+"""Cluster-wide scatter-gather: broadcast, class distribution, balancing."""
+
+import pytest
+
+from repro.bench.workloads import Counter
+from repro.cluster import Cluster, LoadBalancer
+from repro.errors import ConfigurationError, NodeUnreachableError
+from repro.net.message import MessageKind
+
+
+class TestBroadcast:
+    def test_ping_every_node(self, quad):
+        assert quad.broadcast(MessageKind.PING) == {
+            n: "pong" for n in quad.node_ids()
+        }
+
+    def test_targets_subset_and_src(self, quad):
+        answers = quad.broadcast(
+            MessageKind.PING, src="delta", targets=["alpha", "beta"]
+        )
+        assert answers == {"alpha": "pong", "beta": "pong"}
+
+    def test_return_exceptions_keeps_sweep_alive(self, trio):
+        trio.crash("beta")
+        answers = trio.broadcast(MessageKind.PING, return_exceptions=True)
+        assert answers["alpha"] == "pong"
+        assert answers["gamma"] == "pong"
+        assert isinstance(answers["beta"], NodeUnreachableError)
+
+    def test_failure_raises_after_gathering(self, trio):
+        trio.crash("beta")
+        with pytest.raises(NodeUnreachableError):
+            trio.broadcast(MessageKind.PING)
+
+
+class TestPushClassEverywhere:
+    def test_distributes_from_explicit_source(self, quad):
+        quad["beta"].register_class(Counter)
+        hashes = quad.push_class_everywhere("Counter", from_node="beta")
+        assert set(hashes) == set(quad.node_ids())
+        assert len(set(hashes.values())) == 1
+        for node in quad:
+            assert node.namespace.classcache.has_class("Counter")
+
+    def test_finds_the_serving_node(self, trio):
+        trio["gamma"].register_class(Counter)
+        hashes = trio.push_class_everywhere("Counter")
+        assert set(hashes) == {"alpha", "beta", "gamma"}
+        assert trio["alpha"].namespace.classcache.has_class("Counter")
+
+    def test_unknown_class_rejected(self, trio):
+        with pytest.raises(ConfigurationError):
+            trio.push_class_everywhere("Ghost")
+
+    def test_instantiate_everywhere_after_distribution(self, quad):
+        quad["alpha"].register_class(Counter)
+        quad.push_class_everywhere("Counter")
+        for i, target in enumerate(quad.node_ids()):
+            quad["alpha"].namespace.instantiate("Counter", f"c{i}", target)
+        for i, target in enumerate(quad.node_ids()):
+            assert quad[target].namespace.store.contains(f"c{i}")
+
+
+class TestQueryAllLoads:
+    def test_sweeps_every_node(self, trio):
+        for i, node in enumerate(trio):
+            node.set_load(10.0 * i)
+        assert trio.query_all_loads() == {
+            "alpha": 0.0, "beta": 10.0, "gamma": 20.0,
+        }
+
+    def test_dead_node_drops_out(self, trio):
+        trio["gamma"].set_load(50.0)
+        trio.crash("beta")
+        loads = trio.query_all_loads()
+        assert set(loads) == {"alpha", "gamma"}
+
+
+class TestClusterLocate:
+    def test_locates_after_moves(self, quad):
+        quad["alpha"].register("doc", Counter())
+        quad["alpha"].move("doc", "beta")
+        quad["beta"].move("doc", "delta")
+        assert quad.locate("doc") == "delta"
+
+
+class TestLoadBalancer:
+    def test_snapshot_and_overloaded(self, trio):
+        trio["alpha"].set_load(150.0)
+        trio["beta"].set_load(30.0)
+        trio["gamma"].set_load(110.0)
+        balancer = LoadBalancer(trio, threshold=100.0)
+        loads = balancer.snapshot()
+        assert balancer.overloaded(loads) == ["alpha", "gamma"]
+        assert balancer.least_loaded(loads) == "beta"
+
+    def test_least_loaded_respects_exclusions(self, trio):
+        trio["alpha"].set_load(10.0)
+        trio["beta"].set_load(20.0)
+        trio["gamma"].set_load(30.0)
+        balancer = LoadBalancer(trio)
+        assert balancer.least_loaded(exclude=("alpha",)) == "beta"
+
+    def test_rebalance_moves_off_overloaded_host(self, trio):
+        trio["alpha"].set_load(180.0)
+        trio["beta"].set_load(20.0)
+        trio["gamma"].set_load(60.0)
+        trio["alpha"].register("worker", Counter())
+        balancer = LoadBalancer(trio, threshold=100.0)
+        assert balancer.rebalance("worker") == "beta"
+        assert trio["beta"].namespace.store.contains("worker")
+
+    def test_rebalance_keeps_component_under_threshold(self, trio):
+        trio["alpha"].set_load(40.0)
+        trio["alpha"].register("worker", Counter())
+        balancer = LoadBalancer(trio, threshold=100.0)
+        assert balancer.rebalance("worker") == "alpha"
+        assert trio["alpha"].namespace.store.contains("worker")
+
+    def test_rebalance_stays_when_everyone_is_hotter(self, trio):
+        trio["alpha"].set_load(120.0)
+        trio["beta"].set_load(200.0)
+        trio["gamma"].set_load(150.0)
+        trio["alpha"].register("worker", Counter())
+        balancer = LoadBalancer(trio, threshold=100.0)
+        assert balancer.rebalance("worker") == "alpha"
+
+    def test_balancer_over_tcp(self):
+        with Cluster(["n1", "n2", "n3"], transport="tcp") as cluster:
+            cluster["n1"].set_load(150.0)
+            cluster["n2"].set_load(10.0)
+            cluster["n3"].set_load(70.0)
+            cluster["n1"].register("svc", Counter())
+            balancer = LoadBalancer(cluster, threshold=100.0)
+            assert balancer.rebalance("svc") == "n2"
+            assert cluster["n2"].namespace.store.contains("svc")

@@ -301,3 +301,45 @@ class TestCallMany:
         net.register("b", lambda m: m.payload)
         net.call_many("a", "b", [(MessageKind.PING, i) for i in range(6)])
         assert net.trace.kinds() == ["BATCH", "REPLY(BATCH)"]
+
+
+class TestEmulatedLinkLatency:
+    """The tc-netem-style ``latency_ms`` knob."""
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcpNetwork(latency_ms=-1.0)
+
+    def test_delay_is_charged_per_request(self):
+        net = TcpNetwork(latency_ms=50.0)
+        try:
+            net.register("a", lambda m: None)
+            net.register("b", lambda m: m.payload)
+            start = time.perf_counter()
+            assert net.call("a", "b", MessageKind.PING, 1) == 1
+            assert time.perf_counter() - start >= 0.05
+        finally:
+            net.shutdown()
+
+    def test_delayed_requests_still_pipeline(self):
+        """Concurrent futures share the link delay instead of queueing.
+
+        Compared against a measured sequential baseline (not an absolute
+        wall-clock bound) so a loaded CI runner cannot flake this."""
+        net = TcpNetwork(latency_ms=100.0)
+        try:
+            net.register("a", lambda m: None)
+            net.register("b", lambda m: m.payload)
+            net.call("a", "b", MessageKind.PING, -1)  # warm the channel
+            start = time.perf_counter()
+            for i in range(4):
+                assert net.call("a", "b", MessageKind.PING, i) == i
+            sequential = time.perf_counter() - start
+            start = time.perf_counter()
+            futures = [net.call_async("a", "b", MessageKind.PING, i)
+                       for i in range(4)]
+            assert [f.result() for f in futures] == [0, 1, 2, 3]
+            overlapped = time.perf_counter() - start
+            assert overlapped < 0.6 * sequential, (sequential, overlapped)
+        finally:
+            net.shutdown()

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.rmi.stub import RemoteRef, Stub, detached_stub, interface_methods
+from repro.rmi.stub import (
+    DetachedStubError,
+    RemoteRef,
+    Stub,
+    detached_stub,
+    interface_methods,
+)
 
 
 class GeoDataFilter:
@@ -93,3 +99,53 @@ class TestStub:
         with pytest.raises(AttributeError):
             stub.__wrapped__
         assert calls == []
+
+
+class TestFutureCaller:
+    """The ``stub.futures`` async view (scatter-gather at the proxy level)."""
+
+    def _stub(self, record, methods=()):
+        ref = RemoteRef(node_id="n", name="obj", methods=methods)
+
+        def invoke(r, method, args, kwargs):
+            record.append((method, args, kwargs))
+            return f"{method}-result"
+
+        def invoke_async(r, method, args, kwargs):
+            from repro.net.transport import CallFuture
+
+            future = CallFuture(f"{r}.{method}")
+            record.append((method, args, kwargs))
+            future._resolve(f"{method}-future")
+            return future
+
+        return Stub(ref, invoke, invoke_async)
+
+    def test_methods_return_futures(self):
+        record = []
+        stub = self._stub(record)
+        future = stub.futures.work(1, k=2)
+        assert future.result() == "work-future"
+        assert record == [("work", (1,), {"k": 2})]
+
+    def test_interface_restriction_applies(self):
+        stub = self._stub([], methods=("allowed",))
+        assert stub.futures.allowed().result() == "allowed-future"
+        with pytest.raises(AttributeError):
+            stub.futures.forbidden
+
+    def test_sync_only_stub_gets_eager_futures(self):
+        """A stub built without an async invoker still offers .futures."""
+        record = []
+        ref = RemoteRef(node_id="n", name="obj")
+        stub = Stub(ref, lambda r, m, a, k: record.append(m) or "sync")
+        future = stub.futures.ping()
+        assert future.done()
+        assert future.result() == "sync"
+        assert record == ["ping"]
+
+    def test_detached_stub_future_fails_at_result(self):
+        stub = detached_stub(RemoteRef(node_id="n", name="obj"))
+        future = stub.futures.anything()
+        with pytest.raises(DetachedStubError):
+            future.result()

@@ -1,0 +1,206 @@
+"""Scatter-gather runtime operations: class fan-out, sweeps, parallel find.
+
+These run over the simulated network, where futures complete eagerly —
+the tests pin the *semantics* (results, message counts, failure handling);
+the TCP overlap itself is exercised in tests/net/test_call_future.py and
+measured in benchmarks/test_async_fanout.py.
+"""
+
+import pytest
+
+from repro.bench.workloads import Counter, PrintServer
+from repro.core.agents import Agent
+from repro.errors import ClassTransferError, ComponentNotFoundError
+from repro.net.message import MessageKind
+
+
+class Tourist(Agent):
+    """Module-level so its source ships cleanly through the class cache."""
+
+
+class TestBatchedPushClass:
+    def test_batched_push_is_one_round_trip_cold(self, pair):
+        pair["alpha"].register_class(Counter)
+        server = pair["alpha"].namespace.server
+        before = pair.trace.remote_message_count()
+        server.push_class("Counter", "beta", batched=True)
+        assert pair.trace.remote_message_count() - before == 2  # BATCH + reply
+        assert pair["beta"].namespace.classcache.has_class("Counter")
+
+    def test_batched_push_is_one_round_trip_warm(self, pair):
+        pair["alpha"].register_class(Counter)
+        server = pair["alpha"].namespace.server
+        server.push_class("Counter", "beta", batched=True)
+        before = pair.trace.remote_message_count()
+        server.push_class("Counter", "beta", batched=True)
+        assert pair.trace.remote_message_count() - before == 2
+        # The conditional push against a warm cache kept the existing clone.
+        assert pair["beta"].namespace.classcache.has_class("Counter")
+
+    def test_default_push_keeps_the_paper_sequence(self, pair):
+        """Unbatched: probe + body on a cold cache (Figure 1c's REV shape)."""
+        pair["alpha"].register_class(Counter)
+        before = pair.trace.remote_message_count()
+        pair["alpha"].namespace.server.push_class("Counter", "beta")
+        assert pair.trace.remote_message_count() - before == 4
+
+    def test_batched_class_is_instantiable_at_target(self, pair):
+        pair["alpha"].register_class(Counter)
+        pair["alpha"].namespace.server.push_class("Counter", "beta", batched=True)
+        ref = pair["alpha"].namespace.instantiate("Counter", "c1", "beta")
+        stub = pair["alpha"].stub("c1")
+        assert ref.node_id == "beta"
+        assert stub.increment() == 1
+
+
+class TestPushClassMany:
+    def test_fans_out_to_every_target(self, quad):
+        quad["alpha"].register_class(PrintServer)
+        server = quad["alpha"].namespace.server
+        hashes = server.push_class_many("PrintServer", ["beta", "gamma", "delta"])
+        expected = quad["alpha"].namespace.classcache.descriptor(
+            "PrintServer"
+        ).source_hash
+        assert hashes == {"beta": expected, "gamma": expected, "delta": expected}
+        for target in ("beta", "gamma", "delta"):
+            assert quad[target].namespace.classcache.has_class("PrintServer")
+
+    def test_costs_one_batched_round_trip_per_target(self, quad):
+        quad["alpha"].register_class(Counter)
+        before = quad.trace.remote_message_count()
+        quad["alpha"].namespace.server.push_class_many(
+            "Counter", ["beta", "gamma", "delta"]
+        )
+        assert quad.trace.remote_message_count() - before == 6  # 3 x (BATCH+reply)
+
+    def test_dead_target_raises_after_gathering_all(self, quad):
+        quad["alpha"].register_class(Counter)
+        quad.crash("gamma")
+        with pytest.raises(ClassTransferError, match="gamma"):
+            quad["alpha"].namespace.server.push_class_many(
+                "Counter", ["beta", "gamma", "delta"]
+            )
+        # The healthy targets still received the class.
+        assert quad["beta"].namespace.classcache.has_class("Counter")
+        assert quad["delta"].namespace.classcache.has_class("Counter")
+
+
+class TestSweeps:
+    def test_query_load_many_matches_individual_queries(self, trio):
+        trio["alpha"].set_load(10.0)
+        trio["beta"].set_load(50.0)
+        trio["gamma"].set_load(90.0)
+        server = trio["alpha"].namespace.server
+        loads = server.query_load_many(["alpha", "beta", "gamma"])
+        assert loads == {"alpha": 10.0, "beta": 50.0, "gamma": 90.0}
+
+    def test_query_load_many_skip_unreachable(self, trio):
+        trio["beta"].set_load(50.0)
+        trio["gamma"].set_load(90.0)
+        trio.crash("beta")
+        server = trio["alpha"].namespace.server
+        loads = server.query_load_many(
+            ["alpha", "beta", "gamma"], skip_unreachable=True
+        )
+        assert set(loads) == {"alpha", "gamma"}
+
+    def test_query_load_many_strict_raises(self, trio):
+        trio.crash("beta")
+        server = trio["alpha"].namespace.server
+        with pytest.raises(Exception):
+            server.query_load_many(["alpha", "beta", "gamma"])
+
+    def test_ping_many_marks_dead_hosts(self, trio):
+        trio.crash("gamma")
+        server = trio["alpha"].namespace.server
+        assert server.ping_many(["alpha", "beta", "gamma"]) == {
+            "alpha": True, "beta": True, "gamma": False,
+        }
+
+    def test_scatter_returns_one_future_per_target(self, trio):
+        futures = trio["alpha"].namespace.server.scatter(
+            ["beta", "gamma"], MessageKind.PING
+        )
+        assert set(futures) == {"beta", "gamma"}
+        assert all(f.result() == "pong" for f in futures.values())
+
+
+class TestLocateAny:
+    def test_probes_resolve_a_moved_component(self, quad):
+        quad["alpha"].register("doc", Counter())
+        quad["alpha"].move("doc", "gamma")
+        # delta never heard of the component; parallel probes still find it.
+        server = quad["delta"].namespace.server
+        assert server.locate_any("doc", ["alpha", "beta", "gamma"]) == "gamma"
+        # The winning answer was recorded for the next local find.
+        assert quad["delta"].namespace.registry.forwarding_hint("doc") == "gamma"
+
+    def test_candidates_parameter_on_find(self, quad):
+        quad["beta"].register("svc", PrintServer())
+        location = quad["delta"].find("svc", candidates=quad.node_ids())
+        assert location == "beta"
+
+    def test_all_cold_chains_raise(self, trio):
+        server = trio["alpha"].namespace.server
+        with pytest.raises(ComponentNotFoundError):
+            server.locate_any("ghost", ["beta", "gamma"])
+
+    def test_no_candidates_raises(self, trio):
+        with pytest.raises(ComponentNotFoundError):
+            trio["alpha"].namespace.server.locate_any("ghost", [])
+
+    def test_dead_candidate_does_not_abort_the_probe(self, trio):
+        trio["gamma"].register("obj", Counter())
+        trio.crash("beta")
+        server = trio["alpha"].namespace.server
+        assert server.locate_any("obj", ["beta", "gamma"]) == "gamma"
+
+
+class TestClassProbeOverlap:
+    def test_probe_skips_body_when_target_learned_class_elsewhere(self, make_cluster):
+        cluster = make_cluster(["alpha", "beta", "gamma"], probe_classes=True)
+        cluster["alpha"].register_class(Counter)
+        cluster["alpha"].register("c", Counter())
+        # gamma's cache is warmed by an explicit class push — a path the
+        # mover's own shipping history knows nothing about, so only the
+        # probe can discover it.
+        cluster["alpha"].namespace.server.push_class("Counter", "gamma")
+        cluster["alpha"].move("c", "gamma")
+        events = cluster.trace.filtered(
+            kinds=["OBJECT_TRANSFER"], remote_only=True
+        )
+        assert len(events) == 1
+        # The probe discovered gamma's warm cache, so the transfer shipped
+        # no class body; gamma reconstructed from its cached clone without
+        # any CLASS_REQUEST pull to the origin.
+        pulls = cluster.trace.filtered(kinds=["CLASS_REQUEST"], remote_only=True)
+        assert pulls == []
+        stub = cluster["alpha"].stub("c")
+        assert stub.increment() == 1
+
+    def test_probe_miss_ships_the_body(self, make_cluster):
+        cluster = make_cluster(["alpha", "beta"], probe_classes=True)
+        cluster["alpha"].register("c", Counter())
+        cluster["alpha"].move("c", "beta")
+        assert cluster["beta"].namespace.store.contains("c")
+        # One probe (miss) preceded the transfer.
+        probes = cluster.trace.filtered(kinds=["CLASS_TRANSFER"], remote_only=True)
+        assert len(probes) == 1
+
+    def test_default_moves_send_no_probe(self, pair):
+        pair["alpha"].register("c", Counter())
+        pair["alpha"].move("c", "beta")
+        probes = pair.trace.filtered(kinds=["CLASS_TRANSFER"], remote_only=True)
+        assert probes == []
+
+    def test_agent_hop_uses_the_probe(self, make_cluster):
+        cluster = make_cluster(["alpha", "beta", "gamma"], probe_classes=True)
+        cluster["alpha"].register_class(Tourist)
+        cluster["alpha"].namespace.server.push_class("Tourist", "beta")
+        cluster["alpha"].agents.launch(Tourist(), "tourist", ("beta",))
+        cluster.quiesce()
+        assert cluster["beta"].namespace.store.contains("tourist")
+        # beta's cache was warm, so the hop carried no class body and beta
+        # never pulled the class from the origin.
+        pulls = cluster.trace.filtered(kinds=["CLASS_REQUEST"], remote_only=True)
+        assert pulls == []
