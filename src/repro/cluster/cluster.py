@@ -20,6 +20,7 @@ from typing import Any, Iterator, Sequence
 from repro.errors import ConfigurationError
 from repro.cluster.node import Node
 from repro.net.conditions import LatencyModel, LossModel
+from repro.net.deadline import Deadline
 from repro.net.message import MessageKind
 from repro.net.simnet import SimNetwork
 from repro.net.tcpnet import TcpNetwork
@@ -161,6 +162,7 @@ class Cluster:
         src: str | None = None,
         targets: Sequence[str] | None = None,
         return_exceptions: bool = False,
+        deadline: Deadline | None = None,
     ) -> dict[str, Any]:
         """One request to every node, all round trips in flight at once.
 
@@ -170,12 +172,20 @@ class Cluster:
         failed target maps to its exception instead of aborting the
         sweep; otherwise every future is still collected before the first
         failure re-raises, so no round trip is left dangling.
+
+        One ``deadline`` bounds the *whole* fan-out (not one per node): a
+        node that cannot answer in time contributes/raises
+        :class:`~repro.errors.CallTimeoutError` and its probe is
+        cancelled rather than left consuming io-timeout.
         """
         issuer = self.issuer(src)
         ids = list(targets) if targets is not None else self.node_ids()
-        futures = issuer.namespace.server.scatter(ids, kind, payload)
-        outcomes = dict(zip(futures, gather(futures.values(),
-                                            return_exceptions=True)))
+        futures = issuer.namespace.server.scatter(ids, kind, payload,
+                                                  deadline=deadline)
+        outcomes = dict(zip(futures, gather(
+            futures.values(), return_exceptions=True, deadline=deadline,
+            cancel_stragglers=deadline is not None,
+        )))
         if not return_exceptions:
             for value in outcomes.values():
                 if isinstance(value, Exception):
@@ -208,22 +218,35 @@ class Cluster:
         ).source_hash
         return hashes
 
-    def query_all_loads(self, src: str | None = None) -> dict[str, float]:
+    def query_all_loads(self, src: str | None = None,
+                        deadline: Deadline | None = None,
+                        timeout_load: float | None = None) -> dict[str, float]:
         """Every live node's load from one parallel sweep.
 
         Hosts that fail to answer drop out (a vanished host is not a
         balancing candidate) — the cluster-size-independent primitive
         :class:`~repro.cluster.load.LoadBalancer` decisions are built on.
+        One ``deadline`` bounds the whole sweep; ``timeout_load`` prices
+        deadline-expired probes at that value instead of dropping them
+        (the balancer's overloaded-by-silence signal).
         """
         issuer = self.issuer(src)
         return issuer.namespace.server.query_load_many(
-            self.node_ids(), skip_unreachable=True
+            self.node_ids(), skip_unreachable=True, deadline=deadline,
+            timeout_load=timeout_load,
         )
 
-    def locate(self, name: str, src: str | None = None) -> str:
-        """Find a component by probing every node's registry in parallel."""
+    def locate(self, name: str, src: str | None = None,
+               deadline: Deadline | None = None) -> str:
+        """Find a component by probing every node's registry in parallel.
+
+        The first probe to resolve wins and the stragglers are cancelled,
+        so one hung registry cannot stall a locate that already succeeded;
+        ``deadline`` bounds the whole fan-out.
+        """
         issuer = self.issuer(src)
-        return issuer.namespace.server.locate_any(name, self.node_ids())
+        return issuer.namespace.server.locate_any(name, self.node_ids(),
+                                                  deadline=deadline)
 
     # -- fault injection (simulated network only) ----------------------------------------
 

@@ -11,11 +11,19 @@ from __future__ import annotations
 
 from repro.cluster.load import least_loaded
 from repro.errors import MageError, TransportError
+from repro.net.deadline import Deadline
 from repro.runtime.namespace import Namespace
 
 
 class DiscoveryService:
-    """Cluster-membership queries issued from one namespace."""
+    """Cluster-membership queries issued from one namespace.
+
+    Every sweep takes one optional :class:`~repro.net.deadline.Deadline`
+    for the *whole* fan-out: membership answers are only useful fresh, so
+    a sweep should spend one bounded window total — not one io timeout
+    per unresponsive host — and probes still pending at expiry are
+    cancelled.
+    """
 
     def __init__(self, namespace: Namespace) -> None:
         self.ns = namespace
@@ -28,31 +36,38 @@ class DiscoveryService:
         """Every node except this one."""
         return [n for n in self.hosts() if n != self.ns.node_id]
 
-    def is_alive(self, node_id: str) -> bool:
-        """Liveness probe: a PING answered within the retry budget."""
+    def is_alive(self, node_id: str,
+                 deadline: Deadline | None = None) -> bool:
+        """Liveness probe: a PING answered within the retry budget
+        (and within ``deadline``, when one is given)."""
         try:
-            return self.ns.server.ping(node_id)
+            return self.ns.server.ping(node_id, deadline=deadline)
         except (TransportError, MageError):
             return False
 
-    def alive_peers(self) -> list[str]:
-        """Peers that answer a PING right now (one parallel sweep)."""
-        answers = self.ns.server.ping_many(self.peers())
+    def alive_peers(self, deadline: Deadline | None = None) -> list[str]:
+        """Peers that answer a PING right now (one parallel sweep,
+        one shared deadline)."""
+        answers = self.ns.server.ping_many(self.peers(), deadline=deadline)
         return [n for n in self.peers() if answers.get(n)]
 
-    def loads(self, candidates: list[str] | None = None) -> dict[str, float]:
+    def loads(self, candidates: list[str] | None = None,
+              deadline: Deadline | None = None) -> dict[str, float]:
         """Current load of each candidate (default: all alive peers).
 
         A scatter-gather LOAD_QUERY sweep: a host that vanished mid-query
         simply drops out, and on the pipelined TCP transport N candidates
-        cost one round-trip latency, not N.
+        cost one round-trip latency, not N.  With a ``deadline`` the ping
+        and load sweeps share it (one budget for the whole decision).
         """
-        nodes = candidates if candidates is not None else self.alive_peers()
-        return self.ns.server.query_load_many(nodes, skip_unreachable=True)
+        nodes = candidates if candidates is not None else self.alive_peers(deadline)
+        return self.ns.server.query_load_many(nodes, skip_unreachable=True,
+                                              deadline=deadline)
 
-    def least_loaded(self, candidates: list[str] | None = None) -> str:
+    def least_loaded(self, candidates: list[str] | None = None,
+                     deadline: Deadline | None = None) -> str:
         """The least-loaded candidate (ties broken by name).
 
         Raises :class:`MageError` when no candidate answered.
         """
-        return least_loaded(self.loads(candidates))
+        return least_loaded(self.loads(candidates, deadline=deadline))

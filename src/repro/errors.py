@@ -8,6 +8,15 @@ finally errors specific to mobility attributes — most importantly
 :class:`ImmobileObjectError`, the exception Table 2 of the paper specifies
 for the RPC mobility attribute when its component is not at the expected
 location.
+
+Errors here cross the wire: a handler's exception is marshalled into the
+reply and re-raised at the caller.  Classes whose ``__init__`` takes more
+than a message string therefore override ``__reduce__`` to replay their
+constructor arguments — the default ``Exception`` reduction replays
+``self.args`` (the formatted message), which would fail to rebuild them
+and, on the TCP transport, kill the shared connection the reply arrived
+on.  :class:`LockMovedError` is the load-bearing case: the §4.4 chase
+protocol *is* this exception crossing node boundaries.
 """
 
 from __future__ import annotations
@@ -38,6 +47,9 @@ class NodeUnreachableError(TransportError):
         self.node_id = node_id
         self.reason = reason
 
+    def __reduce__(self):
+        return (type(self), (self.node_id, self.reason))
+
 
 class MessageLostError(TransportError):
     """A single message transmission was lost.
@@ -49,6 +61,15 @@ class MessageLostError(TransportError):
 
 class CallTimeoutError(TransportError):
     """A request/response exchange did not complete within its deadline."""
+
+
+class CallCancelledError(TransportError):
+    """The caller abandoned the exchange via ``CallFuture.cancel()``.
+
+    Raised by ``result()`` on a cancelled future.  Cancellation is a
+    *client-side* act: the request may still execute at the destination
+    (its reply is dropped), exactly like a timed-out exchange.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -75,6 +96,9 @@ class NotBoundError(NamingError):
         super().__init__(f"name {name!r} is not bound")
         self.name = name
 
+    def __reduce__(self):
+        return (type(self), (self.name,))
+
 
 class AlreadyBoundError(NamingError):
     """``bind`` of a name that already has a binding (use ``rebind``)."""
@@ -82,6 +106,9 @@ class AlreadyBoundError(NamingError):
     def __init__(self, name: str):
         super().__init__(f"name {name!r} is already bound")
         self.name = name
+
+    def __reduce__(self):
+        return (type(self), (self.name,))
 
 
 class RemoteInvocationError(RmiError):
@@ -95,6 +122,9 @@ class RemoteInvocationError(RmiError):
         super().__init__(message)
         self.remote_traceback = remote_traceback
 
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.remote_traceback))
+
 
 class NoSuchObjectError(RmiError):
     """An invocation arrived for a servant the target namespace lacks."""
@@ -104,6 +134,9 @@ class NoSuchObjectError(RmiError):
         super().__init__(f"no servant {name!r}{where}")
         self.name = name
         self.node_id = node_id
+
+    def __reduce__(self):
+        return (type(self), (self.name, self.node_id))
 
 
 # ---------------------------------------------------------------------------
@@ -122,6 +155,10 @@ class ComponentNotFoundError(RuntimeMageError):
         suffix = f": {detail}" if detail else ""
         super().__init__(f"component {name!r} could not be found{suffix}")
         self.name = name
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.name, self.detail))
 
 
 class ClassTransferError(RuntimeMageError):
@@ -151,6 +188,9 @@ class LockMovedError(LockError):
         super().__init__(f"object {name!r} moved to {new_location!r} while lock waited")
         self.name = name
         self.new_location = new_location
+
+    def __reduce__(self):
+        return (type(self), (self.name, self.new_location))
 
 
 class LockTimeoutError(LockError):
@@ -186,6 +226,9 @@ class ImmobileObjectError(AttributeError_):
         self.expected = expected
         self.actual = actual
 
+    def __reduce__(self):
+        return (type(self), (self.name, self.expected, self.actual))
+
 
 class CoercionError(AttributeError_):
     """No coercion applies for a model/location scenario (e.g. COD n/a cell)."""
@@ -213,6 +256,9 @@ class AccessDeniedError(ExtensionError):
         self.action = action
         self.resource = resource
 
+    def __reduce__(self):
+        return (type(self), (self.principal, self.action, self.resource))
+
 
 class ResourceExhaustedError(ExtensionError):
     """The resource-allocation model rejected an admission request."""
@@ -226,3 +272,7 @@ class ResourceExhaustedError(ExtensionError):
         self.resource = resource
         self.requested = requested
         self.available = available
+
+    def __reduce__(self):
+        return (type(self), (self.node_id, self.resource, self.requested,
+                             self.available))

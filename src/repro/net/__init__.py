@@ -49,16 +49,55 @@ probes, cluster broadcast) scatters over.  They return a
     what sweeps that tolerate partial failure want.
 ``future.done()``
     Non-blocking completion check.
+``future.cancel(reason="")`` / ``future.cancelled()``
+    Abandon the exchange: the future completes with
+    :class:`~repro.errors.CallCancelledError` (first-wins; a racing reply
+    that already completed it makes ``cancel`` a no-op returning
+    ``False``).  On the pipelined TCP transport cancellation releases the
+    in-flight exchange exactly like a timed-out waiter — the late reply
+    is dropped by the reader, other waiters on the shared connection are
+    untouched.  On the simulated network futures are already complete
+    when handed out, so ``cancel`` is a deterministic no-op there.
 ``future.map(fn)``
     A derived future resolving to ``fn(value)``; the mapper runs lazily on
     the collecting thread (RMI unmarshals results this way, off the
-    transport's reader thread).
+    transport's reader thread).  Cancelling the view cancels the source.
 ``future.add_done_callback(fn)``
     Run ``fn(future)`` on completion (immediately if already done).
 
 :func:`repro.net.transport.gather` collects a sequence of futures in
 order; ``gather(fs, return_exceptions=True)`` substitutes the exception
 object for failed entries so one dead node cannot abort a sweep.
+``timeout_s``/``deadline`` bound the whole gather by **one shared
+deadline** (N hung futures cost one window, not N), and
+``cancel_stragglers=True`` cancels whatever is still pending when the
+gather returns or raises.
+
+Deadlines
+---------
+
+:class:`repro.net.deadline.Deadline` is the end-to-end time budget of a
+call chain — built with ``Deadline.after_ms(250)`` / ``after_s(...)``,
+queried via ``remaining_ms()`` / ``remaining_s()`` / ``.expired``, and
+accepted by every request/response form (``call``, ``call_async``,
+``call_many``, ``call_many_async``) plus every runtime/cluster fan-out
+built on them.  One deadline:
+
+* rides the :class:`~repro.net.message.Message` header, re-anchoring to
+  the *remaining* budget across serialization, so each hop of a
+  forwarding walk or lock chase sees a shrinking allowance;
+* caps the caller-side wait (below the io timeout) and the loss-retry
+  loop — an expired call never touches the wire;
+* is enforced at the destination: requests whose deadline expired in
+  flight or in queue are dropped at dispatch with
+  :class:`~repro.errors.CallTimeoutError` (admission control);
+* becomes *ambient* while the handler runs
+  (:func:`repro.net.deadline.current_deadline`), so nested calls the
+  handler makes inherit the caller's budget with no parameter plumbing.
+
+With no deadline set, every path — messages, traces, virtual-clock
+charges — is identical to the pre-deadline behaviour, which is what
+keeps the figure benches byte-stable.
 
 Completion model: the **simulated network** completes futures eagerly on
 the calling thread — deterministic messages, traces, and virtual-clock
@@ -79,6 +118,7 @@ from repro.net.conditions import (
     PerLinkLatency,
     UniformLatency,
 )
+from repro.net.deadline import Deadline, current_deadline
 from repro.net.message import Message, MessageKind
 from repro.net.simnet import SimNetwork
 from repro.net.tcpnet import TcpNetwork
@@ -89,6 +129,7 @@ __all__ = [
     "BernoulliLoss",
     "CallFuture",
     "ConstantLatency",
+    "Deadline",
     "DeterministicLoss",
     "LatencyModel",
     "LossModel",
@@ -102,5 +143,6 @@ __all__ = [
     "TraceEvent",
     "Transport",
     "UniformLatency",
+    "current_deadline",
     "gather",
 ]

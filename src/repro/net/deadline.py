@@ -1,0 +1,145 @@
+"""Deadlines: the end-to-end time budget of a call chain.
+
+Every layer of the stack used to carry its own ad-hoc timeout knob —
+``io_timeout_s`` at the transport, ``timeout_s`` per ``gather`` wait,
+``timeout_ms`` per lock request — with no *end-to-end* budget: a
+forwarding-chain walk or lock chase of up to 8 hops could spend a full io
+timeout at every hop.  A :class:`Deadline` replaces that plumbing with one
+first-class call context:
+
+* it is **monotonic-clock anchored** — an absolute point on
+  ``time.monotonic()``, so wall-clock adjustments cannot stretch or shrink
+  the budget;
+* it is **carried in the message header**
+  (:attr:`repro.net.message.Message.deadline`), so the remaining budget
+  shrinks across hops: a server that spends 100 ms of a 500 ms budget
+  forwards at most 400 ms to the next hop;
+* it **re-anchors across serialization** — pickling captures the remaining
+  budget and unpickling re-anchors it on the receiver's monotonic clock,
+  the standard deadline-propagation treatment for clocks that do not
+  transfer between processes;
+* it is **ambient during dispatch** — the transport's handler execution
+  wraps each request in :func:`deadline_scope`, so nested calls a handler
+  makes (a FIND walking its chain, a move's OBJECT_TRANSFER) inherit the
+  caller's deadline automatically via :func:`current_deadline` without
+  every call site threading a parameter.
+
+A ``Deadline`` of ``None`` everywhere means "no budget" — exactly the
+pre-deadline behaviour, which keeps the figure benches' message traces
+bit-identical when no deadline is set.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def _now() -> float:
+    return time.monotonic()
+
+
+class Deadline:
+    """An absolute point on the monotonic clock by which work must finish."""
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self._expires_at = float(expires_at)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def after_s(cls, budget_s: float) -> "Deadline":
+        """A deadline ``budget_s`` seconds from now."""
+        return cls(_now() + float(budget_s))
+
+    @classmethod
+    def after_ms(cls, budget_ms: float) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from now."""
+        return cls.after_s(float(budget_ms) / 1000.0)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def expires_at(self) -> float:
+        """The absolute monotonic-clock reading this deadline expires at."""
+        return self._expires_at
+
+    def remaining_s(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self._expires_at - _now())
+
+    def remaining_ms(self) -> float:
+        """Milliseconds of budget left (never negative)."""
+        return self.remaining_s() * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is gone."""
+        return _now() >= self._expires_at
+
+    # -- composition ----------------------------------------------------------
+
+    @staticmethod
+    def tighter(a: "Deadline | None", b: "Deadline | None") -> "Deadline | None":
+        """The earlier of two optional deadlines (``None`` = unbounded)."""
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if a._expires_at <= b._expires_at else b
+
+    # -- serialization --------------------------------------------------------
+
+    def __reduce__(self):
+        # Monotonic readings do not transfer between processes; ship the
+        # *remaining* budget and re-anchor on the receiving clock.  Time the
+        # frame spends between pickle and unpickle is therefore uncounted —
+        # the standard propagation caveat; the emulated link delay and all
+        # handler-side work happen after re-anchoring and are charged.
+        return (Deadline.after_s, (self.remaining_s(),))
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining_ms():.1f}ms)"
+
+
+#: The deadline of the request currently being dispatched on this thread
+#: (or execution context), set by ``Transport.execute_handler``.
+_current: contextvars.ContextVar[Deadline | None] = contextvars.ContextVar(
+    "mage_deadline", default=None
+)
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient dispatch deadline (``None`` outside a bounded dispatch)."""
+    return _current.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[None]:
+    """Make ``deadline`` ambient for the duration of a dispatch.
+
+    Always sets (even to ``None``): a handler serving an unbounded request
+    must not inherit a stale deadline from an enclosing dispatch on the
+    same thread (the simulated network delivers nested calls inline).
+    """
+    token = _current.set(deadline)
+    try:
+        yield
+    finally:
+        _current.reset(token)
+
+
+def effective_deadline(explicit: "Deadline | None") -> "Deadline | None":
+    """The deadline a new outbound call should carry.
+
+    An explicit deadline wins; otherwise the ambient dispatch deadline
+    propagates, so a server's nested calls are bounded by its caller's
+    budget without per-call-site plumbing.
+    """
+    if explicit is not None:
+        return explicit
+    return _current.get()

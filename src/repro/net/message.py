@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.net.deadline import Deadline
 from repro.util.ids import fresh_token
 
 
@@ -69,6 +70,14 @@ class Message:
     request a REPLY answers: transports that pipeline several concurrent
     requests over one connection (the pooled TCP transport) match replies to
     waiting callers by this id.
+
+    ``deadline`` is the request's remaining end-to-end time budget (or
+    ``None``, the unbounded default).  It rides the header so every hop of
+    a multi-hop chain (forwarding walks, lock chases) sees the *shrinking*
+    budget: the transport's dispatch drops requests whose deadline expired
+    in flight or in queue, and makes the deadline ambient while the
+    handler runs so nested calls inherit it.  Replies carry no deadline —
+    the waiting caller enforces its own budget.
     """
 
     kind: MessageKind
@@ -78,6 +87,7 @@ class Message:
     msg_id: str = field(default_factory=lambda: fresh_token("msg"))
     in_reply_to: MessageKind | None = None
     reply_to_id: str = ""
+    deadline: Deadline | None = None
 
     def reply(self, payload: Any) -> "Message":
         """Build the response envelope for this request."""

@@ -30,6 +30,15 @@ blocking calls.  Determinism is the point: the figure benches that assert
 literal message sequences keep holding for code written against the async
 API, while the real TCP transport gives that same code genuinely
 overlapped round trips.
+
+Deadlines ride through unchanged: a :class:`~repro.net.deadline.Deadline`
+on a call is carried in the message header, checked at dispatch by the
+shared ``execute_handler`` admission path, and made ambient for nested
+calls — all base-class machinery.  Because futures complete eagerly here,
+an unexpired deadline leaves every message, trace, and virtual-clock
+charge identical to the no-deadline run; ``CallFuture.cancel()`` on an
+already-completed future is a no-op, so straggler-cancelling fan-out code
+is deterministic on this transport and genuinely concurrent on TCP.
 """
 
 from __future__ import annotations

@@ -22,7 +22,13 @@ Three client-side connection strategies (``mode=``), slowest to fastest:
   frame and parks a :class:`~repro.net.transport.CallFuture` that the
   reader thread resolves, so one caller can scatter N requests (to one
   node or to N nodes) and overlap every round trip without extra
-  threads.
+  threads.  ``CallFuture.cancel()`` and deadline expiry both *abandon*
+  an in-flight exchange the same way a timed-out waiter does: the
+  pending reply slot is released, the reader drops the late reply, and
+  other waiters sharing the connection are untouched.  A request's
+  deadline also caps every reply wait (io timeout or less) and is
+  enforced server-side: a frame whose deadline expired in the worker
+  queue is dropped at dequeue.
 
 Server side, each node runs a per-connection *serve loop* (a thread that
 only reads frames) feeding a bounded worker pool that executes handlers
@@ -61,6 +67,7 @@ from repro.errors import (
     ConfigurationError,
     MarshalError,
     NodeUnreachableError,
+    RemoteInvocationError,
     TransportError,
 )
 from repro.net.message import ONEWAY_KINDS, Message, ReplyPayload
@@ -79,6 +86,46 @@ _MAX_FRAME = 64 * 1024 * 1024  # 64 MiB: a generous bound on one message
 
 #: Valid ``TcpNetwork(mode=...)`` values, slowest to fastest.
 MODES = ("per-call", "pooled", "pipelined")
+
+
+def _transmittable_error_payload(payload: ReplyPayload) -> ReplyPayload:
+    """Guarantee an error reply survives the *unpickle* on the client side.
+
+    Pickling an exception can succeed while unpickling fails — the default
+    reduction replays ``self.args`` (the formatted message) into a
+    constructor that may demand more arguments.  Such a frame would blow
+    up in the client channel's reader loop and tear down the shared
+    connection, failing every other in-flight waiter.  Our own error
+    family defines ``__reduce__``; this guards *handler-raised* exception
+    types we do not control by round-tripping once on the server and
+    degrading to a :class:`~repro.errors.RemoteInvocationError` that
+    carries the original type and message.
+    """
+    if not payload.is_error:
+        # A BATCH reply nests sub-payloads; a failed sub needs the same
+        # guard (the later subs never ran, so at most one is an error).
+        value = payload.value
+        if isinstance(value, tuple) and any(
+                isinstance(sub, ReplyPayload) and sub.is_error
+                for sub in value):
+            return ReplyPayload(value=tuple(
+                _transmittable_error_payload(sub)
+                if isinstance(sub, ReplyPayload) else sub
+                for sub in value
+            ))
+        return payload
+    try:
+        pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        return payload
+    except Exception:
+        error = payload.error
+        return ReplyPayload(
+            error=RemoteInvocationError(
+                f"remote raised {type(error).__name__} which cannot cross "
+                f"the wire: {error}",
+                remote_traceback=payload.remote_traceback,
+            )
+        )
 
 
 def _send_frame(sock: socket.socket, message: Message) -> None:
@@ -323,18 +370,33 @@ class _PipelinedCallFuture(CallFuture):
 
     def _await(self, timeout_s: float | None) -> None:
         if timeout_s is None:
-            elapsed = time.monotonic() - self._submitted
-            timeout_s = max(0.0, self._timeout_s - elapsed)
+            # The default wait is the remainder of the submission-anchored
+            # io window, capped by the call's end-to-end budget — a 200 ms
+            # deadline never waits out a 30 s io timeout.
+            timeout_s = self._wait_bound_s()
         super()._await(timeout_s)
 
     def _on_wait_timeout(self, timeout_s: float | None) -> None:
-        channel = self._channel
-        if channel is not None:
-            channel._discard_waiter(self._message.msg_id, self)
+        self._abandon()
         # First-wins: a reply racing this timeout may still resolve us.
         self._fail(CallTimeoutError(
             f"{self._message.describe()}: no reply within {timeout_s}s"
         ))
+
+    def _abandon(self) -> None:
+        """Release the pending reply slot (timeout and cancel share this):
+        the reader drops the late reply; other waiters are untouched."""
+        channel = self._channel
+        if channel is not None:
+            channel._discard_waiter(self._message.msg_id, self)
+
+    def _wait_bound_s(self) -> float | None:
+        elapsed = time.monotonic() - self._submitted
+        bound = max(0.0, self._timeout_s - elapsed)
+        deadline = self._message.deadline
+        if deadline is not None:
+            bound = min(bound, deadline.remaining_s())
+        return bound
 
 
 class _WorkerPool:
@@ -505,7 +567,7 @@ class _NodeServer:
             )
         if message.kind in ONEWAY_KINDS:
             return  # one-way traffic carries no reply frame
-        reply = message.reply(payload)
+        reply = message.reply(_transmittable_error_payload(payload))
         self._trace.record(reply, self._clock.now_ms())
         try:
             with write_lock:
@@ -601,6 +663,9 @@ class TcpNetwork(Transport):
         with self._lock:
             return sorted(self._servers)
 
+    def max_reply_wait_s(self) -> float | None:
+        return self.io_timeout_s
+
     def port_of(self, node_id: str) -> int:
         """The TCP port ``node_id`` listens on (for diagnostics)."""
         with self._lock:
@@ -684,6 +749,13 @@ class TcpNetwork(Transport):
         self._record_drop(message)
         raise NodeUnreachableError(message.dst, "connection lost before send")
 
+    def _reply_timeout_s(self, message: Message) -> float:
+        """The wait budget for one exchange: io timeout capped by deadline."""
+        timeout_s = self.io_timeout_s
+        if message.deadline is not None:
+            timeout_s = min(timeout_s, message.deadline.remaining_s())
+        return timeout_s
+
     def _per_call_send(self, message: Message, want_reply: bool) -> Message | None:
         """One fresh-connection exchange (the early-RMI baseline mode)."""
         try:
@@ -691,20 +763,32 @@ class TcpNetwork(Transport):
         except NodeUnreachableError:
             self._record_drop(message)
             raise
-        sock.settimeout(self.io_timeout_s)
+        sock.settimeout(max(self._reply_timeout_s(message), 0.001))
         with sock:
             try:
                 _send_frame(sock, message)
                 return _recv_frame(sock) if want_reply else None
-            except (ConnectionError, socket.timeout, OSError) as exc:
+            except socket.timeout as exc:
+                if message.deadline is not None:
+                    # The caller's budget capped this wait: surface the
+                    # same CallTimeoutError the pooled/pipelined waiters
+                    # raise, so deadline consumers see one error type
+                    # regardless of mode.
+                    raise CallTimeoutError(
+                        f"{message.describe()}: deadline expired awaiting reply"
+                    ) from exc
+                self._record_drop(message)  # one-way only; no-op for calls
+                raise NodeUnreachableError(message.dst, f"io failed: {exc}") from exc
+            except (ConnectionError, OSError) as exc:
                 self._record_drop(message)  # one-way only; no-op for calls
                 raise NodeUnreachableError(message.dst, f"io failed: {exc}") from exc
 
     def _transmit(self, message: Message) -> Message:
         if self.mode == "per-call":
             return self._per_call_send(message, want_reply=True)
+        timeout_s = self._reply_timeout_s(message)
         return self._transmit_pooled(
-            message, lambda channel: channel.request(message, self.io_timeout_s)
+            message, lambda channel: channel.request(message, timeout_s)
         )
 
     def _transmit_async(self, message: Message, batch: bool) -> CallFuture:
@@ -721,6 +805,12 @@ class TcpNetwork(Transport):
         if self.mode != "pipelined":
             return super()._transmit_async(message, batch)
         future = _PipelinedCallFuture(message, batch, self.io_timeout_s)
+        if message.deadline is not None and message.deadline.expired:
+            # Budget already gone: never touch the wire.
+            future._fail(CallTimeoutError(
+                f"{message.describe()}: deadline expired"
+            ))
+            return future
         for _ in range(2):
             try:
                 channel = self._channel(message.src, message.dst)

@@ -42,6 +42,17 @@ the in-flight execution and then replays its reply, rather than missing
 the cache and running the handler a second time.  Control-flow exceptions
 (``KeyboardInterrupt``, ``SystemExit``) are never cached as replies; they
 propagate out of the dispatch path so a node can actually shut down.
+
+Deadlines: every request/response form accepts a
+:class:`~repro.net.deadline.Deadline` — one end-to-end budget that rides
+the message header, bounds the send/retry/wait path on the caller's side,
+is enforced at the destination's dispatch (expired requests are dropped at
+dequeue), and becomes ambient while the handler runs so nested calls
+inherit the shrinking remainder.  ``CallFuture.cancel()`` is the
+companion: a fan-out that already has its answer cuts its stragglers off
+instead of waiting out the io timeout (see :func:`gather`'s
+``cancel_stragglers``).  With no deadline set, every path is byte- and
+trace-identical to the pre-deadline behaviour.
 """
 
 from __future__ import annotations
@@ -51,7 +62,13 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Any, Callable, Sequence
 
-from repro.errors import CallTimeoutError, MessageLostError, NodeUnreachableError
+from repro.errors import (
+    CallCancelledError,
+    CallTimeoutError,
+    MessageLostError,
+    NodeUnreachableError,
+)
+from repro.net.deadline import Deadline, deadline_scope, effective_deadline
 from repro.net.message import Message, MessageKind, ReplyPayload
 from repro.net.trace import MessageTrace
 from repro.util.clock import Clock
@@ -80,6 +97,13 @@ class CallFuture:
       (``None`` on success) instead of raising it, which is what fan-out
       sweeps that tolerate partial failure want.
     * :meth:`done` never blocks.
+    * :meth:`cancel` abandons the exchange: the future completes with
+      :class:`~repro.errors.CallCancelledError` (first-wins — a reply that
+      already resolved it makes ``cancel`` a no-op returning ``False``),
+      and natively asynchronous transports release the in-flight exchange
+      exactly like a timed-out waiter.  A cancelled straggler stops
+      costing its caller anything; whether the request still executes at
+      the destination is the destination's business.
     * :meth:`map` derives a future whose value is ``fn(value)``; the mapper
       runs lazily on the collecting thread (RMI uses this to unmarshal off
       the transport's reader thread).
@@ -98,6 +122,7 @@ class CallFuture:
         self._lock = threading.Lock()
         self._value: Any = None
         self._error: BaseException | None = None
+        self._cancelled = False
         self._callbacks: list[Callable[["CallFuture"], None]] = []
 
     # -- completion (transport-internal; the first completion wins) ----------
@@ -108,12 +133,14 @@ class CallFuture:
     def _fail(self, error: BaseException) -> None:
         self._complete(None, error)
 
-    def _complete(self, value: Any, error: BaseException | None) -> None:
+    def _complete(self, value: Any, error: BaseException | None,
+                  cancelled: bool = False) -> None:
         with self._lock:
             if self._event.is_set():
                 return  # a racing completion already won
             self._value = value
             self._error = error
+            self._cancelled = cancelled
             self._event.set()
             callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
@@ -151,6 +178,49 @@ class CallFuture:
     def done(self) -> bool:
         """Whether the exchange completed (value or exception); never blocks."""
         return self._event.is_set()
+
+    # -- cancellation ---------------------------------------------------------
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Abandon the exchange; never blocks.
+
+        Completes the future with :class:`~repro.errors.CallCancelledError`
+        (first-wins: a racing reply that already completed it wins and
+        ``cancel`` returns ``False``) and releases any transport resources
+        the exchange holds — on the pipelined TCP transport the pending
+        reply slot, exactly as a timed-out waiter, so a late reply is
+        dropped by the reader and other waiters on the shared connection
+        are untouched.  On the simulated network futures complete eagerly,
+        so a straggler can only be "cancelled" before it is issued — the
+        call is then a harmless no-op, which is what keeps deterministic
+        fan-out code transport-portable.
+
+        Returns ``True`` when the future is (now or already) cancelled.
+        """
+        self._abandon()
+        self._complete(
+            None, CallCancelledError(f"{self._describe}: {reason}"),
+            cancelled=True,
+        )
+        return self._cancelled
+
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` completed this future; never blocks."""
+        return self._cancelled
+
+    def _abandon(self) -> None:
+        """Release transport resources on cancel (native transports override)."""
+
+    def _wait_bound_s(self) -> float | None:
+        """Upper bound on how long this future may stay pending, or ``None``.
+
+        Futures from the base (eager) transports are complete on arrival,
+        so no bound applies; a natively asynchronous transport reports the
+        remainder of its io-timeout window, which lets completion-order
+        collectors (hedged chases, ``locate_any``) avoid waiting forever
+        on an exchange the transport itself would have timed out.
+        """
+        return None
 
     def result(self, timeout_s: float | None = None) -> Any:
         """The reply value; blocks until completion, re-raises failures."""
@@ -215,6 +285,17 @@ class _MappedFuture(CallFuture):
     def done(self) -> bool:
         return self._source.done()
 
+    def cancel(self, reason: str = "cancelled") -> bool:
+        # Cancelling the view abandons the underlying exchange; the view
+        # then surfaces the source's CallCancelledError unmapped.
+        return self._source.cancel(reason)
+
+    def cancelled(self) -> bool:
+        return self._source.cancelled()
+
+    def _wait_bound_s(self) -> float | None:
+        return self._source._wait_bound_s()
+
     def result(self, timeout_s: float | None = None) -> Any:
         value = self._source.result(timeout_s)
         with self._lock:
@@ -243,24 +324,58 @@ class _MappedFuture(CallFuture):
 
 
 def gather(futures, timeout_s: float | None = None,
-           return_exceptions: bool = False) -> list[Any]:
+           return_exceptions: bool = False,
+           deadline: Deadline | None = None,
+           cancel_stragglers: bool = False) -> list[Any]:
     """Collect every future's result, in order.
 
     The scatter-gather companion: issue N ``call_async``s, then
     ``gather(futures)``.  With ``return_exceptions=True`` a failed future
     contributes its exception object instead of raising, so one dead node
     cannot abort a sweep.  Without it, the first failure (in *input* order,
-    after its own wait) raises and later futures are left to complete on
-    their own.  ``timeout_s`` bounds each individual wait.
+    after its own wait) raises.
+
+    ``timeout_s`` and ``deadline`` bound the **whole gather** by one shared
+    deadline (``timeout_s`` anchors at entry; when both are given the
+    tighter wins).  Every wait is rebased on the remaining shared budget,
+    so N hung futures cost one timeout window in total — not N stacked
+    windows, which is what a per-wait timeout used to cost.  A future the
+    budget expires on contributes/raises :class:`CallTimeoutError`.
+
+    ``cancel_stragglers=True`` cancels any future still pending when the
+    gather returns or raises — an aborted sweep (first failure, expired
+    budget) leaves no exchange silently consuming io-timeout at the
+    transport.  Completed futures are untouched, so on the eagerly
+    completing simulated network this mode is trace-identical to the
+    default.
     """
+    shared = Deadline.tighter(
+        deadline,
+        Deadline.after_s(timeout_s) if timeout_s is not None else None,
+    )
+    futures = list(futures)
     results: list[Any] = []
-    for future in futures:
-        try:
-            results.append(future.result(timeout_s))
-        except Exception as exc:
-            if not return_exceptions:
-                raise
-            results.append(exc)
+    try:
+        for future in futures:
+            try:
+                wait_s = shared.remaining_s() if shared is not None else None
+                if wait_s is not None:
+                    # A shared budget larger than a future's own transport
+                    # window must not extend that wait: the future still
+                    # times out when its blocking equivalent would have.
+                    bound = future._wait_bound_s()
+                    if bound is not None:
+                        wait_s = min(wait_s, bound)
+                results.append(future.result(wait_s))
+            except Exception as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+    finally:
+        if cancel_stragglers:
+            for future in futures:
+                if not future.done():
+                    future.cancel("gather abandoned this straggler")
     return results
 
 
@@ -367,6 +482,18 @@ class Transport(ABC):
     def nodes(self) -> list[str]:
         """Currently registered node ids."""
 
+    def max_reply_wait_s(self) -> float | None:
+        """The longest this transport lets a caller wait for one reply.
+
+        ``None`` means unbounded (the in-process simulated network blocks
+        until the handler returns).  Transports that abandon exchanges
+        after an io window report it, so protocol code can avoid asking a
+        *server* to keep working past the point its caller will have
+        walked away — e.g. a lock request's queue wait is capped at this
+        bound when the caller supplied no budget of its own.
+        """
+        return None
+
     # -- delivery (one attempt; implemented per transport) -------------------
 
     @abstractmethod
@@ -384,18 +511,26 @@ class Transport(ABC):
 
     # -- public API ----------------------------------------------------------
 
-    def call(self, src: str, dst: str, kind: MessageKind, payload: Any = None) -> Any:
+    def call(self, src: str, dst: str, kind: MessageKind, payload: Any = None,
+             deadline: Deadline | None = None) -> Any:
         """Request/response exchange; returns the reply payload value.
 
         Retries lost transmissions up to the retry budget, then surfaces
         :class:`MessageLostError`.  Exceptions raised by the remote handler
         re-raise here.  Implemented as ``call_async(...).result()`` so the
         blocking and future forms cannot diverge.
+
+        ``deadline`` bounds the whole exchange (send, retries, and the
+        reply wait) and rides the message header so the destination — and
+        any nested calls its handler makes — inherits the remaining
+        budget.  ``None`` inherits the ambient dispatch deadline when this
+        call is made *inside* a handler, and is unbounded otherwise.
         """
-        return self.call_async(src, dst, kind, payload).result()
+        return self.call_async(src, dst, kind, payload, deadline).result()
 
     def call_async(self, src: str, dst: str, kind: MessageKind,
-                   payload: Any = None) -> CallFuture:
+                   payload: Any = None,
+                   deadline: Deadline | None = None) -> CallFuture:
         """``call`` as a :class:`CallFuture` — the scatter-gather primitive.
 
         The base transport completes the future eagerly on the calling
@@ -403,11 +538,13 @@ class Transport(ABC):
         transports return a future whose round trip is genuinely in flight,
         so issuing N futures before collecting any overlaps N round trips.
         """
-        message = Message(kind=kind, src=src, dst=dst, payload=payload)
+        message = Message(kind=kind, src=src, dst=dst, payload=payload,
+                          deadline=effective_deadline(deadline))
         return self._transmit_async(message, batch=False)
 
     def call_many(self, src: str, dst: str,
-                  requests: Sequence[tuple[MessageKind, Any]]) -> list[Any]:
+                  requests: Sequence[tuple[MessageKind, Any]],
+                  deadline: Deadline | None = None) -> list[Any]:
         """Batched request/response: many requests, one frame, one round trip.
 
         Each ``(kind, payload)`` pair executes at the destination exactly as
@@ -420,23 +557,29 @@ class Transport(ABC):
         raised error prevents the later calls from ever being issued.  That
         first error re-raises here.
         """
-        return self.call_many_async(src, dst, requests).result()
+        return self.call_many_async(src, dst, requests, deadline).result()
 
     def call_many_async(self, src: str, dst: str,
-                        requests: Sequence[tuple[MessageKind, Any]]) -> CallFuture:
+                        requests: Sequence[tuple[MessageKind, Any]],
+                        deadline: Deadline | None = None) -> CallFuture:
         """``call_many`` as a :class:`CallFuture` resolving to the result list.
 
         One BATCH frame, one future: combining batching (one round trip per
         destination) with scattering (futures to many destinations overlap)
-        prices a multi-step fan-out at a single round-trip latency.
+        prices a multi-step fan-out at a single round-trip latency.  One
+        ``deadline`` covers the whole batch; every sub-request carries it
+        too, so each gets its own admission check at the destination.
         """
         if not requests:
             return CallFuture.completed([], f"{src} -> {dst}: empty BATCH")
+        deadline = effective_deadline(deadline)
         subs = tuple(
-            Message(kind=kind, src=src, dst=dst, payload=payload)
+            Message(kind=kind, src=src, dst=dst, payload=payload,
+                    deadline=deadline)
             for kind, payload in requests
         )
-        batch = Message(kind=MessageKind.BATCH, src=src, dst=dst, payload=subs)
+        batch = Message(kind=MessageKind.BATCH, src=src, dst=dst, payload=subs,
+                        deadline=deadline)
         return self._transmit_async(batch, batch=True)
 
     def _transmit_async(self, message: Message, batch: bool) -> CallFuture:
@@ -457,10 +600,21 @@ class Transport(ABC):
         return future
 
     def _transmit_with_retries(self, message: Message) -> Message:
-        """Shared retry loop for ``call`` / ``call_many``."""
+        """Shared retry loop for ``call`` / ``call_many``.
+
+        A deadline on the message bounds the loop too: an exchange whose
+        budget is gone fails fast with :class:`CallTimeoutError` instead of
+        burning the rest of the retry budget on a caller that stopped
+        waiting (checked before the first attempt as well, so an
+        already-expired call never touches the wire).
+        """
         attempts = self.retry_budget + 1
         last_loss: MessageLostError | None = None
         for _ in range(attempts):
+            if message.deadline is not None and message.deadline.expired:
+                raise CallTimeoutError(
+                    f"{message.describe()}: deadline expired"
+                ) from last_loss
             try:
                 return self._transmit(message)
             except MessageLostError as exc:
@@ -516,6 +670,14 @@ class Transport(ABC):
         can actually stop the process instead of being replayed to callers
         forever.  BATCH envelopes dispatch each sub-request through this
         same path, so sub-requests get per-id deduplication too.
+
+        Admission control: a request whose deadline expired in flight or
+        while queued behind busy workers is *dropped at dequeue* — the
+        handler never runs; the reply is :class:`CallTimeoutError` (the
+        same outcome the caller's own expired wait produces).  While the
+        handler runs, the request's deadline is ambient
+        (:func:`repro.net.deadline.deadline_scope`), so nested calls the
+        handler issues inherit the caller's shrinking budget.
         """
         while True:
             token = cache.begin(message.msg_id)
@@ -530,7 +692,13 @@ class Transport(ABC):
                 continue
             payload: ReplyPayload | None = None
             try:
-                if message.kind is MessageKind.BATCH:
+                if message.deadline is not None and message.deadline.expired:
+                    # The caller's budget is gone: executing now would do
+                    # work nobody is waiting for.
+                    payload = ReplyPayload(error=CallTimeoutError(
+                        f"{message.describe()}: deadline expired before dispatch"
+                    ))
+                elif message.kind is MessageKind.BATCH:
                     # Sequential, fail-fast: a failed step prevents the
                     # later steps from running, like the sequence of calls
                     # the batch replaces (an instantiate that raised must
@@ -544,9 +712,11 @@ class Transport(ABC):
                         if sub_payload.is_error:
                             break
                     value = tuple(sub_payloads)
+                    payload = ReplyPayload(value=value)
                 else:
-                    value = handler(message)
-                payload = ReplyPayload(value=value)
+                    with deadline_scope(message.deadline):
+                        value = handler(message)
+                    payload = ReplyPayload(value=value)
             except Exception as exc:  # marshalled back to the caller
                 payload = ReplyPayload(error=exc)
             finally:

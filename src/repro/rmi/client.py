@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.net.deadline import Deadline
 from repro.net.message import MessageKind
 from repro.net.transport import CallFuture, Transport
 from repro.rmi.marshal import marshal_call, unmarshal
@@ -23,12 +24,13 @@ class RmiClient:
         self.node_id = node_id
         self._transport = transport
 
-    def invoke(self, ref: RemoteRef, method: str, args: tuple, kwargs: dict) -> Any:
+    def invoke(self, ref: RemoteRef, method: str, args: tuple, kwargs: dict,
+               deadline: Deadline | None = None) -> Any:
         """Perform one remote invocation: marshal, send, unmarshal."""
-        return self.invoke_async(ref, method, args, kwargs).result()
+        return self.invoke_async(ref, method, args, kwargs, deadline).result()
 
     def invoke_async(self, ref: RemoteRef, method: str, args: tuple,
-                     kwargs: dict) -> CallFuture:
+                     kwargs: dict, deadline: Deadline | None = None) -> CallFuture:
         """One remote invocation as a :class:`CallFuture`.
 
         A proxy can issue several of these before collecting any, so
@@ -36,13 +38,16 @@ class RmiClient:
         with a native asynchronous path.  The result blob is unmarshalled
         lazily on the collecting thread (never on the transport's reader
         thread), and stubs inside the result re-attach to this namespace
-        exactly as in the blocking path.
+        exactly as in the blocking path.  ``deadline`` bounds the exchange
+        end to end and propagates to the servant (``stub.futures(deadline=
+        ...)`` is the proxy-level spelling).
         """
         request = InvokeRequest(
             name=ref.name, method=method, args_blob=marshal_call(args, kwargs)
         )
         future = self._transport.call_async(
-            self.node_id, ref.node_id, MessageKind.INVOKE, request
+            self.node_id, ref.node_id, MessageKind.INVOKE, request,
+            deadline=deadline,
         )
         return future.map(lambda blob: unmarshal(blob, self.stub_for))
 

@@ -184,6 +184,12 @@ class LockRequestPayload:
     The request carries the mobility attribute's computation ``target``; the
     lock manager grants a *stay* lock if the object is already there and a
     *move* lock otherwise.
+
+    ``wait_ms`` bounds the *server-side* queue wait.  A deadline-bounded
+    chase fills it with the caller's remaining budget at each hop (and the
+    dispatch deadline riding the message header caps it again at the lock
+    manager), so a request that chases a moving object never waits longer
+    in total than the caller allowed — hop count notwithstanding.
     """
 
     name: str

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import ConfigurationError
+from repro.errors import CallTimeoutError, ConfigurationError
+from repro.net.deadline import Deadline
 from repro.net.transport import CallFuture
 from repro.util.ids import validate_component_name, validate_node_id
 
@@ -26,6 +27,9 @@ from repro.util.ids import validate_component_name, validate_node_id
 InvokeFn = Callable[["RemoteRef", str, tuple, dict], Any]
 
 #: Future-returning variant: ``(ref, method, args, kwargs) -> CallFuture``.
+#: May additionally accept a fifth ``deadline`` argument; the stub passes
+#: it positionally only when one is bound, so four-argument invokers
+#: (hand-rolled test doubles, detached stubs) keep working.
 AsyncInvokeFn = Callable[["RemoteRef", str, tuple, dict], CallFuture]
 
 
@@ -64,13 +68,16 @@ def interface_methods(iface: type) -> tuple[str, ...]:
     return tuple(sorted(names))
 
 
-def _bound_remote_method(ref: RemoteRef, method: str,
-                         call_fn: Callable) -> Callable[..., Any]:
+def _bound_remote_method(ref: RemoteRef, method: str, call_fn: Callable,
+                         deadline: Deadline | None = None) -> Callable[..., Any]:
     """One rule for turning attribute access into a bound remote method.
 
     Shared by the stub's blocking view and its ``futures`` view, so the
     dunder guard (keeps pickle/copy protocols sane) and the interface
-    restriction cannot drift between them.
+    restriction cannot drift between them.  A bound ``deadline`` is passed
+    through to the invoker as a fifth argument; without one the invoker is
+    called with the classic four, so simple test-double invokers need not
+    grow a parameter.
     """
     if method.startswith("__") and method.endswith("__"):
         raise AttributeError(method)
@@ -78,6 +85,8 @@ def _bound_remote_method(ref: RemoteRef, method: str,
         raise AttributeError(f"{ref} exposes {ref.methods}, not {method!r}")
 
     def remote_method(*args: Any, **kwargs: Any) -> Any:
+        if deadline is not None:
+            return call_fn(ref, method, args, kwargs, deadline)
         return call_fn(ref, method, args, kwargs)
 
     remote_method.__name__ = method
@@ -91,16 +100,27 @@ class _FutureCaller:
     collecting ``.result()`` later lets a caller overlap several remote
     invocations (scatter-gather at the proxy level).  Honours the same
     interface restriction as the stub itself.
+
+    The view is also *callable*: ``stub.futures(deadline=d).work(x)``
+    binds an end-to-end :class:`~repro.net.deadline.Deadline` to every
+    invocation it issues — the budget rides the INVOKE message, bounds the
+    reply wait, and propagates to calls the servant makes in turn.
     """
 
-    __slots__ = ("_ref", "_invoke_async_fn")
+    __slots__ = ("_ref", "_invoke_async_fn", "_deadline")
 
-    def __init__(self, ref: RemoteRef, invoke_async_fn: AsyncInvokeFn) -> None:
+    def __init__(self, ref: RemoteRef, invoke_async_fn: AsyncInvokeFn,
+                 deadline: Deadline | None = None) -> None:
         self._ref = ref
         self._invoke_async_fn = invoke_async_fn
+        self._deadline = deadline
+
+    def __call__(self, deadline: Deadline | None = None) -> "_FutureCaller":
+        return _FutureCaller(self._ref, self._invoke_async_fn, deadline)
 
     def __getattr__(self, method: str) -> Callable[..., CallFuture]:
-        return _bound_remote_method(self._ref, method, self._invoke_async_fn)
+        return _bound_remote_method(self._ref, method, self._invoke_async_fn,
+                                    self._deadline)
 
     def __repr__(self) -> str:
         return f"Stub({self._ref}).futures"
@@ -145,8 +165,13 @@ class Stub:
             invoke_fn = object.__getattribute__(self, "_invoke_fn")
 
             def eager(ref: RemoteRef, method: str, args: tuple,
-                      kwargs: dict) -> CallFuture:
+                      kwargs: dict, deadline: Deadline | None = None) -> CallFuture:
                 future = CallFuture(f"{ref}.{method}")
+                if deadline is not None and deadline.expired:
+                    future._fail(CallTimeoutError(
+                        f"{ref}.{method}: deadline expired"
+                    ))
+                    return future
                 try:
                     future._resolve(invoke_fn(ref, method, args, kwargs))
                 except Exception as exc:

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import LockMovedError, MageError, NoSuchObjectError
+from repro.errors import (
+    LockMovedError,
+    LockTimeoutError,
+    MageError,
+    NoSuchObjectError,
+)
+from repro.net.deadline import current_deadline
 from repro.net.message import Message, MessageKind
 from repro.rmi.invoker import Invoker
 from repro.rmi.marshal import StubFactory, unmarshal_call
@@ -178,12 +184,29 @@ class MageExternalServer:
             if hint is not None and hint != self.node_id:
                 raise LockMovedError(request.name, hint)
             raise NoSuchObjectError(request.name, self.node_id)
-        return self._locks.acquire(
+        # The dispatch deadline (the caller's propagated budget) caps the
+        # queue wait on top of the request's own wait_ms: a lock request
+        # must not be granted to a caller that already stopped waiting.
+        deadline = current_deadline()
+        grant = self._locks.acquire(
             request.name,
             target=request.target,
             requester=request.requester,
             timeout_ms=request.wait_ms,
+            deadline=deadline,
         )
+        if deadline is not None and deadline.expired:
+            # Granted at the buzzer: the caller's wait is deadline-capped
+            # too, so it has abandoned the exchange and this grant's reply
+            # would be dropped — leaving the lock held forever (there is
+            # no lease to reclaim it).  Give the grant back and answer
+            # with the timeout the caller is already raising.
+            self._locks.release(request.name, grant.token)
+            raise LockTimeoutError(
+                f"lock on {request.name!r} granted after its caller's "
+                "deadline expired; released"
+            )
+        return grant
 
     def _on_unlock(self, request: UnlockPayload) -> None:
         self._locks.release(request.name, request.token)

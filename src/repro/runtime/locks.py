@@ -25,11 +25,11 @@ requester re-acquires at the new host — locks do not follow the object.
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import LockError, LockMovedError, LockTimeoutError
+from repro.net.deadline import Deadline
 from repro.util.ids import fresh_token
 
 STAY = "stay"
@@ -96,11 +96,17 @@ class LockManager:
         target: str,
         requester: str,
         timeout_ms: float | None = None,
+        deadline: Deadline | None = None,
     ) -> LockGrant:
         """Block until the lock is granted.
 
         The kind is decided here, not by the caller: stay if ``target`` is
         this namespace, move otherwise (paper §4.4).
+
+        The wait is bounded by ``timeout_ms`` and/or ``deadline`` — the
+        tighter wins.  The dispatcher passes the request's propagated
+        dispatch deadline here, so a queued lock request never outlives
+        the budget of the caller that sent it.
 
         Raises :class:`LockMovedError` if the object departs while waiting
         and :class:`LockTimeoutError` on deadline expiry.
@@ -108,9 +114,8 @@ class LockManager:
         kind = STAY if target == self.node_id else MOVE
         if timeout_ms is not None and timeout_ms < 0:
             raise LockError(f"timeout_ms must be non-negative, got {timeout_ms}")
-        deadline_s = None
         if timeout_ms is not None:
-            deadline_s = time.monotonic() + timeout_ms / 1000.0
+            deadline = Deadline.tighter(deadline, Deadline.after_ms(timeout_ms))
         with self._cond:
             state = self._names.setdefault(name, _NameLock())
             if state.moved_to is not None:
@@ -135,12 +140,14 @@ class LockManager:
                         else:
                             self.stats.move_waits += 1
                     remaining = None
-                    if deadline_s is not None:
-                        remaining = deadline_s - time.monotonic()
+                    if deadline is not None:
+                        remaining = deadline.remaining_s()
                         if remaining <= 0:
                             raise LockTimeoutError(
                                 f"{kind} lock on {name!r} timed out "
-                                f"after {timeout_ms} ms"
+                                f"(waited out its deadline"
+                                + (f"; timeout_ms={timeout_ms}" if timeout_ms
+                                   is not None else "") + ")"
                             )
                     self._cond.wait(timeout=remaining)
             except BaseException:

@@ -30,8 +30,10 @@ from repro.errors import (
     ClassTransferError,
     LockError,
     MigrationError,
+    NoSuchObjectError,
     ObjectPinnedError,
 )
+from repro.net.deadline import Deadline, effective_deadline
 from repro.net.message import MessageKind
 from repro.net.transport import CallFuture, Transport
 from repro.rmi.classdesc import ClassDescriptor, describe_class
@@ -116,15 +118,27 @@ class Mover:
 
     # -- sending side ------------------------------------------------------------
 
-    def move_out(self, name: str, target: str, lock_token: str = "") -> str:
+    def move_out(self, name: str, target: str, lock_token: str = "",
+                 deadline: Deadline | None = None) -> str:
         """Ship the locally hosted object ``name`` to ``target``.
 
         Returns the target node id.  A move to the current namespace is a
         no-op (the stay case).  When the object's lock queue is active, the
-        caller must present the current move-lock token.
+        caller must present the current move-lock token.  ``deadline``
+        bounds the OBJECT_TRANSFER (and defaults to the dispatch deadline
+        when this runs on behalf of a remote MOVE_REQUEST, so the
+        initiator's budget covers the transfer leg too).
         """
         if target == self.node_id:
+            # The stay case — but only a node actually hosting the object
+            # may claim it stayed.  Hedged and remote MOVE_REQUESTs probe
+            # nodes on (possibly stale) hints; answering "already here"
+            # without owning the object would fake a successful move and
+            # poison the requester's forwarding table.
+            if not self._store.contains(name):
+                raise NoSuchObjectError(name, self.node_id)
             return self.node_id
+        deadline = effective_deadline(deadline)
         record = self._store.record(name)
         if record.pinned:
             raise ObjectPinnedError(
@@ -150,7 +164,8 @@ class Mover:
             shared=record.shared,
         )
         ack = self._transport.call(
-            self.node_id, target, MessageKind.OBJECT_TRANSFER, transfer
+            self.node_id, target, MessageKind.OBJECT_TRANSFER, transfer,
+            deadline=deadline,
         )
         if ack != "ok":
             raise MigrationError(

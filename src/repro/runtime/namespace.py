@@ -147,38 +147,49 @@ class Namespace:
         return self.server.unregister(name)
 
     def find(self, name: str, origin_hint: str | None = None,
-             verify: bool = True, candidates=None) -> str:
+             verify: bool = True, candidates=None, deadline=None) -> str:
         """Node id currently hosting ``name``.
 
         ``candidates`` probes several registries' forwarding chains in
-        parallel instead of walking one (see ``MageServer.locate_any``).
+        parallel instead of walking one (see ``MageServer.locate_any``);
+        ``deadline`` bounds the whole resolution end to end.
         """
         return self.server.find(name, origin_hint, verify=verify,
-                                candidates=candidates)
+                                candidates=candidates, deadline=deadline)
 
     def push_class(self, class_name: str, to_node: str,
                    batched: bool = False) -> str:
         """Push a class definition to ``to_node`` (REV direction)."""
         return self.server.push_class(class_name, to_node, batched=batched)
 
-    def push_class_many(self, class_name: str, targets) -> dict[str, str]:
+    def push_class_many(self, class_name: str, targets,
+                        deadline=None) -> dict[str, str]:
         """Scatter a class to many targets in parallel (one frame each)."""
-        return self.server.push_class_many(class_name, targets)
+        return self.server.push_class_many(class_name, targets,
+                                           deadline=deadline)
 
-    def query_load_many(self, node_ids, skip_unreachable: bool = False
-                        ) -> dict[str, float]:
-        """Parallel load sweep over ``node_ids``."""
+    def query_load_many(self, node_ids, skip_unreachable: bool = False,
+                        deadline=None) -> dict[str, float]:
+        """Parallel load sweep over ``node_ids`` (one shared deadline)."""
         return self.server.query_load_many(node_ids,
-                                           skip_unreachable=skip_unreachable)
+                                           skip_unreachable=skip_unreachable,
+                                           deadline=deadline)
 
     def is_shared(self, name: str) -> bool:
         """Whether ``name`` may be moved by other threads between uses."""
         return self.server.is_shared(name)
 
     def move(self, name: str, target: str, origin_hint: str | None = None,
-             lock_token: str = "", location: str | None = None) -> str:
-        """Weakly migrate ``name`` to ``target``; returns the new location."""
-        return self.server.move(name, target, origin_hint, lock_token, location)
+             lock_token: str = "", location: str | None = None,
+             deadline=None, hedge: bool = False) -> str:
+        """Weakly migrate ``name`` to ``target``; returns the new location.
+
+        ``deadline`` bounds the find + chase + transfer end to end;
+        ``hedge=True`` sends speculative MOVE_REQUESTs to the last-known
+        host and the origin hint in parallel (first host wins).
+        """
+        return self.server.move(name, target, origin_hint, lock_token,
+                                location, deadline=deadline, hedge=hedge)
 
     def instantiate(self, class_name: str, name: str, target: str,
                     args: tuple = (), kwargs: dict | None = None,
@@ -194,9 +205,16 @@ class Namespace:
         )
 
     def lock(self, name: str, target: str, origin_hint: str | None = None,
-             timeout_ms: float | None = None):
-        """§4.4 bracket: acquire the stay/move lock before binding."""
-        return self.server.lock(name, target, origin_hint, timeout_ms)
+             timeout_ms: float | None = None, deadline=None,
+             hedge: bool = False):
+        """§4.4 bracket: acquire the stay/move lock before binding.
+
+        ``timeout_ms``/``deadline`` are one cumulative budget for the whole
+        chase (not per hop); ``hedge=True`` races speculative LOCK_REQUESTs
+        to the last-known host and the origin hint, first grant wins.
+        """
+        return self.server.lock(name, target, origin_hint, timeout_ms,
+                                deadline=deadline, hedge=hedge)
 
     def unlock(self, grant) -> None:
         """Release a §4.4 lock grant at the host that issued it."""

@@ -32,20 +32,34 @@ future-returning calls (``call_async``/``call_many_async``):
 in parallel — each priced at one round-trip latency (plus straggler time)
 instead of N on the pipelined TCP transport, and executing as the exact
 sequential message sequence on the deterministic simulated network.
+
+Every multi-node operation takes one optional
+:class:`~repro.net.deadline.Deadline` — a single end-to-end budget for
+the whole fan-out or chase, carried hop to hop in the message headers —
+and the operations that only need their *first* useful answer
+(``locate_any``, hedged ``lock``/``move``) collect in completion order
+and **cancel** their losing probes, so one hung host costs a round trip,
+not an io-timeout window.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from typing import Any, Sequence
 
 from repro.errors import (
+    CallCancelledError,
+    CallTimeoutError,
     ClassTransferError,
     ComponentNotFoundError,
     LockError,
     LockMovedError,
+    LockTimeoutError,
     MigrationError,
     NoSuchObjectError,
 )
+from repro.net.deadline import Deadline, effective_deadline
 from repro.net.message import MessageKind
 from repro.net.transport import CallFuture, Transport, gather
 from repro.rmi.classdesc import ClassDescriptor
@@ -72,6 +86,89 @@ from repro.runtime.store import ObjectStore
 
 #: How many times a lock request chases a moving object before giving up.
 MAX_LOCK_CHASES = 8
+
+
+def _collection_wait_s(pending, deadline: Deadline | None) -> float | None:
+    """How long one completion-order wait may block (``None`` = unbounded).
+
+    The tighter of the deadline's remainder and the pending futures' own
+    transport wait bounds (a pipelined exchange times itself out after
+    its io window) — so a collector never out-waits what the equivalent
+    blocking ``result()`` call would have, even under a generous deadline.
+    """
+    wait_s = deadline.remaining_s() if deadline is not None else None
+    bounds = [future._wait_bound_s() for future in pending]
+    if bounds and all(bound is not None for bound in bounds):
+        cap = max(bounds) + 0.05
+        wait_s = cap if wait_s is None else min(wait_s, cap)
+    return wait_s
+
+
+def _force_timeouts(pending) -> None:
+    """Drive still-pending futures through their transport timeout path.
+
+    Called when a collection wait outlived every pending future's own
+    bound: nudging ``exception(0)`` makes a pipelined future abandon its
+    exchange and complete (its done-callback then lands in the collector's
+    queue); a bare future that merely raises on the wait is cancelled to
+    reach a terminal state.
+    """
+    for future in pending:
+        if future.done():
+            continue
+        try:
+            future.exception(0)
+        except Exception:
+            future.cancel("collection wait bound exhausted")
+
+
+def _completion_order(futures: dict[str, CallFuture],
+                      deadline: Deadline | None):
+    """Yield ``(key, future)`` pairs as their exchanges complete.
+
+    The hedging primitive: a fan-out that only needs its *first* useful
+    answer collects in completion order instead of submission order, so
+    one hung destination cannot stand in front of a fast one.  ``futures``
+    may be a *live* dict — entries added (or replaced) while the caller
+    processes a yield are picked up, which is how a hedged chase launches
+    a fresh probe mid-collection; a completion whose slot was superseded
+    by a relaunch is skipped (the replacement gets its own turn).
+
+    Stops early (futures still pending) when ``deadline`` expires; without
+    a deadline a stalled exchange is timed out by its own transport bound,
+    exactly as a blocking ``result()`` would have been.  On the eagerly
+    completing simulated network every future is done before this runs, so
+    completion order *is* dict order — deterministic.
+    """
+    completions: "queue.Queue[tuple[str, CallFuture]]" = queue.Queue()
+    registered: dict[str, CallFuture] = {}
+    waiting: dict[str, CallFuture] = {}
+
+    def register_new() -> None:
+        for key, future in list(futures.items()):
+            if registered.get(key) is not future:
+                registered[key] = future
+                waiting[key] = future
+                future.add_done_callback(
+                    lambda f, k=key: completions.put((k, f)))
+
+    register_new()
+    while waiting:
+        wait_s = _collection_wait_s(waiting.values(), deadline)
+        try:
+            key, future = completions.get(timeout=wait_s)
+        except queue.Empty:
+            if deadline is not None and deadline.expired:
+                return  # deadline expired; the caller cancels what's pending
+            # Every pending probe out-waited its own transport bound
+            # (not the deadline): time them out rather than hanging.
+            _force_timeouts(waiting.values())
+            continue  # the forced completions arrive through the queue
+        if waiting.get(key) is not future:
+            continue  # superseded by a relaunch; the replacement has its turn
+        del waiting[key]
+        yield key, future
+        register_new()  # pick up probes the caller launched while processing
 
 
 class MageServer:
@@ -128,7 +225,8 @@ class MageServer:
 
     def find(self, name: str, origin_hint: str | None = None,
              verify: bool = True,
-             candidates: Sequence[str] | None = None) -> str:
+             candidates: Sequence[str] | None = None,
+             deadline: Deadline | None = None) -> str:
         """Locate a component: the node id currently hosting it.
 
         Modelled as a FIND message to this namespace's own registry so the
@@ -141,48 +239,68 @@ class MageServer:
         one forwarding chain hop by hop, every candidate's chain is probed
         in parallel and the first resolved location wins — the fan-out
         form a cluster-wide locate wants when chains may be long or stale.
+
+        ``deadline`` bounds the whole resolution, every chain hop
+        included: the budget rides the FIND header, so a walk spends its
+        caller's remainder — not a fresh io timeout — at each hop.
         """
         if candidates:
-            return self.locate_any(name, candidates, origin_hint, verify=verify)
+            return self.locate_any(name, candidates, origin_hint,
+                                   verify=verify, deadline=deadline)
         return self.transport.call(
             self.node_id, self.node_id, MessageKind.FIND,
             FindRequest(name=name, origin_hint=origin_hint or "", verify=verify),
+            deadline=deadline,
         )
 
     def locate_any(self, name: str, candidates: Sequence[str],
-                   origin_hint: str | None = None, verify: bool = True) -> str:
+                   origin_hint: str | None = None, verify: bool = True,
+                   deadline: Deadline | None = None) -> str:
         """Parallel forwarding-chain probes: ask every candidate at once.
 
         Scatters one FIND to each candidate registry (each walks its own
         forwarding chain to termination; ``verify=False`` lets candidates
         answer from their possibly-stale forwarding tables instead).  The
-        first successful answer in candidate order wins, is recorded in
-        the local forwarding table, and returns *immediately* — slower
-        candidates' replies finish in the background and are dropped, so
-        one hung registry cannot delay a locate that already succeeded.
-        Raises :class:`~repro.errors.ComponentNotFoundError` when no
-        candidate could resolve the name.
+        first successful answer *to complete* wins, is recorded in the
+        local forwarding table, and returns immediately; the losing probes
+        are **cancelled** — a hung registry's probe stops costing anything
+        the moment a winner verified, instead of dangling for a full io
+        timeout.  One ``deadline`` bounds the whole fan-out.  On the
+        eagerly completing simulated network completion order *is*
+        candidate order and cancellation is a no-op, so the deterministic
+        traces are unchanged.  Raises
+        :class:`~repro.errors.ComponentNotFoundError` when no candidate
+        could resolve the name (or none could before the deadline).
         """
         if not candidates:
             raise ComponentNotFoundError(name, "no candidate registries to probe")
+        deadline = effective_deadline(deadline)
         futures = {
             node: self.transport.call_async(
                 self.node_id, node, MessageKind.FIND,
                 FindRequest(name=name, origin_hint=origin_hint or "",
                             verify=verify),
+                deadline=deadline,
             )
             for node in candidates
         }
-        for future in futures.values():
+        pending = dict(futures)
+        for node, future in _completion_order(futures, deadline):
+            pending.pop(node, None)
             try:
-                answer = future.result()
+                answer = future.result(0)
             except Exception:  # cold chain / dead candidate; others may know
                 continue
+            for straggler in pending.values():
+                straggler.cancel(f"locate {name!r}: {node!r} answered first")
             self.registry.note_location(name, answer)
             return answer
-        raise ComponentNotFoundError(
-            name, f"none of {list(candidates)} could resolve it"
-        )
+        detail = f"none of {list(candidates)} could resolve it"
+        if pending:  # the deadline expired with probes still in flight
+            for straggler in pending.values():
+                straggler.cancel(f"locate {name!r}: deadline expired")
+            detail += " before the deadline"
+        raise ComponentNotFoundError(name, detail)
 
     def is_shared(self, name: str) -> bool:
         """Whether ``name`` may be moved by other threads between uses.
@@ -203,6 +321,8 @@ class MageServer:
         origin_hint: str | None = None,
         lock_token: str = "",
         location: str | None = None,
+        deadline: Deadline | None = None,
+        hedge: bool = False,
     ) -> str:
         """Move ``name`` to ``target`` wherever it currently lives.
 
@@ -212,28 +332,101 @@ class MageServer:
 
         ``location`` lets a caller that just found the component skip the
         redundant lookup; a stale value is healed by the retry below.
+
+        ``deadline`` bounds the whole operation — find, chase retry, and
+        the transfer the host performs on our behalf (the budget rides the
+        MOVE_REQUEST header and the host's nested OBJECT_TRANSFER inherits
+        it).  ``hedge=True`` speculates: MOVE_REQUESTs go to the last-known
+        host *and* the origin hint in parallel, the first node actually
+        hosting the object performs the move, and the miss (a fast
+        ``NoSuchObjectError``) is discarded — so a stale forwarding entry
+        pointing at a slow host no longer serializes the chase.  The
+        default keeps the paper's exact message sequence.
         """
+        deadline = effective_deadline(deadline)
         if self.store.contains(name):
-            return self.mover.move_out(name, target, lock_token)
+            return self.mover.move_out(name, target, lock_token,
+                                       deadline=deadline)
+        if hedge and location is None:
+            return self._move_hedged(name, target, origin_hint, lock_token,
+                                     deadline)
         if location is None or location == self.node_id:
-            location = self.find(name, origin_hint, verify=False)
+            location = self.find(name, origin_hint, verify=False,
+                                 deadline=deadline)
         for attempt in (1, 2):
             if location == target:
                 return location
+            if deadline is not None and deadline.expired:
+                raise MigrationError(
+                    f"moving {name!r}: deadline expired mid-chase"
+                )
             try:
                 new_location = self.transport.call(
                     self.node_id, location, MessageKind.MOVE_REQUEST,
                     MoveRequest(name=name, target=target, lock_token=lock_token),
+                    deadline=deadline,
                 )
             except NoSuchObjectError:
                 if attempt == 2:
                     raise
                 # The fast find was stale; walk the chain and retry once.
-                location = self.find(name, origin_hint, verify=True)
+                location = self.find(name, origin_hint, verify=True,
+                                     deadline=deadline)
                 continue
             self.registry.note_location(name, new_location)
             return new_location
         raise MigrationError(f"unreachable retry state moving {name!r}")
+
+    def _move_hedged(self, name: str, target: str, origin_hint: str | None,
+                     lock_token: str, deadline: Deadline | None) -> str:
+        """Speculative MOVE_REQUESTs to every plausible host at once.
+
+        Only the node actually hosting the object can perform the move
+        (any other candidate answers ``NoSuchObjectError`` from its store
+        without touching anything), so hedging cannot double-move; the
+        first successful transfer wins and the misses are discarded.  When
+        every candidate missed, falls back to a verified find + single
+        chase, all under the same deadline.
+        """
+        candidates: list[str] = []
+        for hint in (self.registry.forwarding_hint(name), origin_hint):
+            if hint and hint != self.node_id and hint not in candidates:
+                candidates.append(hint)
+        if len(candidates) < 2:
+            # Nothing to hedge against: take the plain path.
+            return self.move(name, target, origin_hint, lock_token,
+                             location=candidates[0] if candidates else None,
+                             deadline=deadline)
+        futures = {
+            node: self.transport.call_async(
+                self.node_id, node, MessageKind.MOVE_REQUEST,
+                MoveRequest(name=name, target=target, lock_token=lock_token),
+                deadline=deadline,
+            )
+            for node in candidates
+        }
+        pending = dict(futures)
+        for node, future in _completion_order(futures, deadline):
+            pending.pop(node, None)
+            try:
+                new_location = future.result(0)
+            except Exception:  # not the host (or dead/expired); others may be
+                continue
+            for straggler in pending.values():
+                straggler.cancel(f"hedged move: {node!r} performed it")
+            self.registry.note_location(name, new_location)
+            return new_location
+        if pending:
+            for straggler in pending.values():
+                straggler.cancel(f"hedged move of {name!r}: deadline expired")
+            raise MigrationError(
+                f"moving {name!r}: deadline expired awaiting "
+                f"{sorted(pending)}"
+            )
+        # Every candidate missed: the trail is colder than our hints.
+        location = self.find(name, origin_hint, verify=True, deadline=deadline)
+        return self.move(name, target, origin_hint, lock_token,
+                         location=location, deadline=deadline)
 
     # -- class mobility --------------------------------------------------------------
 
@@ -273,7 +466,8 @@ class MageServer:
         return self.push_class_async(class_name, to_node, batched=batched).result()
 
     def push_class_async(self, class_name: str, to_node: str,
-                         batched: bool = True) -> CallFuture:
+                         batched: bool = True,
+                         deadline: Deadline | None = None) -> CallFuture:
         """``push_class`` as a future resolving to the class's source hash.
 
         The asynchronous form always has a single collection point, so it
@@ -291,6 +485,7 @@ class MageServer:
                  (MessageKind.CLASS_TRANSFER, ClassPush(
                      class_name=class_name, source_hash=desc.source_hash,
                      desc=desc, only_if_missing=True))],
+                deadline=deadline,
             )
             return future.map(lambda _results: desc.source_hash)
         # Unbatched: the paper's two-step sequence runs eagerly (blocking,
@@ -299,7 +494,8 @@ class MageServer:
         future = CallFuture(f"push {class_name} -> {to_node}")
         try:
             have = self.transport.call(
-                self.node_id, to_node, MessageKind.CLASS_TRANSFER, probe
+                self.node_id, to_node, MessageKind.CLASS_TRANSFER, probe,
+                deadline=deadline,
             )
             if not have:
                 self.transport.call(
@@ -308,6 +504,7 @@ class MageServer:
                         class_name=class_name, source_hash=desc.source_hash,
                         desc=desc,
                     ),
+                    deadline=deadline,
                 )
         except Exception as exc:
             future._fail(exc)
@@ -316,7 +513,8 @@ class MageServer:
         return future
 
     def push_class_many(self, class_name: str,
-                        targets: Sequence[str]) -> dict[str, str]:
+                        targets: Sequence[str],
+                        deadline: Deadline | None = None) -> dict[str, str]:
         """Scatter ``class_name`` to every target in parallel.
 
         One batched push future per target, all round trips overlapped;
@@ -324,13 +522,19 @@ class MageServer:
         before any failure surfaces (no stragglers left running); the
         first failure then raises as a
         :class:`~repro.errors.ClassTransferError` naming the lost targets.
+        One ``deadline`` covers the whole fan-out; targets that miss it
+        count as lost and their pushes are cancelled.
         """
+        deadline = effective_deadline(deadline)
         futures = {
-            target: self.push_class_async(class_name, target)
+            target: self.push_class_async(class_name, target,
+                                          deadline=deadline)
             for target in targets
         }
-        outcomes = dict(zip(futures, gather(futures.values(),
-                                            return_exceptions=True)))
+        outcomes = dict(zip(futures, gather(
+            futures.values(), return_exceptions=True, deadline=deadline,
+            cancel_stragglers=deadline is not None,
+        )))
         failures = [(t, v) for t, v in outcomes.items()
                     if isinstance(v, Exception)]
         if failures:
@@ -405,15 +609,43 @@ class MageServer:
         target: str,
         origin_hint: str | None = None,
         timeout_ms: float | None = None,
+        deadline: Deadline | None = None,
+        hedge: bool = False,
     ) -> LockGrant:
         """Acquire the stay/move lock for ``name`` at its current host.
 
         §4.4's bracket: ``lock("geoData", cod.get_target())`` before the
         bind, ``unlock`` after the invocation.  If the object moves while
-        the request waits, the request chases it to the new host (bounded).
+        the request waits, the request chases it to the new host (bounded
+        by ``MAX_LOCK_CHASES`` *and* by wall clock).
+
+        ``timeout_ms``/``deadline`` are one **cumulative** budget for the
+        whole chase — find, every LOCK_REQUEST hop, and the server-side
+        queue wait at each hop (each hop is asked to wait at most the
+        *remaining* budget, and the deadline riding the message header
+        caps it again at the lock manager).  A chase whose hops have
+        eaten the budget stops with :class:`~repro.errors.LockTimeoutError`
+        instead of granting a lock nobody is waiting for.
+
+        ``hedge=True`` speculates on stale location knowledge: the
+        LOCK_REQUEST goes to the last-known host *and* the origin hint in
+        parallel, the first grant wins, and losing probes are cancelled —
+        so a forwarding entry pointing at a hung host costs one round
+        trip, not one io timeout, per chase round.  The default keeps the
+        paper's sequential find + chase message sequence exactly.
         """
-        location = self.find(name, origin_hint)
+        deadline = Deadline.tighter(
+            effective_deadline(deadline),
+            Deadline.after_ms(timeout_ms) if timeout_ms is not None else None,
+        )
+        if hedge:
+            return self._lock_hedged(name, target, origin_hint, deadline)
+        location = self._find_for_lock(name, origin_hint, deadline)
         for _ in range(MAX_LOCK_CHASES):
+            if deadline is not None and deadline.expired:
+                raise LockTimeoutError(
+                    f"lock on {name!r}: budget spent chasing it mid-flight"
+                )
             try:
                 return self.transport.call(
                     self.node_id, location, MessageKind.LOCK_REQUEST,
@@ -421,14 +653,170 @@ class MageServer:
                         name=name,
                         target=target,
                         requester=self.node_id,
-                        wait_ms=timeout_ms,
+                        wait_ms=self._lock_wait_ms(deadline),
                     ),
+                    deadline=deadline,
                 )
             except LockMovedError as exc:
                 location = exc.new_location
+            except CallTimeoutError as exc:
+                raise LockTimeoutError(
+                    f"lock on {name!r} at {location!r}: {exc}"
+                ) from exc
         raise LockError(
             f"object {name!r} kept moving; gave up after {MAX_LOCK_CHASES} chases"
         )
+
+    def _lock_wait_ms(self, deadline: Deadline | None) -> float | None:
+        """The server-side queue wait a LOCK_REQUEST may ask for.
+
+        The caller's remaining budget when one exists; otherwise the
+        transport's own reply-wait bound — a server must never be asked to
+        keep a request queued past the point its caller's transport has
+        abandoned the exchange, or the eventual grant answers nobody and
+        the lock leaks (there is no lease to reclaim it).
+        """
+        if deadline is not None:
+            return deadline.remaining_ms()
+        bound_s = self.transport.max_reply_wait_s()
+        return bound_s * 1000.0 if bound_s is not None else None
+
+    def _find_for_lock(self, name: str, origin_hint: str | None,
+                       deadline: Deadline | None) -> str:
+        """``find`` for a lock chase: budget expiry reads as a lock timeout."""
+        try:
+            return self.find(name, origin_hint, deadline=deadline)
+        except CallTimeoutError as exc:
+            raise LockTimeoutError(
+                f"lock on {name!r}: budget spent locating it ({exc})"
+            ) from exc
+
+    def _lock_hedged(self, name: str, target: str, origin_hint: str | None,
+                     deadline: Deadline | None) -> LockGrant:
+        """Speculative parallel LOCK_REQUESTs; first grant wins.
+
+        Fires one LOCK_REQUEST per plausible host (local store, last-known
+        location, origin hint — deduplicated) and collects in completion
+        order: the actual host grants, every other candidate answers fast
+        with :class:`LockMovedError` (a fresh hint) or
+        :class:`NoSuchObjectError`.  A fresh hint launches its probe
+        *immediately* — a hung candidate left behind cannot serialize the
+        chase — and on a grant every outstanding probe is cancelled.  At
+        most one candidate can grant (the object has exactly one host and
+        a grant pins it there), but a grant racing its own cancellation is
+        still collected by a done-callback and released, so no host is
+        left holding a phantom lock.  Total probes are bounded by
+        ``MAX_LOCK_CHASES`` and the whole chase by the deadline.
+        """
+        if self.store.contains(name):
+            initial = [self.node_id]
+        else:
+            initial = []
+            for hint in (self.registry.forwarding_hint(name), origin_hint):
+                if hint and hint not in initial:
+                    initial.append(hint)
+            if not initial:
+                initial = [self._find_for_lock(name, origin_hint, deadline)]
+
+        futures: dict[str, CallFuture] = {}  # live; _completion_order tracks it
+        pending: dict[str, CallFuture] = {}  # launched but not yet collected
+        probed: set[str] = set()
+        stale_hints: list[str] = []  # hints naming already-probed hosts
+        timed_out: list[str] = []    # candidates whose probe hit a timeout
+        saw_moved = False
+        launches = 0
+        used_find = False
+
+        def launch(node: str) -> None:
+            nonlocal launches
+            launches += 1
+            probed.add(node)
+            futures[node] = pending[node] = self.transport.call_async(
+                self.node_id, node, MessageKind.LOCK_REQUEST,
+                LockRequestPayload(
+                    name=name, target=target, requester=self.node_id,
+                    wait_ms=self._lock_wait_ms(deadline),
+                ),
+                deadline=deadline,
+            )
+
+        for node in initial:
+            launch(node)
+        for node, future in _completion_order(futures, deadline):
+            pending.pop(node, None)
+            try:
+                grant = future.result(0)
+            except LockMovedError as exc:
+                saw_moved = True
+                fresh = exc.new_location
+                if fresh not in probed and launches < MAX_LOCK_CHASES:
+                    launch(fresh)  # hedge forward without waiting for losers
+                elif fresh not in stale_hints:
+                    stale_hints.append(fresh)
+            except (CallTimeoutError, LockTimeoutError, CallCancelledError):
+                timed_out.append(node)  # hung candidate; others may grant
+            except Exception:
+                pass  # miss or dead candidate; others may grant
+            else:
+                for straggler in pending.values():
+                    straggler.add_done_callback(self._release_stray_grant)
+                    straggler.cancel(f"hedged lock: {node!r} granted first")
+                self.registry.note_location(name, grant.location)
+                return grant
+            if not pending and launches < MAX_LOCK_CHASES:
+                if stale_hints:
+                    # Every hint named a probed host: the object may have
+                    # looped back; re-probe (still counted against the cap).
+                    relaunch, stale_hints = stale_hints, []
+                    for hint in relaunch:
+                        if launches < MAX_LOCK_CHASES:
+                            launch(hint)
+                elif not used_find:
+                    # The trail went cold; one verified walk restarts it.
+                    used_find = True
+                    launch(self._find_for_lock(name, origin_hint, deadline))
+        if pending:  # the deadline expired with probes still in flight
+            for straggler in pending.values():
+                # Same insurance as the grant-win path: a grant that races
+                # this cancellation must still be released.
+                straggler.add_done_callback(self._release_stray_grant)
+                straggler.cancel(f"hedged lock on {name!r}: deadline expired")
+            raise LockTimeoutError(
+                f"lock on {name!r}: deadline expired awaiting "
+                f"{sorted(pending)}"
+            )
+        if timed_out and not saw_moved:
+            # Nothing ever reported the object in motion: the chase ended
+            # because candidates hung, which is a timeout, not churn —
+            # the same taxonomy the sequential path raises.
+            raise LockTimeoutError(
+                f"lock on {name!r}: candidates {sorted(set(timed_out))} "
+                "timed out"
+            )
+        raise LockError(
+            f"object {name!r} kept moving; gave up after {launches} "
+            "hedged probes"
+        )
+
+    def _release_stray_grant(self, future: CallFuture) -> None:
+        """Done-callback insurance for hedged locks: a grant that raced its
+        cancellation is released (on a fresh thread — this callback may run
+        on a transport reader thread, which must never issue calls)."""
+        try:
+            grant = future.result(0)
+        except Exception:
+            return
+        if not isinstance(grant, LockGrant):
+            return
+
+        def release() -> None:
+            try:
+                self.unlock(grant)
+            except Exception:
+                pass  # the host vanished; its lock state went with it
+
+        threading.Thread(target=release, name="mage-stray-unlock",
+                         daemon=True).start()
 
     def unlock(self, grant: LockGrant) -> None:
         """Release a grant at the host that issued it."""
@@ -463,14 +851,18 @@ class MageServer:
     # -- miscellany ------------------------------------------------------------------------
 
     def scatter(self, targets: Sequence[str], kind: MessageKind,
-                payload: Any = None) -> dict[str, CallFuture]:
+                payload: Any = None,
+                deadline: Deadline | None = None) -> dict[str, CallFuture]:
         """One ``call_async`` per target, all in flight at once.
 
         The raw fan-out primitive the sweeps below (and
-        ``Cluster.broadcast``) are built on; the caller gathers.
+        ``Cluster.broadcast``) are built on; the caller gathers.  One
+        ``deadline`` stamps every probe, so the whole fan-out shares a
+        single budget rather than paying one io timeout per hung target.
         """
         return {
-            target: self.transport.call_async(self.node_id, target, kind, payload)
+            target: self.transport.call_async(self.node_id, target, kind,
+                                              payload, deadline=deadline)
             for target in targets
         }
 
@@ -481,36 +873,61 @@ class MageServer:
         )
 
     def query_load_many(self, node_ids: Sequence[str],
-                        skip_unreachable: bool = False) -> dict[str, float]:
+                        skip_unreachable: bool = False,
+                        deadline: Deadline | None = None,
+                        timeout_load: float | None = None) -> dict[str, float]:
         """Load sweep: every node's metric gathered from parallel queries.
 
         ``skip_unreachable=True`` drops hosts that fail to answer — dead
         node or broken load provider alike, the behaviour balancing
         policies want (a host that cannot price itself is not a
         candidate); otherwise the first failure re-raises after every
-        future has been collected.
+        future has been collected.  ``deadline`` bounds the whole sweep
+        and cancels whatever is still pending when it expires.
+
+        ``timeout_load`` turns a missed deadline into a *load signal*: a
+        host whose probe expired (or was cancelled as a straggler) is
+        priced at this value instead of being dropped or raising —
+        ``float("inf")`` is the balancer's "overloaded by silence".
+        Outright-unreachable hosts still follow ``skip_unreachable``.
         """
-        futures = self.scatter(node_ids, MessageKind.LOAD_QUERY, LoadQuery())
-        outcomes = dict(zip(futures, gather(futures.values(),
-                                            return_exceptions=True)))
-        if not skip_unreachable:
-            for value in outcomes.values():
-                if isinstance(value, Exception):
+        deadline = effective_deadline(deadline)
+        futures = self.scatter(node_ids, MessageKind.LOAD_QUERY, LoadQuery(),
+                               deadline=deadline)
+        outcomes = dict(zip(futures, gather(
+            futures.values(), return_exceptions=True, deadline=deadline,
+            cancel_stragglers=deadline is not None,
+        )))
+        loads: dict[str, float] = {}
+        for node, value in outcomes.items():
+            if timeout_load is not None and isinstance(
+                    value, (CallTimeoutError, CallCancelledError)):
+                loads[node] = timeout_load
+            elif isinstance(value, Exception):
+                if not skip_unreachable:
                     raise value
-        return {n: v for n, v in outcomes.items()
-                if not isinstance(v, Exception)}
+            else:
+                loads[node] = value
+        return loads
 
-    def ping(self, node_id: str) -> bool:
-        """Liveness probe."""
-        return self.transport.call(self.node_id, node_id, MessageKind.PING) == "pong"
+    def ping(self, node_id: str, deadline: Deadline | None = None) -> bool:
+        """Liveness probe (bounded by ``deadline`` when one is given)."""
+        return self.transport.call(self.node_id, node_id, MessageKind.PING,
+                                   deadline=deadline) == "pong"
 
-    def ping_many(self, node_ids: Sequence[str]) -> dict[str, bool]:
+    def ping_many(self, node_ids: Sequence[str],
+                  deadline: Deadline | None = None) -> dict[str, bool]:
         """Liveness sweep: all probes in flight at once, no fail-fast.
 
         A dead host answers ``False`` instead of raising, so one crash
-        costs a single timeout, not an aborted sweep.
+        costs a single timeout, not an aborted sweep.  With a ``deadline``
+        the whole sweep shares one budget: a host that cannot answer in
+        time counts as dead and its probe is cancelled.
         """
-        futures = self.scatter(node_ids, MessageKind.PING)
-        outcomes = gather(futures.values(), return_exceptions=True)
+        deadline = effective_deadline(deadline)
+        futures = self.scatter(node_ids, MessageKind.PING, deadline=deadline)
+        outcomes = gather(futures.values(), return_exceptions=True,
+                          deadline=deadline,
+                          cancel_stragglers=deadline is not None)
         return {node: answer == "pong"
                 for node, answer in zip(futures, outcomes)}

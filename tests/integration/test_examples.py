@@ -11,6 +11,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 #: script name → a landmark string its output must contain.
 LANDMARKS = {
     "async_fanout.py": "rebalanced shard7: host7 -> host0",
+    "deadlines.py": "deadline demo complete",
     "quickstart.py": "calls survived every move",
     "oil_exploration.py": "CombinedMA → researchLab",
     "printer_management.py": "queue length after all moves: 4",
