@@ -44,6 +44,8 @@ class Cluster:
         path_collapsing: bool = True,
         always_ship_class: bool = False,
         probe_classes: bool = False,
+        stream_threshold: int | None = None,
+        chunk_bytes: int | None = None,
         synchronous_casts: bool = False,
     ) -> None:
         if not node_ids:
@@ -63,6 +65,8 @@ class Cluster:
                 path_collapsing=path_collapsing,
                 always_ship_class=always_ship_class,
                 probe_classes=probe_classes,
+                stream_threshold=stream_threshold,
+                chunk_bytes=chunk_bytes,
             )
 
     @staticmethod

@@ -31,6 +31,8 @@ class Node:
         path_collapsing: bool = True,
         always_ship_class: bool = False,
         probe_classes: bool = False,
+        stream_threshold: int | None = None,
+        chunk_bytes: int | None = None,
         initial_load: float = 0.0,
     ) -> None:
         self.load_monitor = LoadMonitor(initial_load)
@@ -42,6 +44,8 @@ class Node:
             path_collapsing=path_collapsing,
             always_ship_class=always_ship_class,
             probe_classes=probe_classes,
+            stream_threshold=stream_threshold,
+            chunk_bytes=chunk_bytes,
             load_provider=self.load_monitor.get_load,
         )
         self.discovery = DiscoveryService(self.namespace)
@@ -78,9 +82,11 @@ class Node:
         """A live proxy for ``name``."""
         return self.namespace.stub(name, location)
 
-    def move(self, name: str, target: str, origin_hint: str | None = None) -> str:
-        """Weakly migrate ``name`` to ``target``."""
-        return self.namespace.move(name, target, origin_hint)
+    def move(self, name: str, target: str, origin_hint: str | None = None,
+             hedge: bool = False, alternates=()) -> str:
+        """Weakly migrate ``name`` to ``target`` (see :meth:`Namespace.move`)."""
+        return self.namespace.move(name, target, origin_hint,
+                                   hedge=hedge, alternates=alternates)
 
     def set_load(self, value: float) -> None:
         """Pin this host's advertised load (examples, tests, benches)."""

@@ -106,6 +106,38 @@ charges, identical to the equivalent loop of blocking calls.  The
 mechanism: submission writes the frame, the connection's reader thread
 resolves the future, so N outstanding futures overlap N round trips on
 one socket.
+
+Bulk data and link awareness
+----------------------------
+
+``Transport.stream(src, dst, requests, window=8)`` is the bulk-data
+primitive: a windowed, pipelined request sequence to one destination
+(each new submission first collects the oldest outstanding reply, so a
+slow receiver applies backpressure).  Chunked OBJECT_TRANSFER — the
+two-phase TRANSFER_PREPARE / TRANSFER_CHUNK / TRANSFER_COMMIT /
+TRANSFER_ABORT migration pipeline in :mod:`repro.runtime.mover` — rides
+it.
+
+The TCP transport additionally carries a **negotiated per-frame codec**
+(:mod:`repro.net.codec`): frames at or above a size threshold are
+compressed (zlib by default, lz4 when importable) toward peers that
+advertise the codec; everything else — all small control traffic — ships
+with framing byte-identical to the pre-codec wire format, and
+mixed-codec deployments degrade to raw rather than failing.
+``TcpNetwork(bandwidth_mbps=...)`` emulates link throughput the way
+``latency_ms`` emulates delay, so benches can price what compression
+and chunking buy.
+
+Transports also keep **per-link latency EWMAs**
+(``note_link_latency`` / ``link_latency_s`` / ``rank_by_latency``) — the
+TCP transport records every reply's submission-to-resolution time, and
+hedged chases (``lock``/``move``/``locate_any``) probe candidates in
+expected-latency order.  The simulated network records nothing
+(virtual time, not wall time), so ranking is the identity there and
+deterministic traces are unchanged.  The loss-retry loop is
+**deadline-aware**: retries are priced at the dearest of the link EWMA,
+the observed attempt cost, and a small floor, so an almost-expired call
+retries at most once instead of spending the whole fixed budget.
 """
 
 from repro.net.conditions import (

@@ -38,6 +38,10 @@ class MessageKind(enum.Enum):
     FIND = "FIND"                        # forwarding-chain component lookup
     MOVE_REQUEST = "MOVE_REQUEST"        # ask the hosting node to ship an object
     OBJECT_TRANSFER = "OBJECT_TRANSFER"  # host -> target: serialized object (+class)
+    TRANSFER_PREPARE = "TRANSFER_PREPARE"  # reserve a staging slot for a streamed transfer
+    TRANSFER_CHUNK = "TRANSFER_CHUNK"      # one slice of a streamed transfer's state
+    TRANSFER_COMMIT = "TRANSFER_COMMIT"    # atomically apply a fully staged transfer
+    TRANSFER_ABORT = "TRANSFER_ABORT"      # discard a staged (or staging) transfer
     MOVE_COMPLETE = "MOVE_COMPLETE"      # host -> requester: move finished
     CLASS_REQUEST = "CLASS_REQUEST"      # pull a class definition (conditional)
     CLASS_TRANSFER = "CLASS_TRANSFER"    # push a class definition (probe or body)

@@ -39,6 +39,17 @@ an unexpired deadline leaves every message, trace, and virtual-clock
 charge identical to the no-deadline run; ``CallFuture.cancel()`` on an
 already-completed future is a no-op, so straggler-cancelling fan-out code
 is deterministic on this transport and genuinely concurrent on TCP.
+
+``Transport.stream`` likewise needs no code here: eager futures make a
+windowed chunk stream execute as the sequential one-call-per-chunk loop,
+so a chunked OBJECT_TRANSFER's trace is the literal PREPARE, CHUNK × N,
+COMMIT sequence and each frame charges the latency model per message —
+a bandwidth-aware model prices the chunks by their payload bytes.  Frame
+codecs are a wire-bytes concern and do not exist here (payloads cross by
+reference); this transport records no per-link latency EWMAs either
+(``track_link_latency`` stays off), because its exchanges cost virtual
+time and wall-clock noise would perturb deterministic candidate
+rankings.
 """
 
 from __future__ import annotations

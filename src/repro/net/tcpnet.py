@@ -70,6 +70,7 @@ from repro.errors import (
     RemoteInvocationError,
     TransportError,
 )
+from repro.net import codec
 from repro.net.message import ONEWAY_KINDS, Message, ReplyPayload
 from repro.net.trace import MessageTrace
 from repro.net.transport import (
@@ -83,6 +84,14 @@ from repro.util.clock import Clock, WallClock
 
 _LENGTH_PREFIX = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024  # 64 MiB: a generous bound on one message
+
+# The frame header is one 32-bit word: the top 3 bits carry the codec id
+# (see repro.net.codec), the low 29 bits the on-wire body length.  Raw
+# frames use codec id 0, so an uncompressed frame is byte-for-byte the
+# pre-codec framing — negotiation only ever *adds* compression toward
+# peers that advertised they accept it.
+_CODEC_SHIFT = 29
+_LENGTH_MASK = (1 << _CODEC_SHIFT) - 1
 
 #: Valid ``TcpNetwork(mode=...)`` values, slowest to fastest.
 MODES = ("per-call", "pooled", "pipelined")
@@ -128,14 +137,28 @@ def _transmittable_error_payload(payload: ReplyPayload) -> ReplyPayload:
         )
 
 
-def _send_frame(sock: socket.socket, message: Message) -> None:
+def _send_frame(sock: socket.socket, message: Message,
+                codec_for=None) -> None:
+    """Write one length-prefixed frame, compressing when negotiated.
+
+    ``codec_for`` maps the serialized size to a codec id (``None`` keeps
+    every frame raw).  A frame the codec fails to shrink is sent raw —
+    the header is self-describing, so the receiver never needs to know
+    what the sender attempted.
+    """
     try:
         blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise MarshalError(f"cannot pickle {message.describe()}: {exc}") from exc
     if len(blob) > _MAX_FRAME:
         raise MarshalError(f"message too large: {len(blob)} bytes")
-    sock.sendall(_LENGTH_PREFIX.pack(len(blob)) + blob)
+    ident = codec.RAW if codec_for is None else codec_for(len(blob))
+    body = blob
+    if ident != codec.RAW:
+        body = codec.encode(ident, blob)
+        if len(body) >= len(blob):  # incompressible payload: keep raw
+            ident, body = codec.RAW, blob
+    sock.sendall(_LENGTH_PREFIX.pack(len(body) | (ident << _CODEC_SHIFT)) + body)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -150,16 +173,28 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def _recv_frame(sock: socket.socket) -> Message:
+def _recv_frame(sock: socket.socket) -> tuple[Message, int]:
+    """Read one frame; returns ``(message, wire_bytes)``.
+
+    ``wire_bytes`` is the on-wire size (header + possibly-compressed
+    body) — what a bandwidth-emulating link charges for.  Decoding is
+    self-describing from the header's codec bits: a receiver decodes any
+    codec it supports regardless of what it advertised, and rejects
+    unknown ids (or frames that inflate past the frame bound) with
+    :class:`MarshalError`.
+    """
     header = _recv_exact(sock, _LENGTH_PREFIX.size)
-    (length,) = _LENGTH_PREFIX.unpack(header)
+    (word,) = _LENGTH_PREFIX.unpack(header)
+    ident = word >> _CODEC_SHIFT
+    length = word & _LENGTH_MASK
     if length > _MAX_FRAME:
         raise MarshalError(f"incoming frame too large: {length} bytes")
-    blob = _recv_exact(sock, length)
+    body = _recv_exact(sock, length)
+    blob = codec.decode(ident, body, _MAX_FRAME)
     message = pickle.loads(blob)
     if not isinstance(message, Message):
         raise MarshalError(f"expected a Message frame, got {type(message).__name__}")
-    return message
+    return message, _LENGTH_PREFIX.size + length
 
 
 class _ChannelClosedError(ConnectionError):
@@ -210,9 +245,11 @@ class _Channel:
     keeping the connection reused but never pipelined.
     """
 
-    def __init__(self, dst: str, sock: socket.socket, serialize: bool) -> None:
+    def __init__(self, dst: str, sock: socket.socket, serialize: bool,
+                 codec_for=None) -> None:
         self.dst = dst
         self._sock = sock
+        self._codec_for = codec_for
         self._send_lock = threading.Lock()
         self._request_lock = threading.Lock() if serialize else None
         # msg_id -> FIFO of waiters: a retransmission can put two frames of
@@ -258,7 +295,7 @@ class _Channel:
             self._pending.setdefault(message.msg_id, deque()).append(sink)
         try:
             with self._send_lock:
-                _send_frame(self._sock, message)
+                _send_frame(self._sock, message, self._codec_for)
         except (ConnectionError, OSError) as exc:
             self._discard_waiter(message.msg_id, sink)
             self.close()
@@ -287,7 +324,7 @@ class _Channel:
                 raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
         try:
             with self._send_lock:
-                _send_frame(self._sock, message)
+                _send_frame(self._sock, message, self._codec_for)
         except (ConnectionError, OSError) as exc:
             self.close()
             raise _ChannelClosedError(f"send to {self.dst!r} failed: {exc}") from exc
@@ -295,7 +332,7 @@ class _Channel:
     def _read_loop(self) -> None:
         while True:
             try:
-                reply = _recv_frame(self._sock)
+                reply, _nbytes = _recv_frame(self._sock)
             except Exception as exc:
                 self.close(exc)
                 return
@@ -343,17 +380,26 @@ class _PipelinedCallFuture(CallFuture):
     permanently with :class:`~repro.errors.CallTimeoutError`.
     """
 
-    def __init__(self, message: Message, batch: bool, timeout_s: float) -> None:
+    def __init__(self, message: Message, batch: bool, timeout_s: float,
+                 transport: "TcpNetwork | None" = None) -> None:
         super().__init__(message.describe())
         self._message = message
         self._batch = batch
         self._timeout_s = timeout_s
         self._submitted = time.monotonic()
         self._channel: _Channel | None = None
+        self._transport = transport
 
     # -- sink protocol (called by the channel) --------------------------------
 
     def resolve(self, reply: Message) -> None:
+        if self._transport is not None:
+            # Submission-to-reply latency feeds the per-link EWMA that
+            # ranks hedge candidates; recorded before completion so a
+            # collector that reacts to this future sees fresh numbers.
+            self._transport.note_link_latency(
+                self._message.dst, time.monotonic() - self._submitted
+            )
         self._complete_from_reply(reply, self._batch)
 
     def fail(self, error: Exception) -> None:
@@ -487,7 +533,9 @@ class _NodeServer:
 
     def __init__(self, node_id: str, handler: MessageHandler, trace: MessageTrace,
                  clock: Clock, pool: _WorkerPool,
-                 latency_s: float = 0.0) -> None:
+                 latency_s: float = 0.0,
+                 bytes_per_s: float | None = None,
+                 codec_for_peer=None) -> None:
         self.node_id = node_id
         self.handler = handler
         self.reply_cache = ReplyCache()
@@ -495,6 +543,8 @@ class _NodeServer:
         self._clock = clock
         self._pool = pool
         self._latency_s = latency_s
+        self._bytes_per_s = bytes_per_s
+        self._codec_for_peer = codec_for_peer
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind(("127.0.0.1", 0))
@@ -530,9 +580,18 @@ class _NodeServer:
         try:
             while not self._closing:
                 try:
-                    message = _recv_frame(conn)
+                    message, wire_bytes = _recv_frame(conn)
                 except (ConnectionError, MarshalError, EOFError, OSError):
                     return
+                if self._bytes_per_s:
+                    # Emulated link bandwidth (tc-netem style): charged on
+                    # the serve loop so frames on one connection serialize
+                    # their transmission time, exactly as one physical link
+                    # would — a compressed frame pays for its *wire* bytes,
+                    # which is the saving the codec layer buys.  Dispatch
+                    # latency stays on the workers (propagation delay and
+                    # transmission time are independent).
+                    time.sleep(wire_bytes / self._bytes_per_s)
                 self._trace.record(message, self._clock.now_ms())
                 self._pool.submit(self._dispatch, conn, write_lock, message)
         finally:
@@ -569,9 +628,14 @@ class _NodeServer:
             return  # one-way traffic carries no reply frame
         reply = message.reply(_transmittable_error_payload(payload))
         self._trace.record(reply, self._clock.now_ms())
+        codec_for = None
+        if self._codec_for_peer is not None:
+            # The reply's receiver is the requesting node; compress toward
+            # it only per what *it* advertised.
+            codec_for = lambda nbytes: self._codec_for_peer(message.src, nbytes)
         try:
             with write_lock:
-                _send_frame(conn, reply)
+                _send_frame(conn, reply, codec_for)
         except (ConnectionError, OSError):
             pass  # caller gave up; the reply cache covers their retry
 
@@ -604,16 +668,36 @@ class _NodeServer:
 class TcpNetwork(Transport):
     """Transport over real loopback TCP sockets; see module docstring."""
 
+    track_link_latency = True  # reply latencies feed hedge-candidate ranking
+
     def __init__(self, clock: Clock | None = None, trace: MessageTrace | None = None,
                  connect_timeout_s: float = 5.0, io_timeout_s: float = 30.0,
                  retry_budget: int = DEFAULT_RETRY_BUDGET,
                  mode: str = "pipelined", server_workers: int = 8,
-                 latency_ms: float = 0.0) -> None:
+                 latency_ms: float = 0.0,
+                 codecs: tuple[str, ...] | None = None,
+                 compress_threshold: int = codec.DEFAULT_COMPRESS_THRESHOLD,
+                 bandwidth_mbps: float | None = None) -> None:
         """``latency_ms`` emulates a slower link (tc-netem style): every
         request is delayed that long at the destination before dispatch.
         Loopback's ~0.1 ms round trip hides latency effects entirely;
         setting a LAN/WAN-scale delay lets benches and tests measure what
-        scatter-gather and pipelining buy on a real network."""
+        scatter-gather and pipelining buy on a real network.
+
+        ``bandwidth_mbps`` emulates link throughput the same way: each
+        received frame charges its *on-wire* bytes against the link rate
+        on the per-connection serve loop, so bulk transfers pay a
+        transmission time loopback would otherwise hide (and compressed
+        frames pay only for their compressed bytes).
+
+        ``codecs`` is the sender-side compression preference order
+        (default: every codec this process supports, ``()`` disables
+        compression entirely).  A frame is compressed only when it
+        reaches ``compress_threshold`` serialized bytes *and* the
+        destination advertises a shared codec (see
+        :meth:`advertise_codecs`); everything else ships raw, with
+        framing byte-identical to the pre-codec wire format.
+        """
         super().__init__(
             clock=clock if clock is not None else WallClock(),
             trace=trace,
@@ -625,15 +709,65 @@ class TcpNetwork(Transport):
             )
         if latency_ms < 0:
             raise ConfigurationError(f"latency cannot be negative: {latency_ms}")
+        if bandwidth_mbps is not None and bandwidth_mbps <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive: {bandwidth_mbps}"
+            )
+        if compress_threshold < 0:
+            raise ConfigurationError(
+                f"compress threshold cannot be negative: {compress_threshold}"
+            )
         self.mode = mode
         self.latency_ms = latency_ms
         self.connect_timeout_s = connect_timeout_s
         self.io_timeout_s = io_timeout_s
+        write_codecs = codec.available_codecs() if codecs is None else tuple(codecs)
+        for name in write_codecs:
+            codec.codec_id(name)  # validate eagerly, not on the hot path
+        self.write_codecs = write_codecs
+        self.compress_threshold = compress_threshold
+        self._bytes_per_s = (
+            bandwidth_mbps * 1e6 / 8.0 if bandwidth_mbps is not None else None
+        )
         self._servers: dict[str, _NodeServer] = {}
         self._lock = threading.Lock()
         self._channels: dict[tuple[str, str], _Channel] = {}
         self._chan_lock = threading.Lock()
+        self._advertised: dict[str, tuple[str, ...]] = {}
         self._pool = _WorkerPool(server_workers, "tcpnet")
+
+    # -- codec negotiation ----------------------------------------------------
+
+    def advertise_codecs(self, node_id: str, codecs: tuple[str, ...]) -> None:
+        """Override which codecs ``node_id`` accepts from its peers.
+
+        Registration advertises every locally supported codec by default;
+        this models a mixed-codec deployment (a peer built without lz4, or
+        pre-codec entirely via ``()``) — senders then fall back to raw
+        toward that node rather than failing.
+        """
+        for name in codecs:
+            codec.codec_id(name)
+        with self._lock:
+            self._advertised[node_id] = tuple(codecs)
+
+    def peer_codecs(self, node_id: str) -> tuple[str, ...]:
+        """The codecs ``node_id`` advertised (``()`` when unknown → raw).
+
+        Lock-free read — this sits on every frame-send path, and a lock
+        here would serialize all channels behind the node-registry mutex.
+        A racing (un)registration can at worst yield a stale tuple, which
+        only toggles compression on one frame; the decoder is
+        self-describing, so correctness is unaffected.
+        """
+        return self._advertised.get(node_id, ())
+
+    def _frame_codec(self, peer: str, nbytes: int) -> int:
+        """The codec id for one ``nbytes`` frame toward ``peer``."""
+        return codec.choose_codec(
+            nbytes, self.write_codecs, self.peer_codecs(peer),
+            self.compress_threshold,
+        )
 
     # -- node management ----------------------------------------------------
 
@@ -642,10 +776,16 @@ class TcpNetwork(Transport):
         # racing the re-registration sees either the old or the new server,
         # never a missing node.
         server = _NodeServer(node_id, handler, self.trace, self.clock, self._pool,
-                             latency_s=self.latency_ms / 1000.0)
+                             latency_s=self.latency_ms / 1000.0,
+                             bytes_per_s=self._bytes_per_s,
+                             codec_for_peer=self._frame_codec)
         with self._lock:
             old = self._servers.get(node_id)
             self._servers[node_id] = server
+            # A (re-)registering node advertises everything it can decode;
+            # an explicit advertise_codecs override survives re-registration
+            # only if re-issued (the node was replaced, not resumed).
+            self._advertised[node_id] = codec.available_codecs()
         if old is not None:
             # Replacing a live node: release its port and sever its
             # connections so in-flight calls fail fast instead of hanging.
@@ -655,6 +795,7 @@ class TcpNetwork(Transport):
     def unregister(self, node_id: str) -> None:
         with self._lock:
             server = self._servers.pop(node_id, None)
+            self._advertised.pop(node_id, None)
         if server is not None:
             server.close()
             self._drop_channels(node_id)
@@ -697,7 +838,8 @@ class TcpNetwork(Transport):
                 return channel
         sock = self._connect(dst)
         sock.settimeout(None)  # the reader blocks; reply timeouts are waiter-side
-        channel = _Channel(dst, sock, serialize=(self.mode == "pooled"))
+        channel = _Channel(dst, sock, serialize=(self.mode == "pooled"),
+                           codec_for=lambda nbytes: self._frame_codec(dst, nbytes))
         with self._chan_lock:
             current = self._channels.get(key)
             if current is not None and not current.closed:
@@ -766,8 +908,12 @@ class TcpNetwork(Transport):
         sock.settimeout(max(self._reply_timeout_s(message), 0.001))
         with sock:
             try:
-                _send_frame(sock, message)
-                return _recv_frame(sock) if want_reply else None
+                _send_frame(sock, message,
+                            lambda nbytes: self._frame_codec(message.dst, nbytes))
+                if not want_reply:
+                    return None
+                reply, _nbytes = _recv_frame(sock)
+                return reply
             except socket.timeout as exc:
                 if message.deadline is not None:
                     # The caller's budget capped this wait: surface the
@@ -804,7 +950,8 @@ class TcpNetwork(Transport):
         """
         if self.mode != "pipelined":
             return super()._transmit_async(message, batch)
-        future = _PipelinedCallFuture(message, batch, self.io_timeout_s)
+        future = _PipelinedCallFuture(message, batch, self.io_timeout_s,
+                                      transport=self)
         if message.deadline is not None and message.deadline.expired:
             # Budget already gone: never touch the wire.
             future._fail(CallTimeoutError(

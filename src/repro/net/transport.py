@@ -58,9 +58,10 @@ trace-identical to the pre-deadline behaviour.
 from __future__ import annotations
 
 import threading
+import time
 from abc import ABC, abstractmethod
-from collections import OrderedDict
-from typing import Any, Callable, Sequence
+from collections import OrderedDict, deque
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import (
     CallCancelledError,
@@ -79,6 +80,11 @@ MessageHandler = Callable[[Message], Any]
 
 #: How many times ``call`` retransmits after a loss before giving up.
 DEFAULT_RETRY_BUDGET = 8
+
+#: Assumed floor on one transmission attempt's cost when scaling the
+#: retry loop to a request's remaining deadline budget: a call with less
+#: than this much budget left is not worth another attempt.
+MIN_ATTEMPT_COST_S = 0.001
 
 
 class CallFuture:
@@ -462,11 +468,60 @@ class ReplyCache:
 class Transport(ABC):
     """Delivers messages between registered nodes; see module docstring."""
 
+    #: Whether this transport records per-destination reply latencies.
+    #: Off on the simulated network: its exchanges cost virtual time, not
+    #: wall time, and feeding wall-clock noise into candidate ranking
+    #: would perturb the deterministic traces the figure benches assert.
+    track_link_latency = False
+
+    #: EWMA smoothing factor for per-link latency estimates.
+    LINK_EWMA_ALPHA = 0.2
+
     def __init__(self, clock: Clock, trace: MessageTrace | None = None,
                  retry_budget: int = DEFAULT_RETRY_BUDGET) -> None:
         self.clock = clock
         self.trace = trace if trace is not None else MessageTrace()
         self.retry_budget = retry_budget
+        self._link_ewma: dict[str, float] = {}
+        self._link_lock = threading.Lock()
+
+    # -- per-link latency estimation ------------------------------------------
+
+    def note_link_latency(self, dst: str, elapsed_s: float) -> None:
+        """Record one observed request->reply latency to ``dst``.
+
+        Maintains an exponentially weighted moving average per
+        destination; hedged chases and balancing policies rank candidate
+        hosts by this expectation instead of by recency of contact.
+        No-op unless the transport opts in via ``track_link_latency``.
+        """
+        if not self.track_link_latency or elapsed_s < 0:
+            return
+        with self._link_lock:
+            current = self._link_ewma.get(dst)
+            if current is None:
+                self._link_ewma[dst] = elapsed_s
+            else:
+                alpha = self.LINK_EWMA_ALPHA
+                self._link_ewma[dst] = (1 - alpha) * current + alpha * elapsed_s
+
+    def link_latency_s(self, dst: str) -> float | None:
+        """The expected reply latency to ``dst`` (``None`` when unknown)."""
+        with self._link_lock:
+            return self._link_ewma.get(dst)
+
+    def rank_by_latency(self, candidates: Sequence[str]) -> list[str]:
+        """``candidates`` ordered by expected reply latency, fastest first.
+
+        The sort is *stable* and unknown links rank last-but-in-order, so
+        on transports that record nothing (the simulated network) the
+        input order is returned unchanged — deterministic fan-out code
+        can always pass its candidate list through this.
+        """
+        with self._link_lock:
+            known = dict(self._link_ewma)
+        return sorted(candidates,
+                      key=lambda node: known.get(node, float("inf")))
 
     # -- node management ----------------------------------------------------
 
@@ -582,6 +637,53 @@ class Transport(ABC):
                         deadline=deadline)
         return self._transmit_async(batch, batch=True)
 
+    def stream(self, src: str, dst: str,
+               requests: Iterable[tuple[MessageKind, Any]],
+               window: int = 8,
+               deadline: Deadline | None = None) -> list[Any]:
+        """Windowed pipelined request sequence to one destination.
+
+        The bulk-data primitive behind chunked OBJECT_TRANSFER: issues the
+        ``(kind, payload)`` requests **in order**, keeping at most
+        ``window`` exchanges outstanding — each new submission first
+        collects the oldest outstanding reply, so a slow receiver applies
+        backpressure instead of the sender buffering an unbounded frame
+        queue.  Returns the reply values in request order.
+
+        On the pipelined TCP transport the window's round trips genuinely
+        overlap on the pooled socket (a stream of N chunks costs ~N/window
+        round-trip latencies plus transmission); on eagerly completing
+        transports (the simulated network) every exchange runs inline at
+        submission, so the message sequence is the deterministic
+        one-call-per-chunk loop the figure traces expect.
+
+        One ``deadline`` bounds the whole stream.  The first failed
+        exchange raises after cancelling everything still outstanding —
+        the caller sees either every reply or the error, never a silently
+        shortened stream.  ``requests`` may be a lazy generator; chunk
+        slices are then built only as the window advances.
+        """
+        if window < 1:
+            raise ValueError(f"stream window must be >= 1, got {window}")
+        deadline = effective_deadline(deadline)
+        results: list[Any] = []
+        outstanding: deque[CallFuture] = deque()
+        try:
+            for kind, payload in requests:
+                if len(outstanding) >= window:
+                    results.append(outstanding.popleft().result())
+                outstanding.append(
+                    self.call_async(src, dst, kind, payload, deadline=deadline)
+                )
+            while outstanding:
+                results.append(outstanding.popleft().result())
+        except Exception:
+            for future in outstanding:
+                if not future.done():
+                    future.cancel("stream aborted by an earlier failure")
+            raise
+        return results
+
     def _transmit_async(self, message: Message, batch: bool) -> CallFuture:
         """Issue one exchange as a future.
 
@@ -602,27 +704,59 @@ class Transport(ABC):
     def _transmit_with_retries(self, message: Message) -> Message:
         """Shared retry loop for ``call`` / ``call_many``.
 
-        A deadline on the message bounds the loop too: an exchange whose
-        budget is gone fails fast with :class:`CallTimeoutError` instead of
-        burning the rest of the retry budget on a caller that stopped
-        waiting (checked before the first attempt as well, so an
-        already-expired call never touches the wire).
+        A deadline on the message bounds the loop twice over.  An exchange
+        whose budget is gone fails fast with :class:`CallTimeoutError`
+        instead of burning the rest of the retry budget on a caller that
+        stopped waiting (checked before the first attempt as well, so an
+        already-expired call never touches the wire).  And the retry count
+        itself is **deadline-aware**: before each retransmission the loop
+        asks whether the remaining budget can still afford an attempt —
+        priced at the dearest of the link's latency EWMA, the mean cost of
+        the attempts already made, and a small floor — so an almost-expired
+        call retries at most once rather than queueing ``retry_budget``
+        transmissions nobody will wait for.  Without a deadline the fixed
+        budget applies unchanged.
         """
         attempts = self.retry_budget + 1
         last_loss: MessageLostError | None = None
-        for _ in range(attempts):
+        started = time.monotonic()
+        for attempt in range(attempts):
             if message.deadline is not None and message.deadline.expired:
                 raise CallTimeoutError(
                     f"{message.describe()}: deadline expired"
                 ) from last_loss
+            if attempt > 0 and not self._can_afford_retry(
+                    message, attempt, started):
+                raise CallTimeoutError(
+                    f"{message.describe()}: remaining deadline budget cannot "
+                    f"afford retry {attempt}"
+                ) from last_loss
+            attempt_started = time.monotonic()
             try:
-                return self._transmit(message)
+                reply = self._transmit(message)
             except MessageLostError as exc:
                 last_loss = exc
                 continue
+            self.note_link_latency(
+                message.dst, time.monotonic() - attempt_started
+            )
+            return reply
         raise MessageLostError(
             f"{message.describe()} lost {attempts} times (retry budget exhausted)"
         ) from last_loss
+
+    def _can_afford_retry(self, message: Message, attempts_done: int,
+                          started_monotonic: float) -> bool:
+        """Whether the remaining deadline budget covers one more attempt."""
+        deadline = message.deadline
+        if deadline is None:
+            return True
+        expected_s = (time.monotonic() - started_monotonic) / attempts_done
+        ewma_s = self.link_latency_s(message.dst)
+        if ewma_s is not None:
+            expected_s = max(expected_s, ewma_s)
+        expected_s = max(expected_s, MIN_ATTEMPT_COST_S)
+        return deadline.remaining_s() >= expected_s
 
     def cast(self, src: str, dst: str, kind: MessageKind, payload: Any = None) -> None:
         """One-way send; best-effort.

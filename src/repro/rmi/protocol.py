@@ -10,6 +10,7 @@ wire would impose.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 
 
@@ -92,11 +93,19 @@ class MoveRequest:
 
     ``lock_token`` proves the requester holds the object's move lock when
     locking is in force (empty string when the caller runs unlocked).
+
+    ``alternates`` names additional acceptable targets for a **hedged
+    write**: a host shipping a large (streamed) object may stream it
+    speculatively to ``target`` and every alternate, commit whichever
+    finishes staging first, and abort the rest — the reply then names the
+    target that actually won.  Empty (the default) keeps the paper's
+    single-target semantics exactly.
     """
 
     name: str
     target: str
     lock_token: str = ""
+    alternates: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -118,6 +127,98 @@ class ObjectTransfer:
     origin: str                  # node the object departed
     transfer_id: str             # dedup token: retries must not double-apply
     shared: bool = True          # public (lockable) vs private object
+
+
+@dataclass(frozen=True)
+class TransferPrepare:
+    """Phase one of a streamed transfer: reserve a staging slot.
+
+    Carries everything :class:`ObjectTransfer` carries *except* the state
+    blob, which follows as :class:`TransferChunk` slices.  PREPARE is
+    idempotent per ``transfer_id`` (a retransmission re-reserves the same
+    slot) and reserves only *staging* space: nothing touches the object
+    store, the registry, or the lock manager until TRANSFER_COMMIT, so a
+    partially streamed transfer can never materialize an object.
+
+    ``total_bytes``/``chunk_count`` let the receiver verify completeness
+    at commit; ``ttl_ms`` bounds how long an orphaned staging entry (its
+    sender died mid-stream) survives before the staging GC reaps it.
+    """
+
+    name: str
+    class_name: str
+    class_desc: "object | None"  # ClassDescriptor when the receiver lacks it
+    class_hash: str
+    origin: str
+    transfer_id: str
+    total_bytes: int
+    chunk_count: int
+    shared: bool = True
+    ttl_ms: float = 30_000.0
+
+
+@dataclass(frozen=True)
+class TransferChunk:
+    """One slice of a streamed transfer's marshalled state.
+
+    ``data`` is a zero-copy ``memoryview`` slice over the sender's state
+    blob — chunking never re-copies the blob on the send path.  Pickling
+    (see ``__reduce__``) wraps the view in a *transient*
+    :class:`pickle.PickleBuffer`, which protocol 5 serializes in-band
+    straight from the original bytes; the receiver then sees plain
+    ``bytes``.  The PickleBuffer must not live on the dataclass itself:
+    it holds a buffer export on the view, and a garbage-collected cycle
+    containing an exported memoryview crashes CPython's ``tp_clear`` —
+    creating it only for the duration of the dump keeps the resident
+    payload export-free.  On the in-process simulated network the payload
+    crosses by reference; :meth:`data_bytes` normalizes either form.
+    """
+
+    transfer_id: str
+    index: int
+    data: "object"  # memoryview on the send path; bytes after the wire
+
+    def __reduce__(self):
+        data = self.data
+        if isinstance(data, memoryview):
+            data = pickle.PickleBuffer(data)
+        return (TransferChunk, (self.transfer_id, self.index, data))
+
+    def data_bytes(self) -> bytes:
+        """The chunk payload as ``bytes``, whatever form it arrived in."""
+        data = self.data
+        if isinstance(data, bytes):
+            return data
+        if isinstance(data, memoryview):
+            return data.tobytes()
+        return bytes(data)
+
+
+@dataclass(frozen=True)
+class TransferCommit:
+    """Phase two: atomically unpack, register, and ack a staged transfer.
+
+    Idempotent per ``transfer_id``: a retransmitted COMMIT (lost ack)
+    finds the id in the mover's seen-set and re-acks without re-applying.
+    """
+
+    transfer_id: str
+    name: str
+
+
+@dataclass(frozen=True)
+class TransferAbort:
+    """Discard a staged (or still-streaming) transfer.
+
+    Sent explicitly by the source when its stream failed mid-flight, and
+    by a hedged write to the losing target.  Harmless when the id is
+    unknown (the staging GC may have reaped it first) — but **refused**
+    when the id already committed: the object materialized, so the source
+    must treat the transfer as delivered, not abandoned.
+    """
+
+    transfer_id: str
+    reason: str = ""
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,10 @@ from repro.rmi.protocol import (
     LookupRequest,
     MoveRequest,
     ObjectTransfer,
+    TransferAbort,
+    TransferChunk,
+    TransferCommit,
+    TransferPrepare,
     UnbindRequest,
     UnlockPayload,
 )
@@ -87,6 +91,10 @@ class MageExternalServer:
             MessageKind.FIND: self._on_find,
             MessageKind.MOVE_REQUEST: self._on_move_request,
             MessageKind.OBJECT_TRANSFER: self._on_object_transfer,
+            MessageKind.TRANSFER_PREPARE: self._on_transfer_prepare,
+            MessageKind.TRANSFER_CHUNK: self._on_transfer_chunk,
+            MessageKind.TRANSFER_COMMIT: self._on_transfer_commit,
+            MessageKind.TRANSFER_ABORT: self._on_transfer_abort,
             MessageKind.CLASS_REQUEST: self._on_class_request,
             MessageKind.CLASS_TRANSFER: self._on_class_push,
             MessageKind.INSTANTIATE: self._on_instantiate,
@@ -146,11 +154,24 @@ class MageExternalServer:
 
     def _on_move_request(self, request: MoveRequest) -> str:
         return self._mover.move_out(
-            request.name, request.target, lock_token=request.lock_token
+            request.name, request.target, lock_token=request.lock_token,
+            alternates=request.alternates,
         )
 
     def _on_object_transfer(self, transfer: ObjectTransfer) -> str:
         return self._mover.receive(transfer)
+
+    def _on_transfer_prepare(self, prepare: TransferPrepare) -> str:
+        return self._mover.prepare(prepare)
+
+    def _on_transfer_chunk(self, chunk: TransferChunk) -> str:
+        return self._mover.receive_chunk(chunk)
+
+    def _on_transfer_commit(self, commit: TransferCommit) -> str:
+        return self._mover.commit(commit)
+
+    def _on_transfer_abort(self, abort: TransferAbort) -> str:
+        return self._mover.abort(abort)
 
     def _on_class_request(self, request: ClassRequest) -> Any:
         desc = self._classcache.descriptor(request.class_name)

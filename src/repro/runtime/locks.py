@@ -64,6 +64,10 @@ class _NameLock:
     queue: deque = field(default_factory=deque)        # of _Waiter
     moved_to: str | None = None
     next_seq: int = 0
+    #: The object is mid-departure (a streamed transfer is in flight):
+    #: new grants are withheld until the transfer commits (waiters then
+    #: fail over to the new host) or aborts (grants resume here).
+    departing: bool = False
 
 
 @dataclass
@@ -156,6 +160,14 @@ class LockManager:
                 raise
 
     def _grantable(self, state: _NameLock, waiter: _Waiter) -> bool:
+        if state.departing:
+            # A streamed transfer is in flight: granting now would let a
+            # stay-lock holder observe the object while the commit is
+            # about to evict it (the old single-frame transfer window was
+            # one call wide; the streaming window is long enough that this
+            # race must be closed, not ignored).  Waiters queue and are
+            # woken by the departure's commit or abort.
+            return False
         if self.fair:
             # Strict FIFO: only the head of the queue may be considered,
             # and it needs full compatibility with current holders.
@@ -215,6 +227,7 @@ class LockManager:
         with self._cond:
             state = self._names.setdefault(name, _NameLock())
             state.moved_to = new_location
+            state.departing = False
             self._cond.notify_all()
 
     def mark_arrived(self, name: str) -> None:
@@ -222,6 +235,30 @@ class LockManager:
         with self._cond:
             state = self._names.setdefault(name, _NameLock())
             state.moved_to = None
+            state.departing = False
+            self._cond.notify_all()
+
+    def begin_departure(self, name: str) -> None:
+        """A streamed transfer of ``name`` is starting: withhold new grants.
+
+        Requests arriving during the stream queue instead of being
+        granted; :meth:`mark_moved` (commit) fails them over to the new
+        host and :meth:`abort_departure` (stream failed) resumes granting
+        here.  Idempotent; purely local (no messages), so traces are
+        unchanged.
+        """
+        with self._cond:
+            state = self._names.setdefault(name, _NameLock())
+            state.departing = True
+
+    def abort_departure(self, name: str) -> None:
+        """The streamed transfer failed: the object stays; grants resume."""
+        with self._cond:
+            state = self._names.get(name)
+            if state is None:
+                return
+            state.departing = False
+            self._maybe_forget(name, state)
             self._cond.notify_all()
 
     def _maybe_forget(self, name: str, state: _NameLock) -> None:
@@ -231,6 +268,7 @@ class LockManager:
             and state.move_holder is None
             and not state.queue
             and state.moved_to is None
+            and not state.departing
         ):
             self._names.pop(name, None)
 
@@ -261,10 +299,12 @@ class LockManager:
         with self._mutex:
             state = self._names.get(name)
             if state is None:
-                return {"stays": 0, "move": False, "queued": 0, "moved_to": None}
+                return {"stays": 0, "move": False, "queued": 0,
+                        "moved_to": None, "departing": False}
             return {
                 "stays": len(state.stay_holders),
                 "move": state.move_holder is not None,
                 "queued": len(state.queue),
                 "moved_to": state.moved_to,
+                "departing": state.departing,
             }

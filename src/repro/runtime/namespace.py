@@ -46,7 +46,12 @@ class Namespace:
     * ``probe_classes`` — overlap an async class-cache probe with state
       packing before transfers/hops, skipping the class body when the
       target already caches it (off by default: the figure benches pin
-      the paper's exact message sequences).
+      the paper's exact message sequences);
+    * ``stream_threshold`` / ``chunk_bytes`` — state blobs at or above
+      the threshold migrate as the chunked two-phase
+      PREPARE/CHUNK/COMMIT pipeline instead of one monolithic
+      OBJECT_TRANSFER frame (``None`` keeps the mover defaults; a huge
+      threshold forces the paper's single-frame path for every object).
     """
 
     def __init__(
@@ -58,6 +63,8 @@ class Namespace:
         path_collapsing: bool = True,
         always_ship_class: bool = False,
         probe_classes: bool = False,
+        stream_threshold: int | None = None,
+        chunk_bytes: int | None = None,
         load_provider: Callable[[], float] | None = None,
     ) -> None:
         self.node_id = validate_node_id(node_id)
@@ -72,6 +79,11 @@ class Namespace:
             path_collapsing=path_collapsing,
         )
         self.locks = LockManager(node_id, fair=fair_locks)
+        mover_kwargs = {}
+        if stream_threshold is not None:
+            mover_kwargs["stream_threshold"] = stream_threshold
+        if chunk_bytes is not None:
+            mover_kwargs["chunk_bytes"] = chunk_bytes
         self.mover = Mover(
             node_id,
             self.store,
@@ -82,6 +94,7 @@ class Namespace:
             stub_factory=self.client.stub_for,
             always_ship_class=always_ship_class,
             probe_classes=probe_classes,
+            **mover_kwargs,
         )
         self.server = MageServer(
             node_id,
@@ -181,15 +194,20 @@ class Namespace:
 
     def move(self, name: str, target: str, origin_hint: str | None = None,
              lock_token: str = "", location: str | None = None,
-             deadline=None, hedge: bool = False) -> str:
+             deadline=None, hedge: bool = False, alternates=()) -> str:
         """Weakly migrate ``name`` to ``target``; returns the new location.
 
         ``deadline`` bounds the find + chase + transfer end to end;
         ``hedge=True`` sends speculative MOVE_REQUESTs to the last-known
-        host and the origin hint in parallel (first host wins).
+        host and the origin hint in parallel (first host wins) and, with
+        ``alternates``, additionally hedges the *write*: a streamed
+        transfer goes to ``target`` and every alternate speculatively,
+        the first to finish staging is committed, the losers aborted —
+        the returned location names the winner.
         """
         return self.server.move(name, target, origin_hint, lock_token,
-                                location, deadline=deadline, hedge=hedge)
+                                location, deadline=deadline, hedge=hedge,
+                                alternates=alternates)
 
     def instantiate(self, class_name: str, name: str, target: str,
                     args: tuple = (), kwargs: dict | None = None,

@@ -275,6 +275,11 @@ class MageServer:
         if not candidates:
             raise ComponentNotFoundError(name, "no candidate registries to probe")
         deadline = effective_deadline(deadline)
+        # Probe in expected-latency order (per-link EWMAs): the fastest
+        # candidates' answers arrive — and win — soonest.  Transports that
+        # record no latencies (the simulated network) preserve input
+        # order, keeping deterministic traces unchanged.
+        candidates = self.transport.rank_by_latency(list(candidates))
         futures = {
             node: self.transport.call_async(
                 self.node_id, node, MessageKind.FIND,
@@ -323,33 +328,41 @@ class MageServer:
         location: str | None = None,
         deadline: Deadline | None = None,
         hedge: bool = False,
+        alternates: Sequence[str] = (),
     ) -> str:
         """Move ``name`` to ``target`` wherever it currently lives.
 
         Local objects ship directly; remote ones via MOVE_REQUEST to their
-        host (which performs the OBJECT_TRANSFER and answers when done —
-        Figure 7's messages 3–5).  Returns the component's new location.
+        host (which performs the transfer and answers when done — Figure
+        7's messages 3–5).  Returns the component's new location.
 
         ``location`` lets a caller that just found the component skip the
         redundant lookup; a stale value is healed by the retry below.
 
         ``deadline`` bounds the whole operation — find, chase retry, and
         the transfer the host performs on our behalf (the budget rides the
-        MOVE_REQUEST header and the host's nested OBJECT_TRANSFER inherits
-        it).  ``hedge=True`` speculates: MOVE_REQUESTs go to the last-known
-        host *and* the origin hint in parallel, the first node actually
-        hosting the object performs the move, and the miss (a fast
-        ``NoSuchObjectError``) is discarded — so a stale forwarding entry
-        pointing at a slow host no longer serializes the chase.  The
-        default keeps the paper's exact message sequence.
+        MOVE_REQUEST header and the host's nested transfer inherits it).
+        ``hedge=True`` speculates on both ends of the move.  On the *read*
+        side, MOVE_REQUESTs go to the last-known host and the origin hint
+        in parallel, the first node actually hosting the object performs
+        the move, and the miss (a fast ``NoSuchObjectError``) is discarded
+        — so a stale forwarding entry pointing at a slow host no longer
+        serializes the chase.  On the *write* side, ``alternates`` names
+        additional acceptable destinations: a large (streamed) object is
+        then shipped speculatively to ``target`` and every alternate, the
+        first to finish staging is committed, and the losers are aborted
+        before anything applied — the returned location names the winner.
+        The default keeps the paper's exact message sequence.
         """
         deadline = effective_deadline(deadline)
+        hedge_alternates = tuple(alternates) if hedge else ()
         if self.store.contains(name):
             return self.mover.move_out(name, target, lock_token,
-                                       deadline=deadline)
+                                       deadline=deadline,
+                                       alternates=hedge_alternates)
         if hedge and location is None:
             return self._move_hedged(name, target, origin_hint, lock_token,
-                                     deadline)
+                                     deadline, hedge_alternates)
         if location is None or location == self.node_id:
             location = self.find(name, origin_hint, verify=False,
                                  deadline=deadline)
@@ -363,7 +376,8 @@ class MageServer:
             try:
                 new_location = self.transport.call(
                     self.node_id, location, MessageKind.MOVE_REQUEST,
-                    MoveRequest(name=name, target=target, lock_token=lock_token),
+                    MoveRequest(name=name, target=target, lock_token=lock_token,
+                                alternates=hedge_alternates),
                     deadline=deadline,
                 )
             except NoSuchObjectError:
@@ -378,7 +392,8 @@ class MageServer:
         raise MigrationError(f"unreachable retry state moving {name!r}")
 
     def _move_hedged(self, name: str, target: str, origin_hint: str | None,
-                     lock_token: str, deadline: Deadline | None) -> str:
+                     lock_token: str, deadline: Deadline | None,
+                     alternates: tuple[str, ...] = ()) -> str:
         """Speculative MOVE_REQUESTs to every plausible host at once.
 
         Only the node actually hosting the object can perform the move
@@ -386,21 +401,29 @@ class MageServer:
         without touching anything), so hedging cannot double-move; the
         first successful transfer wins and the misses are discarded.  When
         every candidate missed, falls back to a verified find + single
-        chase, all under the same deadline.
+        chase, all under the same deadline.  Candidates are probed in
+        expected-link-latency order (per the transport's per-destination
+        EWMAs) — on transports that record none, hint order is preserved.
         """
         candidates: list[str] = []
         for hint in (self.registry.forwarding_hint(name), origin_hint):
             if hint and hint != self.node_id and hint not in candidates:
                 candidates.append(hint)
         if len(candidates) < 2:
-            # Nothing to hedge against: take the plain path.
+            # Nothing to hedge the *request* against: resolve a location
+            # and take the plain chase (which still carries the write-side
+            # ``alternates`` so a streamed transfer can hedge its targets).
+            location = candidates[0] if candidates else self.find(
+                name, origin_hint, verify=False, deadline=deadline)
             return self.move(name, target, origin_hint, lock_token,
-                             location=candidates[0] if candidates else None,
-                             deadline=deadline)
+                             location=location, deadline=deadline,
+                             hedge=True, alternates=alternates)
+        candidates = self.transport.rank_by_latency(candidates)
         futures = {
             node: self.transport.call_async(
                 self.node_id, node, MessageKind.MOVE_REQUEST,
-                MoveRequest(name=name, target=target, lock_token=lock_token),
+                MoveRequest(name=name, target=target, lock_token=lock_token,
+                            alternates=alternates),
                 deadline=deadline,
             )
             for node in candidates
@@ -426,7 +449,8 @@ class MageServer:
         # Every candidate missed: the trail is colder than our hints.
         location = self.find(name, origin_hint, verify=True, deadline=deadline)
         return self.move(name, target, origin_hint, lock_token,
-                         location=location, deadline=deadline)
+                         location=location, deadline=deadline,
+                         hedge=True, alternates=alternates)
 
     # -- class mobility --------------------------------------------------------------
 
@@ -717,6 +741,11 @@ class MageServer:
                     initial.append(hint)
             if not initial:
                 initial = [self._find_for_lock(name, origin_hint, deadline)]
+            else:
+                # Expected-latency order (per-link EWMAs): probe the host
+                # most likely to answer fast first; identity on transports
+                # that record nothing.
+                initial = self.transport.rank_by_latency(initial)
 
         futures: dict[str, CallFuture] = {}  # live; _completion_order tracks it
         pending: dict[str, CallFuture] = {}  # launched but not yet collected

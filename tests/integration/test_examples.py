@@ -18,6 +18,7 @@ LANDMARKS = {
     "load_balancing.py": "migrations: 2",
     "grev_tour.py": "GREV trail:",
     "cluster_dashboard.py": "whole day:",
+    "streaming_move.py": "loser never materialized the object",
 }
 
 

@@ -1,0 +1,207 @@
+"""Frame codec: negotiation, thresholds, and byte-identical raw framing."""
+
+import pickle
+import socket
+import struct
+
+import pytest
+
+from repro.errors import MarshalError
+from repro.net import codec
+from repro.net.message import Message, MessageKind
+from repro.net.tcpnet import TcpNetwork, _recv_frame, _send_frame
+
+
+def _socketpair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def _roundtrip(message, codec_for=None):
+    import threading
+
+    a, b = _socketpair()
+    out = {}
+    try:
+        reader = threading.Thread(
+            target=lambda: out.update(zip(("msg", "nbytes"), _recv_frame(b)))
+        )
+        reader.start()
+        _send_frame(a, message, codec_for)
+        reader.join(10.0)
+        return out["msg"], out["nbytes"]
+    finally:
+        a.close()
+        b.close()
+
+
+def _wire_bytes(message, codec_for=None):
+    import threading
+
+    a, b = _socketpair()
+    chunks = []
+
+    def drain():
+        while True:
+            chunk = b.recv(65536)
+            if not chunk:
+                return
+            chunks.append(chunk)
+
+    try:
+        reader = threading.Thread(target=drain)
+        reader.start()
+        _send_frame(a, message, codec_for)
+        a.shutdown(socket.SHUT_WR)
+        reader.join(10.0)
+        return b"".join(chunks)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestCodecPrimitives:
+    def test_raw_id_is_zero(self):
+        # Raw frames must keep the pre-codec prefix bit-for-bit.
+        assert codec.RAW == 0
+
+    def test_zlib_always_available(self):
+        assert "zlib" in codec.available_codecs()
+
+    def test_unknown_codec_name_rejected(self):
+        with pytest.raises(MarshalError):
+            codec.codec_id("snappy")
+
+    def test_unknown_codec_id_rejected(self):
+        with pytest.raises(MarshalError):
+            codec.decode(7, b"data", 1024)
+
+    def test_zlib_roundtrip(self):
+        blob = b"abc" * 10_000
+        packed = codec.encode(codec.ZLIB, blob)
+        assert len(packed) < len(blob)
+        assert codec.decode(codec.ZLIB, packed, len(blob)) == blob
+
+    def test_decode_bounds_inflation(self):
+        blob = b"x" * 100_000
+        packed = codec.encode(codec.ZLIB, blob)
+        with pytest.raises(MarshalError):
+            codec.decode(codec.ZLIB, packed, max_size=1024)
+
+    def test_choose_codec_negotiation(self):
+        # Below threshold: always raw, whatever both sides support.
+        assert codec.choose_codec(10, ("zlib",), ("zlib",), 100) == codec.RAW
+        # At/above threshold with a shared codec: compress.
+        assert codec.choose_codec(100, ("zlib",), ("zlib",), 100) == codec.ZLIB
+        # The peer advertises nothing (pre-codec build): fall back to raw.
+        assert codec.choose_codec(100, ("zlib",), (), 100) == codec.RAW
+        # The sender writes nothing: raw.
+        assert codec.choose_codec(100, (), ("zlib",), 100) == codec.RAW
+
+
+class TestFrameFormat:
+    def test_sub_threshold_frame_is_byte_identical_to_pre_codec_format(self):
+        """Small control messages must produce the exact pre-PR bytes."""
+        message = Message(kind=MessageKind.PING, src="a", dst="b")
+        blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        legacy = struct.pack(">I", len(blob)) + blob
+        compressing = lambda nbytes: codec.choose_codec(
+            nbytes, ("zlib",), ("zlib",), codec.DEFAULT_COMPRESS_THRESHOLD)
+        assert _wire_bytes(message, compressing) == legacy
+        assert _wire_bytes(message, None) == legacy
+
+    def test_large_frame_compresses_and_roundtrips(self):
+        message = Message(kind=MessageKind.INVOKE, src="a", dst="b",
+                          payload=b"payload" * 50_000)
+        raw_len = len(_wire_bytes(message, None))
+        received, nbytes = _roundtrip(
+            message, lambda n: codec.choose_codec(n, ("zlib",), ("zlib",), 1024)
+        )
+        assert received.payload == message.payload
+        assert received.msg_id == message.msg_id
+        assert nbytes < raw_len / 2  # wire carried the compressed body
+
+    def test_incompressible_frame_falls_back_to_raw(self):
+        import os
+        message = Message(kind=MessageKind.INVOKE, src="a", dst="b",
+                          payload=os.urandom(64 * 1024))
+        received, _ = _roundtrip(message, lambda n: codec.ZLIB)
+        assert received.payload == message.payload
+
+
+class TestTcpNegotiation:
+    @pytest.fixture
+    def net(self):
+        net = TcpNetwork(compress_threshold=1024)
+        yield net
+        net.shutdown()
+
+    def test_registration_advertises_local_codecs(self, net):
+        net.register("n1", lambda m: "ok")
+        assert net.peer_codecs("n1") == codec.available_codecs()
+        assert net.peer_codecs("ghost") == ()
+
+    def test_mixed_codec_peer_falls_back_to_raw(self, net, monkeypatch):
+        """A peer advertising no codecs gets raw frames — and the call
+        still succeeds (negotiation degrades, never fails)."""
+        big = b"state" * 100_000
+        net.register("src", lambda m: "ok")
+        net.register("legacy", lambda m: len(m.payload))
+        net.advertise_codecs("legacy", ())  # a pre-codec build
+        compressions = []
+        real_encode = codec.encode
+        monkeypatch.setattr(
+            codec, "encode",
+            lambda ident, blob: compressions.append(ident) or real_encode(ident, blob),
+        )
+        assert net.call("src", "legacy", MessageKind.INVOKE, big) == len(big)
+        assert compressions == []  # nothing was ever compressed toward it
+
+    def test_negotiated_peer_gets_compressed_frames(self, net, monkeypatch):
+        big = b"state" * 100_000
+        net.register("src", lambda m: "ok")
+        net.register("modern", lambda m: len(m.payload))
+        compressions = []
+        real_encode = codec.encode
+        monkeypatch.setattr(
+            codec, "encode",
+            lambda ident, blob: compressions.append(ident) or real_encode(ident, blob),
+        )
+        assert net.call("src", "modern", MessageKind.INVOKE, big) == len(big)
+        assert codec.ZLIB in compressions
+
+    def test_small_calls_never_compress(self, net, monkeypatch):
+        net.register("src", lambda m: "ok")
+        net.register("dst", lambda m: "pong")
+        compressions = []
+        real_encode = codec.encode
+        monkeypatch.setattr(
+            codec, "encode",
+            lambda ident, blob: compressions.append(ident) or real_encode(ident, blob),
+        )
+        assert net.call("src", "dst", MessageKind.PING) == "pong"
+        assert compressions == []
+
+    def test_codecs_param_validates_names(self):
+        with pytest.raises(MarshalError):
+            TcpNetwork(codecs=("snappy",))
+
+    def test_disabled_codecs_keep_everything_raw(self, monkeypatch):
+        net = TcpNetwork(codecs=(), compress_threshold=16)
+        try:
+            net.register("src", lambda m: "ok")
+            net.register("dst", lambda m: len(m.payload))
+            compressions = []
+            real_encode = codec.encode
+            monkeypatch.setattr(
+                codec, "encode",
+                lambda ident, blob: compressions.append(ident)
+                or real_encode(ident, blob),
+            )
+            assert net.call("src", "dst", MessageKind.INVOKE,
+                            b"x" * 100_000) == 100_000
+            assert compressions == []
+        finally:
+            net.shutdown()

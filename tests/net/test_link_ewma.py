@@ -1,0 +1,69 @@
+"""Per-link latency EWMAs: recording, ranking, and transport opt-in."""
+
+import time
+
+import pytest
+
+from repro.net.message import MessageKind
+from repro.net.simnet import SimNetwork
+from repro.net.tcpnet import TcpNetwork
+
+
+class TestOptIn:
+    def test_simnet_records_nothing(self):
+        """The deterministic transport must not feed wall-clock noise into
+        candidate ranking — its exchanges cost virtual time."""
+        net = SimNetwork()
+        net.register("a", lambda m: "pong")
+        net.register("b", lambda m: "pong")
+        net.call("a", "b", MessageKind.PING)
+        assert net.link_latency_s("b") is None
+
+    def test_rank_is_identity_without_data(self):
+        net = SimNetwork()
+        assert net.rank_by_latency(["c", "a", "b"]) == ["c", "a", "b"]
+
+    def test_ewma_math(self):
+        net = TcpNetwork()
+        try:
+            net.note_link_latency("n", 1.0)
+            assert net.link_latency_s("n") == pytest.approx(1.0)
+            net.note_link_latency("n", 0.0)
+            assert net.link_latency_s("n") == pytest.approx(0.8)  # alpha 0.2
+        finally:
+            net.shutdown()
+
+    def test_negative_samples_ignored(self):
+        net = TcpNetwork()
+        try:
+            net.note_link_latency("n", -1.0)
+            assert net.link_latency_s("n") is None
+        finally:
+            net.shutdown()
+
+
+class TestTcpRecording:
+    @pytest.fixture
+    def net(self):
+        net = TcpNetwork(io_timeout_s=5.0)
+        yield net
+        net.shutdown()
+
+    def test_slow_host_ranks_behind_fast_host(self, net):
+        net.register("issuer", lambda m: "pong")
+        net.register("fast", lambda m: "pong")
+
+        def slow_handler(message):
+            time.sleep(0.05)
+            return "pong"
+
+        net.register("slow", slow_handler)
+        for _ in range(3):
+            net.call("issuer", "fast", MessageKind.PING)
+            net.call("issuer", "slow", MessageKind.PING)
+        assert net.link_latency_s("fast") < net.link_latency_s("slow")
+        assert net.rank_by_latency(["slow", "fast"]) == ["fast", "slow"]
+        # Unknown destinations rank last, in input order.
+        assert net.rank_by_latency(["ghost", "slow", "fast"]) == [
+            "fast", "slow", "ghost"
+        ]

@@ -1,0 +1,84 @@
+"""``Transport.stream``: windowed pipelined request sequences."""
+
+import pytest
+
+from repro.errors import MageError
+from repro.net.deadline import Deadline
+from repro.net.message import MessageKind
+from repro.net.simnet import SimNetwork
+from repro.net.tcpnet import TcpNetwork
+
+
+def _echo(message):
+    if message.payload == "boom":
+        raise MageError("handler refused this chunk")
+    return message.payload
+
+
+@pytest.fixture
+def simnet():
+    net = SimNetwork()
+    net.register("a", _echo)
+    net.register("b", _echo)
+    return net
+
+
+@pytest.fixture
+def tcpnet():
+    net = TcpNetwork()
+    net.register("a", _echo)
+    net.register("b", _echo)
+    yield net
+    net.shutdown()
+
+
+class TestStreamSim:
+    def test_results_in_request_order(self, simnet):
+        requests = [(MessageKind.INVOKE, i) for i in range(20)]
+        assert simnet.stream("a", "b", requests, window=4) == list(range(20))
+
+    def test_deterministic_message_sequence(self, simnet):
+        """On the eager transport a stream is the sequential call loop."""
+        simnet.stream("a", "b", [(MessageKind.INVOKE, i) for i in range(5)],
+                      window=3)
+        kinds = [e.kind for e in simnet.trace.events() if not e.local]
+        assert kinds == ["INVOKE", "REPLY(INVOKE)"] * 5
+
+    def test_lazy_generator_requests(self, simnet):
+        def produce():
+            for i in range(7):
+                yield (MessageKind.INVOKE, i * 2)
+
+        assert simnet.stream("a", "b", produce()) == [0, 2, 4, 6, 8, 10, 12]
+
+    def test_first_failure_raises(self, simnet):
+        requests = [(MessageKind.INVOKE, 0), (MessageKind.INVOKE, "boom"),
+                    (MessageKind.INVOKE, 2)]
+        with pytest.raises(MageError):
+            simnet.stream("a", "b", requests, window=1)
+
+    def test_window_validation(self, simnet):
+        with pytest.raises(ValueError):
+            simnet.stream("a", "b", [], window=0)
+
+    def test_empty_stream(self, simnet):
+        assert simnet.stream("a", "b", []) == []
+
+
+class TestStreamTcp:
+    def test_pipelined_stream_correctness(self, tcpnet):
+        requests = [(MessageKind.INVOKE, i) for i in range(50)]
+        assert tcpnet.stream("a", "b", requests, window=8) == list(range(50))
+
+    def test_failure_cancels_outstanding(self, tcpnet):
+        requests = [(MessageKind.INVOKE, i) for i in range(3)]
+        requests += [(MessageKind.INVOKE, "boom")]
+        requests += [(MessageKind.INVOKE, i) for i in range(3)]
+        with pytest.raises(MageError):
+            tcpnet.stream("a", "b", requests, window=2)
+
+    def test_stream_respects_deadline(self, tcpnet):
+        expired = Deadline.after_ms(0)
+        with pytest.raises(Exception):
+            tcpnet.stream("a", "b", [(MessageKind.INVOKE, 1)],
+                          deadline=expired)

@@ -175,6 +175,7 @@ class TestDeadlineBoundedChase:
         # fresh request is granted immediately.
         assert alpha.locks.snapshot("obj") == {
             "stays": 0, "move": False, "queued": 0, "moved_to": None,
+            "departing": False,
         }
         grant = alpha.lock("obj", "beta", timeout_ms=500)
         alpha.unlock(grant)

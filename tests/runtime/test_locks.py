@@ -198,6 +198,7 @@ class TestRelease:
         locks.release("obj", grant.token)
         assert locks.snapshot("obj") == {
             "stays": 0, "move": False, "queued": 0, "moved_to": None,
+            "departing": False,
         }
 
 
