@@ -22,7 +22,7 @@ paper-versus-measured record of every table and figure.
 """
 
 from repro import errors
-from repro.cluster import Cluster, DiscoveryService, LoadMonitor, Node
+from repro.cluster import Cluster, DiscoveryService, LoadMonitor, Membership, Node
 from repro.core import (
     CLE,
     COD,
@@ -70,6 +70,7 @@ __all__ = [
     "Combined",
     "ConstantLatency",
     "DiscoveryService",
+    "Membership",
     "FactoryMode",
     "GREV",
     "LPC",

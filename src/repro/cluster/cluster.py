@@ -224,7 +224,8 @@ class Cluster:
 
     def query_all_loads(self, src: str | None = None,
                         deadline: Deadline | None = None,
-                        timeout_load: float | None = None) -> dict[str, float]:
+                        timeout_load: float | None = None,
+                        targets: Sequence[str] | None = None) -> dict[str, float]:
         """Every live node's load from one parallel sweep.
 
         Hosts that fail to answer drop out (a vanished host is not a
@@ -233,10 +234,16 @@ class Cluster:
         One ``deadline`` bounds the whole sweep; ``timeout_load`` prices
         deadline-expired probes at that value instead of dropping them
         (the balancer's overloaded-by-silence signal).
+
+        ``targets`` overrides the swept hosts (default: this cluster's
+        own nodes) — a membership-fed balancer passes its live-host view,
+        which may include peers hosted by *other processes* reachable
+        through the transport's address book.
         """
         issuer = self.issuer(src)
+        swept = list(targets) if targets is not None else self.node_ids()
         return issuer.namespace.server.query_load_many(
-            self.node_ids(), skip_unreachable=True, deadline=deadline,
+            swept, skip_unreachable=True, deadline=deadline,
             timeout_load=timeout_load,
         )
 

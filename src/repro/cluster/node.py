@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.cluster.discovery import DiscoveryService
+from repro.cluster.discovery import Membership
 from repro.cluster.load import LoadMonitor
 from repro.core.agents import AgentManager, agent_manager_for
 from repro.core.context import use_runtime
@@ -48,7 +48,11 @@ class Node:
             chunk_bytes=chunk_bytes,
             load_provider=self.load_monitor.get_load,
         )
-        self.discovery = DiscoveryService(self.namespace)
+        #: Membership service: discovery queries, seed-list join, and the
+        #: heartbeat failure detector (opt-in via ``start_heartbeat``).
+        #: ``discovery`` is the same object under its historical name.
+        self.membership = Membership(self.namespace)
+        self.discovery = self.membership
         self.agents: AgentManager = agent_manager_for(self.namespace)
 
     # -- identity ------------------------------------------------------------
@@ -92,8 +96,13 @@ class Node:
         """Pin this host's advertised load (examples, tests, benches)."""
         self.load_monitor.set_load(value)
 
+    def join(self, seed: str, seed_endpoint=None) -> list[str]:
+        """Join a cluster through ``seed`` (see :meth:`Membership.join`)."""
+        return self.membership.join(seed, seed_endpoint)
+
     def shutdown(self) -> None:
         """Detach this node from the transport."""
+        self.membership.stop()
         self.namespace.shutdown()
 
     def __repr__(self) -> str:

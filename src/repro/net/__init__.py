@@ -128,6 +128,25 @@ mixed-codec deployments degrade to raw rather than failing.
 ``latency_ms`` emulates delay, so benches can price what compression
 and chunking buy.
 
+Cross-host endpoints
+--------------------
+
+:class:`repro.net.endpoint.Endpoint` is a dialable ``(host, port)``;
+every transport keeps an **address book** (``connect(node_id,
+endpoint)`` / ``endpoint_of`` / ``known_peers`` / ``forget_peer``) for
+peers hosted by *other processes or machines*.  ``TcpNetwork(bind=...,
+advertise_host=..., ports=...)`` opens the listeners beyond loopback,
+and every new pooled/pipelined connection starts with a **HELLO
+handshake** (:class:`repro.net.endpoint.Hello`): protocol version, node
+id, and codec advertisement cross the wire, so codec negotiation no
+longer needs any shared in-process registry.  No-HELLO peers, HELLO
+timeouts, and protocol-version mismatches all degrade to raw framing —
+never fail — and HELLO frames are invisible to message traces.  The
+cluster layer's :class:`repro.cluster.discovery.Membership` service
+fills the address book via seed-list JOIN and ANNOUNCE propagation and
+prunes it (with the per-link EWMAs and codec advertisements) when its
+heartbeat declares a peer dead.
+
 Transports also keep **per-link latency EWMAs**
 (``note_link_latency`` / ``link_latency_s`` / ``rank_by_latency``) — the
 TCP transport records every reply's submission-to-resolution time, and
@@ -151,6 +170,7 @@ from repro.net.conditions import (
     UniformLatency,
 )
 from repro.net.deadline import Deadline, current_deadline
+from repro.net.endpoint import PROTOCOL_VERSION, Endpoint, Hello
 from repro.net.message import Message, MessageKind
 from repro.net.simnet import SimNetwork
 from repro.net.tcpnet import TcpNetwork
@@ -163,9 +183,12 @@ __all__ = [
     "ConstantLatency",
     "Deadline",
     "DeterministicLoss",
+    "Endpoint",
+    "Hello",
     "LatencyModel",
     "LossModel",
     "Message",
+    "PROTOCOL_VERSION",
     "MessageKind",
     "MessageTrace",
     "NoLoss",

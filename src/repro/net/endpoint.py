@@ -1,0 +1,112 @@
+"""Cross-host endpoints and the wire-level HELLO handshake.
+
+Until now every layer silently assumed one process: the TCP transport
+bound only loopback and resolved peers through its in-process registry of
+node servers, and codec advertisement rode that same registry.  This
+module is the vocabulary that lets the stack span real machines:
+
+* :class:`Endpoint` — a ``(host, port)`` address a node can be reached
+  at.  Transports keep an **address book** (``node_id -> Endpoint``,
+  see :meth:`repro.net.transport.Transport.connect`) for peers that were
+  never locally registered; the cluster layer's membership service
+  propagates the book via JOIN/ANNOUNCE.
+* :class:`Hello` — the first frame each side of a new TCP connection
+  sends: protocol version, node identity, codec advertisement, and a
+  free-form settings map.  Codec negotiation thereby moves **onto the
+  wire**: a sender compresses toward a peer only per what that peer's
+  HELLO advertised, so two processes that have never shared a registry
+  still negotiate.  The handshake degrades, never fails — a peer that
+  answers no HELLO within the handshake window, or one speaking a
+  different protocol version, is simply written to in raw framing
+  (which is byte-identical to the pre-handshake wire format).
+
+HELLO frames are wire-level: they are not :class:`~repro.net.message.
+Message` envelopes, never reach a node's dispatcher, and are invisible
+to message traces — a trace-asserting bench sees the exact same message
+sequence whether or not its transport handshakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+#: Version of the frame-level wire protocol spoken after the HELLO
+#: exchange.  Mismatched peers degrade to raw framing (the lowest common
+#: dialect every version shares) instead of failing.
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A network address one node listens on: ``(host, port)``.
+
+    ``host`` is whatever the peer should dial — an IP, a hostname, or
+    ``127.0.0.1`` for same-machine deployments.  Hashable and comparable,
+    so address books can detect a re-joining peer's *changed* endpoint
+    (the fresh entry wins; stale connections are severed).
+    """
+
+    host: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigurationError("endpoint host cannot be empty")
+        if not (0 < int(self.port) < 65536):
+            raise ConfigurationError(f"endpoint port out of range: {self.port}")
+
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` pair ``socket.create_connection`` wants."""
+        return (self.host, self.port)
+
+    @classmethod
+    def parse(cls, text: str) -> "Endpoint":
+        """Parse ``"host:port"`` (the CLI/seed-list spelling)."""
+        host, sep, port = text.rpartition(":")
+        if not sep or not host:
+            raise ConfigurationError(
+                f"expected 'host:port', got {text!r}"
+            )
+        try:
+            return cls(host=host, port=int(port))
+        except ValueError:
+            raise ConfigurationError(
+                f"expected a numeric port in {text!r}"
+            ) from None
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Hello:
+    """The handshake frame exchanged once per new TCP connection.
+
+    The client sends its HELLO immediately after connecting and waits
+    (briefly) for the server's; both directions carry:
+
+    ``version``
+        :data:`PROTOCOL_VERSION` of the sender.  A receiver seeing any
+        other version records an empty negotiation — raw frames only —
+        and keeps serving.
+    ``node_id``
+        Who is speaking: the client's source node, or the node the
+        contacted listener serves.  Lets a server attribute a
+        connection to a peer it never registered locally.
+    ``codecs``
+        The frame codecs the *sender* can decode — i.e. what the other
+        side may compress toward it.  This is the advertisement that
+        used to ride the in-process ``advertise_codecs`` registry.
+    ``settings``
+        Free-form sender configuration (frame bound, connection mode,
+        ...).  Receivers ignore keys they do not know, which is what
+        lets the handshake grow fields without a version bump.
+    """
+
+    version: int
+    node_id: str
+    codecs: tuple[str, ...] = ()
+    settings: dict[str, Any] = field(default_factory=dict)

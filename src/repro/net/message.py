@@ -47,11 +47,14 @@ class MessageKind(enum.Enum):
     CLASS_TRANSFER = "CLASS_TRANSFER"    # push a class definition (probe or body)
     INSTANTIATE = "INSTANTIATE"          # create an object from a cached class
     LOCK_REQUEST = "LOCK_REQUEST"        # stay/move lock acquisition
+    LOCK_CONFIRM = "LOCK_CONFIRM"        # acknowledge a provisional (leased) grant
     UNLOCK = "UNLOCK"                    # lock release
     AGENT_HOP = "AGENT_HOP"              # one-way mobile-agent hop
     AGENT_LAUNCH = "AGENT_LAUNCH"        # start an itinerary at the agent's host
     LOAD_QUERY = "LOAD_QUERY"            # host load for migration policies
     PING = "PING"                        # liveness probe
+    JOIN = "JOIN"                        # membership: newcomer presents itself to a seed
+    ANNOUNCE = "ANNOUNCE"                # membership: address-book propagation
     BATCH = "BATCH"                      # several requests riding one frame
 
     # --- Replies -----------------------------------------------------------

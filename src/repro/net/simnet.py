@@ -107,6 +107,9 @@ class SimNetwork(Transport):
     def unregister(self, node_id: str) -> None:
         with self._state_lock:
             self._endpoints.pop(node_id, None)
+        # Drop per-peer transport state (address-book entry, link EWMA)
+        # so departed nodes leave nothing behind, matching TCP.
+        self.forget_peer(node_id)
 
     def nodes(self) -> list[str]:
         with self._state_lock:

@@ -1,9 +1,30 @@
-"""Real TCP transport on loopback, with persistent pooled connections.
+"""Real TCP transport, cross-host capable, with persistent pooled connections.
 
 The simulated network answers "does the model behave as the paper says";
 this transport answers "does the stack actually run over sockets".  Each
-registered node owns a listening socket on ``127.0.0.1`` (ephemeral port);
-messages are length-prefixed pickled envelopes.
+registered node owns a listening socket on the configured ``bind``
+interface (``127.0.0.1`` by default; ephemeral port unless pinned via
+``ports``); messages are length-prefixed pickled envelopes.
+
+Peers fall in two classes.  Nodes *registered on this transport* are
+served in process, exactly as before.  Nodes hosted by **other
+processes/machines** are reached through the transport's address book
+(:meth:`~repro.net.transport.Transport.connect` records
+``node_id -> Endpoint``); the cluster layer's membership service fills
+the book from a seed list and JOIN/ANNOUNCE propagation.  With an empty
+address book every path below is byte-identical to the single-process
+transport of earlier PRs.
+
+Every new pooled/pipelined connection opens with a **HELLO handshake**
+(:mod:`repro.net.endpoint`): the client sends protocol version, node id,
+codec advertisement, and settings, then waits briefly for the server's
+HELLO.  Codec negotiation thereby happens **on the wire** — two
+processes that never shared a registry still compress toward each other
+— while a peer that answers no HELLO (a pre-handshake build, modelled by
+``handshake=False``) or speaks another protocol version degrades to raw
+framing, never fails.  HELLO frames are wire-level only: they are not
+``Message`` envelopes, are invisible to traces, and the ``per-call``
+mode (the early-RMI baseline) skips them entirely.
 
 Three client-side connection strategies (``mode=``), slowest to fastest:
 
@@ -71,6 +92,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.net import codec
+from repro.net.endpoint import PROTOCOL_VERSION, Endpoint, Hello
 from repro.net.message import ONEWAY_KINDS, Message, ReplyPayload
 from repro.net.trace import MessageTrace
 from repro.net.transport import (
@@ -173,15 +195,22 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def _recv_frame(sock: socket.socket) -> tuple[Message, int]:
-    """Read one frame; returns ``(message, wire_bytes)``.
+def _send_hello(sock: socket.socket, hello: Hello) -> None:
+    """Write one HELLO frame (always raw: codecs are not yet negotiated)."""
+    blob = pickle.dumps(hello, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH_PREFIX.pack(len(blob)) + blob)
+
+
+def _recv_any(sock: socket.socket) -> tuple[object, int]:
+    """Read one frame of any type; returns ``(object, wire_bytes)``.
 
     ``wire_bytes`` is the on-wire size (header + possibly-compressed
     body) — what a bandwidth-emulating link charges for.  Decoding is
     self-describing from the header's codec bits: a receiver decodes any
     codec it supports regardless of what it advertised, and rejects
     unknown ids (or frames that inflate past the frame bound) with
-    :class:`MarshalError`.
+    :class:`MarshalError`.  The frame may be a :class:`Message` envelope
+    or a wire-level :class:`Hello`; callers route on the type.
     """
     header = _recv_exact(sock, _LENGTH_PREFIX.size)
     (word,) = _LENGTH_PREFIX.unpack(header)
@@ -191,14 +220,24 @@ def _recv_frame(sock: socket.socket) -> tuple[Message, int]:
         raise MarshalError(f"incoming frame too large: {length} bytes")
     body = _recv_exact(sock, length)
     blob = codec.decode(ident, body, _MAX_FRAME)
-    message = pickle.loads(blob)
+    return pickle.loads(blob), _LENGTH_PREFIX.size + length
+
+
+def _recv_frame(sock: socket.socket) -> tuple[Message, int]:
+    """Read one frame that must be a :class:`Message` envelope."""
+    message, nbytes = _recv_any(sock)
     if not isinstance(message, Message):
         raise MarshalError(f"expected a Message frame, got {type(message).__name__}")
-    return message, _LENGTH_PREFIX.size + length
+    return message, nbytes
 
 
 class _ChannelClosedError(ConnectionError):
     """The channel died before this frame was written (safe to retry)."""
+
+
+class _HandshakeTimeout(Exception):
+    """The HELLO wait expired; the socket's read stream may hold a
+    half-consumed frame and cannot be trusted for framing anymore."""
 
 
 class _Waiter:
@@ -246,10 +285,20 @@ class _Channel:
     """
 
     def __init__(self, dst: str, sock: socket.socket, serialize: bool,
-                 codec_for=None) -> None:
+                 codec_for=None,
+                 negotiated: tuple[str, ...] | None = None,
+                 peer_hello: Hello | None = None,
+                 protocol_version: int = PROTOCOL_VERSION) -> None:
         self.dst = dst
         self._sock = sock
         self._codec_for = codec_for
+        #: What the peer's HELLO advertised (``None`` = no HELLO yet /
+        #: legacy peer — raw only).  Set before the reader thread starts
+        #: (it may adopt a HELLO that straggles in late, so a post-start
+        #: assignment could clobber that adoption).
+        self.negotiated_codecs = negotiated
+        self.peer_hello = peer_hello
+        self._protocol_version = protocol_version
         self._send_lock = threading.Lock()
         self._request_lock = threading.Lock() if serialize else None
         # msg_id -> FIFO of waiters: a retransmission can put two frames of
@@ -332,9 +381,25 @@ class _Channel:
     def _read_loop(self) -> None:
         while True:
             try:
-                reply, _nbytes = _recv_frame(self._sock)
+                reply, _nbytes = _recv_any(self._sock)
             except Exception as exc:
                 self.close(exc)
+                return
+            if isinstance(reply, Hello):
+                # A HELLO that outlived the handshake window (a slow
+                # server): adopt the advertisement late — frames written
+                # so far went raw, which is always decodable.
+                self.peer_hello = reply
+                self.negotiated_codecs = (
+                    tuple(reply.codecs)
+                    if reply.version == self._protocol_version
+                    else ()
+                )
+                continue
+            if not isinstance(reply, Message):
+                self.close(MarshalError(
+                    f"expected a Message frame, got {type(reply).__name__}"
+                ))
                 return
             waiter = None
             with self._state_lock:
@@ -521,6 +586,19 @@ class _WorkerPool:
             self._wakeup.notify_all()
 
 
+class _PeerState:
+    """What one inbound connection's HELLO taught us about its peer."""
+
+    __slots__ = ("codecs", "hello")
+
+    def __init__(self) -> None:
+        #: ``None`` until (unless) the peer HELLOs — reply compression
+        #: then falls back to the in-process advertisement registry,
+        #: which is the pre-handshake behaviour.
+        self.codecs: tuple[str, ...] | None = None
+        self.hello: Hello | None = None
+
+
 class _NodeServer:
     """Listener for one node: per-connection serve loops feed the pool.
 
@@ -529,13 +607,26 @@ class _NodeServer:
     and reply writes happen on pool workers, so a slow handler neither
     stalls later frames on its connection nor grows one thread per
     request.  Replies interleave safely under a per-connection write lock.
+
+    A connection's first frame may be a wire-level :class:`Hello`; the
+    serve loop then records the peer's codec advertisement for that
+    connection's replies and answers with this node's own HELLO before
+    any request is dispatched.  A connection whose first frame is a
+    plain ``Message`` belongs to a legacy (or ``per-call``) client and
+    is served exactly as before.
     """
 
     def __init__(self, node_id: str, handler: MessageHandler, trace: MessageTrace,
                  clock: Clock, pool: _WorkerPool,
                  latency_s: float = 0.0,
                  bytes_per_s: float | None = None,
-                 codec_for_peer=None) -> None:
+                 codec_for_peer=None,
+                 bind_host: str = "127.0.0.1",
+                 port: int = 0,
+                 handshake: bool = True,
+                 hello_codecs=None,
+                 codec_for_advertised=None,
+                 protocol_version: int = PROTOCOL_VERSION) -> None:
         self.node_id = node_id
         self.handler = handler
         self.reply_cache = ReplyCache()
@@ -545,9 +636,19 @@ class _NodeServer:
         self._latency_s = latency_s
         self._bytes_per_s = bytes_per_s
         self._codec_for_peer = codec_for_peer
+        self._handshake = handshake
+        self._hello_codecs = hello_codecs
+        self._codec_for_advertised = codec_for_advertised
+        self._protocol_version = protocol_version
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._sock.bind(("127.0.0.1", 0))
+        try:
+            self._sock.bind((bind_host, port))
+        except OSError as exc:
+            self._sock.close()
+            raise ConfigurationError(
+                f"cannot bind node {node_id!r} to {bind_host}:{port}: {exc}"
+            ) from exc
         self._sock.listen(64)
         self.port = self._sock.getsockname()[1]
         self._closing = False
@@ -577,12 +678,43 @@ class _NodeServer:
 
     def _serve(self, conn: socket.socket) -> None:
         write_lock = threading.Lock()
+        peer = _PeerState()
+        first = True
         try:
             while not self._closing:
                 try:
-                    message, wire_bytes = _recv_frame(conn)
+                    frame, wire_bytes = _recv_any(conn)
                 except (ConnectionError, MarshalError, EOFError, OSError):
                     return
+                if isinstance(frame, Hello):
+                    # Wire-level: never traced, never dispatched.  Answer
+                    # only a connection-opening HELLO (and only when this
+                    # server handshakes at all — ``handshake=False``
+                    # models a pre-handshake build that ignores them).
+                    if first and self._handshake:
+                        peer.hello = frame
+                        peer.codecs = (
+                            tuple(frame.codecs)
+                            if frame.version == self._protocol_version
+                            else ()  # mismatched dialect: degrade to raw
+                        )
+                        reply = Hello(
+                            version=self._protocol_version,
+                            node_id=self.node_id,
+                            codecs=(self._hello_codecs()
+                                    if self._hello_codecs is not None else ()),
+                        )
+                        try:
+                            with write_lock:
+                                _send_hello(conn, reply)
+                        except (ConnectionError, OSError):
+                            return
+                    first = False
+                    continue
+                if not isinstance(frame, Message):
+                    return  # protocol violation: close the connection
+                first = False
+                message = frame
                 if self._bytes_per_s:
                     # Emulated link bandwidth (tc-netem style): charged on
                     # the serve loop so frames on one connection serialize
@@ -593,7 +725,7 @@ class _NodeServer:
                     # transmission time are independent).
                     time.sleep(wire_bytes / self._bytes_per_s)
                 self._trace.record(message, self._clock.now_ms())
-                self._pool.submit(self._dispatch, conn, write_lock, message)
+                self._pool.submit(self._dispatch, conn, write_lock, message, peer)
         finally:
             with self._conn_lock:
                 self._conns.discard(conn)
@@ -603,7 +735,7 @@ class _NodeServer:
                 pass
 
     def _dispatch(self, conn: socket.socket, write_lock: threading.Lock,
-                  message: Message) -> None:
+                  message: Message, peer: _PeerState) -> None:
         if self._latency_s > 0.0:
             # Emulated link delay (tc-netem style): charged on the worker,
             # after the serve loop read the frame, so a slow link never
@@ -629,9 +761,14 @@ class _NodeServer:
         reply = message.reply(_transmittable_error_payload(payload))
         self._trace.record(reply, self._clock.now_ms())
         codec_for = None
-        if self._codec_for_peer is not None:
-            # The reply's receiver is the requesting node; compress toward
-            # it only per what *it* advertised.
+        if peer.codecs is not None and self._codec_for_advertised is not None:
+            # The connection's HELLO told us what its client decodes:
+            # compress replies per that wire-negotiated advertisement.
+            codec_for = lambda nbytes: self._codec_for_advertised(
+                peer.codecs, nbytes)
+        elif self._codec_for_peer is not None:
+            # Legacy (no-HELLO) connection: fall back to the in-process
+            # advertisement registry keyed by the requesting node.
             codec_for = lambda nbytes: self._codec_for_peer(message.src, nbytes)
         try:
             with write_lock:
@@ -666,7 +803,7 @@ class _NodeServer:
 
 
 class TcpNetwork(Transport):
-    """Transport over real loopback TCP sockets; see module docstring."""
+    """Transport over real TCP sockets; see module docstring."""
 
     track_link_latency = True  # reply latencies feed hedge-candidate ranking
 
@@ -677,7 +814,13 @@ class TcpNetwork(Transport):
                  latency_ms: float = 0.0,
                  codecs: tuple[str, ...] | None = None,
                  compress_threshold: int = codec.DEFAULT_COMPRESS_THRESHOLD,
-                 bandwidth_mbps: float | None = None) -> None:
+                 bandwidth_mbps: float | None = None,
+                 bind: str = "127.0.0.1",
+                 advertise_host: str | None = None,
+                 ports: dict[str, int] | None = None,
+                 handshake: bool = True,
+                 hello_timeout_s: float = 2.0,
+                 protocol_version: int = PROTOCOL_VERSION) -> None:
         """``latency_ms`` emulates a slower link (tc-netem style): every
         request is delayed that long at the destination before dispatch.
         Loopback's ~0.1 ms round trip hides latency effects entirely;
@@ -694,9 +837,24 @@ class TcpNetwork(Transport):
         (default: every codec this process supports, ``()`` disables
         compression entirely).  A frame is compressed only when it
         reaches ``compress_threshold`` serialized bytes *and* the
-        destination advertises a shared codec (see
-        :meth:`advertise_codecs`); everything else ships raw, with
-        framing byte-identical to the pre-codec wire format.
+        destination advertises a shared codec — via its connection
+        HELLO, or via :meth:`advertise_codecs` for no-HELLO peers;
+        everything else ships raw, with framing byte-identical to the
+        pre-codec wire format.
+
+        Cross-host knobs: ``bind`` is the interface node listeners bind
+        (``"0.0.0.0"`` accepts other machines); ``advertise_host`` is
+        the address *peers* should dial for nodes served here — it
+        defaults to ``bind``, falling back to ``127.0.0.1`` when bind
+        is a wildcard, and must be set explicitly to this machine's
+        reachable address in a real multi-host deployment.  ``ports``
+        optionally pins ``node_id -> listen port`` (seeds want a fixed,
+        firewall-friendly port; the default remains an ephemeral one).
+        ``handshake=False`` disables the HELLO exchange entirely,
+        reproducing the pre-handshake wire behaviour (useful as the
+        legacy peer in mixed-version tests); ``hello_timeout_s`` bounds
+        how long a new connection waits for the server's HELLO before
+        degrading to raw framing.
         """
         super().__init__(
             clock=clock if clock is not None else WallClock(),
@@ -717,10 +875,22 @@ class TcpNetwork(Transport):
             raise ConfigurationError(
                 f"compress threshold cannot be negative: {compress_threshold}"
             )
+        if hello_timeout_s <= 0:
+            raise ConfigurationError(
+                f"hello timeout must be positive: {hello_timeout_s}"
+            )
         self.mode = mode
         self.latency_ms = latency_ms
         self.connect_timeout_s = connect_timeout_s
         self.io_timeout_s = io_timeout_s
+        self.bind = bind
+        self.advertise_host = advertise_host if advertise_host is not None else (
+            "127.0.0.1" if bind in ("", "0.0.0.0", "::") else bind
+        )
+        self._ports = dict(ports) if ports else {}
+        self.handshake = handshake
+        self.hello_timeout_s = hello_timeout_s
+        self.protocol_version = protocol_version
         write_codecs = codec.available_codecs() if codecs is None else tuple(codecs)
         for name in write_codecs:
             codec.codec_id(name)  # validate eagerly, not on the hot path
@@ -745,6 +915,13 @@ class TcpNetwork(Transport):
         this models a mixed-codec deployment (a peer built without lz4, or
         pre-codec entirely via ``()``) — senders then fall back to raw
         toward that node rather than failing.
+
+        With the HELLO handshake this registry is the *source* of what a
+        local node advertises on the wire (its server's HELLO replies
+        carry it) and the *fallback* for no-HELLO legacy connections;
+        cross-process peers learn it from the handshake, never from this
+        in-process table.  Overrides apply to connections established
+        after the call.
         """
         for name in codecs:
             codec.codec_id(name)
@@ -763,11 +940,49 @@ class TcpNetwork(Transport):
         return self._advertised.get(node_id, ())
 
     def _frame_codec(self, peer: str, nbytes: int) -> int:
-        """The codec id for one ``nbytes`` frame toward ``peer``."""
+        """The codec id for one ``nbytes`` frame toward ``peer``.
+
+        The registry-advertisement path: used by ``per-call`` sends and
+        by channels whose peer never HELLOed.  Cross-process peers are
+        absent from the registry, so this degrades to raw for them.
+        """
         return codec.choose_codec(
             nbytes, self.write_codecs, self.peer_codecs(peer),
             self.compress_threshold,
         )
+
+    def _codec_for_advertised(self, advertised: tuple[str, ...],
+                              nbytes: int) -> int:
+        """The codec id for one frame toward a wire-negotiated peer."""
+        return codec.choose_codec(
+            nbytes, self.write_codecs, advertised, self.compress_threshold,
+        )
+
+    def _advertised_for(self, node_id: str) -> tuple[str, ...]:
+        """What ``node_id`` tells peers it decodes (its HELLO payload).
+
+        An :meth:`advertise_codecs` override wins (including an explicit
+        empty tuple — a modelled pre-codec build advertises nothing);
+        otherwise everything this process can decode.
+        """
+        with self._lock:
+            advertised = self._advertised.get(node_id)
+        return advertised if advertised is not None else codec.available_codecs()
+
+    def negotiated_codecs(self, src: str, dst: str) -> tuple[str, ...] | None:
+        """What the live ``src -> dst`` channel's peer HELLO advertised.
+
+        ``None`` when no pooled channel exists or its peer never HELLOed
+        (legacy raw framing); ``()`` when it HELLOed but nothing is
+        shared (e.g. a protocol-version mismatch).  Diagnostic: lets
+        tests and operators confirm negotiation happened *on the wire*
+        rather than through the in-process registry.
+        """
+        with self._chan_lock:
+            channel = self._channels.get((src, dst))
+        if channel is None or channel.closed:
+            return None
+        return channel.negotiated_codecs
 
     # -- node management ----------------------------------------------------
 
@@ -778,7 +993,13 @@ class TcpNetwork(Transport):
         server = _NodeServer(node_id, handler, self.trace, self.clock, self._pool,
                              latency_s=self.latency_ms / 1000.0,
                              bytes_per_s=self._bytes_per_s,
-                             codec_for_peer=self._frame_codec)
+                             codec_for_peer=self._frame_codec,
+                             bind_host=self.bind,
+                             port=self._ports.get(node_id, 0),
+                             handshake=self.handshake,
+                             hello_codecs=lambda: self._advertised_for(node_id),
+                             codec_for_advertised=self._codec_for_advertised,
+                             protocol_version=self.protocol_version)
         with self._lock:
             old = self._servers.get(node_id)
             self._servers[node_id] = server
@@ -795,14 +1016,22 @@ class TcpNetwork(Transport):
     def unregister(self, node_id: str) -> None:
         with self._lock:
             server = self._servers.pop(node_id, None)
-            self._advertised.pop(node_id, None)
         if server is not None:
             server.close()
-            self._drop_channels(node_id)
+        # Prune everything remembered about the departed node — codec
+        # advertisement, link EWMA, address-book entry, live channels —
+        # so a long-lived transport carries no state for dead peers.
+        self.forget_peer(node_id)
 
     def nodes(self) -> list[str]:
+        """Locally served nodes plus address-book peers (sorted).
+
+        With an empty address book (no cross-host configuration) this is
+        exactly the registered-node list of earlier PRs.
+        """
         with self._lock:
-            return sorted(self._servers)
+            local = set(self._servers)
+        return sorted(local | set(self.known_peers()))
 
     def max_reply_wait_s(self) -> float | None:
         return self.io_timeout_s
@@ -815,13 +1044,53 @@ class TcpNetwork(Transport):
             raise NodeUnreachableError(node_id, "not registered")
         return server.port
 
+    def endpoint_of(self, node_id: str) -> Endpoint | None:
+        """Where ``node_id`` can be dialed: a local listener's advertised
+        address, else the address book, else ``None``."""
+        with self._lock:
+            server = self._servers.get(node_id)
+        if server is not None:
+            return Endpoint(self.advertise_host, server.port)
+        return super().endpoint_of(node_id)
+
+    def forget_peer(self, node_id: str) -> None:
+        with self._lock:
+            self._advertised.pop(node_id, None)
+        super().forget_peer(node_id)  # address book + link EWMA
+        self._drop_channels(node_id)
+
+    def _peer_endpoint_changed(self, node_id: str) -> None:
+        # A peer re-joined from a new endpoint: the fresh address wins,
+        # and channels built on the stale one are severed (their
+        # in-flight exchanges fail over to reconnect-and-retry or
+        # surface as unreachability, exactly like a re-registration).
+        self._drop_channels(node_id)
+
     # -- client-side connections ---------------------------------------------
 
+    def _dial_address(self, dst: str) -> tuple[str, int]:
+        """Resolve ``dst`` to a dialable ``(host, port)``.
+
+        Locally served nodes are dialed over loopback-or-bind directly;
+        anything else must be in the address book.
+        """
+        with self._lock:
+            server = self._servers.get(dst)
+        if server is not None:
+            host = "127.0.0.1" if self.bind in ("", "0.0.0.0", "::") else self.bind
+            return (host, server.port)
+        endpoint = super().endpoint_of(dst)
+        if endpoint is None:
+            raise NodeUnreachableError(
+                dst, "not registered and no known endpoint"
+            )
+        return endpoint.address()
+
     def _connect(self, dst: str) -> socket.socket:
-        port = self.port_of(dst)
+        address = self._dial_address(dst)
         try:
             sock = socket.create_connection(
-                ("127.0.0.1", port), timeout=self.connect_timeout_s
+                address, timeout=self.connect_timeout_s
             )
         except OSError as exc:
             raise NodeUnreachableError(dst, f"connect failed: {exc}") from exc
@@ -830,6 +1099,48 @@ class TcpNetwork(Transport):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return sock
 
+    def _client_handshake(
+        self, sock: socket.socket, src: str
+    ) -> tuple[tuple[str, ...] | None, Hello | None]:
+        """Open a new connection with HELLO; returns (peer codecs, hello).
+
+        Sends this side's HELLO and waits up to ``hello_timeout_s`` for
+        the server's.  Degrades, never fails: a peer that answers no
+        HELLO in time (a legacy build) or speaks another protocol
+        version yields a raw-only negotiation — ``(None, None)`` and
+        ``((), hello)`` respectively — and the connection proceeds.
+
+        Raises :class:`_HandshakeTimeout` when the wait expires: the
+        timeout may have struck mid-frame (a slow server's HELLO bytes
+        still in flight), in which case ``_recv_exact`` has already
+        consumed part of the frame and the stream can no longer be
+        trusted for framing — the caller must redial rather than reuse
+        this socket.
+        """
+        hello = Hello(
+            version=self.protocol_version,
+            node_id=src,
+            codecs=self._advertised_for(src),
+            settings={"mode": self.mode, "max_frame": _MAX_FRAME},
+        )
+        try:
+            _send_hello(sock, hello)
+            sock.settimeout(self.hello_timeout_s)
+            frame, _nbytes = _recv_any(sock)
+        except (TimeoutError, socket.timeout) as exc:
+            raise _HandshakeTimeout from exc
+        except (ConnectionError, MarshalError, OSError):
+            # The peer hung up (or spoke garbage) on our HELLO; the
+            # first real send will surface unreachability if it's dead.
+            return None, None
+        if not isinstance(frame, Hello):
+            # A reply frame before any request can only be protocol
+            # confusion; treat as un-negotiated.
+            return None, None
+        if frame.version != self.protocol_version:
+            return (), frame  # mismatched dialect: raw, never fail
+        return tuple(frame.codecs), frame
+
     def _channel(self, src: str, dst: str) -> _Channel:
         key = (src, dst)
         with self._chan_lock:
@@ -837,9 +1148,36 @@ class TcpNetwork(Transport):
             if channel is not None and not channel.closed:
                 return channel
         sock = self._connect(dst)
+        negotiated: tuple[str, ...] | None = None
+        peer_hello: Hello | None = None
+        if self.handshake:
+            try:
+                negotiated, peer_hello = self._client_handshake(sock, src)
+            except _HandshakeTimeout:
+                # The wait may have expired mid-frame, leaving the read
+                # stream desynced — redial and treat the peer as legacy
+                # (no second HELLO: one slow handshake costs this
+                # channel its compression, never its correctness).
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                sock = self._connect(dst)
         sock.settimeout(None)  # the reader blocks; reply timeouts are waiter-side
         channel = _Channel(dst, sock, serialize=(self.mode == "pooled"),
-                           codec_for=lambda nbytes: self._frame_codec(dst, nbytes))
+                           negotiated=negotiated, peer_hello=peer_hello,
+                           protocol_version=self.protocol_version)
+        # Reads the channel's live negotiation state so a HELLO that
+        # straggles in after the handshake window still upgrades the
+        # channel; un-negotiated channels use the registry path (which
+        # is empty — hence raw — for peers this process never hosted).
+        # (Assigned post-construction, but only send paths — which run
+        # after this method returns — ever call it.)
+        channel._codec_for = lambda nbytes: (
+            self._frame_codec(dst, nbytes)
+            if channel.negotiated_codecs is None
+            else self._codec_for_advertised(channel.negotiated_codecs, nbytes)
+        )
         with self._chan_lock:
             current = self._channels.get(key)
             if current is not None and not current.closed:

@@ -70,6 +70,7 @@ from repro.errors import (
     NodeUnreachableError,
 )
 from repro.net.deadline import Deadline, deadline_scope, effective_deadline
+from repro.net.endpoint import Endpoint
 from repro.net.message import Message, MessageKind, ReplyPayload
 from repro.net.trace import MessageTrace
 from repro.util.clock import Clock
@@ -484,6 +485,63 @@ class Transport(ABC):
         self.retry_budget = retry_budget
         self._link_ewma: dict[str, float] = {}
         self._link_lock = threading.Lock()
+        self._address_book: dict[str, Endpoint] = {}
+        self._address_lock = threading.Lock()
+
+    # -- address book ---------------------------------------------------------
+
+    def connect(self, node_id: str, endpoint: Endpoint | tuple[str, int]) -> None:
+        """Record where ``node_id`` can be reached, without registering it.
+
+        The cross-host primitive: a peer hosted by *another process* is
+        never in this transport's local node registry, so its address
+        must be learned — from a seed list, a JOIN reply, or an ANNOUNCE
+        (see :class:`repro.cluster.discovery.Membership`).  Calling
+        ``connect`` again with a *different* endpoint replaces the entry
+        (a re-joining peer's fresh address wins over the stale one) and
+        lets transports sever connections built on the old address.
+        Transports that deliver in process (the simulated network) keep
+        the book but never consult it — every peer is local there.
+        """
+        if not isinstance(endpoint, Endpoint):
+            endpoint = Endpoint(*endpoint)
+        with self._address_lock:
+            previous = self._address_book.get(node_id)
+            self._address_book[node_id] = endpoint
+        if previous is not None and previous != endpoint:
+            self._peer_endpoint_changed(node_id)
+
+    def endpoint_of(self, node_id: str) -> Endpoint | None:
+        """Where ``node_id`` can be dialed (``None`` when unknown).
+
+        The base implementation answers from the address book only;
+        transports with real listeners also report their local nodes'
+        bound addresses.
+        """
+        with self._address_lock:
+            return self._address_book.get(node_id)
+
+    def known_peers(self) -> dict[str, Endpoint]:
+        """Copy of the address book (peers learned via :meth:`connect`)."""
+        with self._address_lock:
+            return dict(self._address_book)
+
+    def _peer_endpoint_changed(self, node_id: str) -> None:
+        """Hook: ``node_id``'s endpoint was replaced (sever stale links)."""
+
+    def forget_peer(self, node_id: str) -> None:
+        """Drop every per-peer record held for ``node_id``.
+
+        Called when a node deregisters or membership declares it dead,
+        so a long-lived transport does not accumulate latency EWMAs,
+        codec advertisements, and address-book entries for departed
+        peers.  Idempotent; a later :meth:`connect` or fresh traffic
+        rebuilds the state from scratch.
+        """
+        with self._address_lock:
+            self._address_book.pop(node_id, None)
+        with self._link_lock:
+            self._link_ewma.pop(node_id, None)
 
     # -- per-link latency estimation ------------------------------------------
 

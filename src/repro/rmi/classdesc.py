@@ -107,13 +107,20 @@ def load_class(desc: ClassDescriptor, namespace_id: str) -> type:
 
 
 def _module_globals(module_name: str) -> dict:
-    """Globals environment that the shipped source resolves names against."""
+    """Globals environment that the shipped source resolves names against.
+
+    When the defining module is loaded here, its globals are the
+    classpath the source resolves against.  A class arriving from
+    **another process** may name a module this process never imported
+    (the sending test file, a script run as ``__main__``); it then
+    resolves against builtins only — a dependency-free class loads
+    cleanly, and one with unresolved symbolic references fails at
+    ``exec`` with the usual :class:`ClassTransferError`, naming the
+    missing symbol instead of refusing wholesale.
+    """
     module = sys.modules.get(module_name)
     if module is None:
-        raise ClassTransferError(
-            f"defining module {module_name!r} is not loadable in this "
-            "process; cannot resolve the class's symbolic references"
-        )
+        return {"__builtins__": __builtins__}
     return dict(vars(module))
 
 

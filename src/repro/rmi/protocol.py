@@ -308,6 +308,22 @@ class UnlockPayload:
 
 
 @dataclass(frozen=True)
+class LockConfirm:
+    """Acknowledge receipt of a *provisional* (leased) lock grant.
+
+    A grant replied within roughly one-way transit of its caller's
+    deadline expiry can be dropped by the abandoned waiter, leaving the
+    lock held forever.  Such at-risk grants are issued provisionally
+    with a short unacknowledged-grant TTL; this message is the caller
+    saying "I did receive it" before the lock manager's lease reaper
+    auto-releases (see :class:`repro.runtime.locks.LockManager`).
+    """
+
+    name: str
+    token: str
+
+
+@dataclass(frozen=True)
 class AgentHopPayload:
     """One-way mobile-agent hop: agent state + remaining itinerary.
 
@@ -343,6 +359,38 @@ class AgentLaunch:
 @dataclass(frozen=True)
 class LoadQuery:
     """Ask a node for its current load metric (migration policies use this)."""
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Membership: a newcomer presents itself to a seed node.
+
+    ``endpoint`` is the joiner's dialable ``(host, port)`` — ``None``
+    when the transport needs no addressing (the in-process simulated
+    network).  The seed records the newcomer in its address book,
+    answers with its own roster (``{node_id: (host, port) | None}``),
+    and ANNOUNCEs the newcomer to the other members it knows.
+    """
+
+    node_id: str
+    endpoint: tuple[str, int] | None = None
+
+
+@dataclass(frozen=True)
+class AnnouncePayload:
+    """Membership: one node's roster, pushed to peers on every join.
+
+    Receivers merge: unknown members are added to the address book (a
+    changed endpoint replaces the stale entry — the re-joining peer's
+    fresh address wins), known ones are refreshed.  Merging is
+    idempotent, and repeated delivery is harmless.  Endpoint conflicts
+    resolve last-write-wins: rosters carry no per-node incarnation
+    number yet, so a *stale* roster delivered after a fresher one can
+    temporarily revert a re-joined peer's endpoint until the next
+    announcement or contact (epoching them is a ROADMAP follow-up).
+    """
+
+    members: dict = field(default_factory=dict)  # node_id -> (host, port) | None
 
 
 @dataclass(frozen=True)

@@ -25,13 +25,16 @@ from repro.net.message import Message, MessageKind
 from repro.rmi.invoker import Invoker
 from repro.rmi.marshal import StubFactory, unmarshal_call
 from repro.rmi.protocol import (
+    AnnouncePayload,
     BindRequest,
     ClassPush,
     ClassRequest,
     FindRequest,
     InstantiateRequest,
     InvokeRequest,
+    JoinRequest,
     ListRequest,
+    LockConfirm,
     LockRequestPayload,
     LookupRequest,
     MoveRequest,
@@ -82,6 +85,8 @@ class MageExternalServer:
         self._invoker = Invoker(node_id, self._lookup_servant, stub_factory)
         self._agent_handler: AgentHandler | None = None
         self._agent_launcher: AgentHandler | None = None
+        self._join_handler: Callable[[JoinRequest], Any] | None = None
+        self._announce_handler: Callable[[AnnouncePayload], Any] | None = None
         self._handlers = {
             MessageKind.INVOKE: self._on_invoke,
             MessageKind.REGISTRY_LOOKUP: self._on_lookup,
@@ -99,17 +104,25 @@ class MageExternalServer:
             MessageKind.CLASS_TRANSFER: self._on_class_push,
             MessageKind.INSTANTIATE: self._on_instantiate,
             MessageKind.LOCK_REQUEST: self._on_lock,
+            MessageKind.LOCK_CONFIRM: self._on_lock_confirm,
             MessageKind.UNLOCK: self._on_unlock,
             MessageKind.AGENT_HOP: self._on_agent_hop,
             MessageKind.AGENT_LAUNCH: self._on_agent_launch,
             MessageKind.LOAD_QUERY: self._on_load_query,
             MessageKind.PING: self._on_ping,
+            MessageKind.JOIN: self._on_join,
+            MessageKind.ANNOUNCE: self._on_announce,
         }
 
     def install_agent_handlers(self, hop: AgentHandler, launch: AgentHandler) -> None:
         """Called by the agent manager when it attaches to this node."""
         self._agent_handler = hop
         self._agent_launcher = launch
+
+    def install_membership_handlers(self, join, announce) -> None:
+        """Called by the cluster layer's Membership service on attach."""
+        self._join_handler = join
+        self._announce_handler = announce
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -229,6 +242,11 @@ class MageExternalServer:
             )
         return grant
 
+    def _on_lock_confirm(self, request: LockConfirm) -> bool:
+        # False = the lease reaper already released this grant; the
+        # confirming caller must not proceed on it.
+        return self._locks.confirm(request.name, request.token)
+
     def _on_unlock(self, request: UnlockPayload) -> None:
         self._locks.release(request.name, request.token)
 
@@ -247,3 +265,17 @@ class MageExternalServer:
 
     def _on_ping(self, request: Any) -> str:
         return "pong"
+
+    # -- membership (handlers installed by the cluster layer) ------------------
+
+    def _on_join(self, request: JoinRequest) -> Any:
+        if self._join_handler is None:
+            raise MageError(f"node {self.node_id!r} accepts no JOINs "
+                            "(no membership service attached)")
+        return self._join_handler(request)
+
+    def _on_announce(self, payload: AnnouncePayload) -> Any:
+        if self._announce_handler is None:
+            raise MageError(f"node {self.node_id!r} accepts no ANNOUNCEs "
+                            "(no membership service attached)")
+        return self._announce_handler(payload)

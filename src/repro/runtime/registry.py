@@ -78,6 +78,21 @@ class MageRegistry:
         with self._lock:
             return dict(self._last_known)
 
+    def evict_hints(self, node_id: str) -> int:
+        """Drop every forwarding address pointing at ``node_id``.
+
+        Called when membership declares a host dead: a hint naming it
+        would send every find/lock/move chase into a connect timeout
+        before falling back.  Evicted names resolve through their origin
+        hint (or a fresh walk) instead.  Returns how many were evicted.
+        """
+        with self._lock:
+            stale = [name for name, where in self._last_known.items()
+                     if where == node_id]
+            for name in stale:
+                del self._last_known[name]
+        return len(stale)
+
     # -- resolution -------------------------------------------------------------
 
     def find(self, name: str, origin_hint: str | None = None) -> str:

@@ -73,6 +73,7 @@ from repro.rmi.protocol import (
     InstantiateRequest,
     InvokeRequest,
     LoadQuery,
+    LockConfirm,
     LockRequestPayload,
     MoveRequest,
     UnlockPayload,
@@ -671,7 +672,7 @@ class MageServer:
                     f"lock on {name!r}: budget spent chasing it mid-flight"
                 )
             try:
-                return self.transport.call(
+                return self._confirm_grant(self.transport.call(
                     self.node_id, location, MessageKind.LOCK_REQUEST,
                     LockRequestPayload(
                         name=name,
@@ -680,7 +681,7 @@ class MageServer:
                         wait_ms=self._lock_wait_ms(deadline),
                     ),
                     deadline=deadline,
-                )
+                ))
             except LockMovedError as exc:
                 location = exc.new_location
             except CallTimeoutError as exc:
@@ -791,7 +792,7 @@ class MageServer:
                     straggler.add_done_callback(self._release_stray_grant)
                     straggler.cancel(f"hedged lock: {node!r} granted first")
                 self.registry.note_location(name, grant.location)
-                return grant
+                return self._confirm_grant(grant)
             if not pending and launches < MAX_LOCK_CHASES:
                 if stale_hints:
                     # Every hint named a probed host: the object may have
@@ -846,6 +847,45 @@ class MageServer:
 
         threading.Thread(target=release, name="mage-stray-unlock",
                          daemon=True).start()
+
+    def _confirm_grant(self, grant: LockGrant) -> LockGrant:
+        """Acknowledge a provisional (leased) grant so its host keeps it.
+
+        A grant issued within a whisker of the caller's deadline expiry
+        is held under an unacknowledged-grant lease (the reply might
+        have answered nobody); having actually received it, we confirm —
+        one LOCK_CONFIRM round trip — before the lease reaper releases
+        it.  Ordinary grants (every deadline-free path) pass through
+        untouched, with no extra messages.
+        """
+        if not getattr(grant, "provisional", False):
+            return grant
+        try:
+            still_held = self.transport.call(
+                self.node_id, grant.location, MessageKind.LOCK_CONFIRM,
+                LockConfirm(name=grant.name, token=grant.token),
+            )
+            if not still_held:
+                # The confirm lost the race against the lease reaper:
+                # the lock was auto-released (and may be someone else's
+                # now) — proceeding on this grant would break mutual
+                # exclusion, so the acquisition fails instead.
+                raise LockTimeoutError(
+                    f"provisional lock grant on {grant.name!r} was reaped "
+                    f"at {grant.location!r} before its confirmation arrived"
+                )
+        except LockTimeoutError:
+            raise
+        except Exception as exc:
+            # Unconfirmable (host gone, or our own budget died first):
+            # the lease reaper will release the grant server-side, so
+            # handing it to the caller would be handing out a lock about
+            # to be stolen — fail the acquisition instead.
+            raise LockTimeoutError(
+                f"provisional lock grant on {grant.name!r} could not be "
+                f"confirmed at {grant.location!r}: {exc}"
+            ) from exc
+        return grant
 
     def unlock(self, grant: LockGrant) -> None:
         """Release a grant at the host that issued it."""

@@ -19,6 +19,7 @@ LANDMARKS = {
     "grev_tour.py": "GREV trail:",
     "cluster_dashboard.py": "whole day:",
     "streaming_move.py": "loser never materialized the object",
+    "two_process_cluster.py": "[parent] done.",
 }
 
 

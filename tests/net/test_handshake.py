@@ -1,0 +1,278 @@
+"""HELLO handshake, wire-level codec negotiation, and the address book.
+
+Two ``TcpNetwork`` instances in one test process stand in for two
+*processes*: they share no node registry, so anything that works between
+them — dialing, codec negotiation, reply routing — provably happened on
+the wire, not through in-process state.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, NodeUnreachableError
+from repro.net import codec
+from repro.net.endpoint import PROTOCOL_VERSION, Endpoint, Hello
+from repro.net.message import MessageKind
+from repro.net.tcpnet import TcpNetwork
+
+BIG = b"state" * 100_000  # well above the compress threshold
+
+
+@pytest.fixture
+def nets():
+    """Factory for isolated transports, all torn down after the test."""
+    created = []
+
+    def factory(**kwargs):
+        kwargs.setdefault("compress_threshold", 1024)
+        net = TcpNetwork(**kwargs)
+        created.append(net)
+        return net
+
+    yield factory
+    for net in created:
+        net.shutdown()
+
+
+def link(a, a_node, b, b_node):
+    """Teach two transports each other's endpoint (a seed list in miniature)."""
+    a.connect(b_node, b.endpoint_of(b_node))
+    b.connect(a_node, a.endpoint_of(a_node))
+
+
+class TestEndpoint:
+    def test_parse_roundtrip(self):
+        endpoint = Endpoint.parse("10.0.0.7:9001")
+        assert endpoint == Endpoint("10.0.0.7", 9001)
+        assert str(endpoint) == "10.0.0.7:9001"
+        assert endpoint.address() == ("10.0.0.7", 9001)
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("no-port", ":123", "host:notaport"):
+            with pytest.raises(ConfigurationError):
+                Endpoint.parse(bad)
+
+    def test_port_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            Endpoint("h", 0)
+        with pytest.raises(ConfigurationError):
+            Endpoint("h", 70000)
+
+
+class TestAddressBook:
+    def test_unknown_peer_is_unreachable(self, nets):
+        net = nets()
+        net.register("a", lambda m: "ok")
+        with pytest.raises(NodeUnreachableError):
+            net.call("a", "stranger", MessageKind.PING)
+
+    def test_connected_peer_is_dialable_and_listed(self, nets):
+        a, b = nets(), nets()
+        a.register("hub", lambda m: "ok")
+        b.register("worker", lambda m: "pong")
+        a.connect("worker", b.endpoint_of("worker"))
+        assert a.nodes() == ["hub", "worker"]
+        assert a.call("hub", "worker", MessageKind.PING) == "pong"
+
+    def test_rejoining_peer_new_endpoint_wins_over_stale_entry(self, nets):
+        """A peer that comes back on a fresh port must be dialed there —
+        the stale address-book entry (and channels built on it) lose."""
+        a = nets()
+        a.register("hub", lambda m: "ok")
+        first = nets()
+        first.register("worker", lambda m: "first-incarnation")
+        a.connect("worker", first.endpoint_of("worker"))
+        assert a.call("hub", "worker", MessageKind.PING) == "first-incarnation"
+        assert a.open_channels() == 1
+
+        second = nets()
+        second.register("worker", lambda m: "second-incarnation")
+        first.shutdown()
+        a.connect("worker", second.endpoint_of("worker"))  # re-join, new port
+        assert a.call("hub", "worker", MessageKind.PING) == "second-incarnation"
+        assert a.endpoint_of("worker") == second.endpoint_of("worker")
+
+    def test_forget_peer_prunes_every_record(self, nets):
+        a, b = nets(), nets()
+        a.register("hub", lambda m: "ok")
+        b.register("worker", lambda m: "pong")
+        a.connect("worker", b.endpoint_of("worker"))
+        assert a.call("hub", "worker", MessageKind.PING) == "pong"
+        assert a.link_latency_s("worker") is not None  # EWMA recorded
+        a.forget_peer("worker")
+        assert a.endpoint_of("worker") is None
+        assert a.link_latency_s("worker") is None
+        assert "worker" not in a.nodes()
+        assert a.open_channels() == 0
+
+    def test_unregister_prunes_link_state(self, nets):
+        """Deregistration of a local node leaves no EWMA or codec
+        advertisement behind (the satellite's long-lived-transport leak)."""
+        net = nets()
+        net.register("a", lambda m: "ok")
+        net.register("b", lambda m: "pong")
+        assert net.call("a", "b", MessageKind.PING) == "pong"
+        assert net.link_latency_s("b") is not None
+        assert net.peer_codecs("b") != ()
+        net.unregister("b")
+        assert net.link_latency_s("b") is None
+        assert net.peer_codecs("b") == ()
+
+    def test_fixed_port_pinning(self, nets):
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        net = nets(ports={"seed": port})
+        net.register("seed", lambda m: "pong")
+        assert net.port_of("seed") == port
+        assert net.endpoint_of("seed") == Endpoint("127.0.0.1", port)
+
+
+class TestHandshake:
+    def test_codec_negotiation_happens_on_the_wire(self, nets, monkeypatch):
+        """Two transports that share no registry still compress toward
+        each other — the advertisement crossed in the HELLO frames."""
+        a, b = nets(), nets()
+        a.register("hub", lambda m: "ok")
+        b.register("worker", lambda m: len(m.payload))
+        link(a, "hub", b, "worker")
+        # The in-process registry path would answer raw for this pair:
+        assert a.peer_codecs("worker") == ()
+        compressions = []
+        real_encode = codec.encode
+        monkeypatch.setattr(
+            codec, "encode",
+            lambda ident, blob: compressions.append(ident) or real_encode(ident, blob),
+        )
+        assert a.call("hub", "worker", MessageKind.INVOKE, BIG) == len(BIG)
+        assert codec.ZLIB in compressions
+        assert a.negotiated_codecs("hub", "worker") == codec.available_codecs()
+
+    def test_no_hello_legacy_server_degrades_to_raw(self, nets, monkeypatch):
+        """A server that never answers HELLO (a pre-handshake build):
+        the client waits out the handshake window once, then serves the
+        whole conversation in raw framing — degrade, never fail."""
+        a = nets(hello_timeout_s=0.2)
+        legacy = nets(handshake=False)
+        a.register("hub", lambda m: "ok")
+        legacy.register("old", lambda m: len(m.payload))
+        a.connect("old", legacy.endpoint_of("old"))
+        compressions = []
+        real_encode = codec.encode
+        monkeypatch.setattr(
+            codec, "encode",
+            lambda ident, blob: compressions.append(ident) or real_encode(ident, blob),
+        )
+        assert a.call("hub", "old", MessageKind.INVOKE, BIG) == len(BIG)
+        assert compressions == []  # nothing compressed toward the legacy peer
+        assert a.negotiated_codecs("hub", "old") is None
+
+    def test_legacy_client_against_handshaking_server(self, nets, monkeypatch):
+        """The reverse direction: a no-HELLO client talks to a modern
+        server; requests and replies stay raw and everything works."""
+        legacy = nets(handshake=False)
+        modern = nets()
+        legacy.register("old", lambda m: "ok")
+        modern.register("worker", lambda m: len(m.payload))
+        legacy.connect("worker", modern.endpoint_of("worker"))
+        compressions = []
+        real_encode = codec.encode
+        monkeypatch.setattr(
+            codec, "encode",
+            lambda ident, blob: compressions.append(ident) or real_encode(ident, blob),
+        )
+        assert legacy.call("old", "worker", MessageKind.INVOKE, BIG) == len(BIG)
+        assert compressions == []
+
+    def test_version_mismatch_degrades_to_raw_not_failure(self, nets, monkeypatch):
+        a = nets()
+        future = nets(protocol_version=PROTOCOL_VERSION + 1)
+        a.register("hub", lambda m: "ok")
+        future.register("worker", lambda m: len(m.payload))
+        link(a, "hub", future, "worker")
+        compressions = []
+        real_encode = codec.encode
+        monkeypatch.setattr(
+            codec, "encode",
+            lambda ident, blob: compressions.append(ident) or real_encode(ident, blob),
+        )
+        # Mixed-version peers interoperate on the raw dialect.
+        assert a.call("hub", "worker", MessageKind.INVOKE, BIG) == len(BIG)
+        assert compressions == []
+        assert a.negotiated_codecs("hub", "worker") == ()
+        assert future.call("worker", "hub", MessageKind.PING) == "ok"
+
+    def test_advertise_codecs_override_rides_the_hello(self, nets, monkeypatch):
+        """An explicit pre-codec advertisement (``()``) crosses the wire:
+        the *other transport* falls back to raw toward that node."""
+        a, b = nets(), nets()
+        a.register("hub", lambda m: "ok")
+        b.register("worker", lambda m: len(m.payload))
+        b.advertise_codecs("worker", ())  # modelled pre-codec build
+        link(a, "hub", b, "worker")
+        compressions = []
+        real_encode = codec.encode
+        monkeypatch.setattr(
+            codec, "encode",
+            lambda ident, blob: compressions.append(ident) or real_encode(ident, blob),
+        )
+        assert a.call("hub", "worker", MessageKind.INVOKE, BIG) == len(BIG)
+        assert compressions == []
+        assert a.negotiated_codecs("hub", "worker") == ()
+
+    def test_hello_frames_do_not_appear_in_traces(self, nets):
+        a, b = nets(), nets()
+        a.register("hub", lambda m: "ok")
+        b.register("worker", lambda m: "pong")
+        link(a, "hub", b, "worker")
+        assert a.call("hub", "worker", MessageKind.PING) == "pong"
+        assert set(b.trace.kinds()) == {"PING", "REPLY(PING)"}
+
+    def test_pipelined_traffic_after_handshake(self, nets):
+        """The handshake must not disturb the pipelined waiter machinery:
+        N overlapped exchanges on the freshly negotiated channel."""
+        a, b = nets(), nets()
+        a.register("hub", lambda m: "ok")
+        b.register("worker", lambda m: m.payload * 2)
+        link(a, "hub", b, "worker")
+        futures = [
+            a.call_async("hub", "worker", MessageKind.INVOKE, i)
+            for i in range(16)
+        ]
+        assert [f.result(5.0) for f in futures] == [i * 2 for i in range(16)]
+        assert a.open_channels() == 1
+
+    def test_slow_hello_past_the_window_degrades_via_redial(self, nets,
+                                                            monkeypatch):
+        """A server whose HELLO arrives after the handshake window: the
+        client must not keep reading a stream that may hold a
+        half-consumed frame — it redials and proceeds raw.  Degrade,
+        never fail (and never desync)."""
+        import time
+
+        from repro.net import tcpnet
+
+        real_send = tcpnet._send_hello
+
+        def delayed_send(sock, hello):
+            if hello.node_id == "worker":  # the server side's HELLO only
+                time.sleep(0.6)
+            real_send(sock, hello)
+
+        monkeypatch.setattr(tcpnet, "_send_hello", delayed_send)
+        a = nets(hello_timeout_s=0.2)
+        b = nets()
+        a.register("hub", lambda m: "ok")
+        b.register("worker", lambda m: len(m.payload))
+        a.connect("worker", b.endpoint_of("worker"))
+        assert a.call("hub", "worker", MessageKind.INVOKE, BIG) == len(BIG)
+        assert a.negotiated_codecs("hub", "worker") is None  # raw channel
+        # The channel stays healthy for further traffic.
+        assert a.call("hub", "worker", MessageKind.INVOKE, b"x") == 1
+        assert a.open_channels() == 1
+
+    def test_hello_settings_are_forward_compatible(self):
+        hello = Hello(version=PROTOCOL_VERSION, node_id="n",
+                      codecs=("zlib",), settings={"unknown-key": 42})
+        assert hello.settings["unknown-key"] == 42  # carried, never interpreted

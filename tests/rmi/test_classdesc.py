@@ -111,17 +111,31 @@ class TestLoad:
         with pytest.raises(ClassTransferError):
             load_class(desc, "ns1")
 
-    def test_unknown_module_raises(self):
+    def test_unknown_module_resolves_against_builtins_only(self):
+        """Cross-process mobility: the defining module may not exist in
+        the receiving process (another machine's test file, a script run
+        as ``__main__``).  A dependency-free class still loads — its
+        source resolves against builtins — while one with symbolic
+        references to the missing module fails with a named error."""
         from repro.rmi.classdesc import ClassDescriptor
 
-        desc = ClassDescriptor(
+        clean = ClassDescriptor(
             class_name="X",
             module="no.such.module",
-            source="class X:\n    pass\n",
+            source="class X:\n    def double(self, n):\n        return n * 2\n",
             source_hash="z" * 64,
         )
+        clone = load_class(clean, "ns1")
+        assert clone().double(21) == 42
+
+        needy = ClassDescriptor(
+            class_name="Y",
+            module="no.such.module",
+            source="class Y(SomeMissingBase):\n    pass\n",
+            source_hash="w" * 64,
+        )
         with pytest.raises(ClassTransferError):
-            load_class(desc, "ns1")
+            load_class(needy, "ns1")
 
     def test_descriptor_validates_class_name(self):
         from repro.rmi.classdesc import ClassDescriptor

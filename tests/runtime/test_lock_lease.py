@@ -1,0 +1,171 @@
+"""Unacknowledged-grant leases: the residual lock-leak window (ROADMAP).
+
+A grant replied within roughly one-way transit of its caller's deadline
+expiry can be dropped by the abandoned waiter.  Server-side, such an
+at-risk grant is *provisional*: unless confirmed within a short TTL the
+lock manager auto-releases it, so an answered-nobody grant cannot pin
+the lock forever.  Callers that did receive their grant confirm it with
+one LOCK_CONFIRM exchange (performed automatically by ``MageServer``).
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.errors import LockError
+from repro.net.deadline import Deadline
+from repro.net.message import MessageKind
+from repro.rmi.protocol import LockRequestPayload
+from repro.runtime.locks import LockManager
+
+
+def make_locks(**kwargs):
+    kwargs.setdefault("at_risk_window_ms", 50.0)
+    kwargs.setdefault("unacked_grant_ttl_ms", 120.0)
+    return LockManager("host", **kwargs)
+
+
+def wait_for(predicate, timeout_s=2.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestLockManagerLeases:
+    def test_grant_near_deadline_expiry_is_provisional(self):
+        locks = make_locks()
+        grant = locks.acquire("obj", target="elsewhere", requester="r",
+                              deadline=Deadline.after_ms(10))
+        assert grant.provisional
+
+    def test_grant_with_ample_budget_is_not_provisional(self):
+        locks = make_locks()
+        grant = locks.acquire("obj", target="elsewhere", requester="r",
+                              deadline=Deadline.after_ms(60_000))
+        assert not grant.provisional
+
+    def test_timeout_ms_alone_never_makes_a_grant_provisional(self):
+        """timeout_ms bounds a blocking local call — the caller is right
+        here to receive the grant, so no lease is needed."""
+        locks = make_locks()
+        grant = locks.acquire("obj", target="elsewhere", requester="r",
+                              timeout_ms=10)
+        assert not grant.provisional
+
+    def test_unconfirmed_provisional_grant_is_reaped(self):
+        """The regression: an abandoned waiter's grant must not pin the
+        lock — after the TTL the reaper releases it and a queued move
+        request proceeds."""
+        locks = make_locks()
+        grant = locks.acquire("obj", target="elsewhere", requester="ghost",
+                              deadline=Deadline.after_ms(10))
+        assert grant.provisional
+        # The ghost never confirms; the lease reaper frees the lock.
+        second = locks.acquire("obj", target="elsewhere", requester="live",
+                               timeout_ms=2_000)
+        assert second.requester == "live"
+        assert locks.stats.leases_reaped == 1
+        locks.release("obj", second.token)
+
+    def test_confirmed_grant_survives_the_ttl(self):
+        locks = make_locks()
+        grant = locks.acquire("obj", target="elsewhere", requester="r",
+                              deadline=Deadline.after_ms(10))
+        assert locks.confirm("obj", grant.token) is True
+        time.sleep(locks.unacked_grant_ttl_ms / 1000.0 + 0.1)
+        assert locks.holds_move_lock("obj", grant.token)
+        assert locks.stats.leases_reaped == 0
+        locks.release("obj", grant.token)
+
+    def test_explicit_release_beats_the_reaper(self):
+        locks = make_locks()
+        grant = locks.acquire("obj", target="elsewhere", requester="r",
+                              deadline=Deadline.after_ms(10))
+        locks.release("obj", grant.token)  # normal unlock before the TTL
+        time.sleep(locks.unacked_grant_ttl_ms / 1000.0 + 0.1)
+        assert locks.stats.leases_reaped == 0  # nothing left to reap
+        # The token is gone for good; reusing it is the usual error.
+        with pytest.raises(LockError):
+            locks.release("obj", grant.token)
+
+    def test_reaped_stay_lease_frees_shared_state_too(self):
+        locks = make_locks()
+        grant = locks.acquire("obj", target="host", requester="ghost",
+                              deadline=Deadline.after_ms(10))
+        assert grant.kind == "stay" and grant.provisional
+        assert wait_for(lambda: locks.snapshot("obj")["stays"] == 0)
+        assert locks.stats.leases_reaped == 1
+
+    def test_confirm_of_unknown_token_reports_not_held(self):
+        locks = make_locks()
+        assert locks.confirm("obj", "lock-never-issued") is False
+
+    def test_late_confirm_after_reap_reports_lock_lost(self):
+        """A confirm that loses the race against the reaper must say so:
+        the lock may already be re-granted, so proceeding on the old
+        grant would put two holders on one object."""
+        locks = make_locks()
+        grant = locks.acquire("obj", target="elsewhere", requester="slow",
+                              deadline=Deadline.after_ms(10))
+        assert wait_for(lambda: locks.stats.leases_reaped == 1)
+        assert locks.confirm("obj", grant.token) is False
+        # ...and a second requester now legitimately holds the lock.
+        second = locks.acquire("obj", target="elsewhere", requester="fast")
+        assert locks.confirm("obj", grant.token) is False  # still lost
+        locks.release("obj", second.token)
+
+
+class TestEndToEndLease:
+    @pytest.fixture
+    def cluster(self):
+        with Cluster(["alpha", "beta"]) as cluster:
+            yield cluster
+
+    def test_server_lock_auto_confirms_provisional_grants(self, cluster):
+        """The full path: a lock whose budget is nearly gone comes back
+        provisional; ``MageServer.lock`` confirms it on the wire, so the
+        grant outlives the TTL."""
+        alpha, beta = cluster["alpha"], cluster["beta"]
+        locks = beta.namespace.locks
+        locks.at_risk_window_ms = 10_000.0  # every deadline grant is at risk
+        locks.unacked_grant_ttl_ms = 120.0
+        beta.register("obj", object())
+        grant = alpha.namespace.lock("obj", target="alpha", origin_hint="beta",
+                                     deadline=Deadline.after_ms(5_000))
+        assert grant.provisional
+        assert "LOCK_CONFIRM" in cluster.trace.kinds()
+        time.sleep(locks.unacked_grant_ttl_ms / 1000.0 + 0.1)
+        assert locks.holds_move_lock("obj", grant.token)
+        alpha.namespace.unlock(grant)
+
+    def test_raw_wire_grant_without_confirm_is_reaped(self, cluster):
+        """A waiter that dies between grant and confirm: the reply
+        answers nobody and the lease reaper frees the lock."""
+        alpha, beta = cluster["alpha"], cluster["beta"]
+        locks = beta.namespace.locks
+        locks.at_risk_window_ms = 10_000.0
+        locks.unacked_grant_ttl_ms = 120.0
+        beta.register("obj", object())
+        # Bypass MageServer.lock's confirm step: the raw exchange is what
+        # an abandoned waiter's request looks like to the server.
+        grant = cluster.transport.call(
+            "alpha", "beta", MessageKind.LOCK_REQUEST,
+            LockRequestPayload(name="obj", target="alpha", requester="alpha",
+                               wait_ms=1_000),
+            deadline=Deadline.after_ms(5_000),
+        )
+        assert grant.provisional
+        assert wait_for(lambda: not locks.holds_move_lock("obj", grant.token))
+        assert locks.stats.leases_reaped == 1
+
+    def test_deadline_free_locks_never_lease_and_never_confirm(self, cluster):
+        alpha, beta = cluster["alpha"], cluster["beta"]
+        beta.register("obj", object())
+        grant = alpha.namespace.lock("obj", target="alpha", origin_hint="beta")
+        assert not grant.provisional
+        assert "LOCK_CONFIRM" not in cluster.trace.kinds()
+        alpha.namespace.unlock(grant)
