@@ -197,13 +197,15 @@ class Cluster:
         return outcomes
 
     def push_class_everywhere(self, class_name: str,
-                              from_node: str | None = None) -> dict[str, str]:
+                              from_node: str | None = None,
+                              deadline: Deadline | None = None) -> dict[str, str]:
         """Distribute a class to every node in parallel; ``{node: hash}``.
 
         ``from_node`` names the serving node (default: the first node
         whose cache holds the class).  The pushes are one batched frame
         per target, all overlapped — at 8 nodes this is the scatter-gather
         fan-out the async benchmark measures against the sequential loop.
+        ``deadline`` bounds the whole fan-out with one shared budget.
         """
         if from_node is None:
             for node in self._nodes.values():
@@ -216,7 +218,8 @@ class Cluster:
                 )
         source = self.node(from_node)
         targets = [n for n in self.node_ids() if n != from_node]
-        hashes = source.namespace.server.push_class_many(class_name, targets)
+        hashes = source.namespace.server.push_class_many(class_name, targets,
+                                                         deadline=deadline)
         hashes[from_node] = source.namespace.classcache.descriptor(
             class_name
         ).source_hash

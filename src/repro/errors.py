@@ -21,6 +21,8 @@ protocol *is* this exception crossing node boundaries.
 
 from __future__ import annotations
 
+from typing import Any
+
 
 class MageError(Exception):
     """Base class for all errors raised by the MAGE reproduction."""
@@ -42,12 +44,12 @@ class TransportError(MageError):
 class NodeUnreachableError(TransportError):
     """The destination node does not exist, has crashed, or is partitioned."""
 
-    def __init__(self, node_id: str, reason: str = "unreachable"):
+    def __init__(self, node_id: str, reason: str = "unreachable") -> None:
         super().__init__(f"node {node_id!r} is {reason}")
         self.node_id = node_id
         self.reason = reason
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.node_id, self.reason))
 
 
@@ -92,22 +94,22 @@ class NamingError(RmiError):
 class NotBoundError(NamingError):
     """Lookup of a name that has no binding in the registry."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         super().__init__(f"name {name!r} is not bound")
         self.name = name
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.name,))
 
 
 class AlreadyBoundError(NamingError):
     """``bind`` of a name that already has a binding (use ``rebind``)."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         super().__init__(f"name {name!r} is already bound")
         self.name = name
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.name,))
 
 
@@ -118,24 +120,24 @@ class RemoteInvocationError(RmiError):
     failure without access to the remote namespace.
     """
 
-    def __init__(self, message: str, remote_traceback: str = ""):
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
         super().__init__(message)
         self.remote_traceback = remote_traceback
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.args[0], self.remote_traceback))
 
 
 class NoSuchObjectError(RmiError):
     """An invocation arrived for a servant the target namespace lacks."""
 
-    def __init__(self, name: str, node_id: str = ""):
+    def __init__(self, name: str, node_id: str = "") -> None:
         where = f" on node {node_id!r}" if node_id else ""
         super().__init__(f"no servant {name!r}{where}")
         self.name = name
         self.node_id = node_id
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.name, self.node_id))
 
 
@@ -151,13 +153,13 @@ class RuntimeMageError(MageError):
 class ComponentNotFoundError(RuntimeMageError):
     """The registry's forwarding chain did not lead to the component."""
 
-    def __init__(self, name: str, detail: str = ""):
+    def __init__(self, name: str, detail: str = "") -> None:
         suffix = f": {detail}" if detail else ""
         super().__init__(f"component {name!r} could not be found{suffix}")
         self.name = name
         self.detail = detail
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.name, self.detail))
 
 
@@ -184,12 +186,12 @@ class LockMovedError(LockError):
     registry walk.
     """
 
-    def __init__(self, name: str, new_location: str):
+    def __init__(self, name: str, new_location: str) -> None:
         super().__init__(f"object {name!r} moved to {new_location!r} while lock waited")
         self.name = name
         self.new_location = new_location
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.name, self.new_location))
 
 
@@ -217,7 +219,7 @@ class ImmobileObjectError(AttributeError_):
     not find its object on its target."
     """
 
-    def __init__(self, name: str, expected: str, actual: str):
+    def __init__(self, name: str, expected: str, actual: str) -> None:
         super().__init__(
             f"RPC-bound object {name!r} expected on {expected!r} "
             f"but found on {actual!r}"
@@ -226,7 +228,7 @@ class ImmobileObjectError(AttributeError_):
         self.expected = expected
         self.actual = actual
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.name, self.expected, self.actual))
 
 
@@ -250,20 +252,21 @@ class ExtensionError(MageError):
 class AccessDeniedError(ExtensionError):
     """The access-control model denied a move or invocation."""
 
-    def __init__(self, principal: str, action: str, resource: str):
+    def __init__(self, principal: str, action: str, resource: str) -> None:
         super().__init__(f"principal {principal!r} may not {action} {resource!r}")
         self.principal = principal
         self.action = action
         self.resource = resource
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.principal, self.action, self.resource))
 
 
 class ResourceExhaustedError(ExtensionError):
     """The resource-allocation model rejected an admission request."""
 
-    def __init__(self, node_id: str, resource: str, requested: float, available: float):
+    def __init__(self, node_id: str, resource: str,
+                 requested: float, available: float) -> None:
         super().__init__(
             f"node {node_id!r} cannot admit {requested} {resource} "
             f"(available: {available})"
@@ -273,6 +276,6 @@ class ResourceExhaustedError(ExtensionError):
         self.requested = requested
         self.available = available
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (type(self), (self.node_id, self.resource, self.requested,
                              self.available))

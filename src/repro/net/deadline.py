@@ -34,7 +34,7 @@ from __future__ import annotations
 import contextvars
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator
 
 
 def _now() -> float:
@@ -94,7 +94,7 @@ class Deadline:
 
     # -- serialization --------------------------------------------------------
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         # Monotonic readings do not transfer between processes; ship the
         # *remaining* budget and re-anchor on the receiving clock.  Time the
         # frame spends between pickle and unpickle is therefore uncounted —

@@ -563,7 +563,7 @@ class _WorkerPool:
     def _run_job(fn, args) -> None:
         try:
             fn(*args)
-        except BaseException:
+        except Exception:
             pass  # dispatch failures are the connection's problem
 
     def _worker_loop(self) -> None:
@@ -745,7 +745,7 @@ class _NodeServer:
             payload = Transport.execute_handler(
                 message, self.handler, self.reply_cache
             )
-        except BaseException as exc:
+        except BaseException as exc:  # magelint: disable=MAGE003(deliberate: converts the abort into an uncached error reply on a worker thread; re-raising would only kill the worker without informing the caller)
             # Control-flow abort (KeyboardInterrupt/SystemExit): the
             # single-flight cache retained nothing, so a retransmission
             # executes afresh.  Answer with an *uncached* transport error

@@ -170,7 +170,7 @@ class LockManager:
                         raise LockMovedError(name, state.moved_to)
                     if self._grantable(state, waiter):
                         state.queue.remove(waiter)
-                        return self._grant(state, name, kind, requester,
+                        return self._grant_locked(state, name, kind, requester,
                                            wire_deadline)
                     if first_pass:
                         first_pass = False
@@ -224,8 +224,9 @@ class LockManager:
             and not earlier_move_waiting
         )
 
-    def _grant(self, state: _NameLock, name: str, kind: str, requester: str,
-               wire_deadline: Deadline | None = None) -> LockGrant:
+    def _grant_locked(self, state: _NameLock, name: str, kind: str,
+                      requester: str,
+                      wire_deadline: Deadline | None = None) -> LockGrant:
         provisional = (
             wire_deadline is not None
             and wire_deadline.remaining_ms() <= self.at_risk_window_ms
@@ -298,7 +299,7 @@ class LockManager:
             else:
                 return  # released through the normal path meanwhile
             self.stats.leases_reaped += 1
-            self._maybe_forget(name, state)
+            self._maybe_forget_locked(name, state)
             self._cond.notify_all()
 
     # -- release / movement ------------------------------------------------------
@@ -316,7 +317,7 @@ class LockManager:
             else:
                 raise LockError(f"token {token!r} holds no lock on {name!r}")
             self._unacked.discard(token)  # an explicit release beats the reaper
-            self._maybe_forget(name, state)
+            self._maybe_forget_locked(name, state)
             self._cond.notify_all()
 
     def mark_moved(self, name: str, new_location: str) -> None:
@@ -355,10 +356,10 @@ class LockManager:
             if state is None:
                 return
             state.departing = False
-            self._maybe_forget(name, state)
+            self._maybe_forget_locked(name, state)
             self._cond.notify_all()
 
-    def _maybe_forget(self, name: str, state: _NameLock) -> None:
+    def _maybe_forget_locked(self, name: str, state: _NameLock) -> None:
         """Drop empty bookkeeping so the table doesn't grow without bound."""
         if (
             not state.stay_holders

@@ -580,6 +580,7 @@ class MageServer:
         kwargs: dict | None = None,
         shared: bool = True,
         batched: bool = False,
+        deadline: Deadline | None = None,
     ) -> RemoteRef:
         """Create an object of a cached class at ``target`` and register it.
 
@@ -611,10 +612,12 @@ class MageServer:
                 self.node_id, target,
                 [(MessageKind.INSTANTIATE, request),
                  (MessageKind.REGISTRY_BIND, bind)],
+                deadline=deadline,
             )
         else:
             ref = self.transport.call(
-                self.node_id, target, MessageKind.INSTANTIATE, request
+                self.node_id, target, MessageKind.INSTANTIATE, request,
+                deadline=deadline,
             )
             # Publish the new object in its host's RMI registry — a separate
             # Naming call, as in Java RMI (and as the paper's REV message count
@@ -622,6 +625,7 @@ class MageServer:
             self.transport.call(
                 self.node_id, target, MessageKind.REGISTRY_BIND,
                 BindRequest(name=name, ref=ref, replace=True),
+                deadline=deadline,
             )
         self.registry.note_location(name, target)
         return ref

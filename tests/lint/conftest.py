@@ -1,0 +1,15 @@
+"""Make ``tools/magelint`` importable for the lint fixture suite.
+
+The analyzer lives under ``tools/`` (it is a development tool, not part
+of the shipped ``repro`` package), so the test process — which runs with
+``PYTHONPATH=src`` — needs the tools directory added explicitly.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS_DIR = REPO_ROOT / "tools"
+
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

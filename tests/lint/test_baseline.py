@@ -1,0 +1,109 @@
+"""Baseline round-trip and suppression-file validation."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from magelint.engine import lint_paths
+from magelint.suppress import BaselineError, format_baseline, load_baseline
+
+OFFENDER = """
+    def run_job(fn):
+        try:
+            fn()
+        except BaseException:
+            pass
+
+    class TwoArgError(Exception):
+        def __init__(self, name, where):
+            super().__init__(f"{name} at {where}")
+"""
+
+
+def _write_offender(tmp_path: Path) -> Path:
+    target = tmp_path / "src/repro/runtime/offender.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(OFFENDER))
+    return target
+
+
+def test_baseline_round_trip_suppresses_exactly_the_written_findings(tmp_path):
+    _write_offender(tmp_path)
+    first = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert len(first.findings) == 2  # MAGE003 + MAGE002
+
+    reasons = {f.key(): f"accepted in test because {f.rule}" for f in first.findings}
+    baseline_path = tmp_path / "baseline.txt"
+    baseline_path.write_text(format_baseline(first.findings, reasons))
+
+    # Loading returns exactly the keys that were written, reasons intact.
+    loaded = load_baseline(baseline_path)
+    assert set(loaded) == {f.key() for f in first.findings}
+    assert all(reason.startswith("accepted in test") for reason in loaded.values())
+
+    # Re-linting with the baseline suppresses everything and is stale-free.
+    second = lint_paths([tmp_path / "src"], root=tmp_path, baseline=baseline_path)
+    assert second.findings == []
+    assert second.ok
+    assert second.stats.suppressed_baseline == 2
+    assert second.stats.stale_baseline == []
+
+
+def test_baseline_keys_survive_line_shifts(tmp_path):
+    target = _write_offender(tmp_path)
+    first = lint_paths([tmp_path / "src"], root=tmp_path)
+    baseline_path = tmp_path / "baseline.txt"
+    reasons = {f.key(): "shift test" for f in first.findings}
+    baseline_path.write_text(format_baseline(first.findings, reasons))
+
+    # Prepend unrelated lines: line numbers move, symbols do not.
+    target.write_text("import os\nimport sys\n\n\n" + target.read_text())
+    shifted = lint_paths([tmp_path / "src"], root=tmp_path, baseline=baseline_path)
+    assert shifted.findings == []
+    assert shifted.stats.suppressed_baseline == 2
+
+
+def test_fixed_findings_surface_as_stale_entries(tmp_path):
+    _write_offender(tmp_path)
+    first = lint_paths([tmp_path / "src"], root=tmp_path)
+    baseline_path = tmp_path / "baseline.txt"
+    reasons = {f.key(): "until fixed" for f in first.findings}
+    baseline_path.write_text(format_baseline(first.findings, reasons))
+
+    # "Fix" the offender entirely; the baseline entries must be reported
+    # stale instead of silently lingering.
+    (tmp_path / "src/repro/runtime/offender.py").write_text("X = 1\n")
+    run = lint_paths([tmp_path / "src"], root=tmp_path, baseline=baseline_path)
+    assert run.findings == []
+    assert len(run.stats.stale_baseline) == 2
+
+
+def test_baseline_rejects_missing_reason(tmp_path):
+    bad = tmp_path / "baseline.txt"
+    bad.write_text("MAGE003|src/x.py|L5|\n")
+    with pytest.raises(BaselineError, match="no reason"):
+        load_baseline(bad)
+
+
+def test_baseline_rejects_malformed_lines(tmp_path):
+    bad = tmp_path / "baseline.txt"
+    bad.write_text("MAGE003|src/x.py|L5\n")
+    with pytest.raises(BaselineError, match="expected"):
+        load_baseline(bad)
+    bad.write_text("NOTARULE|src/x.py|L5|because\n")
+    with pytest.raises(BaselineError, match="bad rule id"):
+        load_baseline(bad)
+
+
+def test_write_baseline_emits_todo_reasons(tmp_path):
+    _write_offender(tmp_path)
+    run = lint_paths([tmp_path / "src"], root=tmp_path)
+    body = format_baseline(run.findings)
+    assert body.count("TODO: justify or fix") == 2
+    # The TODO text is still a non-empty reason, so the file round-trips.
+    path = tmp_path / "generated.txt"
+    path.write_text(body)
+    assert len(load_baseline(path)) == 2

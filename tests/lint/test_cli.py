@@ -1,0 +1,81 @@
+"""CLI behaviour: exit codes, --explain, --fix-suggestions, --write-baseline."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from magelint.cli import main
+from magelint.suppress import load_baseline
+
+OFFENDER = """
+    def run_job(fn):
+        try:
+            fn()
+        except BaseException:
+            pass
+"""
+
+CLEAN = """
+    def run_job(fn):
+        try:
+            fn()
+        except Exception:
+            pass
+"""
+
+
+def _write(tmp_path: Path, code: str) -> Path:
+    target = tmp_path / "src/repro/runtime/mod.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(code))
+    return target
+
+
+def test_exit_one_on_findings_and_zero_when_clean(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, OFFENDER)
+    assert main(["src"]) == 1
+    out = capsys.readouterr().out
+    assert "MAGE003" in out
+
+    _write(tmp_path, CLEAN)
+    assert main(["src"]) == 0
+
+
+def test_exit_codes_for_usage_errors(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main([]) == 2                       # no paths
+    assert main(["--explain", "MAGE999"]) == 2  # unknown rule
+    bad = tmp_path / "bad_baseline.txt"
+    bad.write_text("MAGE003|x|y\n")
+    _write(tmp_path, OFFENDER)
+    assert main(["src", "--baseline", str(bad)]) == 2
+
+
+def test_explain_prints_rule_documentation(capsys):
+    assert main(["--explain", "MAGE001"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("MAGE001")
+    assert "Flags:" in out and "Clean:" in out
+    # Case-insensitive rule lookup is a convenience, not a trap.
+    assert main(["--explain", "mage005"]) == 0
+
+
+def test_fix_suggestions_prints_unified_diff(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, OFFENDER)
+    assert main(["src", "--fix-suggestions"]) == 1
+    out = capsys.readouterr().out
+    assert "-    except BaseException:" in out
+    assert "+    except Exception:" in out
+
+
+def test_write_baseline_then_gate_passes(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, OFFENDER)
+    generated = tmp_path / "generated_baseline.txt"
+    assert main(["src", "--write-baseline", str(generated)]) == 0
+    assert len(load_baseline(generated)) == 1
+    # The generated baseline immediately gates the same tree green.
+    assert main(["src", "--baseline", str(generated)]) == 0

@@ -1,0 +1,28 @@
+"""magelint — a protocol-aware static analyzer for the MAGE codebase.
+
+magelint enforces the concurrency, deadline, and wire invariants this
+repository's own bug history taught the hard way (see README.md for the
+rule-by-rule archaeology).  It is stdlib-only (``ast``), runs as
+``python -m magelint src/``, and CI gates on it with a committed
+suppression baseline.
+
+Architecture
+------------
+
+* :mod:`magelint.engine` — collects files, parses each once, runs two
+  passes: a per-module pass (each rule visits the AST of one file) and a
+  whole-program pass (rules that need cross-module facts, e.g. protocol
+  exhaustiveness, run over the facts the module pass collected).
+* :mod:`magelint.rules` — one module per rule, registered in
+  :data:`magelint.rules.ALL_RULES`.  Deleting a rule module breaks its
+  fixture test in ``tests/lint/`` — rules are provably live.
+* :mod:`magelint.suppress` — inline ``# magelint: disable=MAGExxx(reason)``
+  comments and the committed baseline file.
+"""
+
+from magelint.findings import Finding
+from magelint.engine import LintRun, lint_paths
+
+__all__ = ["Finding", "LintRun", "lint_paths"]
+
+__version__ = "0.1.0"

@@ -1,0 +1,8 @@
+"""``python -m magelint`` entry point."""
+
+import sys
+
+from magelint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Command-line front end: ``python -m magelint``.
+
+Exit codes: 0 clean, 1 findings (or parse errors), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from magelint.engine import lint_paths
+from magelint.rules import RULES_BY_ID
+from magelint.suppress import BaselineError, format_baseline
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="magelint",
+        description=("Protocol-aware static analyzer for the MAGE codebase: "
+                     "concurrency, deadline, and wire invariants distilled "
+                     "from the repo's own bug history."),
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (e.g. src/)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed suppression baseline to honour")
+    parser.add_argument("--write-baseline", type=Path, default=None,
+                        metavar="PATH",
+                        help="write surviving findings to PATH as a baseline "
+                             "(reasons stubbed as TODO) and exit 0")
+    parser.add_argument("--explain", metavar="MAGExxx", default=None,
+                        help="print a rule's documentation and examples")
+    parser.add_argument("--fix-suggestions", action="store_true",
+                        help="append a unified-diff rewrite under each "
+                             "finding that has a mechanical fix")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        rule = RULES_BY_ID.get(args.explain.upper())
+        if rule is None:
+            known = ", ".join(sorted(RULES_BY_ID))
+            print(f"unknown rule {args.explain!r}; known rules: {known}",
+                  file=sys.stderr)
+            return 2
+        print(rule.explain(), end="")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("magelint: error: no paths given (try: python -m magelint src/)",
+              file=sys.stderr)
+        return 2
+
+    try:
+        run = lint_paths(args.paths, baseline=args.baseline)
+    except BaselineError as exc:
+        print(f"magelint: bad baseline: {exc}", file=sys.stderr)
+        return 2
+
+    for error in run.parse_errors:
+        print(f"PARSE ERROR {error}")
+
+    if args.write_baseline is not None:
+        args.write_baseline.write_text(format_baseline(run.findings))
+        print(f"wrote {len(run.findings)} baseline entries to "
+              f"{args.write_baseline} (fill in the TODO reasons)")
+        return 0
+
+    for finding in run.findings:
+        print(finding.render())
+        if args.fix_suggestions and finding.suggestion:
+            for line in finding.suggestion.splitlines():
+                print(f"    | {line}")
+
+    if not args.quiet:
+        stats = run.stats
+        summary = (f"magelint: {stats.files} files, {stats.findings} "
+                   f"finding(s), {stats.suppressed_inline} inline-disabled, "
+                   f"{stats.suppressed_baseline} baselined")
+        print(summary, file=sys.stderr)
+        for key in stats.stale_baseline:
+            print(f"magelint: stale baseline entry (no longer fires): {key}",
+                  file=sys.stderr)
+
+    return 0 if run.ok else 1

@@ -1,0 +1,103 @@
+"""The two-pass lint engine.
+
+Pass 1 parses every file once and runs each rule's per-module check,
+while whole-program rules record facts.  Pass 2 runs the program rules
+over the accumulated facts.  Suppression (inline disables, then the
+baseline) filters the merged findings; what survives is the run's
+verdict.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from magelint.findings import Finding, LintStats
+from magelint.rules import ALL_RULES, ModuleContext, ProgramFacts, Rule
+from magelint.suppress import inline_disables, load_baseline
+
+
+@dataclass
+class LintRun:
+    """The outcome of one lint invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    stats: LintStats = field(default_factory=LintStats)
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def collect_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into the sorted list of .py files to lint."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py")
+                         if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_paths(paths: list[Path], root: Path | None = None,
+               baseline: Path | None = None,
+               rules: tuple[Rule, ...] = ALL_RULES) -> LintRun:
+    """Lint ``paths`` (files or directories), returning the filtered run.
+
+    ``root`` anchors the repo-relative paths findings and baselines use;
+    it defaults to the current working directory.
+    """
+    root = (root or Path.cwd()).resolve()
+    run = LintRun()
+    facts = ProgramFacts()
+    raw: list[Finding] = []
+    disables_by_path: dict[str, dict[int, set[str]]] = {}
+
+    for file_path in collect_files(paths):
+        rel = _relpath(file_path, root)
+        try:
+            source = file_path.read_text()
+            tree = ast.parse(source, filename=str(file_path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            run.parse_errors.append(f"{rel}: {exc}")
+            continue
+        module = ModuleContext(path=rel, tree=tree,
+                               source_lines=source.splitlines())
+        disables_by_path[rel] = inline_disables(module.source_lines)
+        run.stats.files += 1
+        for rule in rules:
+            raw.extend(rule.check_module(module))
+            rule.collect(module, facts)
+
+    for rule in rules:
+        raw.extend(rule.check_program(facts))
+
+    baseline_entries = load_baseline(baseline) if baseline else {}
+    matched_keys: set[str] = set()
+
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule)):
+        disabled = disables_by_path.get(finding.path, {})
+        if finding.rule in disabled.get(finding.line, set()):
+            run.stats.suppressed_inline += 1
+            continue
+        if finding.key() in baseline_entries:
+            matched_keys.add(finding.key())
+            run.stats.suppressed_baseline += 1
+            continue
+        run.findings.append(finding)
+
+    run.stats.findings = len(run.findings)
+    run.stats.stale_baseline = sorted(
+        set(baseline_entries) - matched_keys)
+    return run
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()

@@ -1,0 +1,44 @@
+"""The unit of lint output: a :class:`Finding`.
+
+A finding is anchored two ways: by ``(path, line)`` for human output, and
+by ``(rule, path, symbol)`` for the suppression baseline.  Baselining on a
+*symbol* (the enum member, class, or function the finding is about) instead
+of a line number keeps the baseline stable across unrelated edits to the
+same file — the property that lets a baseline entry survive until someone
+actually fixes the thing it names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule: str          # "MAGE003"
+    path: str          # repo-relative posix path, e.g. "src/repro/net/tcpnet.py"
+    line: int          # 1-based line of the offending node
+    message: str       # human-readable description of the violation
+    symbol: str = ""   # stable anchor: "Class.method", enum member, ...
+    suggestion: str = ""  # optional concrete rewrite (unified diff or prose)
+
+    def key(self) -> str:
+        """The baseline identity of this finding (line-independent)."""
+        return f"{self.rule}|{self.path}|{self.symbol or self.line}"
+
+    def render(self) -> str:
+        anchor = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}: {self.rule}{anchor} {self.message}"
+
+
+@dataclass
+class LintStats:
+    """Counters the CLI summary line reports."""
+
+    files: int = 0
+    findings: int = 0
+    suppressed_inline: int = 0
+    suppressed_baseline: int = 0
+    stale_baseline: list[str] = field(default_factory=list)

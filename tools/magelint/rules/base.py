@@ -1,0 +1,193 @@
+"""Rule plumbing: the per-module context, the program-wide fact store,
+and the :class:`Rule` base class.
+
+A rule participates in one or both passes:
+
+* ``check_module(module)`` — runs once per parsed file; returns findings
+  local to that file.  Most rules live entirely here.
+* ``collect(module, facts)`` then ``check_program(facts)`` — rules whose
+  verdict needs the *whole* program (protocol exhaustiveness, cross-class
+  lock discipline) record facts during the module sweep and judge them
+  once every file has been seen.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from magelint.findings import Finding
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may want to know about one parsed file."""
+
+    path: str                # repo-relative posix path
+    tree: ast.Module
+    source_lines: list[str]
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class ProgramFacts:
+    """The whole-program fact store rules fill during the module pass.
+
+    Keys are coarse on purpose — each program rule owns its namespace
+    (e.g. ``kinds:*`` for MAGE006, ``classes:*`` for MAGE007) so rules
+    never trample each other.
+    """
+
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def setdefault(self, key: str, default: Any) -> Any:
+        return self.data.setdefault(key, default)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class Rule:
+    """Base class every MAGE rule subclasses.
+
+    Class attributes double as the ``--explain`` documentation, so a rule
+    cannot ship without its rationale and examples.
+    """
+
+    id: str = ""               # "MAGE001"
+    title: str = ""            # one-line summary
+    rationale: str = ""        # the historical bug that motivated the rule
+    example_bad: str = ""      # minimal offending snippet
+    example_good: str = ""     # the compliant rewrite
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def collect(self, module: ModuleContext, facts: ProgramFacts) -> None:
+        return None
+
+    def check_program(self, facts: ProgramFacts) -> Iterable[Finding]:
+        return ()
+
+    def explain(self) -> str:
+        parts = [f"{self.id}: {self.title}", "", self.rationale.strip()]
+        if self.example_bad:
+            parts += ["", "Flags:", _indent(self.example_bad.strip())]
+        if self.example_good:
+            parts += ["", "Clean:", _indent(self.example_good.strip())]
+        return "\n".join(parts) + "\n"
+
+
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def attr_chain(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute/name chains as a dotted string.
+
+    Returns ``""`` for expressions that are not pure attribute chains
+    (calls, subscripts, ...), which callers treat as "not comparable".
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def terminal_name(node: ast.AST) -> str:
+    """The final identifier of a call target: ``x.y.call`` -> ``call``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def is_lock_name(name: str) -> bool:
+    """Heuristic: does this identifier name a mutual-exclusion lock?
+
+    Condition variables are deliberately excluded — ``cond.wait()``
+    *releases* the lock it wraps, so holding one across a wait is the
+    intended use, not the deadlock shape MAGE001 hunts.
+    """
+    lowered = name.lower()
+    if "cond" in lowered:
+        return False
+    return "lock" in lowered or "mutex" in lowered
+
+
+LOCK_FACTORY_NAMES = frozenset({"Lock", "RLock", "Condition"})
+
+
+def lock_factory_called(node: ast.AST) -> bool:
+    """True for ``threading.Lock()`` / ``Lock()`` / ``threading.RLock()``."""
+    return (isinstance(node, ast.Call)
+            and terminal_name(node.func) in LOCK_FACTORY_NAMES)
+
+
+def iter_functions(tree: ast.Module) -> Iterable[tuple[ast.AST, str]]:
+    """Every function/method paired with its dotted qualname."""
+    def visit(node: ast.AST, prefix: str) -> Iterable[tuple[ast.AST, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield child, qual
+                yield from visit(child, qual + ".")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+    yield from visit(tree, "")
+
+
+class QualnameIndex:
+    """Map a line number to the innermost enclosing function's qualname.
+
+    Used to anchor baseline symbols on *functions* instead of line
+    numbers, so unrelated edits above a finding don't churn the baseline.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._spans: list[tuple[int, int, str]] = []
+        for func, qual in iter_functions(tree):
+            end = getattr(func, "end_lineno", func.lineno) or func.lineno
+            self._spans.append((func.lineno, end, qual))
+
+    def qualname_at(self, lineno: int) -> str:
+        best = "<module>"
+        best_width = None
+        for start, end, qual in self._spans:
+            if start <= lineno <= end:
+                width = end - start
+                if best_width is None or width < best_width:
+                    best, best_width = qual, width
+        return best
+
+
+def ordinal_symbols(index: QualnameIndex, tag: str,
+                    linenos: list[int]) -> list[str]:
+    """Stable symbols ``qualname:tag[n]`` for findings sharing a function."""
+    counts: dict[str, int] = {}
+    symbols = []
+    for lineno in linenos:
+        qual = index.qualname_at(lineno)
+        counts[qual] = counts.get(qual, 0) + 1
+        symbols.append(f"{qual}:{tag}[{counts[qual]}]")
+    return symbols
+
+

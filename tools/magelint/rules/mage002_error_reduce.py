@@ -1,0 +1,120 @@
+"""MAGE002 — wire-crossing error classes must pickle round-trip."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from magelint.findings import Finding
+from magelint.rules.base import ModuleContext, Rule, terminal_name
+
+#: Base-name suffixes that mark a class as part of an exception hierarchy.
+_ERRORISH = ("Error", "Exception")
+
+
+class ErrorReduceRule(Rule):
+    id = "MAGE002"
+    title = "multi-arg exception class without a `__reduce__` override"
+    rationale = """
+Handler exceptions are marshalled into the reply and re-raised at the
+caller, so every error class must survive a pickle round trip.  The
+default ``Exception`` reduction replays ``self.args`` — the *formatted
+message* — into ``__init__``, which explodes the moment ``__init__``
+demands a second positional argument.  In PR 3 that explosion happened
+inside the TCP reader thread while unpickling a reply frame, and took
+the shared pipelined connection down with it: one bad error class, every
+in-flight call on the channel dead.  A class whose ``__init__`` takes
+anything beyond a single message must override ``__reduce__`` to replay
+its actual constructor arguments.
+"""
+    example_bad = """
+class LockMovedError(LockError):
+    def __init__(self, name, new_location):
+        super().__init__(f"{name!r} moved to {new_location!r}")
+"""
+    example_good = """
+class LockMovedError(LockError):
+    def __init__(self, name, new_location):
+        super().__init__(f"{name!r} moved to {new_location!r}")
+        self.name, self.new_location = name, new_location
+
+    def __reduce__(self):
+        return (type(self), (self.name, self.new_location))
+"""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_exception_class(node):
+                continue
+            init = _method(node, "__init__")
+            if init is None or _method(node, "__reduce__") is not None:
+                continue
+            problem = _init_breaks_default_reduce(init)
+            if problem:
+                findings.append(Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=node.lineno,
+                    symbol=node.name,
+                    message=(
+                        f"exception class {node.name!r} {problem} but defines "
+                        f"no __reduce__; the default reduction replays the "
+                        f"formatted message into __init__ and dies while "
+                        f"unpickling the reply — add "
+                        f"`def __reduce__(self): return (type(self), (...))`"
+                    ),
+                ))
+        return findings
+
+
+def _is_exception_class(node: ast.ClassDef) -> bool:
+    if node.name.endswith(_ERRORISH):
+        return True
+    return any(terminal_name(base).endswith(_ERRORISH) for base in node.bases)
+
+
+def _method(node: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for stmt in node.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _init_breaks_default_reduce(init: ast.FunctionDef) -> str | None:
+    """Why this __init__ is incompatible with the default reduction.
+
+    Returns None when safe.  Safe means: at most one parameter beyond
+    ``self``, and that parameter (if any) is forwarded verbatim to
+    ``super().__init__`` — so ``self.args`` round-trips by construction.
+    """
+    params = [a.arg for a in init.args.args[1:]]  # drop self
+    params += [a.arg for a in init.args.kwonlyargs]
+    if init.args.vararg is not None or init.args.kwarg is not None:
+        # *args/**kwargs initializers forward to super untouched in
+        # practice; the default reduction handles them.
+        return None
+    if len(params) >= 2:
+        return f"takes {len(params)} constructor arguments"
+    if not params:
+        return None
+    # Single parameter: safe iff super().__init__ receives it unmodified.
+    sole = params[0]
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "__init__"
+                and isinstance(func.value, ast.Call)
+                and terminal_name(func.value.func) == "super"):
+            args = node.args
+            if len(args) == 1 and isinstance(args[0], ast.Name) \
+                    and args[0].id == sole and not node.keywords:
+                return None
+            return (f"formats its sole argument {sole!r} before passing it "
+                    f"to super().__init__")
+    # No super().__init__ call at all: Exception.__init__ never ran with
+    # the raw argument, so self.args will not rebuild this instance.
+    return f"never forwards {sole!r} to super().__init__"

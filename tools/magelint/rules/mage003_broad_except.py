@@ -1,0 +1,105 @@
+"""MAGE003 — swallowing BaseException swallows shutdown."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from magelint.findings import Finding
+from magelint.rules.base import (
+    ModuleContext, QualnameIndex, Rule, ordinal_symbols, terminal_name,
+)
+
+
+class BroadExceptRule(Rule):
+    id = "MAGE003"
+    title = "`except BaseException` / bare `except` without re-raise"
+    rationale = """
+``except BaseException`` (and bare ``except``) catches
+``KeyboardInterrupt`` and ``SystemExit``.  PR 1's serve loops did exactly
+this around dispatch, and the symptom was a process that could not be
+Ctrl-C'd: the interrupt landed inside the handler guard, was logged as a
+"dispatch failure", and the loop went back to ``accept()``.  Catching
+BaseException is legitimate only as *cleanup-then-reraise* — undo partial
+state, then propagate — so a handler whose body re-raises (a bare
+``raise``) passes.  Everything else should catch ``Exception``.
+"""
+    example_bad = """
+try:
+    fn(*args)
+except BaseException:
+    pass  # dispatch failures are the connection's problem
+"""
+    example_good = """
+try:
+    ack = transport.call(...)
+except BaseException:
+    locks.abort_departure(name)   # cleanup...
+    raise                         # ...then propagate, interrupts included
+"""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        offenders = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, ast.ExceptHandler)
+            and _is_broad(node) and not _reraises(node)
+        ]
+        offenders.sort(key=lambda n: n.lineno)
+        symbols = ordinal_symbols(QualnameIndex(module.tree), "broad-except",
+                                  [n.lineno for n in offenders])
+        findings: list[Finding] = []
+        for node, symbol in zip(offenders, symbols):
+            spelled = "bare `except:`" if node.type is None \
+                else "`except BaseException`"
+            original = module.line(node.lineno).rstrip("\n")
+            fixed = original.replace("BaseException", "Exception") \
+                if node.type is not None \
+                else original.replace("except:", "except Exception:")
+            findings.append(Finding(
+                rule=self.id,
+                path=module.path,
+                line=node.lineno,
+                symbol=symbol,
+                message=(
+                    f"{spelled} without re-raise swallows KeyboardInterrupt/"
+                    f"SystemExit; catch Exception, or re-raise after cleanup"
+                ),
+                suggestion=_unified(module.path, node.lineno, original, fixed),
+            ))
+        return findings
+
+
+def _is_broad(node: ast.ExceptHandler) -> bool:
+    if node.type is None:
+        return True
+    return terminal_name(node.type) == "BaseException"
+
+
+def _reraises(node: ast.ExceptHandler) -> bool:
+    """Does any path through the handler body re-raise the caught error?
+
+    A bare ``raise`` anywhere in the handler (outside nested defs) counts;
+    so does ``raise <name>`` of the bound exception variable.
+    """
+    bound = node.name
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue  # a nested def's raise does not exit this handler
+        stack.extend(ast.iter_child_nodes(child))
+        if isinstance(child, ast.Raise):
+            if child.exc is None:
+                return True
+            if bound and isinstance(child.exc, ast.Name) \
+                    and child.exc.id == bound:
+                return True
+    return False
+
+
+def _unified(path: str, lineno: int, old: str, new: str) -> str:
+    if old == new:
+        return ""
+    return (f"--- a/{path}\n+++ b/{path}\n"
+            f"@@ -{lineno},1 +{lineno},1 @@\n-{old}\n+{new}")

@@ -1,0 +1,199 @@
+"""MAGE007 — shared-container mutations must stay under their owning lock."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from magelint.findings import Finding
+from magelint.rules.base import (
+    ModuleContext, ProgramFacts, Rule, attr_chain, lock_factory_called,
+    terminal_name,
+)
+
+#: Method calls that mutate a container in place.
+MUTATOR_METHODS = frozenset({
+    "setdefault", "pop", "popitem", "update", "clear", "append",
+    "appendleft", "extend", "remove", "add", "discard", "move_to_end",
+    "insert",
+})
+
+#: Methods assumed to run with the owning lock already held, by the
+#: codebase's own naming convention (``ReplyCache._put_locked`` et al.).
+LOCKED_SUFFIX = "_locked"
+
+#: Methods that run before the object is shared: no other thread can
+#: hold a reference yet, so unguarded writes there are constructor fill.
+SETUP_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass
+class _MutationSite:
+    attr: str
+    method: str
+    path: str
+    line: int
+    lock: str | None   # lock attr held at the site, None when unguarded
+
+
+@dataclass
+class _ClassFacts:
+    qualname: str              # "path::ClassName"
+    lock_attrs: set[str] = field(default_factory=set)
+    mutations: list[_MutationSite] = field(default_factory=list)
+
+
+class SharedMutationRule(Rule):
+    id = "MAGE007"
+    title = "shared registry/address-book/cache mutated outside its owning lock"
+    rationale = """
+The stack's hot shared state — the registry's forwarding table, the
+transport's address book, the reply cache — is a plain dict guarded by
+convention: every class pairs the container with a ``threading.Lock``
+and (almost) always mutates under it.  "Almost" is the bug class: one
+forgotten ``with self._lock`` and a concurrent reader sees a dict
+mid-rehash, or a check-then-act interleaves and a re-joined peer's
+fresh endpoint is overwritten by a stale one.  The rule learns each
+class's discipline from its own code — an attribute mutated at least
+once inside ``with self.<lock>`` is *owned* by that lock — then flags
+every mutation of the same attribute outside it.  Methods named
+``*_locked`` are trusted to be called with the lock held (the
+codebase's existing convention), and constructor fill in ``__init__``
+is exempt because the object is not yet shared.
+"""
+    example_bad = """
+class AddressBook:
+    def connect(self, node_id, endpoint):
+        with self._lock:
+            self._endpoints[node_id] = endpoint
+    def forget(self, node_id):
+        self._endpoints.pop(node_id, None)   # same dict, no lock
+"""
+    example_good = """
+    def forget(self, node_id):
+        with self._lock:
+            self._endpoints.pop(node_id, None)
+"""
+
+    # -- pass 1: collect per-class facts ------------------------------------
+
+    def collect(self, module: ModuleContext, facts: ProgramFacts) -> None:
+        classes: list[_ClassFacts] = facts.setdefault("shared:classes", [])
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                classes.append(_collect_class(module, node))
+
+    # -- pass 2: judge ------------------------------------------------------
+
+    def check_program(self, facts: ProgramFacts) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for cls in facts.get("shared:classes", []):
+            owner: dict[str, str] = {}
+            for site in cls.mutations:
+                if site.lock is not None and site.attr not in owner:
+                    owner[site.attr] = site.lock
+            for site in cls.mutations:
+                lock = owner.get(site.attr)
+                if lock is None:          # attribute never lock-guarded
+                    continue
+                if site.lock is not None:
+                    continue              # guarded (any of the class's locks)
+                if site.method in SETUP_METHODS \
+                        or site.method.endswith(LOCKED_SUFFIX):
+                    continue
+                path, class_name = cls.qualname.split("::", 1)
+                findings.append(Finding(
+                    rule=self.id,
+                    path=path,
+                    line=site.line,
+                    symbol=f"{class_name}.{site.method}:{site.attr}",
+                    message=(
+                        f"`self.{site.attr}` is mutated under "
+                        f"`self.{lock}` elsewhere in {class_name}, but "
+                        f"this site mutates it with no lock held — wrap it "
+                        f"in `with self.{lock}:`, or rename the method "
+                        f"`*{LOCKED_SUFFIX}` if callers already hold it"
+                    ),
+                ))
+        return findings
+
+
+def _collect_class(module: ModuleContext, node: ast.ClassDef) -> _ClassFacts:
+    cls = _ClassFacts(qualname=f"{module.path}::{node.name}")
+    methods = [stmt for stmt in node.body
+               if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    # Lock attributes: self.X = threading.Lock()/RLock()/Condition().
+    for method in methods:
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.Assign) and lock_factory_called(stmt.value):
+                for target in stmt.targets:
+                    attr = _self_attr(target)
+                    if attr:
+                        cls.lock_attrs.add(attr)
+    for method in methods:
+        _collect_mutations(module, cls, method)
+    return cls
+
+
+def _collect_mutations(module: ModuleContext, cls: _ClassFacts,
+                       method: ast.AST) -> None:
+    def visit(node: ast.AST, held: str | None) -> None:
+        now_held = held
+        if isinstance(node, ast.With):
+            for item in node.items:
+                ctx = attr_chain(item.context_expr)
+                if ctx.startswith("self."):
+                    attr = ctx[len("self."):]
+                    if attr in cls.lock_attrs:
+                        now_held = attr
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not method:
+            return  # nested defs execute later, on unknown threads
+        attr = _mutated_attr(node)
+        if attr is not None:
+            cls.mutations.append(_MutationSite(
+                attr=attr,
+                method=getattr(method, "name", "<module>"),
+                path=module.path,
+                line=node.lineno,
+                lock=now_held,
+            ))
+        for child in ast.iter_child_nodes(node):
+            visit(child, now_held)
+
+    visit(method, None)
+
+
+def _mutated_attr(node: ast.AST) -> str | None:
+    """The ``self.X`` container this statement mutates, if any."""
+    # self.X[k] = v  /  self.X[k] += v
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr:
+                    return attr
+    # del self.X[k]
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr:
+                    return attr
+    # self.X.pop(...) / .update(...) / .append(...) ...
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and terminal_name(node.func) in MUTATOR_METHODS:
+        attr = _self_attr(node.func.value)
+        if attr:
+            return attr
+    return None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``"X"`` (one level only; ``self.a.b`` returns None)."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None

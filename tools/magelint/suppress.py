@@ -1,0 +1,93 @@
+"""Suppression machinery: inline disables and the committed baseline.
+
+Two ways to accept a finding, both requiring a written reason:
+
+* **Inline** — append ``# magelint: disable=MAGE003(why this is fine)``
+  to the offending line (or the ``with``/``except``/``def`` header line
+  the finding anchors to).  Use for sites that are *intentionally* shaped
+  the way the rule forbids.
+* **Baseline** — a committed file of ``RULE|path|symbol|reason`` lines
+  (see :func:`load_baseline`).  Use for pre-existing debt that should be
+  burned down, not blessed.  Baselines are keyed on symbols, not line
+  numbers, so unrelated edits don't churn them; entries that no longer
+  match any finding are reported as stale so the file shrinks as debt is
+  paid.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from magelint.findings import Finding
+
+#: ``# magelint: disable=MAGE001(reason),MAGE002(other reason)``
+_DISABLE_RE = re.compile(r"#\s*magelint:\s*disable=(?P<body>.+)")
+_RULE_RE = re.compile(r"(?P<rule>MAGE\d{3})(?:\((?P<reason>[^)]*)\))?")
+
+
+def inline_disables(source_lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of rule ids disabled on that line."""
+    disables: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _DISABLE_RE.search(text)
+        if not match:
+            continue
+        rules = {m.group("rule") for m in _RULE_RE.finditer(match.group("body"))}
+        if rules:
+            disables[lineno] = rules
+    return disables
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad field count, missing reason)."""
+
+
+def load_baseline(path: Path) -> dict[str, str]:
+    """Parse a baseline file into ``finding-key -> reason``.
+
+    Every entry must carry a non-empty reason: a suppression nobody can
+    justify is a suppression nobody should have.
+    """
+    entries: dict[str, str] = {}
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|", 3)
+        if len(parts) != 4:
+            raise BaselineError(
+                f"{path}:{lineno}: expected 'RULE|path|symbol|reason', got {raw!r}"
+            )
+        rule, rel_path, symbol, reason = (p.strip() for p in parts)
+        if not re.fullmatch(r"MAGE\d{3}", rule):
+            raise BaselineError(f"{path}:{lineno}: bad rule id {rule!r}")
+        if not reason:
+            raise BaselineError(
+                f"{path}:{lineno}: baseline entry for {rule} on {rel_path} "
+                f"has no reason — every suppression must be justified"
+            )
+        entries[f"{rule}|{rel_path}|{symbol}"] = reason
+    return entries
+
+
+def format_baseline(findings: list[Finding],
+                    reasons: dict[str, str] | None = None) -> str:
+    """Render findings as a baseline file body (``--write-baseline``).
+
+    ``reasons`` maps finding keys to justifications; unexplained entries
+    get a TODO marker that a human must replace before review.
+    """
+    reasons = reasons or {}
+    lines = [
+        "# magelint suppression baseline.",
+        "# One entry per accepted finding: RULE|path|symbol|reason",
+        "# Keyed on symbols (not line numbers) so edits elsewhere in the",
+        "# file don't churn entries.  Delete entries as the debt is paid;",
+        "# stale entries are reported on every run.",
+    ]
+    for finding in sorted(findings, key=lambda f: f.key()):
+        rule, path, symbol = finding.key().split("|", 2)
+        reason = reasons.get(finding.key(), "TODO: justify or fix")
+        lines.append(f"{rule}|{path}|{symbol}|{reason}")
+    return "\n".join(lines) + "\n"
