@@ -3,11 +3,15 @@
 Every bench regenerates one of the paper's tables or figures, asserts the
 shape that must hold, and writes the rendered artifact to
 ``benchmarks/results/<name>.txt`` (also echoed to stdout under ``-s``) so
-EXPERIMENTS.md can point at concrete files.
+EXPERIMENTS.md can point at concrete files.  A bench that also passes a
+``data`` mapping gets a machine-readable twin at
+``benchmarks/results/BENCH_<name>.json`` for dashboards and regression
+tracking.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -27,9 +31,15 @@ def results_dir() -> pathlib.Path:
 def report(results_dir):
     """Write (and print) a named bench artifact."""
 
-    def writer(name: str, text: str) -> None:
+    def writer(name: str, text: str, data: dict | None = None) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
+        if data is not None:
+            json_path = results_dir / f"BENCH_{name}.json"
+            json_path.write_text(
+                json.dumps(data, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
         print(f"\n{text}\n[written to {path}]")
 
     return writer

@@ -35,29 +35,45 @@ Three client-side connection strategies (``mode=``), slowest to fastest:
   across calls but carrying one exchange at a time.  Saves the connect
   handshake on every call after the first.
 * ``"pipelined"`` (default) — the pooled connection additionally carries
-  many concurrent exchanges at once: frames are written under a send
-  lock, and a reader thread demultiplexes reply frames to waiting
-  callers by ``Message.reply_to_id``.  N threads calling into one
-  destination share one socket and one round-trip pipeline.  The same
-  mechanism implements ``call_async`` natively: submission writes the
-  frame and parks a :class:`~repro.net.transport.CallFuture` that the
-  reader thread resolves, so one caller can scatter N requests (to one
-  node or to N nodes) and overlap every round trip without extra
-  threads.  ``CallFuture.cancel()`` and deadline expiry both *abandon*
-  an in-flight exchange the same way a timed-out waiter does: the
-  pending reply slot is released, the reader drops the late reply, and
-  other waiters sharing the connection are untouched.  A request's
-  deadline also caps every reply wait (io timeout or less) and is
-  enforced server-side: a frame whose deadline expired in the worker
-  queue is dropped at dequeue.
+  many concurrent exchanges at once: submission enqueues the frame on
+  the reactor's per-connection write queue, and incoming reply frames
+  are demultiplexed to waiting callers by ``Message.reply_to_id``.  N
+  threads calling into one destination share one socket and one
+  round-trip pipeline.  The same mechanism implements ``call_async``
+  natively: submission writes the frame and parks a
+  :class:`~repro.net.transport.CallFuture` that the reactor resolves, so
+  one caller can scatter N requests (to one node or to N nodes) and
+  overlap every round trip without extra threads.
+  ``CallFuture.cancel()`` and deadline expiry both *abandon* an
+  in-flight exchange the same way a timed-out waiter does: the pending
+  reply slot is released, the late reply is dropped, and other waiters
+  sharing the connection are untouched.  A request's deadline also caps
+  every reply wait (io timeout or less) and is enforced server-side: a
+  frame whose deadline expired in the worker queue is dropped at
+  dequeue.
 
-Server side, each node runs a per-connection *serve loop* (a thread that
-only reads frames) feeding a bounded worker pool that executes handlers
-and writes replies.  The resident pool is bounded; when every worker is
-busy a submission runs on a temporary overflow thread, so a nested call
-made by a blocked handler (moves trigger OBJECT_TRANSFER, finds walk
-forwarding chains) can always be dispatched and the pool cannot deadlock
-on its own queue.
+**Data plane.**  All pooled/pipelined sockets — client channels,
+server-accepted connections, and listeners — are owned by a shared
+:class:`~repro.net.reactor.Reactor`: a small pool of ``selectors`` event
+loops (one by default, ``reactor_threads=`` scales it) doing
+non-blocking reads through per-connection receive state machines and
+coalescing queued writes into large sends
+(``coalesce_max_bytes=``/``coalesce_max_delay_ms=`` shape the batching;
+see the reactor module docstring).  This replaces the per-connection
+reader/serve threads of earlier PRs: parked callers and thread handoffs
+no longer scale with connection count, and a burst of small frames
+rides one syscall.  Only the deliberately slow ``per-call`` mode still
+dials blocking sockets — it exists to measure what the reactor buys.
+
+Handler execution never runs on a reactor loop: frames are dispatched
+to a bounded worker pool, and *bulk* kinds (streamed migration:
+OBJECT_TRANSFER and the PREPARE/CHUNK/COMMIT/ABORT family) go to a
+separate background pool so staging writes and marshalled-state applies
+cannot queue behind — or starve — latency-sensitive calls.  When every
+resident worker is busy a submission runs on a temporary overflow
+thread, so a nested call made by a blocked handler (moves trigger
+OBJECT_TRANSFER, finds walk forwarding chains) can always be dispatched
+and the pool cannot deadlock on its own queue.
 
 TCP provides reliable, ordered delivery, so no loss model applies here —
 loss/retry behaviour is exercised on the simulated network.  An
@@ -93,7 +109,15 @@ from repro.errors import (
 )
 from repro.net import codec
 from repro.net.endpoint import PROTOCOL_VERSION, Endpoint, Hello
-from repro.net.message import ONEWAY_KINDS, Message, ReplyPayload
+from repro.net.message import (
+    BULK_KINDS, ONEWAY_KINDS, Message, ReplyPayload, from_wire, to_wire,
+)
+from repro.net.reactor import (
+    Connection,
+    DataPlaneStats,
+    Listener,
+    Reactor,
+)
 from repro.net.trace import MessageTrace
 from repro.net.transport import (
     DEFAULT_RETRY_BUDGET,
@@ -159,17 +183,22 @@ def _transmittable_error_payload(payload: ReplyPayload) -> ReplyPayload:
         )
 
 
-def _send_frame(sock: socket.socket, message: Message,
-                codec_for=None) -> None:
-    """Write one length-prefixed frame, compressing when negotiated.
+def _encode_frame(message: Message, codec_for=None, flat: bool = False) -> bytes:
+    """One wire-ready frame (header + body), compressing when negotiated.
 
     ``codec_for`` maps the serialized size to a codec id (``None`` keeps
     every frame raw).  A frame the codec fails to shrink is sent raw —
     the header is self-describing, so the receiver never needs to know
     what the sender attempted.
+
+    ``flat`` selects the flattened envelope marshal (cheaper, smaller) —
+    used only toward peers whose HELLO confirmed a same-version build;
+    everyone else gets the legacy byte format.  Decoding is
+    self-describing either way (:func:`repro.net.message.from_wire`).
     """
     try:
-        blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = (to_wire(message) if flat else
+                pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception as exc:
         raise MarshalError(f"cannot pickle {message.describe()}: {exc}") from exc
     if len(blob) > _MAX_FRAME:
@@ -180,7 +209,19 @@ def _send_frame(sock: socket.socket, message: Message,
         body = codec.encode(ident, blob)
         if len(body) >= len(blob):  # incompressible payload: keep raw
             ident, body = codec.RAW, blob
-    sock.sendall(_LENGTH_PREFIX.pack(len(body) | (ident << _CODEC_SHIFT)) + body)
+    return _LENGTH_PREFIX.pack(len(body) | (ident << _CODEC_SHIFT)) + body
+
+
+def _send_frame(sock: socket.socket, message: Message,
+                codec_for=None) -> None:
+    """Write one frame on a blocking socket (the per-call path)."""
+    sock.sendall(_encode_frame(message, codec_for))
+
+
+def _decode_frame(ident: int, body: bytes) -> object:
+    """Decompress + unmarshal one reactor-delivered frame body."""
+    blob = codec.decode(ident, body, _MAX_FRAME)
+    return from_wire(blob)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -195,10 +236,15 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def _send_hello(sock: socket.socket, hello: Hello) -> None:
-    """Write one HELLO frame (always raw: codecs are not yet negotiated)."""
+def _encode_hello(hello: Hello) -> bytes:
+    """One HELLO frame (always raw: codecs are not yet negotiated)."""
     blob = pickle.dumps(hello, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_LENGTH_PREFIX.pack(len(blob)) + blob)
+    return _LENGTH_PREFIX.pack(len(blob)) + blob
+
+
+def _send_hello(sock: socket.socket, hello: Hello) -> None:
+    """Write one HELLO frame on a blocking socket (client handshake)."""
+    sock.sendall(_encode_hello(hello))
 
 
 def _recv_any(sock: socket.socket) -> tuple[object, int]:
@@ -220,7 +266,7 @@ def _recv_any(sock: socket.socket) -> tuple[object, int]:
         raise MarshalError(f"incoming frame too large: {length} bytes")
     body = _recv_exact(sock, length)
     blob = codec.decode(ident, body, _MAX_FRAME)
-    return pickle.loads(blob), _LENGTH_PREFIX.size + length
+    return from_wire(blob), _LENGTH_PREFIX.size + length
 
 
 def _recv_frame(sock: socket.socket) -> tuple[Message, int]:
@@ -274,42 +320,114 @@ class _Waiter:
         return self._reply
 
 
+#: Stripe count for a channel's pending-waiter table.  Eight uncontended
+#: locks cover the realistic caller fan-in per destination; message-id
+#: hashes spread uniformly (they embed a process-wide counter).
+_WAITER_SHARDS = 8
+
+
+class _WaiterShard:
+    """One stripe of a channel's ``msg_id -> FIFO of waiters`` table.
+
+    A retransmission can put two frames of one id in flight; each
+    incoming reply resolves the oldest waiter.  The ``closed`` flag
+    lives *inside* the shard lock so :meth:`park` and channel teardown
+    serialize: a sink either parks before the drain (and is failed by
+    it) or observes the closed flag — it can never be parked and then
+    silently forgotten.
+    """
+
+    __slots__ = ("_lock", "_waiters", "_closed")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._waiters: dict[str, deque] = {}
+        self._closed = False
+
+    def park(self, msg_id: str, sink) -> bool:
+        """Append ``sink``; False when the channel already closed."""
+        with self._lock:
+            if self._closed:
+                return False
+            self._waiters.setdefault(msg_id, deque()).append(sink)
+        return True
+
+    def pop(self, msg_id: str):
+        """The oldest waiter parked under ``msg_id`` (None when absent)."""
+        with self._lock:
+            waiters = self._waiters.get(msg_id)
+            if not waiters:
+                return None
+            sink = waiters.popleft()
+            if not waiters:
+                del self._waiters[msg_id]
+        return sink
+
+    def discard(self, msg_id: str, sink) -> None:
+        with self._lock:
+            waiters = self._waiters.get(msg_id)
+            if waiters is None:
+                return
+            try:
+                waiters.remove(sink)
+            except ValueError:
+                pass  # already resolved and popped
+            if not waiters:
+                del self._waiters[msg_id]
+
+    def close_and_drain(self) -> list:
+        """Refuse future parks and return everything parked; idempotent
+        (a second drain returns empty)."""
+        with self._lock:
+            self._closed = True
+            drained = [w for waiters in self._waiters.values() for w in waiters]
+            self._waiters.clear()
+        return drained
+
+
 class _Channel:
     """One persistent client connection to a destination node.
 
-    Frames are written under a send lock; a reader thread demultiplexes
-    reply frames to parked callers by ``reply_to_id``, so many requests
-    can be in flight on one socket at once.  ``serialize=True`` ("pooled"
-    mode) additionally holds a request lock across each whole exchange,
-    keeping the connection reused but never pipelined.
+    The socket lives on the shared reactor: submission encodes the frame
+    and enqueues it on the connection's write queue (no send lock, no
+    blocking), and the reactor's frame callback demultiplexes reply
+    frames to parked callers by ``reply_to_id`` — the reader thread of
+    earlier PRs is gone.  The waiter table is striped by message-id hash
+    so concurrent pipelined callers stop serializing on one mutex.
+    ``serialize=True`` ("pooled" mode) additionally holds a request lock
+    across each whole exchange, keeping the connection reused but never
+    pipelined.
     """
 
-    def __init__(self, dst: str, sock: socket.socket, serialize: bool,
+    def __init__(self, dst: str, sock: socket.socket, reactor: Reactor,
+                 serialize: bool,
                  codec_for=None,
                  negotiated: tuple[str, ...] | None = None,
                  peer_hello: Hello | None = None,
                  protocol_version: int = PROTOCOL_VERSION) -> None:
         self.dst = dst
-        self._sock = sock
         self._codec_for = codec_for
         #: What the peer's HELLO advertised (``None`` = no HELLO yet /
-        #: legacy peer — raw only).  Set before the reader thread starts
-        #: (it may adopt a HELLO that straggles in late, so a post-start
-        #: assignment could clobber that adoption).
+        #: legacy peer — raw only).  Set before the reactor adopts the
+        #: socket (the frame callback may adopt a HELLO that straggles in
+        #: late, so a post-adoption assignment could clobber that).
         self.negotiated_codecs = negotiated
         self.peer_hello = peer_hello
         self._protocol_version = protocol_version
-        self._send_lock = threading.Lock()
         self._request_lock = threading.Lock() if serialize else None
-        # msg_id -> FIFO of waiters: a retransmission can put two frames of
-        # one id in flight; each incoming reply resolves the oldest waiter.
-        self._pending: dict[str, deque[_Waiter]] = {}
-        self._state_lock = threading.Lock()
+        self._shards = tuple(_WaiterShard() for _ in range(_WAITER_SHARDS))
         self._closed = False
-        self._reader = threading.Thread(
-            target=self._read_loop, name=f"tcpnet-reader-{dst}", daemon=True
+        self._conn: Connection = reactor.add_connection(
+            sock, self._on_frame, self._on_closed
         )
-        self._reader.start()
+
+    def _shard(self, msg_id: str) -> _WaiterShard:
+        return self._shards[hash(msg_id) % _WAITER_SHARDS]
+
+    def _flat_wire(self) -> bool:
+        """Flattened envelopes only toward a confirmed same-version peer."""
+        hello = self.peer_hello
+        return hello is not None and hello.version == self._protocol_version
 
     @property
     def closed(self) -> bool:
@@ -330,103 +448,97 @@ class _Channel:
             self._discard_waiter(message.msg_id, waiter)
 
     def submit(self, message: Message, sink) -> None:
-        """Park ``sink`` for the reply and write the frame; never waits.
+        """Park ``sink`` for the reply and enqueue the frame; never waits.
 
         ``sink`` is anything with ``resolve(reply)`` / ``fail(error)`` — a
         :class:`_Waiter` for the blocking path, a pipelined
         :class:`~repro.net.transport.CallFuture` for the asynchronous one.
-        ``resolve`` runs on the reader thread, ``fail`` on whichever thread
+        ``resolve`` runs on the reactor loop, ``fail`` on whichever thread
         closes the channel; neither may block.
-        """
-        with self._state_lock:
-            if self._closed:
-                raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
-            self._pending.setdefault(message.msg_id, deque()).append(sink)
-        try:
-            with self._send_lock:
-                _send_frame(self._sock, message, self._codec_for)
-        except (ConnectionError, OSError) as exc:
-            self._discard_waiter(message.msg_id, sink)
-            self.close()
-            raise _ChannelClosedError(f"send to {self.dst!r} failed: {exc}") from exc
-        except BaseException:
-            # e.g. MarshalError while pickling: nothing touched the wire,
-            # the channel stays healthy — just reclaim the parked sink.
-            self._discard_waiter(message.msg_id, sink)
-            raise
 
-    def _discard_waiter(self, msg_id: str, waiter: _Waiter) -> None:
-        with self._state_lock:
-            waiters = self._pending.get(msg_id)
-            if waiters is None:
-                return
-            try:
-                waiters.remove(waiter)
-            except ValueError:
-                pass  # already resolved and popped by the reader
-            if not waiters:
-                del self._pending[msg_id]
+        Encoding happens *before* parking: a :class:`MarshalError` leaves
+        the channel healthy with nothing parked, while a
+        :class:`_ChannelClosedError` means the frame provably never
+        reached the write queue (safe to retry on a fresh channel).
+        """
+        wire = _encode_frame(message, self._codec_for, flat=self._flat_wire())
+        shard = self._shard(message.msg_id)
+        if not shard.park(message.msg_id, sink):
+            raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
+        try:
+            self._conn.send(wire)
+        except ConnectionError as exc:
+            shard.discard(message.msg_id, sink)
+            self.close()
+            raise _ChannelClosedError(
+                f"send to {self.dst!r} failed: {exc}"
+            ) from exc
+
+    def _discard_waiter(self, msg_id: str, waiter) -> None:
+        self._shard(msg_id).discard(msg_id, waiter)
 
     def send_oneway(self, message: Message) -> None:
-        with self._state_lock:
-            if self._closed:
-                raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
+        wire = _encode_frame(message, self._codec_for, flat=self._flat_wire())
         try:
-            with self._send_lock:
-                _send_frame(self._sock, message, self._codec_for)
-        except (ConnectionError, OSError) as exc:
+            self._conn.send(wire)
+        except ConnectionError as exc:
             self.close()
-            raise _ChannelClosedError(f"send to {self.dst!r} failed: {exc}") from exc
+            raise _ChannelClosedError(
+                f"send to {self.dst!r} failed: {exc}"
+            ) from exc
 
-    def _read_loop(self) -> None:
-        while True:
-            try:
-                reply, _nbytes = _recv_any(self._sock)
-            except Exception as exc:
-                self.close(exc)
-                return
-            if isinstance(reply, Hello):
-                # A HELLO that outlived the handshake window (a slow
-                # server): adopt the advertisement late — frames written
-                # so far went raw, which is always decodable.
-                self.peer_hello = reply
-                self.negotiated_codecs = (
-                    tuple(reply.codecs)
-                    if reply.version == self._protocol_version
-                    else ()
-                )
-                continue
-            if not isinstance(reply, Message):
-                self.close(MarshalError(
-                    f"expected a Message frame, got {type(reply).__name__}"
-                ))
-                return
-            waiter = None
-            with self._state_lock:
-                waiters = self._pending.get(reply.reply_to_id)
-                if waiters:
-                    waiter = waiters.popleft()
-                    if not waiters:
-                        del self._pending[reply.reply_to_id]
-            if waiter is not None:
-                waiter.resolve(reply)
-            # An unmatched reply (its caller timed out and left) is dropped.
+    def queued_bytes(self) -> int:
+        """Bytes waiting in this channel's write queue (diagnostics)."""
+        return self._conn.queued_bytes()
+
+    # -- reactor callbacks (loop thread; must not block) ----------------------
+
+    def _on_frame(self, ident: int, body: bytes, wire_bytes: int) -> None:
+        # A decode/unpickle failure propagates: the reactor tears the
+        # connection down with it, and _on_closed fails every waiter —
+        # the old reader loop's close(exc) path, without the thread.
+        reply = _decode_frame(ident, body)
+        if isinstance(reply, Hello):
+            # A HELLO that outlived the handshake window (a slow
+            # server): adopt the advertisement late — frames written
+            # so far went raw, which is always decodable.
+            self.peer_hello = reply
+            self.negotiated_codecs = (
+                tuple(reply.codecs)
+                if reply.version == self._protocol_version
+                else ()
+            )
+            return
+        if not isinstance(reply, Message):
+            raise MarshalError(
+                f"expected a Message frame, got {type(reply).__name__}"
+            )
+        sink = self._shard(reply.reply_to_id).pop(reply.reply_to_id)
+        if sink is not None:
+            sink.resolve(reply)
+        # An unmatched reply (its caller timed out and left) is dropped.
+
+    def _on_closed(self, reason: Exception | None) -> None:
+        self._closed = True
+        self._fail_waiters(reason)
 
     def close(self, reason: Exception | None = None) -> None:
-        with self._state_lock:
-            if self._closed:
-                return
-            self._closed = True
-            pending = [w for waiters in self._pending.values() for w in waiters]
-            self._pending.clear()
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        """Sever the connection and fail every parked waiter; idempotent.
+
+        Waiters are failed *synchronously* — the reactor's own teardown
+        notification follows asynchronously but finds the shards already
+        drained, so no waiter can be left parked behind a dead socket.
+        """
+        self._closed = True
+        self._fail_waiters(reason)
+        self._conn.close(graceful=False)
+
+    def _fail_waiters(self, reason: Exception | None) -> None:
         if reason is None:
             reason = ConnectionError(f"channel to {self.dst!r} closed")
-        for waiter in pending:
-            waiter.fail(reason)
+        for shard in self._shards:
+            for waiter in shard.close_and_drain():
+                waiter.fail(reason)
 
 
 class _PipelinedCallFuture(CallFuture):
@@ -447,7 +559,7 @@ class _PipelinedCallFuture(CallFuture):
 
     def __init__(self, message: Message, batch: bool, timeout_s: float,
                  transport: "TcpNetwork | None" = None) -> None:
-        super().__init__(message.describe())
+        super().__init__(message.describe)
         self._message = message
         self._batch = batch
         self._timeout_s = timeout_s
@@ -511,14 +623,23 @@ class _PipelinedCallFuture(CallFuture):
 
 
 class _WorkerPool:
-    """Bounded pool of reusable dispatch workers, with overflow threads.
+    """Bounded pool of reusable dispatch workers, with overflow drainers.
 
-    Up to ``max_workers`` resident threads execute submitted jobs.  When
-    every resident worker is busy, a submission runs on a temporary
-    overflow thread instead of queueing behind them: a handler blocked on
-    a nested call (a move's OBJECT_TRANSFER, a find's chain walk) may
-    need this pool to dispatch the very request it is waiting on, so a
-    strictly bounded queue could deadlock the whole transport.
+    Up to ``max_workers`` resident threads execute submitted jobs; when
+    every resident is busy, temporary *drainer* threads pick up the
+    slack: a handler blocked on a nested call (a move's OBJECT_TRANSFER,
+    a find's chain walk) may need this pool to dispatch the very request
+    it is waiting on, so a strictly bounded queue could deadlock the
+    whole transport.
+
+    Wakeups follow a baton discipline built on one invariant: whenever
+    the queue is non-empty, at least one *armed* agent — a notified idle
+    worker, or a freshly spawned resident/drainer — is en route to a pop,
+    and every pop re-arms a successor while jobs remain.  A burst of fast
+    jobs therefore drains on a couple of context switches instead of one
+    wakeup per job, while a burst of blocking handlers still fans out to
+    one thread each (the old thread-per-overflow behaviour, reached
+    incrementally).
     """
 
     def __init__(self, max_workers: int, name: str) -> None:
@@ -530,6 +651,7 @@ class _WorkerPool:
         self._wakeup = threading.Condition(self._lock)
         self._jobs: deque = deque()
         self._idle = 0
+        self._stirred = 0  # armed agents en route to their first pop
         self._resident = 0
         self._closed = False
 
@@ -538,26 +660,22 @@ class _WorkerPool:
             if self._closed:
                 return
             self._jobs.append((fn, args))
-            # A notified-but-not-yet-woken worker still counts as idle, so
-            # compare idle workers against *queued* jobs: every queued job
-            # must have a distinct worker already parked for it, else a
-            # burst of submissions would serialize behind one worker.
-            if self._idle >= len(self._jobs):
-                self._wakeup.notify()
-                return
-            if self._resident < self._max:
-                self._resident += 1
-                threading.Thread(
-                    target=self._worker_loop,
-                    name=f"{self._name}-worker-{self._resident}",
-                    daemon=True,
-                ).start()
-                return
-            self._jobs.pop()  # run the just-queued job on an overflow thread
-        threading.Thread(
-            target=self._run_job, args=(fn, args),
-            name=f"{self._name}-overflow", daemon=True,
-        ).start()
+            self._arm_locked()
+
+    def _arm_locked(self) -> None:
+        """Ensure one agent is on its way to pop; callers hold the lock."""
+        if self._stirred > 0:
+            return
+        self._stirred = 1
+        if self._idle > 0:
+            self._wakeup.notify()
+            return
+        if self._resident < self._max:
+            self._resident += 1
+            target, name = self._worker_loop, f"{self._name}-worker-{self._resident}"
+        else:
+            target, name = self._overflow_drain, f"{self._name}-overflow"
+        threading.Thread(target=target, name=name, daemon=True).start()
 
     @staticmethod
     def _run_job(fn, args) -> None:
@@ -567,17 +685,51 @@ class _WorkerPool:
             pass  # dispatch failures are the connection's problem
 
     def _worker_loop(self) -> None:
+        first = True
         while True:
             with self._lock:
+                if first:
+                    # Spawned armed (see _arm_locked): consume the arm.
+                    first = False
+                    if self._stirred:
+                        self._stirred -= 1
                 while not self._jobs and not self._closed:
                     self._idle += 1
                     self._wakeup.wait()
                     self._idle -= 1
+                    # A wake consumes an arm; a spurious wake merely
+                    # under-counts, which costs an extra wakeup later,
+                    # never a stranded job.
+                    if self._stirred:
+                        self._stirred -= 1
                 if self._closed:
                     self._resident -= 1
                     return
                 fn, args = self._jobs.popleft()
+                if self._jobs:
+                    # Re-arm BEFORE running: if our job blocks, the
+                    # successor keeps the queue draining.
+                    self._arm_locked()
             self._run_job(fn, args)
+
+    def _overflow_drain(self) -> None:
+        """A temporary worker: drains jobs until the queue goes empty."""
+        with self._lock:
+            if self._stirred:
+                self._stirred -= 1
+            if self._closed or not self._jobs:
+                return
+            fn, args = self._jobs.popleft()
+            if self._jobs:
+                self._arm_locked()
+        while True:
+            self._run_job(fn, args)
+            with self._lock:
+                if self._closed or not self._jobs:
+                    return
+                fn, args = self._jobs.popleft()
+                if self._jobs:
+                    self._arm_locked()
 
     def close(self) -> None:
         with self._lock:
@@ -599,17 +751,34 @@ class _PeerState:
         self.hello: Hello | None = None
 
 
-class _NodeServer:
-    """Listener for one node: per-connection serve loops feed the pool.
+class _ServerConn:
+    """Reactor-side state for one accepted server connection."""
 
-    The accept loop hands each connection to a serve loop that only reads
-    frames and submits them to the shared worker pool; handler execution
-    and reply writes happen on pool workers, so a slow handler neither
-    stalls later frames on its connection nor grows one thread per
-    request.  Replies interleave safely under a per-connection write lock.
+    __slots__ = ("conn", "peer", "first")
+
+    def __init__(self) -> None:
+        self.conn: Connection | None = None
+        self.peer = _PeerState()
+        #: True until the first frame arrives — only a connection-opening
+        #: HELLO is answered.
+        self.first = True
+
+
+class _NodeServer:
+    """Listener for one node: reactor-delivered frames feed the pools.
+
+    The listening socket and every accepted connection live on the
+    shared reactor; the frame callback (loop thread) does only cheap
+    work — decode, trace, route — and hands handler execution to a
+    worker pool.  Request kinds split across two pools: *bulk* kinds
+    (streamed migration frames, whose handlers do staging writes and
+    marshalled-state applies) run on a dedicated background pool so they
+    can never queue behind — or starve — latency-sensitive calls.
+    Replies are enqueued on the connection's coalescing write queue; no
+    per-connection thread or write lock exists anymore.
 
     A connection's first frame may be a wire-level :class:`Hello`; the
-    serve loop then records the peer's codec advertisement for that
+    server then records the peer's codec advertisement for that
     connection's replies and answers with this node's own HELLO before
     any request is dispatched.  A connection whose first frame is a
     plain ``Message`` belongs to a legacy (or ``per-call``) client and
@@ -617,7 +786,8 @@ class _NodeServer:
     """
 
     def __init__(self, node_id: str, handler: MessageHandler, trace: MessageTrace,
-                 clock: Clock, pool: _WorkerPool,
+                 clock: Clock, pool: _WorkerPool, bulk_pool: _WorkerPool,
+                 reactor: Reactor,
                  latency_s: float = 0.0,
                  bytes_per_s: float | None = None,
                  codec_for_peer=None,
@@ -629,10 +799,12 @@ class _NodeServer:
                  protocol_version: int = PROTOCOL_VERSION) -> None:
         self.node_id = node_id
         self.handler = handler
-        self.reply_cache = ReplyCache()
+        self.reply_cache = ReplyCache(shards=8)
         self._trace = trace
         self._clock = clock
         self._pool = pool
+        self._bulk_pool = bulk_pool
+        self._reactor = reactor
         self._latency_s = latency_s
         self._bytes_per_s = bytes_per_s
         self._codec_for_peer = codec_for_peer
@@ -653,92 +825,78 @@ class _NodeServer:
         self.port = self._sock.getsockname()[1]
         self._closing = False
         self._conn_lock = threading.Lock()
-        self._conns: set[socket.socket] = set()
-        self._thread = threading.Thread(
-            target=self._accept_loop, name=f"tcpnet-{node_id}", daemon=True
+        self._conns: set[_ServerConn] = set()
+        self._listener: Listener = reactor.add_listener(
+            self._sock, self._on_accept
         )
-        self._thread.start()
 
-    def _accept_loop(self) -> None:
-        while not self._closing:
-            try:
-                conn, _ = self._sock.accept()
-            except OSError:
-                return  # listening socket closed
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            with self._conn_lock:
-                if self._closing:
-                    conn.close()
-                    continue
-                self._conns.add(conn)
-            threading.Thread(
-                target=self._serve, args=(conn,), daemon=True,
-                name=f"tcpnet-{self.node_id}-conn",
-            ).start()
+    def _on_accept(self, sock: socket.socket) -> None:
+        state = _ServerConn()
+        conn = self._reactor.add_connection(
+            sock,
+            lambda ident, body, wire: self._on_frame(state, ident, body, wire),
+            lambda reason: self._on_conn_closed(state),
+            bytes_per_s=self._bytes_per_s,
+        )
+        state.conn = conn
+        with self._conn_lock:
+            closing = self._closing
+            if not closing:
+                self._conns.add(state)
+        if closing:
+            conn.close(graceful=False)
 
-    def _serve(self, conn: socket.socket) -> None:
-        write_lock = threading.Lock()
-        peer = _PeerState()
-        first = True
-        try:
-            while not self._closing:
+    def _on_frame(self, state: _ServerConn, ident: int, body: bytes,
+                  wire_bytes: int) -> None:
+        # Loop thread: decode, trace, route — never execute handlers.
+        # A decode failure propagates and the reactor closes the
+        # connection, exactly as the old serve loop's bail-out did.
+        # (Link *bandwidth* is already charged: the reactor defers frame
+        # delivery by wire_bytes/rate, serializing per connection like a
+        # physical link; dispatch *latency* stays on the workers —
+        # propagation delay and transmission time are independent.)
+        frame = _decode_frame(ident, body)
+        if isinstance(frame, Hello):
+            # Wire-level: never traced, never dispatched.  Answer only a
+            # connection-opening HELLO (and only when this server
+            # handshakes at all — ``handshake=False`` models a
+            # pre-handshake build that ignores them).
+            if state.first and self._handshake:
+                state.peer.hello = frame
+                state.peer.codecs = (
+                    tuple(frame.codecs)
+                    if frame.version == self._protocol_version
+                    else ()  # mismatched dialect: degrade to raw
+                )
+                reply = Hello(
+                    version=self._protocol_version,
+                    node_id=self.node_id,
+                    codecs=(self._hello_codecs()
+                            if self._hello_codecs is not None else ()),
+                )
                 try:
-                    frame, wire_bytes = _recv_any(conn)
-                except (ConnectionError, MarshalError, EOFError, OSError):
-                    return
-                if isinstance(frame, Hello):
-                    # Wire-level: never traced, never dispatched.  Answer
-                    # only a connection-opening HELLO (and only when this
-                    # server handshakes at all — ``handshake=False``
-                    # models a pre-handshake build that ignores them).
-                    if first and self._handshake:
-                        peer.hello = frame
-                        peer.codecs = (
-                            tuple(frame.codecs)
-                            if frame.version == self._protocol_version
-                            else ()  # mismatched dialect: degrade to raw
-                        )
-                        reply = Hello(
-                            version=self._protocol_version,
-                            node_id=self.node_id,
-                            codecs=(self._hello_codecs()
-                                    if self._hello_codecs is not None else ()),
-                        )
-                        try:
-                            with write_lock:
-                                _send_hello(conn, reply)
-                        except (ConnectionError, OSError):
-                            return
-                    first = False
-                    continue
-                if not isinstance(frame, Message):
-                    return  # protocol violation: close the connection
-                first = False
-                message = frame
-                if self._bytes_per_s:
-                    # Emulated link bandwidth (tc-netem style): charged on
-                    # the serve loop so frames on one connection serialize
-                    # their transmission time, exactly as one physical link
-                    # would — a compressed frame pays for its *wire* bytes,
-                    # which is the saving the codec layer buys.  Dispatch
-                    # latency stays on the workers (propagation delay and
-                    # transmission time are independent).
-                    time.sleep(wire_bytes / self._bytes_per_s)
-                self._trace.record(message, self._clock.now_ms())
-                self._pool.submit(self._dispatch, conn, write_lock, message, peer)
-        finally:
-            with self._conn_lock:
-                self._conns.discard(conn)
-            try:
-                conn.close()
-            except OSError:
-                pass
+                    state.conn.send(_encode_hello(reply))
+                except ConnectionError:
+                    pass  # racing teardown; the close callback cleans up
+            state.first = False
+            return
+        if not isinstance(frame, Message):
+            raise MarshalError(  # protocol violation: close the connection
+                f"expected a Message frame, got {type(frame).__name__}"
+            )
+        state.first = False
+        self._trace.record(frame, self._clock.now_ms())
+        pool = self._bulk_pool if frame.kind in BULK_KINDS else self._pool
+        pool.submit(self._dispatch, state, frame)
 
-    def _dispatch(self, conn: socket.socket, write_lock: threading.Lock,
-                  message: Message, peer: _PeerState) -> None:
+    def _on_conn_closed(self, state: _ServerConn) -> None:
+        with self._conn_lock:
+            self._conns.discard(state)
+
+    def _dispatch(self, state: _ServerConn, message: Message) -> None:
         if self._latency_s > 0.0:
             # Emulated link delay (tc-netem style): charged on the worker,
-            # after the serve loop read the frame, so a slow link never
+            # after the reactor delivered the frame, so a slow link never
             # stalls later frames arriving on the same connection.
             time.sleep(self._latency_s)
         try:
@@ -760,46 +918,39 @@ class _NodeServer:
             return  # one-way traffic carries no reply frame
         reply = message.reply(_transmittable_error_payload(payload))
         self._trace.record(reply, self._clock.now_ms())
+        peer_codecs = state.peer.codecs
         codec_for = None
-        if peer.codecs is not None and self._codec_for_advertised is not None:
+        if peer_codecs is not None and self._codec_for_advertised is not None:
             # The connection's HELLO told us what its client decodes:
             # compress replies per that wire-negotiated advertisement.
             codec_for = lambda nbytes: self._codec_for_advertised(
-                peer.codecs, nbytes)
+                peer_codecs, nbytes)
         elif self._codec_for_peer is not None:
             # Legacy (no-HELLO) connection: fall back to the in-process
             # advertisement registry keyed by the requesting node.
             codec_for = lambda nbytes: self._codec_for_peer(message.src, nbytes)
+        hello = state.peer.hello
+        flat = hello is not None and hello.version == self._protocol_version
         try:
-            with write_lock:
-                _send_frame(conn, reply, codec_for)
-        except (ConnectionError, OSError):
+            state.conn.send(_encode_frame(reply, codec_for, flat=flat))
+        except ConnectionError:
             pass  # caller gave up; the reply cache covers their retry
 
     def close(self) -> None:
         """Stop listening and sever live connections, releasing the port.
 
         In-flight exchanges on severed connections surface to their
-        callers as :class:`NodeUnreachableError` (their client channel's
-        reader sees the close and fails the parked waiters).
+        callers as :class:`NodeUnreachableError` (their client channel
+        sees the close and fails the parked waiters).
         """
-        self._closing = True
-        try:
-            self._sock.close()
-        except OSError:
-            pass
         with self._conn_lock:
+            self._closing = True
             conns = list(self._conns)
             self._conns.clear()
-        for conn in conns:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
+        self._listener.close()
+        for state in conns:
+            if state.conn is not None:
+                state.conn.close(graceful=False)
 
 
 class TcpNetwork(Transport):
@@ -820,7 +971,10 @@ class TcpNetwork(Transport):
                  ports: dict[str, int] | None = None,
                  handshake: bool = True,
                  hello_timeout_s: float = 2.0,
-                 protocol_version: int = PROTOCOL_VERSION) -> None:
+                 protocol_version: int = PROTOCOL_VERSION,
+                 reactor_threads: int = 1,
+                 coalesce_max_bytes: int = 64 * 1024,
+                 coalesce_max_delay_ms: float = 0.0) -> None:
         """``latency_ms`` emulates a slower link (tc-netem style): every
         request is delayed that long at the destination before dispatch.
         Loopback's ~0.1 ms round trip hides latency effects entirely;
@@ -855,6 +1009,17 @@ class TcpNetwork(Transport):
         legacy peer in mixed-version tests); ``hello_timeout_s`` bounds
         how long a new connection waits for the server's HELLO before
         degrading to raw framing.
+
+        Data-plane knobs: ``reactor_threads`` sizes the event-loop pool
+        that owns every pooled/pipelined socket (one loop is right until
+        it saturates a core); ``coalesce_max_bytes`` and
+        ``coalesce_max_delay_ms`` shape adaptive frame coalescing — a
+        connection's queued frames flush when the loop goes idle, the
+        queue crosses the byte watermark, or the oldest frame has waited
+        out the delay, whichever comes first.  The default zero delay
+        flushes at the next loop round (lowest latency, batching only
+        under load); a small delay (0.2–1 ms) trades that latency for
+        bigger batches on throughput-bound workloads.
         """
         super().__init__(
             clock=clock if clock is not None else WallClock(),
@@ -878,6 +1043,18 @@ class TcpNetwork(Transport):
         if hello_timeout_s <= 0:
             raise ConfigurationError(
                 f"hello timeout must be positive: {hello_timeout_s}"
+            )
+        if reactor_threads <= 0:
+            raise ConfigurationError(
+                f"reactor needs at least one thread: {reactor_threads}"
+            )
+        if coalesce_max_bytes <= 0:
+            raise ConfigurationError(
+                f"coalesce_max_bytes must be positive: {coalesce_max_bytes}"
+            )
+        if coalesce_max_delay_ms < 0:
+            raise ConfigurationError(
+                f"coalesce delay cannot be negative: {coalesce_max_delay_ms}"
             )
         self.mode = mode
         self.latency_ms = latency_ms
@@ -903,8 +1080,18 @@ class TcpNetwork(Transport):
         self._lock = threading.Lock()
         self._channels: dict[tuple[str, str], _Channel] = {}
         self._chan_lock = threading.Lock()
-        self._advertised: dict[str, tuple[str, ...]] = {}
         self._pool = _WorkerPool(server_workers, "tcpnet")
+        # Bulk-kind handlers (streamed migration) run off the request
+        # path: staging writes and marshalled-state applies never queue
+        # behind latency-sensitive calls, and vice versa.
+        self._bulk_pool = _WorkerPool(max(2, server_workers // 2), "tcpnet-bulk")
+        self._reactor = Reactor(
+            reactor_threads,
+            max_frame=_MAX_FRAME,
+            coalesce_max_bytes=coalesce_max_bytes,
+            coalesce_max_delay_s=coalesce_max_delay_ms / 1000.0,
+            name="tcpnet",
+        )
 
     # -- codec negotiation ----------------------------------------------------
 
@@ -925,19 +1112,21 @@ class TcpNetwork(Transport):
         """
         for name in codecs:
             codec.codec_id(name)
-        with self._lock:
-            self._advertised[node_id] = tuple(codecs)
+        self.set_advertised_codecs(node_id, tuple(codecs))
 
     def peer_codecs(self, node_id: str) -> tuple[str, ...]:
         """The codecs ``node_id`` advertised (``()`` when unknown → raw).
 
-        Lock-free read — this sits on every frame-send path, and a lock
-        here would serialize all channels behind the node-registry mutex.
-        A racing (un)registration can at worst yield a stale tuple, which
-        only toggles compression on one frame; the decoder is
-        self-describing, so correctness is unaffected.
+        This sits on every frame-send path; the advertisement lives in
+        the transport's *sharded* per-peer records, so concurrent
+        channels hash to different stripes instead of serializing behind
+        the node-registry mutex.  A racing (un)registration can at worst
+        yield a stale tuple, which only toggles compression on one
+        frame; the decoder is self-describing, so correctness is
+        unaffected.
         """
-        return self._advertised.get(node_id, ())
+        advertised = self.advertised_codecs_of(node_id)
+        return advertised if advertised is not None else ()
 
     def _frame_codec(self, peer: str, nbytes: int) -> int:
         """The codec id for one ``nbytes`` frame toward ``peer``.
@@ -965,8 +1154,7 @@ class TcpNetwork(Transport):
         empty tuple — a modelled pre-codec build advertises nothing);
         otherwise everything this process can decode.
         """
-        with self._lock:
-            advertised = self._advertised.get(node_id)
+        advertised = self.advertised_codecs_of(node_id)
         return advertised if advertised is not None else codec.available_codecs()
 
     def negotiated_codecs(self, src: str, dst: str) -> tuple[str, ...] | None:
@@ -991,6 +1179,7 @@ class TcpNetwork(Transport):
         # racing the re-registration sees either the old or the new server,
         # never a missing node.
         server = _NodeServer(node_id, handler, self.trace, self.clock, self._pool,
+                             self._bulk_pool, self._reactor,
                              latency_s=self.latency_ms / 1000.0,
                              bytes_per_s=self._bytes_per_s,
                              codec_for_peer=self._frame_codec,
@@ -1003,10 +1192,10 @@ class TcpNetwork(Transport):
         with self._lock:
             old = self._servers.get(node_id)
             self._servers[node_id] = server
-            # A (re-)registering node advertises everything it can decode;
-            # an explicit advertise_codecs override survives re-registration
-            # only if re-issued (the node was replaced, not resumed).
-            self._advertised[node_id] = codec.available_codecs()
+        # A (re-)registering node advertises everything it can decode;
+        # an explicit advertise_codecs override survives re-registration
+        # only if re-issued (the node was replaced, not resumed).
+        self.set_advertised_codecs(node_id, codec.available_codecs())
         if old is not None:
             # Replacing a live node: release its port and sever its
             # connections so in-flight calls fail fast instead of hanging.
@@ -1054,9 +1243,9 @@ class TcpNetwork(Transport):
         return super().endpoint_of(node_id)
 
     def forget_peer(self, node_id: str) -> None:
-        with self._lock:
-            self._advertised.pop(node_id, None)
-        super().forget_peer(node_id)  # address book + link EWMA
+        # One atomic pop drops the peer's whole sharded record — address
+        # book, link EWMA, and codec advertisement together.
+        super().forget_peer(node_id)
         self._drop_channels(node_id)
 
     def _peer_endpoint_changed(self, node_id: str) -> None:
@@ -1163,8 +1352,9 @@ class TcpNetwork(Transport):
                 except OSError:
                     pass
                 sock = self._connect(dst)
-        sock.settimeout(None)  # the reader blocks; reply timeouts are waiter-side
-        channel = _Channel(dst, sock, serialize=(self.mode == "pooled"),
+        sock.settimeout(None)  # the reactor owns it; reply timeouts are waiter-side
+        channel = _Channel(dst, sock, self._reactor,
+                           serialize=(self.mode == "pooled"),
                            negotiated=negotiated, peer_hello=peer_hello,
                            protocol_version=self.protocol_version)
         # Reads the channel's live negotiation state so a HELLO that
@@ -1197,6 +1387,14 @@ class TcpNetwork(Transport):
         """How many live pooled connections exist (for tests/diagnostics)."""
         with self._chan_lock:
             return sum(1 for c in self._channels.values() if not c.closed)
+
+    def data_plane_metrics(self) -> DataPlaneStats:
+        """Reactor counters: flush batching, loop lag, queue depths.
+
+        Consumed by :func:`repro.runtime.metrics.collect_data_plane` and
+        the throughput bench report.
+        """
+        return self._reactor.metrics()
 
     # -- delivery -------------------------------------------------------------
 
@@ -1339,3 +1537,5 @@ class TcpNetwork(Transport):
         for server in servers:
             server.close()
         self._pool.close()
+        self._bulk_pool.close()
+        self._reactor.close()

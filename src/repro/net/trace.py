@@ -41,18 +41,28 @@ class MessageTrace:
 
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
+        #: Recorded-but-not-yet-materialized entries: (seq, time_ms,
+        #: message, dropped).  The hot path only appends this tuple; the
+        #: kind string and payload sizing (a pickle!) are deferred to the
+        #: first read, off the transport's critical path.
+        self._pending: list[tuple[int, float, Message, bool]] = []
         self._lock = threading.Lock()
         self._seq = 0
 
-    def record(self, message: Message, time_ms: float, dropped: bool = False) -> TraceEvent:
-        """Append an event for ``message``; returns the stored event."""
-        kind = message.kind.value
-        if message.kind is MessageKind.REPLY and message.in_reply_to is not None:
-            kind = f"REPLY({message.in_reply_to.value})"
+    def record(self, message: Message, time_ms: float, dropped: bool = False) -> None:
+        """Append an event for ``message`` (lazily materialized)."""
         with self._lock:
             self._seq += 1
-            event = TraceEvent(
-                seq=self._seq,
+            self._pending.append((self._seq, time_ms, message, dropped))
+
+    def _materialize_locked(self) -> None:
+        for seq, time_ms, message, dropped in self._pending:
+            kind = message.kind.value
+            if (message.kind is MessageKind.REPLY
+                    and message.in_reply_to is not None):
+                kind = f"REPLY({message.in_reply_to.value})"
+            self._events.append(TraceEvent(
+                seq=seq,
                 time_ms=time_ms,
                 kind=kind,
                 src=message.src,
@@ -61,23 +71,25 @@ class MessageTrace:
                 local=message.is_local,
                 dropped=dropped,
                 nbytes=payload_nbytes(message),
-            )
-            self._events.append(event)
-        return event
+            ))
+        self._pending.clear()
 
     def events(self) -> list[TraceEvent]:
         """Snapshot of all events in sequence order."""
         with self._lock:
+            if self._pending:
+                self._materialize_locked()
             return list(self._events)
 
     def clear(self) -> None:
         """Forget all recorded events."""
         with self._lock:
             self._events.clear()
+            self._pending.clear()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._events)
+            return len(self._events) + len(self._pending)
 
     # -- queries used by tests and figure benches ---------------------------
 

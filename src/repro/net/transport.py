@@ -69,7 +69,12 @@ from repro.errors import (
     MessageLostError,
     NodeUnreachableError,
 )
-from repro.net.deadline import Deadline, deadline_scope, effective_deadline
+from repro.net.deadline import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
+    effective_deadline,
+)
 from repro.net.endpoint import Endpoint
 from repro.net.message import Message, MessageKind, ReplyPayload
 from repro.net.trace import MessageTrace
@@ -123,7 +128,9 @@ class CallFuture:
     are still in flight.
     """
 
-    def __init__(self, describe: str = "call") -> None:
+    def __init__(self, describe: str | Callable[[], str] = "call") -> None:
+        # A callable defers the label's formatting to the (rare) error
+        # paths — the hot path never pays for a string nobody reads.
         self._describe = describe
         self._event = threading.Event()
         self._lock = threading.Lock()
@@ -206,7 +213,7 @@ class CallFuture:
         """
         self._abandon()
         self._complete(
-            None, CallCancelledError(f"{self._describe}: {reason}"),
+            None, CallCancelledError(f"{self._label()}: {reason}"),
             cancelled=True,
         )
         return self._cancelled
@@ -214,6 +221,11 @@ class CallFuture:
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` completed this future; never blocks."""
         return self._cancelled
+
+    def _label(self) -> str:
+        """The human-readable call label for error messages."""
+        describe = self._describe
+        return describe() if callable(describe) else describe
 
     def _abandon(self) -> None:
         """Release transport resources on cancel (native transports override)."""
@@ -250,7 +262,7 @@ class CallFuture:
         # (Natively asynchronous transports override this to abandon the
         # exchange, matching their blocking call's timeout semantics.)
         raise CallTimeoutError(
-            f"{self._describe}: not completed within {timeout_s}s"
+            f"{self._label()}: not completed within {timeout_s}s"
         )
 
     # -- composition -----------------------------------------------------------
@@ -386,27 +398,16 @@ def gather(futures, timeout_s: float | None = None,
     return results
 
 
-class ReplyCache:
-    """At-most-once execution: remembers replies by request message id.
+class _ReplyCacheShard:
+    """One stripe of a :class:`ReplyCache`: an independent LRU + lock."""
 
-    A bounded LRU; old entries are evicted once ``capacity`` is exceeded.
-    Retries reuse the same message id, so a retransmission of an
-    already-executed request returns the remembered reply.
-
-    The cache also tracks *in-flight* executions (:meth:`begin` /
-    :meth:`finish`), giving dispatchers single-flight semantics: a
-    retransmission that arrives while the original request is still
-    executing waits for that execution instead of starting a second one.
-    In-flight slots are unbounded by ``capacity`` (they are bounded by the
-    dispatcher's own concurrency) and are always released by ``finish``.
-    """
-
-    def __init__(self, capacity: int = 4096) -> None:
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
+    def __init__(self, capacity: int) -> None:
         self._capacity = capacity
         self._entries: OrderedDict[str, ReplyPayload] = OrderedDict()
-        self._inflight: dict[str, threading.Event] = {}
+        # msg_id -> waiter event, created lazily: ``None`` marks a flight
+        # nobody is waiting on yet (the common case — the Event alloc is
+        # hot-path overhead only a racing retransmission needs).
+        self._inflight: dict[str, threading.Event | None] = {}
         self._lock = threading.Lock()
 
     def get(self, msg_id: str) -> ReplyPayload | None:
@@ -441,10 +442,12 @@ class ReplyCache:
             if payload is not None:
                 self._entries.move_to_end(msg_id)
                 return payload
-            event = self._inflight.get(msg_id)
-            if event is not None:
+            if msg_id in self._inflight:
+                event = self._inflight[msg_id]
+                if event is None:
+                    event = self._inflight[msg_id] = threading.Event()
                 return event
-            self._inflight[msg_id] = threading.Event()
+            self._inflight[msg_id] = None
             return None
 
     def finish(self, msg_id: str, payload: ReplyPayload | None) -> None:
@@ -459,11 +462,164 @@ class ReplyCache:
                 self._put_locked(msg_id, payload)
             event = self._inflight.pop(msg_id, None)
         if event is not None:
-            event.set()
+            event.set()  # only a racing retransmission materialized one
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+
+class ReplyCache:
+    """At-most-once execution: remembers replies by request message id.
+
+    A bounded LRU; old entries are evicted once ``capacity`` is exceeded.
+    Retries reuse the same message id, so a retransmission of an
+    already-executed request returns the remembered reply.
+
+    The cache also tracks *in-flight* executions (:meth:`begin` /
+    :meth:`finish`), giving dispatchers single-flight semantics: a
+    retransmission that arrives while the original request is still
+    executing waits for that execution instead of starting a second one.
+    In-flight slots are unbounded by ``capacity`` (they are bounded by the
+    dispatcher's own concurrency) and are always released by ``finish``.
+
+    ``shards`` stripes the cache by message-id hash so concurrent
+    dispatch workers stop serializing on one mutex.  The default single
+    shard preserves exact global LRU order (eviction happens per shard,
+    so a sharded cache approximates LRU — ample for a retransmission
+    window, which only needs *recent* ids, not a total order).  Message
+    ids never repeat across shards, so single-flight semantics are
+    unaffected by striping.
+    """
+
+    def __init__(self, capacity: int = 4096, shards: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        per_shard = -(-capacity // shards)  # ceil: total capacity >= capacity
+        self._shards = tuple(
+            _ReplyCacheShard(per_shard) for _ in range(shards)
+        )
+
+    def _shard(self, msg_id: str) -> _ReplyCacheShard:
+        return self._shards[hash(msg_id) % len(self._shards)]
+
+    def get(self, msg_id: str) -> ReplyPayload | None:
+        """The cached reply for ``msg_id``, refreshing its recency."""
+        return self._shard(msg_id).get(msg_id)
+
+    def put(self, msg_id: str, payload: ReplyPayload) -> None:
+        """Remember ``payload`` as the reply for ``msg_id``."""
+        self._shard(msg_id).put(msg_id, payload)
+
+    def begin(self, msg_id: str) -> ReplyPayload | threading.Event | None:
+        """Single-flight entry point; see :meth:`_ReplyCacheShard.begin`."""
+        return self._shard(msg_id).begin(msg_id)
+
+    def finish(self, msg_id: str, payload: ReplyPayload | None) -> None:
+        """End the flight :meth:`begin` granted, waking any waiters."""
+        self._shard(msg_id).finish(msg_id, payload)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+
+class _PeerRecord:
+    """Everything one transport remembers about one peer node."""
+
+    __slots__ = ("endpoint", "ewma_s", "codecs")
+
+    def __init__(self) -> None:
+        self.endpoint: Endpoint | None = None
+        self.ewma_s: float | None = None
+        self.codecs: tuple[str, ...] | None = None
+
+
+class _PeerShard:
+    """One stripe of the per-peer state table.
+
+    Endpoint, latency EWMA, and codec advertisement for a peer live in
+    *one* record behind *one* lock, so :meth:`forget` removes all of
+    them atomically — a concurrent ``note_link_latency`` or codec read
+    can never resurrect half a departed peer (they either see the whole
+    record or none of it).
+    """
+
+    __slots__ = ("_lock", "_peers")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._peers: dict[str, _PeerRecord] = {}
+
+    def _record_locked(self, node_id: str) -> _PeerRecord:
+        record = self._peers.get(node_id)
+        if record is None:
+            record = _PeerRecord()
+            self._peers[node_id] = record
+        return record
+
+    def set_endpoint(self, node_id: str, endpoint: Endpoint) -> Endpoint | None:
+        """Record where ``node_id`` dials; returns the previous endpoint."""
+        with self._lock:
+            record = self._record_locked(node_id)
+            previous = record.endpoint
+            record.endpoint = endpoint
+        return previous
+
+    def endpoint(self, node_id: str) -> Endpoint | None:
+        with self._lock:
+            record = self._peers.get(node_id)
+            return record.endpoint if record is not None else None
+
+    def note_latency(self, node_id: str, elapsed_s: float, alpha: float) -> None:
+        with self._lock:
+            record = self._record_locked(node_id)
+            if record.ewma_s is None:
+                record.ewma_s = elapsed_s
+            else:
+                record.ewma_s = (1 - alpha) * record.ewma_s + alpha * elapsed_s
+
+    def latency(self, node_id: str) -> float | None:
+        with self._lock:
+            record = self._peers.get(node_id)
+            return record.ewma_s if record is not None else None
+
+    def set_codecs(self, node_id: str, codecs: tuple[str, ...]) -> None:
+        with self._lock:
+            self._record_locked(node_id).codecs = codecs
+
+    def codecs(self, node_id: str) -> tuple[str, ...] | None:
+        with self._lock:
+            record = self._peers.get(node_id)
+            return record.codecs if record is not None else None
+
+    def forget(self, node_id: str) -> None:
+        """Atomically drop everything remembered about ``node_id``."""
+        with self._lock:
+            self._peers.pop(node_id, None)
+
+    def endpoints(self) -> dict[str, Endpoint]:
+        with self._lock:
+            return {
+                node_id: record.endpoint
+                for node_id, record in self._peers.items()
+                if record.endpoint is not None
+            }
+
+    def latencies(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                node_id: record.ewma_s
+                for node_id, record in self._peers.items()
+                if record.ewma_s is not None
+            }
+
+
+#: Stripe count for per-peer transport state.  Eight keeps the worst-case
+#: collision probability low for typical cluster fan-ins while costing
+#: eight lock objects per transport.
+_PEER_SHARDS = 8
 
 
 class Transport(ABC):
@@ -483,10 +639,11 @@ class Transport(ABC):
         self.clock = clock
         self.trace = trace if trace is not None else MessageTrace()
         self.retry_budget = retry_budget
-        self._link_ewma: dict[str, float] = {}
-        self._link_lock = threading.Lock()
-        self._address_book: dict[str, Endpoint] = {}
-        self._address_lock = threading.Lock()
+        # Endpoint + latency EWMA + codec advertisement per peer, striped
+        # by node-id hash: hot-path reads (every send consults codecs,
+        # every reply feeds the EWMA) stop serializing on a global lock,
+        # and forget_peer drops a peer's whole record in one atomic pop.
+        self._peer_shards = tuple(_PeerShard() for _ in range(_PEER_SHARDS))
 
     # -- address book ---------------------------------------------------------
 
@@ -505,9 +662,7 @@ class Transport(ABC):
         """
         if not isinstance(endpoint, Endpoint):
             endpoint = Endpoint(*endpoint)
-        with self._address_lock:
-            previous = self._address_book.get(node_id)
-            self._address_book[node_id] = endpoint
+        previous = self._peer_shard(node_id).set_endpoint(node_id, endpoint)
         if previous is not None and previous != endpoint:
             self._peer_endpoint_changed(node_id)
 
@@ -518,13 +673,17 @@ class Transport(ABC):
         transports with real listeners also report their local nodes'
         bound addresses.
         """
-        with self._address_lock:
-            return self._address_book.get(node_id)
+        return self._peer_shard(node_id).endpoint(node_id)
 
     def known_peers(self) -> dict[str, Endpoint]:
         """Copy of the address book (peers learned via :meth:`connect`)."""
-        with self._address_lock:
-            return dict(self._address_book)
+        book: dict[str, Endpoint] = {}
+        for shard in self._peer_shards:
+            book.update(shard.endpoints())
+        return book
+
+    def _peer_shard(self, node_id: str) -> _PeerShard:
+        return self._peer_shards[hash(node_id) % _PEER_SHARDS]
 
     def _peer_endpoint_changed(self, node_id: str) -> None:
         """Hook: ``node_id``'s endpoint was replaced (sever stale links)."""
@@ -536,12 +695,11 @@ class Transport(ABC):
         so a long-lived transport does not accumulate latency EWMAs,
         codec advertisements, and address-book entries for departed
         peers.  Idempotent; a later :meth:`connect` or fresh traffic
-        rebuilds the state from scratch.
+        rebuilds the state from scratch.  The whole record goes in one
+        atomic pop, so a send racing the forget observes either the full
+        peer state or none of it — never an endpoint without its codecs.
         """
-        with self._address_lock:
-            self._address_book.pop(node_id, None)
-        with self._link_lock:
-            self._link_ewma.pop(node_id, None)
+        self._peer_shard(node_id).forget(node_id)
 
     # -- per-link latency estimation ------------------------------------------
 
@@ -555,18 +713,11 @@ class Transport(ABC):
         """
         if not self.track_link_latency or elapsed_s < 0:
             return
-        with self._link_lock:
-            current = self._link_ewma.get(dst)
-            if current is None:
-                self._link_ewma[dst] = elapsed_s
-            else:
-                alpha = self.LINK_EWMA_ALPHA
-                self._link_ewma[dst] = (1 - alpha) * current + alpha * elapsed_s
+        self._peer_shard(dst).note_latency(dst, elapsed_s, self.LINK_EWMA_ALPHA)
 
     def link_latency_s(self, dst: str) -> float | None:
         """The expected reply latency to ``dst`` (``None`` when unknown)."""
-        with self._link_lock:
-            return self._link_ewma.get(dst)
+        return self._peer_shard(dst).latency(dst)
 
     def rank_by_latency(self, candidates: Sequence[str]) -> list[str]:
         """``candidates`` ordered by expected reply latency, fastest first.
@@ -576,10 +727,31 @@ class Transport(ABC):
         input order is returned unchanged — deterministic fan-out code
         can always pass its candidate list through this.
         """
-        with self._link_lock:
-            known = dict(self._link_ewma)
+        known: dict[str, float] = {}
+        for shard in self._peer_shards:
+            known.update(shard.latencies())
         return sorted(candidates,
                       key=lambda node: known.get(node, float("inf")))
+
+    # -- codec advertisements -------------------------------------------------
+
+    def set_advertised_codecs(self, node_id: str,
+                              codecs: tuple[str, ...]) -> None:
+        """Record which codecs ``node_id`` accepts from its peers.
+
+        Lives with the peer's endpoint and latency EWMA in the sharded
+        per-peer record, so a :meth:`forget_peer` racing a concurrent
+        send can never leave a dangling advertisement behind.
+        """
+        self._peer_shard(node_id).set_codecs(node_id, tuple(codecs))
+
+    def advertised_codecs_of(self, node_id: str) -> tuple[str, ...] | None:
+        """``node_id``'s advertised codecs (``None`` when never recorded).
+
+        ``()`` is a meaningful advertisement — "accepts nothing beyond
+        raw" — distinct from an absent record.
+        """
+        return self._peer_shard(node_id).codecs(node_id)
 
     # -- node management ----------------------------------------------------
 
@@ -750,7 +922,7 @@ class Transport(ABC):
         deterministic behaviour the simulated network's reproducible traces
         depend on.  Transports with an asynchronous wire path override this.
         """
-        future = CallFuture(message.describe())
+        future = CallFuture(message.describe)
         try:
             reply = self._transmit_with_retries(message)
         except Exception as exc:
@@ -904,6 +1076,13 @@ class Transport(ABC):
                         if sub_payload.is_error:
                             break
                     value = tuple(sub_payloads)
+                    payload = ReplyPayload(value=value)
+                elif (message.deadline is None
+                        and current_deadline() is None):
+                    # Unbounded request on a thread with no ambient
+                    # deadline to mask: the scope would set None over
+                    # None, so skip the context manager entirely.
+                    value = handler(message)
                     payload = ReplyPayload(value=value)
                 else:
                     with deadline_scope(message.deadline):

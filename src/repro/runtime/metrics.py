@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.net.reactor import DataPlaneStats
 from repro.net.trace import MessageTrace
 from repro.runtime.namespace import Namespace
 
@@ -107,3 +108,19 @@ def collect(namespace: Namespace, trace: MessageTrace | None = None) -> Namespac
 def collect_cluster(cluster) -> list[NamespaceMetrics]:
     """Metrics for every node of a :class:`~repro.cluster.cluster.Cluster`."""
     return [collect(node.namespace, cluster.trace) for node in cluster]
+
+
+def collect_data_plane(transport) -> DataPlaneStats | None:
+    """Data-plane stats for transports that have a wire data plane.
+
+    The reactor-backed TCP transport reports flush-batch sizes,
+    per-connection queue high-water marks, and event-loop lag
+    (:meth:`~repro.net.tcpnet.TcpNetwork.data_plane_metrics`); the
+    simulated network has no data plane and yields ``None``.  Probed by
+    attribute so callers need not know the transport's concrete type —
+    the throughput bench report feeds these numbers into its artifacts.
+    """
+    probe = getattr(transport, "data_plane_metrics", None)
+    if probe is None:
+        return None
+    return probe()

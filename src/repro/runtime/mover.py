@@ -123,6 +123,153 @@ class _StagedTransfer:
     received_bytes: int = 0
 
 
+#: Stripe count for per-transfer receiver state.  Concurrent streamed
+#: transfers arrive on the transport's bulk worker pool; a mover-wide
+#: lock would serialize their chunk accumulation against each other (and
+#: against single-frame applies), so transfers stripe by id hash.
+_TRANSFER_SHARDS = 8
+
+#: Dedup tombstones kept per shard (applied and aborted ids each);
+#: totals match the previous mover-wide 4096 cap.
+_TOMBSTONE_CAP = 4096 // _TRANSFER_SHARDS
+
+
+class _TransferShard:
+    """One stripe of the mover's per-transfer state: own lock, own dicts.
+
+    A transfer id lives wholly in one shard, so every cross-check the
+    protocol depends on — PREPARE against the abort tombstones, COMMIT
+    against the staging slot, ABORT against an in-flight apply — still
+    happens under a single lock; just not the same lock as every *other*
+    transfer's.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._staging: dict[str, _StagedTransfer] = {}
+        self._applying: dict[str, threading.Event] = {}
+        self._seen: set[str] = set()
+        self._seen_order: deque[str] = deque()
+        self._aborted: set[str] = set()
+        self._aborted_order: deque[str] = deque()
+
+    def begin_apply(self, transfer_id: str) -> None:
+        """Reserve ``transfer_id`` for this thread's apply (single-flight)."""
+        while True:
+            with self._lock:
+                if transfer_id in self._seen:
+                    raise _AlreadyApplied()
+                event = self._applying.get(transfer_id)
+                if event is None:
+                    self._applying[transfer_id] = threading.Event()
+                    return
+            event.wait()
+            # The holder finished: either it applied (seen → "ok") or it
+            # failed and released the reservation (this thread then
+            # claims the flight and executes afresh).
+
+    def end_apply(self, transfer_id: str) -> None:
+        with self._lock:
+            event = self._applying.pop(transfer_id, None)
+        if event is not None:
+            event.set()
+
+    def record_applied(self, transfer_id: str) -> None:
+        with self._lock:
+            self._seen.add(transfer_id)
+            self._seen_order.append(transfer_id)
+            while len(self._seen_order) > _TOMBSTONE_CAP:
+                self._seen.discard(self._seen_order.popleft())
+
+    def stage(self, prep: TransferPrepare, node_id: str) -> None:
+        with self._lock:
+            if prep.transfer_id in self._seen:
+                return  # already committed; a late PREPARE retransmission
+            if prep.transfer_id in self._aborted:
+                raise MigrationError(
+                    f"transfer {prep.transfer_id!r} was aborted at "
+                    f"{node_id!r}; its frames are dead"
+                )
+            if prep.transfer_id not in self._staging:
+                self._staging[prep.transfer_id] = _StagedTransfer(
+                    prepare=prep,
+                    expires_at=time.monotonic() + prep.ttl_ms / 1000.0,
+                )
+
+    def add_chunk(self, chunk: TransferChunk, data: bytes,
+                  node_id: str) -> None:
+        with self._lock:
+            if chunk.transfer_id in self._seen:
+                return  # committed already; late retransmission
+            entry = self._staging.get(chunk.transfer_id)
+            if entry is None:
+                raise MigrationError(
+                    f"no staged transfer {chunk.transfer_id!r} at "
+                    f"{node_id!r} (PREPARE missing, aborted, or reaped)"
+                )
+            if chunk.index not in entry.chunks:
+                entry.chunks[chunk.index] = data
+                entry.received_bytes += len(data)
+
+    def claim_commit(self, commit: TransferCommit,
+                     node_id: str) -> _StagedTransfer:
+        """Verify completeness and take ownership of the staging entry."""
+        with self._lock:
+            entry = self._staging.get(commit.transfer_id)
+            if entry is None:
+                raise MigrationError(
+                    f"cannot commit unknown transfer {commit.transfer_id!r} "
+                    f"at {node_id!r} (never prepared, aborted, or reaped)"
+                )
+            prep = entry.prepare
+            if (len(entry.chunks) != prep.chunk_count
+                    or entry.received_bytes != prep.total_bytes):
+                raise MigrationError(
+                    f"transfer {commit.transfer_id!r} incomplete: "
+                    f"{len(entry.chunks)}/{prep.chunk_count} chunks, "
+                    f"{entry.received_bytes}/{prep.total_bytes} bytes"
+                )
+            # Claimed: from here the caller owns the apply; drop the
+            # staging entry so an abort retransmission cannot race it.
+            del self._staging[commit.transfer_id]
+        return entry
+
+    def abort(self, ab: TransferAbort, node_id: str) -> None:
+        while True:
+            with self._lock:
+                if ab.transfer_id in self._seen:
+                    raise MigrationError(
+                        f"transfer {ab.transfer_id!r} already committed at "
+                        f"{node_id!r}; cannot abort a materialized object"
+                    )
+                event = self._applying.get(ab.transfer_id)
+                if event is None:
+                    self._staging.pop(ab.transfer_id, None)
+                    if ab.transfer_id not in self._aborted:
+                        self._aborted.add(ab.transfer_id)
+                        self._aborted_order.append(ab.transfer_id)
+                        while len(self._aborted_order) > _TOMBSTONE_CAP:
+                            self._aborted.discard(
+                                self._aborted_order.popleft()
+                            )
+                    return
+            event.wait()
+            # The apply finished: committed -> refuse above; failed (its
+            # reservation was released, nothing materialized) -> abort.
+
+    def reap(self, now: float) -> int:
+        with self._lock:
+            dead = [tid for tid, entry in self._staging.items()
+                    if entry.expires_at <= now]
+            for tid in dead:
+                del self._staging[tid]
+        return len(dead)
+
+    def staging_count(self) -> int:
+        with self._lock:
+            return len(self._staging)
+
+
 class Mover:
     """Sends and receives weakly-migrated objects for one namespace."""
 
@@ -166,16 +313,12 @@ class Mover:
         self.stream_window = stream_window
         self.staging_ttl_ms = staging_ttl_ms
         self._known_at: dict[str, set[str]] = {}  # source_hash -> nodes holding it
-        self._seen_transfers: set[str] = set()
-        self._seen_order: deque[str] = deque()
-        self._applying: dict[str, threading.Event] = {}
-        self._staging: dict[str, _StagedTransfer] = {}
-        # Abort tombstones: transfer ids are never reused, so an aborted
-        # id refuses all later frames — in particular a PREPARE that was
-        # dispatched *after* its ABORT (worker ordering on a congested
-        # node) must not resurrect an orphan staging entry.
-        self._aborted: set[str] = set()
-        self._aborted_order: deque[str] = deque()
+        # Per-transfer receiver state (staging slots, apply reservations,
+        # applied/aborted tombstones) stripes by transfer-id hash; see
+        # :class:`_TransferShard` for why ids never cross stripes.
+        self._shards = tuple(
+            _TransferShard() for _ in range(_TRANSFER_SHARDS)
+        )
         self._lock = threading.Lock()
         self.moves_out = 0
         self.moves_in = 0
@@ -617,8 +760,9 @@ class Mover:
         loser waits for the winner's outcome instead of racing it through
         the unpack/store window, which used to allow a double-apply.
         """
+        shard = self._xfer_shard(transfer.transfer_id)
         try:
-            self._begin_apply(transfer.transfer_id)
+            shard.begin_apply(transfer.transfer_id)
         except _AlreadyApplied:
             return "ok"
         try:
@@ -627,54 +771,26 @@ class Mover:
             self._apply(transfer.name, obj, transfer.shared,
                         transfer.transfer_id)
         finally:
-            self._end_apply(transfer.transfer_id)
+            shard.end_apply(transfer.transfer_id)
         return "ok"
 
-    def _begin_apply(self, transfer_id: str) -> None:
-        """Reserve ``transfer_id`` for this thread's apply (single-flight).
-
-        Returns with the reservation held; raises ``_AlreadyApplied`` —
-        surfaced as the normal ``"ok"`` by callers — when the id already
-        applied.  A concurrent holder makes this thread wait for its
-        outcome and then re-evaluate.
-        """
-        while True:
-            with self._lock:
-                if transfer_id in self._seen_transfers:
-                    raise _AlreadyApplied()
-                event = self._applying.get(transfer_id)
-                if event is None:
-                    self._applying[transfer_id] = threading.Event()
-                    return
-            event.wait()
-            # The holder finished: either it applied (seen → "ok" above)
-            # or it failed and released the reservation (this thread then
-            # claims the flight and executes afresh).
-
-    def _end_apply(self, transfer_id: str) -> None:
-        with self._lock:
-            event = self._applying.pop(transfer_id, None)
-        if event is not None:
-            event.set()
+    def _xfer_shard(self, transfer_id: str) -> _TransferShard:
+        return self._shards[hash(transfer_id) % _TRANSFER_SHARDS]
 
     def _apply(self, name: str, obj: Any, shared: bool, transfer_id: str) -> None:
         """Materialize an arrived object; the single door into the store."""
         self._store.add(name, obj, shared=shared)
         self._registry.record_arrival(name)
         self._locks.mark_arrived(name)
+        self._xfer_shard(transfer_id).record_applied(transfer_id)
         with self._lock:
-            self._seen_transfers.add(transfer_id)
-            self._seen_order.append(transfer_id)
-            while len(self._seen_order) > 4096:
-                self._seen_transfers.discard(self._seen_order.popleft())
             self.moves_in += 1
 
     # -- receiving side: streamed transfers -------------------------------------
 
     def staging_count(self) -> int:
         """How many streamed transfers are currently staged (diagnostics)."""
-        with self._lock:
-            return len(self._staging)
+        return sum(shard.staging_count() for shard in self._shards)
 
     def reap_staging(self) -> int:
         """Drop staging entries whose TTL lapsed; returns how many died.
@@ -685,47 +801,24 @@ class Mover:
         directly (tests, periodic sweeps).
         """
         now = time.monotonic()
-        with self._lock:
-            dead = [tid for tid, entry in self._staging.items()
-                    if entry.expires_at <= now]
-            for tid in dead:
-                del self._staging[tid]
-            self.staging_reaped += len(dead)
-        return len(dead)
+        dead = sum(shard.reap(now) for shard in self._shards)
+        if dead:
+            with self._lock:
+                self.staging_reaped += dead
+        return dead
 
     def prepare(self, prep: TransferPrepare) -> str:
         """Reserve a staging slot (phase one); idempotent per transfer id."""
         self.reap_staging()
-        with self._lock:
-            if prep.transfer_id in self._seen_transfers:
-                return "ok"  # already committed; a late PREPARE retransmission
-            if prep.transfer_id in self._aborted:
-                raise MigrationError(
-                    f"transfer {prep.transfer_id!r} was aborted at "
-                    f"{self.node_id!r}; its frames are dead"
-                )
-            if prep.transfer_id not in self._staging:
-                self._staging[prep.transfer_id] = _StagedTransfer(
-                    prepare=prep,
-                    expires_at=time.monotonic() + prep.ttl_ms / 1000.0,
-                )
+        self._xfer_shard(prep.transfer_id).stage(prep, self.node_id)
         return "ok"
 
     def receive_chunk(self, chunk: TransferChunk) -> str:
         """Accumulate one streamed slice in its staging slot."""
         data = chunk.data_bytes()  # normalize outside the lock (may copy)
-        with self._lock:
-            if chunk.transfer_id in self._seen_transfers:
-                return "ok"  # committed already; late retransmission
-            entry = self._staging.get(chunk.transfer_id)
-            if entry is None:
-                raise MigrationError(
-                    f"no staged transfer {chunk.transfer_id!r} at "
-                    f"{self.node_id!r} (PREPARE missing, aborted, or reaped)"
-                )
-            if chunk.index not in entry.chunks:
-                entry.chunks[chunk.index] = data
-                entry.received_bytes += len(data)
+        self._xfer_shard(chunk.transfer_id).add_chunk(
+            chunk, data, self.node_id
+        )
         return "ok"
 
     def commit(self, commit: TransferCommit) -> str:
@@ -737,29 +830,14 @@ class Mover:
         retransmitted COMMIT re-acks); a commit of an incomplete or
         unknown staging raises, leaving the source's copy authoritative.
         """
+        shard = self._xfer_shard(commit.transfer_id)
         try:
-            self._begin_apply(commit.transfer_id)
+            shard.begin_apply(commit.transfer_id)
         except _AlreadyApplied:
             return "ok"
         try:
-            with self._lock:
-                entry = self._staging.get(commit.transfer_id)
-                if entry is None:
-                    raise MigrationError(
-                        f"cannot commit unknown transfer {commit.transfer_id!r} "
-                        f"at {self.node_id!r} (never prepared, aborted, or reaped)"
-                    )
-                prep = entry.prepare
-                if (len(entry.chunks) != prep.chunk_count
-                        or entry.received_bytes != prep.total_bytes):
-                    raise MigrationError(
-                        f"transfer {commit.transfer_id!r} incomplete: "
-                        f"{len(entry.chunks)}/{prep.chunk_count} chunks, "
-                        f"{entry.received_bytes}/{prep.total_bytes} bytes"
-                    )
-                # Claimed: from here this thread owns the apply; drop the
-                # staging entry so an abort retransmission cannot race it.
-                del self._staging[commit.transfer_id]
+            entry = shard.claim_commit(commit, self.node_id)
+            prep = entry.prepare
             state_blob = b"".join(
                 entry.chunks[i] for i in range(prep.chunk_count)
             )
@@ -767,7 +845,7 @@ class Mover:
             obj = self.unpack(cls, state_blob)
             self._apply(prep.name, obj, prep.shared, commit.transfer_id)
         finally:
-            self._end_apply(commit.transfer_id)
+            shard.end_apply(commit.transfer_id)
         return "ok"
 
     def abort(self, ab: TransferAbort) -> str:
@@ -786,25 +864,8 @@ class Mover:
         ack an abort of an object that is about to materialize — the
         exact two-copies split the refusal below exists to prevent.
         """
-        while True:
-            with self._lock:
-                if ab.transfer_id in self._seen_transfers:
-                    raise MigrationError(
-                        f"transfer {ab.transfer_id!r} already committed at "
-                        f"{self.node_id!r}; cannot abort a materialized object"
-                    )
-                event = self._applying.get(ab.transfer_id)
-                if event is None:
-                    self._staging.pop(ab.transfer_id, None)
-                    if ab.transfer_id not in self._aborted:
-                        self._aborted.add(ab.transfer_id)
-                        self._aborted_order.append(ab.transfer_id)
-                        while len(self._aborted_order) > 4096:
-                            self._aborted.discard(self._aborted_order.popleft())
-                    return "ok"
-            event.wait()
-            # The apply finished: committed -> refuse above; failed (its
-            # reservation was released, nothing materialized) -> abort.
+        self._xfer_shard(ab.transfer_id).abort(ab, self.node_id)
+        return "ok"
 
     def _class_for(self, transfer) -> type:
         """Resolve the class for an arrival (ObjectTransfer or TransferPrepare)."""

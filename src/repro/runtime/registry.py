@@ -32,6 +32,40 @@ from repro.runtime.store import ObjectStore
 #: loop that the hop-list guard somehow missed.
 MAX_HOPS = 64
 
+#: Stripe count for the forwarding-address table.  Every remote find,
+#: lock chase, and move consults or updates a hint, so one registry-wide
+#: lock is a convoy point for concurrent request handlers; eight stripes
+#: match the transport's waiter/reply-cache sharding.
+_HINT_SHARDS = 8
+
+
+class _HintShard:
+    """One stripe of the forwarding-address table: own lock, own dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._hints: dict[str, str] = {}
+
+    def note(self, name: str, node_id: str) -> None:
+        with self._lock:
+            self._hints[name] = node_id
+
+    def get(self, name: str) -> str | None:
+        with self._lock:
+            return self._hints.get(name)
+
+    def snapshot(self) -> dict[str, str]:
+        with self._lock:
+            return dict(self._hints)
+
+    def evict_pointing_at(self, node_id: str) -> int:
+        with self._lock:
+            stale = [name for name, where in self._hints.items()
+                     if where == node_id]
+            for name in stale:
+                del self._hints[name]
+        return len(stale)
+
 
 class MageRegistry:
     """Location tracking + forwarding-chain resolution for one namespace."""
@@ -49,9 +83,11 @@ class MageRegistry:
         self._store = store
         self._transport = transport
         self.path_collapsing = path_collapsing
-        self._last_known: dict[str, str] = {}
-        self._lock = threading.RLock()
+        self._shards = tuple(_HintShard() for _ in range(_HINT_SHARDS))
         self.chain_walks = 0   # remote FIND fan-outs issued (ablation metric)
+
+    def _shard(self, name: str) -> _HintShard:
+        return self._shards[hash(name) % _HINT_SHARDS]
 
     # -- bookkeeping called by the mover / runtime ----------------------------
 
@@ -65,18 +101,22 @@ class MageRegistry:
 
     def note_location(self, name: str, node_id: str) -> None:
         """Record learned knowledge of where ``name`` lives."""
-        with self._lock:
-            self._last_known[name] = node_id
+        self._shard(name).note(name, node_id)
 
     def forwarding_hint(self, name: str) -> str | None:
         """Last known location of ``name`` (None when never seen here)."""
-        with self._lock:
-            return self._last_known.get(name)
+        return self._shard(name).get(name)
 
     def forwarding_table(self) -> dict[str, str]:
-        """Copy of the forwarding-address table (diagnostics, tests)."""
-        with self._lock:
-            return dict(self._last_known)
+        """Copy of the forwarding-address table (diagnostics, tests).
+
+        Stitched shard-by-shard: consistent per stripe, not globally
+        atomic — fine for its diagnostic consumers.
+        """
+        table: dict[str, str] = {}
+        for shard in self._shards:
+            table.update(shard.snapshot())
+        return table
 
     def evict_hints(self, node_id: str) -> int:
         """Drop every forwarding address pointing at ``node_id``.
@@ -86,12 +126,9 @@ class MageRegistry:
         before falling back.  Evicted names resolve through their origin
         hint (or a fresh walk) instead.  Returns how many were evicted.
         """
-        with self._lock:
-            stale = [name for name, where in self._last_known.items()
-                     if where == node_id]
-            for name in stale:
-                del self._last_known[name]
-        return len(stale)
+        return sum(
+            shard.evict_pointing_at(node_id) for shard in self._shards
+        )
 
     # -- resolution -------------------------------------------------------------
 
@@ -115,8 +152,7 @@ class MageRegistry:
             name, hint, hops=(self.node_id,), origin_hint=origin_hint or ""
         )
         if self.path_collapsing:
-            with self._lock:
-                self._last_known[name] = location
+            self.note_location(name, location)
         return location
 
     def handle_find(self, request: FindRequest) -> str:
@@ -153,8 +189,7 @@ class MageRegistry:
             origin_hint=request.origin_hint,
         )
         if self.path_collapsing:
-            with self._lock:
-                self._last_known[name] = location
+            self.note_location(name, location)
         return location
 
     def _walk(

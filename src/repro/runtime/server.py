@@ -314,9 +314,8 @@ class MageServer:
         Only the local store knows an object's sharing mode; components
         hosted elsewhere are conservatively treated as shared.
         """
-        if self.store.contains(name):
-            return self.store.is_shared(name)
-        return True
+        record = self.store.lookup(name)
+        return True if record is None else record.shared
 
     # -- movement -----------------------------------------------------------------
 

@@ -29,26 +29,72 @@ class ServantRecord:
     pinned: bool = False
 
 
+#: Stripe count for the servant table.  Every dispatch — invokes, finds,
+#: registry consultations — starts with a store lookup, so one table-wide
+#: lock convoys concurrent request handlers; eight stripes match the
+#: transport's waiter/reply-cache sharding.
+_STORE_SHARDS = 8
+
+
+class _StoreShard:
+    """One stripe of the servant table: own lock, own dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[str, ServantRecord] = {}
+
+    def put(self, record: ServantRecord) -> None:
+        with self._lock:
+            self._records[record.name] = record
+
+    def pop(self, name: str) -> ServantRecord | None:
+        with self._lock:
+            return self._records.pop(name, None)
+
+    def get(self, name: str) -> ServantRecord | None:
+        with self._lock:
+            return self._records.get(name)
+
+    def contains(self, name: str) -> bool:
+        with self._lock:
+            return name in self._records
+
+    def snapshot(self) -> list[ServantRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
 class ObjectStore:
-    """Thread-safe name → servant table for one namespace."""
+    """Thread-safe name → servant table for one namespace.
+
+    Striped by name hash: per-name operations touch exactly one shard's
+    lock, so a burst of concurrent dispatches (each of which begins with
+    a ``contains``/``record`` lookup) never serializes on a single
+    table-wide lock.  Whole-table reads stitch per-shard snapshots —
+    consistent per stripe, which is all their diagnostic callers need.
+    """
 
     def __init__(self, node_id: str) -> None:
         self.node_id = node_id
-        self._records: dict[str, ServantRecord] = {}
-        self._lock = threading.RLock()
+        self._shards = tuple(_StoreShard() for _ in range(_STORE_SHARDS))
+
+    def _shard(self, name: str) -> _StoreShard:
+        return self._shards[hash(name) % _STORE_SHARDS]
 
     def add(self, name: str, obj: Any, shared: bool = True, pinned: bool = False) -> None:
         """Host ``obj`` under ``name`` (replacing any previous tenant)."""
         validate_component_name(name)
-        with self._lock:
-            self._records[name] = ServantRecord(
-                name=name, obj=obj, shared=shared, pinned=pinned
-            )
+        self._shard(name).put(ServantRecord(
+            name=name, obj=obj, shared=shared, pinned=pinned
+        ))
 
     def remove(self, name: str) -> Any:
         """Evict and return the servant (it is migrating away)."""
-        with self._lock:
-            record = self._records.pop(name, None)
+        record = self._shard(name).pop(name)
         if record is None:
             raise NoSuchObjectError(name, self.node_id)
         return record.obj
@@ -59,16 +105,22 @@ class ObjectStore:
 
     def record(self, name: str) -> ServantRecord:
         """The full servant record (object + placement metadata)."""
-        with self._lock:
-            record = self._records.get(name)
+        record = self._shard(name).get(name)
         if record is None:
             raise NoSuchObjectError(name, self.node_id)
         return record
 
+    def lookup(self, name: str) -> ServantRecord | None:
+        """The servant record, or ``None`` when not hosted here.
+
+        One shard-lock acquisition; callers that would otherwise pair
+        ``contains`` with ``record``/``is_shared`` use this instead.
+        """
+        return self._shard(name).get(name)
+
     def contains(self, name: str) -> bool:
         """Whether ``name`` is hosted in this namespace right now."""
-        with self._lock:
-            return name in self._records
+        return self._shard(name).contains(name)
 
     def is_shared(self, name: str) -> bool:
         """Public objects may be moved by other threads between invocations."""
@@ -80,14 +132,19 @@ class ObjectStore:
 
     def names(self) -> list[str]:
         """All hosted names (sorted)."""
-        with self._lock:
-            return sorted(self._records)
+        return sorted(
+            record.name
+            for shard in self._shards
+            for record in shard.snapshot()
+        )
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._records)
+        return sum(len(shard) for shard in self._shards)
 
     def __iter__(self) -> Iterator[ServantRecord]:
-        with self._lock:
-            records = list(self._records.values())
+        records = [
+            record
+            for shard in self._shards
+            for record in shard.snapshot()
+        ]
         return iter(records)

@@ -10,7 +10,6 @@ its *origin server* is the node whose registry first bound it — the paper's
 from __future__ import annotations
 
 import itertools
-import threading
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
@@ -75,16 +74,19 @@ class MageUrl:
 
 
 class _TokenCounter:
-    """Process-wide monotonically increasing token source (thread safe)."""
+    """Process-wide monotonically increasing token source (thread safe).
+
+    Lock-free: ``itertools.count.__next__`` is a single C call and thus
+    atomic under the GIL.  Message ids are drawn on every remote call,
+    so this sits on the transport hot path — a process-wide lock here
+    is a measurable convoy point under concurrent callers.
+    """
 
     def __init__(self) -> None:
         self._counter = itertools.count(1)
-        self._lock = threading.Lock()
 
     def next(self, prefix: str) -> str:
-        with self._lock:
-            value = next(self._counter)
-        return f"{prefix}-{value}"
+        return f"{prefix}-{next(self._counter)}"
 
 
 _TOKENS = _TokenCounter()

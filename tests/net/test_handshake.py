@@ -253,14 +253,14 @@ class TestHandshake:
 
         from repro.net import tcpnet
 
-        real_send = tcpnet._send_hello
+        real_encode = tcpnet._encode_hello
 
-        def delayed_send(sock, hello):
+        def delayed_encode(hello):
             if hello.node_id == "worker":  # the server side's HELLO only
                 time.sleep(0.6)
-            real_send(sock, hello)
+            return real_encode(hello)
 
-        monkeypatch.setattr(tcpnet, "_send_hello", delayed_send)
+        monkeypatch.setattr(tcpnet, "_encode_hello", delayed_encode)
         a = nets(hello_timeout_s=0.2)
         b = nets()
         a.register("hub", lambda m: "ok")

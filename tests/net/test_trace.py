@@ -11,13 +11,15 @@ def _msg(kind=MessageKind.PING, src="a", dst="b") -> Message:
 class TestRecording:
     def test_sequence_numbers_increase(self):
         trace = MessageTrace()
-        first = trace.record(_msg(), time_ms=0.0)
-        second = trace.record(_msg(), time_ms=1.0)
+        trace.record(_msg(), time_ms=0.0)
+        trace.record(_msg(), time_ms=1.0)
+        first, second = trace.events()
         assert (first.seq, second.seq) == (1, 2)
 
     def test_reply_kind_rendering(self):
         trace = MessageTrace()
-        event = trace.record(_msg().reply("x"), time_ms=0.0)
+        trace.record(_msg().reply("x"), time_ms=0.0)
+        (event,) = trace.events()
         assert event.kind == "REPLY(PING)"
 
     def test_len_and_clear(self):
@@ -30,8 +32,8 @@ class TestRecording:
 
     def test_local_flag(self):
         trace = MessageTrace()
-        event = trace.record(_msg(src="a", dst="a"), 0.0)
-        assert event.local
+        trace.record(_msg(src="a", dst="a"), 0.0)
+        assert trace.events()[0].local
 
 
 class TestQueries:
@@ -75,5 +77,5 @@ class TestQueries:
 
     def test_dropped_arrow_is_marked(self):
         trace = MessageTrace()
-        event = trace.record(_msg(), 0.0, dropped=True)
-        assert "[LOST]" in event.arrow()
+        trace.record(_msg(), 0.0, dropped=True)
+        assert "[LOST]" in trace.events()[0].arrow()

@@ -276,8 +276,9 @@ class TestBatchRetransmission:
         Transport.execute_handler(batch, handler, cache)
         # Simulate the batch-level entry falling to LRU capacity pressure
         # while the (more recent) sub-entries survive.
-        with cache._lock:
-            del cache._entries[batch.msg_id]
+        shard = cache._shard(batch.msg_id)
+        with shard._lock:
+            del shard._entries[batch.msg_id]
         replay = Transport.execute_handler(batch, handler, cache)
         assert [p.value for p in replay.value] == ["x", "y"]
         assert executed == ["x", "y"]
