@@ -64,6 +64,53 @@ _RECV_CHUNK = 1 << 18
 #: Most bytes merged into one ``send`` during a flush.
 _SEND_CAP = 1 << 20
 
+#: Most buffers handed to one ``sendmsg`` (kept safely under IOV_MAX,
+#: which POSIX guarantees to be ≥ 16 and Linux sets to 1024).
+_IOV_CAP = 128
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+#: One encoded frame as accepted by :meth:`Connection.send`: a single
+#: contiguous buffer, or an ordered buffer list (header + head bytes +
+#: zero-copy blob segments) that goes out through one gather write.
+FramePayload = "bytes | list[bytes | memoryview]"
+
+
+def _send_gather(sock: socket.socket,
+                 chunks: "list[bytes | memoryview]") -> int:
+    """Write a buffer list with one syscall; returns bytes accepted.
+
+    ``sendmsg`` is writev under the hood: the kernel copies straight out
+    of each buffer, so large blob segments are never joined into an
+    intermediate bytes object.  Platforms without it fall back to a join.
+    """
+    if len(chunks) == 1:
+        return sock.send(chunks[0])
+    if _HAS_SENDMSG:
+        return sock.sendmsg(chunks)
+    return sock.send(b"".join(chunks))
+
+
+def _remainder(chunks: "list[bytes | memoryview]",
+               sent: int) -> "list[bytes | memoryview]":
+    """The tail of ``chunks`` after the kernel accepted ``sent`` bytes.
+
+    The partially-written chunk is re-sliced as a memoryview — no copy,
+    regardless of how large the interrupted blob segment was.
+    """
+    rest: "list[bytes | memoryview]" = []
+    for chunk in chunks:
+        n = len(chunk)
+        if sent >= n:
+            sent -= n
+            continue
+        if sent:
+            rest.append(memoryview(chunk)[sent:])
+            sent = 0
+        else:
+            rest.append(chunk)
+    return rest
+
 #: How long a graceful teardown keeps trying to drain queued writes.
 _DRAIN_TIMEOUT_S = 1.0
 
@@ -227,7 +274,7 @@ class Connection:
         # happen outside it (the loop thread, or a sender holding the
         # direct-write right — see ``_writing``).
         self._lock = threading.Lock()
-        self._out: deque[bytes] = deque()
+        self._out: deque[bytes | list[bytes | memoryview]] = deque()
         self._out_bytes = 0
         self._flush_at: float | None = None
         self._closed = False            # no further send() accepted
@@ -242,8 +289,12 @@ class Connection:
 
     # -- public (thread-safe) -------------------------------------------------
 
-    def send(self, payload: bytes) -> None:
+    def send(self, payload: bytes | list[bytes | memoryview]) -> None:
         """Queue one encoded frame for transmission; never blocks.
+
+        ``payload`` is one frame: a contiguous buffer, or an ordered
+        buffer list that reaches the wire through a single gather write
+        (``sendmsg``) without ever being joined.
 
         Raises :class:`ConnectionError` when the connection has been
         closed — the payload then provably never touched the wire (the
@@ -259,6 +310,12 @@ class Connection:
         syscall.  The loop takes over only for contention, coalescing,
         or backpressure.
         """
+        if isinstance(payload, bytes):
+            nbytes = len(payload)
+        else:
+            nbytes = 0
+            for chunk in payload:
+                nbytes += len(chunk)
         with self._lock:
             if self._closed:
                 raise ConnectionError("connection is closed")
@@ -269,7 +326,7 @@ class Connection:
                 self._writing = True
             else:
                 self._out.append(payload)
-                self._out_bytes += len(payload)
+                self._out_bytes += nbytes
                 depth = self._out_bytes
                 urgent = (self._coalesce_max_delay_s <= 0.0
                           or depth >= self._coalesce_max_bytes)
@@ -277,17 +334,20 @@ class Connection:
                     self._flush_at = (time.monotonic()
                                       + self._coalesce_max_delay_s)
         if direct:
-            self._direct_send(payload)
+            self._direct_send(payload, nbytes)
             return
         self._metrics.note_queue_depth(depth)
         self._loop._mark_dirty(self, urgent)
 
-    def _direct_send(self, payload: bytes) -> None:
+    def _direct_send(self, payload: bytes | list[bytes | memoryview],
+                     nbytes: int) -> None:
         # The caller holds the direct-write right (``_writing``); the
         # loop's flush path yields while it is set, so this is the only
         # thread touching the socket's send side.
+        chunks: list[bytes | memoryview]
+        chunks = [payload] if isinstance(payload, bytes) else payload
         try:
-            sent = self._sock.send(payload)
+            sent = _send_gather(self._sock, chunks)
         except (BlockingIOError, InterruptedError):
             sent = 0
         except (ConnectionError, OSError) as exc:
@@ -298,12 +358,12 @@ class Connection:
             raise ConnectionError(f"send failed: {exc}") from exc
         if sent:
             self._metrics.note_flush(1)
-        if sent < len(payload):
-            rest = payload[sent:]
+        if sent < nbytes:
+            rest = _remainder(chunks, sent)
             with self._lock:
                 self._writing = False
                 self._out.appendleft(rest)
-                self._out_bytes += len(rest)
+                self._out_bytes += nbytes - sent
                 depth = self._out_bytes
             self._metrics.note_queue_depth(depth)
             self._loop._mark_dirty(self, urgent=True)
@@ -429,32 +489,39 @@ class Connection:
                 if not self._out:
                     self._flush_at = None
                     break
-                chunks: list[bytes] = []
+                chunks: list[bytes | memoryview] = []
+                frames = 0
                 total = 0
-                while self._out and total < _SEND_CAP:
-                    chunk = self._out.popleft()
-                    chunks.append(chunk)
-                    total += len(chunk)
+                while (self._out and total < _SEND_CAP
+                       and len(chunks) < _IOV_CAP):
+                    item = self._out.popleft()
+                    if isinstance(item, bytes):
+                        chunks.append(item)
+                        total += len(item)
+                    else:
+                        for chunk in item:
+                            chunks.append(chunk)
+                            total += len(chunk)
+                    frames += 1
                 self._out_bytes -= total
-            buf = chunks[0] if len(chunks) == 1 else b"".join(chunks)
             try:
-                sent = self._sock.send(buf)
+                sent = _send_gather(self._sock, chunks)
             except (BlockingIOError, InterruptedError):
                 sent = 0
             except (ConnectionError, OSError) as exc:
                 self._teardown(exc)
                 return
             if sent:
-                self._metrics.note_flush(len(chunks))
-            if sent < len(buf):
+                self._metrics.note_flush(frames)
+            if sent < total:
                 # Backpressure: keep the remainder at the queue head and
                 # let EVENT_WRITE drive the rest out.  Disarm the flush
                 # deadline — retrying before the socket drains would just
                 # spin; writability is now the only useful signal.
-                rest = buf[sent:]
+                rest = _remainder(chunks, sent)
                 with self._lock:
                     self._out.appendleft(rest)
-                    self._out_bytes += len(rest)
+                    self._out_bytes += total - sent
                     self._flush_at = None
                 self._set_write_interest(True)
                 return
@@ -479,14 +546,20 @@ class Connection:
         with self._lock:
             if self._writing:
                 return  # a direct writer owns the socket; don't interleave
-            chunks = list(self._out)
+            queued = list(self._out)
             self._out.clear()
             self._out_bytes = 0
-        if not chunks:
+        if not queued:
             return
+        flat: list[bytes | memoryview] = []
+        for item in queued:
+            if isinstance(item, bytes):
+                flat.append(item)
+            else:
+                flat.extend(item)
         try:
             self._sock.settimeout(_DRAIN_TIMEOUT_S)
-            self._sock.sendall(b"".join(chunks))
+            self._sock.sendall(b"".join(flat))
         except OSError:
             pass
 

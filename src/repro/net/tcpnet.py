@@ -107,7 +107,7 @@ from repro.errors import (
     RemoteInvocationError,
     TransportError,
 )
-from repro.net import codec
+from repro.net import codec, wirecodec
 from repro.net.endpoint import PROTOCOL_VERSION, Endpoint, Hello
 from repro.net.message import (
     BULK_KINDS, ONEWAY_KINDS, Message, ReplyPayload, from_wire, to_wire,
@@ -183,24 +183,61 @@ def _transmittable_error_payload(payload: ReplyPayload) -> ReplyPayload:
         )
 
 
-def _encode_frame(message: Message, codec_for=None, flat: bool = False) -> bytes:
-    """One wire-ready frame (header + body), compressing when negotiated.
+def _encode_frame(message: Message, codec_for=None, flat: bool = False,
+                  binary: bool = False) -> "bytes | list[bytes | memoryview]":
+    """One wire-ready frame, compressing when negotiated.
 
     ``codec_for`` maps the serialized size to a codec id (``None`` keeps
     every frame raw).  A frame the codec fails to shrink is sent raw —
     the header is self-describing, so the receiver never needs to know
     what the sender attempted.
 
-    ``flat`` selects the flattened envelope marshal (cheaper, smaller) —
-    used only toward peers whose HELLO confirmed a same-version build;
-    everyone else gets the legacy byte format.  Decoding is
-    self-describing either way (:func:`repro.net.message.from_wire`).
+    Three envelope encodings, fastest first:
+
+    * ``binary`` — the schema-compiled codec
+      (:mod:`repro.net.wirecodec`), used only toward peers whose HELLO
+      advertised the *identical* wire-format digest.  Large blob fields
+      come back as a buffer *list* (header + head + zero-copy segments)
+      that the reactor writes with one gather syscall; small frames
+      collapse to contiguous bytes.
+    * ``flat`` — the flattened pickled-tuple marshal, toward confirmed
+      same-version peers that did not negotiate the binary dialect.
+    * neither — the legacy whole-message pickle.
+
+    Decoding is self-describing in every case: a binary envelope starts
+    with :data:`wirecodec.MAGIC`, which no pickle stream can.
     """
-    try:
-        blob = (to_wire(message) if flat else
-                pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception as exc:
-        raise MarshalError(f"cannot pickle {message.describe()}: {exc}") from exc
+    if binary:
+        try:
+            parts = wirecodec.encode_envelope(message)
+        except Exception as exc:
+            raise MarshalError(
+                f"cannot encode {message.describe()}: {exc}") from exc
+        if len(parts) == 1:
+            blob = parts[0]
+        else:
+            nbytes = sum(len(part) for part in parts)
+            if nbytes > _MAX_FRAME:
+                raise MarshalError(f"message too large: {nbytes} bytes")
+            ident = codec.RAW if codec_for is None else codec_for(nbytes)
+            if ident != codec.RAW:
+                joined = b"".join(parts)
+                body = codec.encode(ident, joined)
+                if len(body) < nbytes:  # compression beats zero-copy
+                    return _LENGTH_PREFIX.pack(
+                        len(body) | (ident << _CODEC_SHIFT)) + body
+            head = _LENGTH_PREFIX.pack(nbytes)
+            first = parts[0]
+            if isinstance(first, bytes):
+                return [head + first, *parts[1:]]
+            return [head, *parts]
+    else:
+        try:
+            blob = (to_wire(message) if flat else
+                    pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception as exc:
+            raise MarshalError(
+                f"cannot pickle {message.describe()}: {exc}") from exc
     if len(blob) > _MAX_FRAME:
         raise MarshalError(f"message too large: {len(blob)} bytes")
     ident = codec.RAW if codec_for is None else codec_for(len(blob))
@@ -212,6 +249,13 @@ def _encode_frame(message: Message, codec_for=None, flat: bool = False) -> bytes
     return _LENGTH_PREFIX.pack(len(body) | (ident << _CODEC_SHIFT)) + body
 
 
+def _frame_nbytes(wire: "bytes | list[bytes | memoryview]") -> int:
+    """On-wire size of one encoded frame (header included)."""
+    if isinstance(wire, bytes):
+        return len(wire)
+    return sum(len(part) for part in wire)
+
+
 def _send_frame(sock: socket.socket, message: Message,
                 codec_for=None) -> None:
     """Write one frame on a blocking socket (the per-call path)."""
@@ -219,8 +263,15 @@ def _send_frame(sock: socket.socket, message: Message,
 
 
 def _decode_frame(ident: int, body: bytes) -> object:
-    """Decompress + unmarshal one reactor-delivered frame body."""
+    """Decompress + unmarshal one reactor-delivered frame body.
+
+    Routing is one byte: a binary envelope opens with
+    :data:`wirecodec.MAGIC` (0xB1), a pickle stream with 0x80 — so the
+    receiver needs no negotiation state to decode either dialect.
+    """
     blob = codec.decode(ident, body, _MAX_FRAME)
+    if blob and blob[0] == wirecodec.MAGIC:
+        return wirecodec.decode_envelope(blob)
     return from_wire(blob)
 
 
@@ -266,6 +317,8 @@ def _recv_any(sock: socket.socket) -> tuple[object, int]:
         raise MarshalError(f"incoming frame too large: {length} bytes")
     body = _recv_exact(sock, length)
     blob = codec.decode(ident, body, _MAX_FRAME)
+    if blob and blob[0] == wirecodec.MAGIC:
+        return wirecodec.decode_envelope(blob), _LENGTH_PREFIX.size + length
     return from_wire(blob), _LENGTH_PREFIX.size + length
 
 
@@ -404,7 +457,8 @@ class _Channel:
                  codec_for=None,
                  negotiated: tuple[str, ...] | None = None,
                  peer_hello: Hello | None = None,
-                 protocol_version: int = PROTOCOL_VERSION) -> None:
+                 protocol_version: int = PROTOCOL_VERSION,
+                 binary_enabled: bool = True) -> None:
         self.dst = dst
         self._codec_for = codec_for
         #: What the peer's HELLO advertised (``None`` = no HELLO yet /
@@ -414,6 +468,13 @@ class _Channel:
         self.negotiated_codecs = negotiated
         self.peer_hello = peer_hello
         self._protocol_version = protocol_version
+        #: Binary-envelope negotiation, precomputed once per HELLO so the
+        #: per-frame send path reads one attribute instead of probing the
+        #: peer's settings dict on every encode.
+        self._binary_enabled = binary_enabled
+        self.send_binary = binary_enabled and wirecodec.hello_accepts_binary(
+            peer_hello, protocol_version
+        )
         self._request_lock = threading.Lock() if serialize else None
         self._shards = tuple(_WaiterShard() for _ in range(_WAITER_SHARDS))
         self._closed = False
@@ -461,7 +522,8 @@ class _Channel:
         :class:`_ChannelClosedError` means the frame provably never
         reached the write queue (safe to retry on a fresh channel).
         """
-        wire = _encode_frame(message, self._codec_for, flat=self._flat_wire())
+        wire = _encode_frame(message, self._codec_for, flat=self._flat_wire(),
+                             binary=self.send_binary)
         shard = self._shard(message.msg_id)
         if not shard.park(message.msg_id, sink):
             raise _ChannelClosedError(f"channel to {self.dst!r} is closed")
@@ -478,7 +540,8 @@ class _Channel:
         self._shard(msg_id).discard(msg_id, waiter)
 
     def send_oneway(self, message: Message) -> None:
-        wire = _encode_frame(message, self._codec_for, flat=self._flat_wire())
+        wire = _encode_frame(message, self._codec_for, flat=self._flat_wire(),
+                             binary=self.send_binary)
         try:
             self._conn.send(wire)
         except ConnectionError as exc:
@@ -507,6 +570,11 @@ class _Channel:
                 tuple(reply.codecs)
                 if reply.version == self._protocol_version
                 else ()
+            )
+            self.send_binary = (
+                self._binary_enabled
+                and wirecodec.hello_accepts_binary(
+                    reply, self._protocol_version)
             )
             return
         if not isinstance(reply, Message):
@@ -741,7 +809,7 @@ class _WorkerPool:
 class _PeerState:
     """What one inbound connection's HELLO taught us about its peer."""
 
-    __slots__ = ("codecs", "hello")
+    __slots__ = ("codecs", "hello", "binary")
 
     def __init__(self) -> None:
         #: ``None`` until (unless) the peer HELLOs — reply compression
@@ -749,6 +817,10 @@ class _PeerState:
         #: which is the pre-handshake behaviour.
         self.codecs: tuple[str, ...] | None = None
         self.hello: Hello | None = None
+        #: True only when the peer's HELLO advertised this build's exact
+        #: binary wire-format digest — replies then use the compiled
+        #: codec; everyone else keeps the pickled envelope.
+        self.binary = False
 
 
 class _ServerConn:
@@ -796,7 +868,8 @@ class _NodeServer:
                  handshake: bool = True,
                  hello_codecs=None,
                  codec_for_advertised=None,
-                 protocol_version: int = PROTOCOL_VERSION) -> None:
+                 protocol_version: int = PROTOCOL_VERSION,
+                 wire_formats: tuple[str, ...] = ()) -> None:
         self.node_id = node_id
         self.handler = handler
         self.reply_cache = ReplyCache(shards=8)
@@ -812,6 +885,8 @@ class _NodeServer:
         self._hello_codecs = hello_codecs
         self._codec_for_advertised = codec_for_advertised
         self._protocol_version = protocol_version
+        self._wire_formats = wire_formats
+        self._binary_enabled = wirecodec.WIRE_FORMAT in wire_formats
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -868,11 +943,17 @@ class _NodeServer:
                     if frame.version == self._protocol_version
                     else ()  # mismatched dialect: degrade to raw
                 )
+                state.peer.binary = (
+                    self._binary_enabled
+                    and wirecodec.hello_accepts_binary(
+                        frame, self._protocol_version)
+                )
                 reply = Hello(
                     version=self._protocol_version,
                     node_id=self.node_id,
                     codecs=(self._hello_codecs()
                             if self._hello_codecs is not None else ()),
+                    settings={wirecodec.WIRE_SETTING: self._wire_formats},
                 )
                 try:
                     state.conn.send(_encode_hello(reply))
@@ -885,7 +966,9 @@ class _NodeServer:
                 f"expected a Message frame, got {type(frame).__name__}"
             )
         state.first = False
-        self._trace.record(frame, self._clock.now_ms())
+        # The reactor measured the frame; thread that through so the
+        # trace never pays a second serialization to size the payload.
+        self._trace.record(frame, self._clock.now_ms(), nbytes=wire_bytes)
         pool = self._bulk_pool if frame.kind in BULK_KINDS else self._pool
         pool.submit(self._dispatch, state, frame)
 
@@ -917,7 +1000,6 @@ class _NodeServer:
         if message.kind in ONEWAY_KINDS:
             return  # one-way traffic carries no reply frame
         reply = message.reply(_transmittable_error_payload(payload))
-        self._trace.record(reply, self._clock.now_ms())
         peer_codecs = state.peer.codecs
         codec_for = None
         if peer_codecs is not None and self._codec_for_advertised is not None:
@@ -932,7 +1014,15 @@ class _NodeServer:
         hello = state.peer.hello
         flat = hello is not None and hello.version == self._protocol_version
         try:
-            state.conn.send(_encode_frame(reply, codec_for, flat=flat))
+            wire = _encode_frame(reply, codec_for, flat=flat,
+                                 binary=state.peer.binary)
+        except MarshalError:
+            self._trace.record(reply, self._clock.now_ms())
+            raise
+        self._trace.record(reply, self._clock.now_ms(),
+                           nbytes=_frame_nbytes(wire))
+        try:
+            state.conn.send(wire)
         except ConnectionError:
             pass  # caller gave up; the reply cache covers their retry
 
@@ -974,7 +1064,8 @@ class TcpNetwork(Transport):
                  protocol_version: int = PROTOCOL_VERSION,
                  reactor_threads: int = 1,
                  coalesce_max_bytes: int = 64 * 1024,
-                 coalesce_max_delay_ms: float = 0.0) -> None:
+                 coalesce_max_delay_ms: float = 0.0,
+                 wire_formats: tuple[str, ...] | None = None) -> None:
         """``latency_ms`` emulates a slower link (tc-netem style): every
         request is delayed that long at the destination before dispatch.
         Loopback's ~0.1 ms round trip hides latency effects entirely;
@@ -1011,8 +1102,8 @@ class TcpNetwork(Transport):
         degrading to raw framing.
 
         Data-plane knobs: ``reactor_threads`` sizes the event-loop pool
-        that owns every pooled/pipelined socket (one loop is right until
-        it saturates a core); ``coalesce_max_bytes`` and
+        that owns every pooled/pipelined socket (one is right until it
+        saturates a core); ``coalesce_max_bytes`` and
         ``coalesce_max_delay_ms`` shape adaptive frame coalescing — a
         connection's queued frames flush when the loop goes idle, the
         queue crosses the byte watermark, or the oldest frame has waited
@@ -1020,6 +1111,14 @@ class TcpNetwork(Transport):
         flushes at the next loop round (lowest latency, batching only
         under load); a small delay (0.2–1 ms) trades that latency for
         bigger batches on throughput-bound workloads.
+
+        ``wire_formats`` is the envelope-dialect advertisement carried in
+        ``Hello.settings["wire"]`` (default: this build's schema-compiled
+        binary format).  Two peers use the binary envelope only when both
+        advertised the *identical* format digest; ``()`` models a
+        legacy/pre-codec build, which keeps the pickled-tuple envelope in
+        both directions — mixed-version clusters degrade per connection,
+        never fail.
         """
         super().__init__(
             clock=clock if clock is not None else WallClock(),
@@ -1068,6 +1167,11 @@ class TcpNetwork(Transport):
         self.handshake = handshake
         self.hello_timeout_s = hello_timeout_s
         self.protocol_version = protocol_version
+        self.wire_formats = (
+            (wirecodec.WIRE_FORMAT,) if wire_formats is None
+            else tuple(wire_formats)
+        )
+        self._binary_enabled = wirecodec.WIRE_FORMAT in self.wire_formats
         write_codecs = codec.available_codecs() if codecs is None else tuple(codecs)
         for name in write_codecs:
             codec.codec_id(name)  # validate eagerly, not on the hot path
@@ -1188,7 +1292,8 @@ class TcpNetwork(Transport):
                              handshake=self.handshake,
                              hello_codecs=lambda: self._advertised_for(node_id),
                              codec_for_advertised=self._codec_for_advertised,
-                             protocol_version=self.protocol_version)
+                             protocol_version=self.protocol_version,
+                             wire_formats=self.wire_formats)
         with self._lock:
             old = self._servers.get(node_id)
             self._servers[node_id] = server
@@ -1310,7 +1415,8 @@ class TcpNetwork(Transport):
             version=self.protocol_version,
             node_id=src,
             codecs=self._advertised_for(src),
-            settings={"mode": self.mode, "max_frame": _MAX_FRAME},
+            settings={"mode": self.mode, "max_frame": _MAX_FRAME,
+                      wirecodec.WIRE_SETTING: self.wire_formats},
         )
         try:
             _send_hello(sock, hello)
@@ -1356,7 +1462,8 @@ class TcpNetwork(Transport):
         channel = _Channel(dst, sock, self._reactor,
                            serialize=(self.mode == "pooled"),
                            negotiated=negotiated, peer_hello=peer_hello,
-                           protocol_version=self.protocol_version)
+                           protocol_version=self.protocol_version,
+                           binary_enabled=self._binary_enabled)
         # Reads the channel's live negotiation state so a HELLO that
         # straggles in after the handshake window still upgrades the
         # channel; un-negotiated channels use the registry path (which

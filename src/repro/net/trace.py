@@ -42,21 +42,29 @@ class MessageTrace:
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
         #: Recorded-but-not-yet-materialized entries: (seq, time_ms,
-        #: message, dropped).  The hot path only appends this tuple; the
-        #: kind string and payload sizing (a pickle!) are deferred to the
-        #: first read, off the transport's critical path.
-        self._pending: list[tuple[int, float, Message, bool]] = []
+        #: message, dropped, nbytes).  The hot path only appends this
+        #: tuple; the kind string and payload sizing (a pickle!) are
+        #: deferred to the first read, off the transport's critical path.
+        self._pending: list[tuple[int, float, Message, bool, int | None]] = []
         self._lock = threading.Lock()
         self._seq = 0
 
-    def record(self, message: Message, time_ms: float, dropped: bool = False) -> None:
-        """Append an event for ``message`` (lazily materialized)."""
+    def record(self, message: Message, time_ms: float, dropped: bool = False,
+               nbytes: int | None = None) -> None:
+        """Append an event for ``message`` (lazily materialized).
+
+        ``nbytes`` lets a transport that already knows the frame's
+        *measured* on-wire size (the TCP data plane) thread it through
+        instead of paying a second serialization at materialize time;
+        ``None`` keeps the :func:`payload_nbytes` estimate (the
+        simulated network's figure-stable accounting).
+        """
         with self._lock:
             self._seq += 1
-            self._pending.append((self._seq, time_ms, message, dropped))
+            self._pending.append((self._seq, time_ms, message, dropped, nbytes))
 
     def _materialize_locked(self) -> None:
-        for seq, time_ms, message, dropped in self._pending:
+        for seq, time_ms, message, dropped, nbytes in self._pending:
             kind = message.kind.value
             if (message.kind is MessageKind.REPLY
                     and message.in_reply_to is not None):
@@ -70,7 +78,7 @@ class MessageTrace:
                 msg_id=message.msg_id,
                 local=message.is_local,
                 dropped=dropped,
-                nbytes=payload_nbytes(message),
+                nbytes=nbytes if nbytes is not None else payload_nbytes(message),
             ))
         self._pending.clear()
 

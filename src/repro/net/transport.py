@@ -76,7 +76,12 @@ from repro.net.deadline import (
     effective_deadline,
 )
 from repro.net.endpoint import Endpoint
-from repro.net.message import Message, MessageKind, ReplyPayload
+from repro.net.message import (
+    Message,
+    MessageKind,
+    ReplyPayload,
+    build_message,
+)
 from repro.net.trace import MessageTrace
 from repro.util.clock import Clock
 
@@ -823,8 +828,8 @@ class Transport(ABC):
         transports return a future whose round trip is genuinely in flight,
         so issuing N futures before collecting any overlaps N round trips.
         """
-        message = Message(kind=kind, src=src, dst=dst, payload=payload,
-                          deadline=effective_deadline(deadline))
+        message = build_message(kind, src, dst, payload,
+                                effective_deadline(deadline))
         return self._transmit_async(message, batch=False)
 
     def call_many(self, src: str, dst: str,
@@ -859,12 +864,10 @@ class Transport(ABC):
             return CallFuture.completed([], f"{src} -> {dst}: empty BATCH")
         deadline = effective_deadline(deadline)
         subs = tuple(
-            Message(kind=kind, src=src, dst=dst, payload=payload,
-                    deadline=deadline)
+            build_message(kind, src, dst, payload, deadline)
             for kind, payload in requests
         )
-        batch = Message(kind=MessageKind.BATCH, src=src, dst=dst, payload=subs,
-                        deadline=deadline)
+        batch = build_message(MessageKind.BATCH, src, dst, subs, deadline)
         return self._transmit_async(batch, batch=True)
 
     def stream(self, src: str, dst: str,
@@ -997,7 +1000,7 @@ class Transport(ABC):
         this — §3.5's asynchrony — so an agent sent into a dead node is
         lost, and the registry's verified find reports it missing.
         """
-        message = Message(kind=kind, src=src, dst=dst, payload=payload)
+        message = build_message(kind, src, dst, payload)
         try:
             self._transmit_oneway(message)
         except (MessageLostError, NodeUnreachableError):

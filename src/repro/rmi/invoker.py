@@ -39,7 +39,10 @@ class Invoker:
         """Execute the request; returns the marshalled result."""
         servant = self._servant_lookup(request.name)
         method = self._resolve_method(servant, request)
-        args, kwargs = unmarshal_call(request.args_blob, self._stub_factory)
+        args, kwargs = unmarshal_call(
+            request.args_blob, self._stub_factory,
+            context=f"INVOKE {request.name}.{request.method} on {self.node_id}",
+        )
         try:
             result = method(*args, **kwargs)
         except Exception as exc:

@@ -14,12 +14,25 @@ Two special cases ride on pickle's *persistent id* hook:
   registry and locking consequences, so it must go through the mover, never
   hide inside an argument list.  (Java RMI's analogue: a non-Serializable,
   non-exported object.)
+
+Hot-path discipline (PR 8): a Python-level ``persistent_id`` hook is
+consulted for *every object* the C pickler visits, and building a fresh
+``Pickler`` + ``BytesIO`` per call costs more than encoding a small
+argument list.  So :func:`marshal` first checks whether the value is a
+plain primitive tree — no instance can hide a stub or a mobile object
+there — and takes the pure-C ``pickle.dumps`` path; everything else goes
+through a per-thread *reused* pickler (memo cleared, buffer rewound)
+instead of fresh objects per call.  Out-of-band buffer handling for
+``*_blob``-bearing payloads lives one layer down in
+:mod:`repro.net.wirecodec`, which ships ``PickleBuffer`` exports as
+separate writev segments.
 """
 
 from __future__ import annotations
 
 import io
 import pickle
+import threading
 from typing import Any, Callable
 
 from repro.errors import MarshalError
@@ -34,7 +47,7 @@ MOBILE_CLASS_MARKER = "__mage_mobile_class__"
 
 
 class _MagePickler(pickle.Pickler):
-    def persistent_id(self, obj: Any):  # noqa: D102 (pickle hook)
+    def persistent_id(self, obj: Any) -> Any:  # noqa: D102 (pickle hook)
         if isinstance(obj, Stub):
             return ("stub", obj.ref)
         if getattr(type(obj), MOBILE_CLASS_MARKER, False):
@@ -56,12 +69,100 @@ class _MageUnpickler(pickle.Unpickler):
         raise MarshalError(f"unknown persistent id in stream: {pid!r}")
 
 
+# Values that can never be (or contain) a Stub or a mobile instance, so
+# the persistent_id hook has nothing to say about them.
+_PLAIN_SCALARS = frozenset({str, int, float, bool, bytes, type(None)})
+_PLAIN_MAX_ITEMS = 64
+_PLAIN_MAX_DEPTH = 4
+
+
+def _plain_safe(value: Any, depth: int = 0) -> bool:
+    """True when ``value`` is a primitive tree (exact builtin types only).
+
+    Exact-type checks on purpose: a *subclass* of ``str`` or ``tuple``
+    could smuggle arbitrary state, so it takes the guarded path.
+    """
+    t = type(value)
+    if t in _PLAIN_SCALARS:
+        return True
+    if depth >= _PLAIN_MAX_DEPTH:
+        return False
+    if t is tuple or t is list:
+        if len(value) > _PLAIN_MAX_ITEMS:
+            return False
+        return all(_plain_safe(item, depth + 1) for item in value)
+    if t is dict:
+        if len(value) > _PLAIN_MAX_ITEMS:
+            return False
+        return all(
+            type(key) in _PLAIN_SCALARS and _plain_safe(item, depth + 1)
+            for key, item in value.items()
+        )
+    return False
+
+
+class _MarshalScratch(threading.local):
+    """Per-thread reused pickler + growable buffer."""
+
+    def __init__(self) -> None:
+        self.reset()
+        self.busy = False
+
+    def reset(self) -> None:
+        self.buffer = io.BytesIO()
+        self.pickler = _MagePickler(self.buffer, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+_scratch = _MarshalScratch()
+
+# Single-slot (value identity -> blob size) cache: the common pattern is
+# marshal(value) followed by marshalled_size(value) for bandwidth
+# accounting, which used to serialize everything twice.  The strong
+# reference in the slot makes the identity check sound (no id reuse).
+_last_sized: "tuple[Any, int] | None" = None
+
+
 def marshal(value: Any) -> bytes:
     """Serialize ``value`` for the wire.
 
     Raises :class:`MarshalError` for unpicklable values and for mobile
     instances (which must travel via the mover).
     """
+    global _last_sized
+    if _plain_safe(value):
+        blob = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+        _last_sized = (value, len(blob))
+        return blob
+    scratch = _scratch
+    if scratch.busy:
+        # Reentrant marshal (a payload's __reduce__ marshalling nested
+        # state) — fall back to fresh objects rather than corrupting the
+        # in-flight stream.
+        return _marshal_fresh(value)
+    scratch.busy = True
+    try:
+        buffer = scratch.buffer
+        buffer.seek(0)
+        buffer.truncate()
+        pickler = scratch.pickler
+        pickler.clear_memo()
+        try:
+            pickler.dump(value)
+        except MarshalError:
+            scratch.reset()
+            raise
+        except Exception as exc:
+            scratch.reset()
+            raise MarshalError(
+                f"cannot marshal {type(value).__name__}: {exc}") from exc
+        blob = buffer.getvalue()
+    finally:
+        scratch.busy = False
+    _last_sized = (value, len(blob))
+    return blob
+
+
+def _marshal_fresh(value: Any) -> bytes:
     buffer = io.BytesIO()
     try:
         _MagePickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(value)
@@ -88,23 +189,49 @@ def unmarshal(blob: bytes, stub_factory: StubFactory | None = None) -> Any:
 
 
 def marshalled_size(value: Any) -> int:
-    """Size in bytes of ``value`` on the wire (for bandwidth accounting)."""
+    """Size in bytes of ``value`` on the wire (for bandwidth accounting).
+
+    When ``value`` is the object most recently marshalled (by identity),
+    the size is read from the cached slot instead of serializing again.
+    """
+    cached = _last_sized
+    if cached is not None and cached[0] is value:
+        return cached[1]
     return len(marshal(value))
 
 
-def marshal_call(args: tuple, kwargs: dict) -> bytes:
+def marshal_call(args: "tuple[Any, ...]", kwargs: "dict[str, Any]") -> bytes:
     """Marshal an argument list for an INVOKE request."""
     return marshal((tuple(args), dict(kwargs)))
 
 
-def unmarshal_call(blob: bytes, stub_factory: StubFactory | None = None) -> tuple[tuple, dict]:
-    """Inverse of :func:`marshal_call`."""
-    value = unmarshal(blob, stub_factory)
+def unmarshal_call(
+    blob: bytes,
+    stub_factory: StubFactory | None = None,
+    *,
+    context: str = "",
+) -> "tuple[tuple[Any, ...], dict[str, Any]]":
+    """Inverse of :func:`marshal_call`.
+
+    ``context`` (e.g. ``"INVOKE counter.incr on node-b from node-a"``)
+    is folded into the :class:`MarshalError` so a malformed call blob
+    names the message kind and nodes involved, not just its shape.
+    """
+    try:
+        value = unmarshal(blob, stub_factory)
+    except MarshalError as exc:
+        if context:
+            raise MarshalError(f"{exc} [{context}]") from exc
+        raise
     if (
         not isinstance(value, tuple)
         or len(value) != 2
         or not isinstance(value[0], tuple)
         or not isinstance(value[1], dict)
     ):
-        raise MarshalError("call blob did not contain an (args, kwargs) pair")
+        detail = f" [{context}]" if context else ""
+        raise MarshalError(
+            "call blob did not contain an (args, kwargs) pair: got "
+            f"{type(value).__name__}{detail}"
+        )
     return value

@@ -203,7 +203,11 @@ class MageExternalServer:
 
     def _on_instantiate(self, request: InstantiateRequest) -> RemoteRef:
         cls = self._classcache.resolve(request.class_name)
-        args, kwargs = unmarshal_call(request.args_blob, self._stub_factory)
+        args, kwargs = unmarshal_call(
+            request.args_blob, self._stub_factory,
+            context=(f"INSTANTIATE {request.class_name} as "
+                     f"{request.name!r} on {self.node_id}"),
+        )
         obj = cls(*args, **kwargs)
         self._store.add(request.name, obj, shared=request.shared)
         self._registry.record_arrival(request.name)

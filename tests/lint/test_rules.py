@@ -35,7 +35,7 @@ def lint_snippet(tmp_path: Path, code: str, rel_path: str = DEFAULT_REL,
 
 def test_every_rule_is_registered():
     ids = sorted(rule.id for rule in ALL_RULES)
-    assert ids == [f"MAGE00{i}" for i in range(1, 8)]
+    assert ids == [f"MAGE00{i}" for i in range(1, 9)]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale, f"{rule.id} lacks docs"
         assert rule.explain().startswith(rule.id)
@@ -417,6 +417,96 @@ def test_mage007_never_guarded_attr_is_not_flagged(tmp_path):
                 self._stuff[k] = v
     """, rule="MAGE007")
     assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# MAGE008 — wire-codec payload coverage (whole-program)
+# ---------------------------------------------------------------------------
+
+_PROTOCOL = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class InvokeRequest:
+        name: str
+
+    @dataclass(frozen=True)
+    class GossipDigest:
+        entries: "tuple[str, ...]"
+
+    class NotAPayload:   # plain class: outside the dataclass vocabulary
+        pass
+"""
+
+
+def _write_wire_fixture(tmp_path, codec_source: str | None) -> set[str]:
+    (tmp_path / "src/repro/rmi").mkdir(parents=True)
+    (tmp_path / "src/repro/rmi/protocol.py").write_text(
+        textwrap.dedent(_PROTOCOL))
+    (tmp_path / "src/repro/net").mkdir(parents=True)
+    (tmp_path / "src/repro/net/message.py").write_text(textwrap.dedent("""
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class ReplyPayload:
+            value: object = None
+    """))
+    if codec_source is not None:
+        (tmp_path / "src/repro/net/wirecodec.py").write_text(
+            textwrap.dedent(codec_source))
+    run = lint_paths([tmp_path / "src"], root=tmp_path)
+    return {f.symbol for f in run.findings if f.rule == "MAGE008"}
+
+
+def test_mage008_flags_unregistered_payload(tmp_path):
+    symbols = _write_wire_fixture(tmp_path, """
+        from repro.rmi import protocol
+        from repro.net.message import ReplyPayload
+
+        REGISTERED_PAYLOADS = (
+            protocol.InvokeRequest,
+            ReplyPayload,
+        )
+        PICKLE_FALLBACK = ()
+    """)
+    assert symbols == {"GossipDigest"}
+
+
+def test_mage008_clean_when_registered_or_parked(tmp_path):
+    symbols = _write_wire_fixture(tmp_path, """
+        from repro.rmi import protocol
+        from repro.net.message import ReplyPayload
+
+        REGISTERED_PAYLOADS: "tuple[type, ...]" = (
+            protocol.InvokeRequest,
+            ReplyPayload,
+        )
+        # Deliberately pickled: huge dynamic body, measured slower binary.
+        PICKLE_FALLBACK = (protocol.GossipDigest,)
+    """)
+    assert symbols == set()
+
+
+def test_mage008_silent_without_codec_module(tmp_path):
+    # Linting a subtree that has no wirecodec.py (e.g. the magelint
+    # self-check) must not demand coverage from thin air.
+    assert _write_wire_fixture(tmp_path, None) == set()
+
+
+def test_mage008_real_registry_covers_real_protocol():
+    from repro.net import wirecodec
+    from repro.rmi import protocol as real_protocol
+
+    names = {cls.__name__ for cls in wirecodec.REGISTERED_PAYLOADS}
+    names |= {cls.__name__ for cls in wirecodec.PICKLE_FALLBACK}
+    import dataclasses
+    declared = {
+        name for name, obj in vars(real_protocol).items()
+        if isinstance(obj, type) and dataclasses.is_dataclass(obj)
+        and obj.__module__ == real_protocol.__name__
+    }
+    assert declared <= names
+    assert "ReplyPayload" in names
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ from magelint.rules.mage004_deadline_drop import DeadlineDropRule
 from magelint.rules.mage005_wall_clock import WallClockRule
 from magelint.rules.mage006_kind_exhaustive import KindExhaustiveRule
 from magelint.rules.mage007_shared_mutation import SharedMutationRule
+from magelint.rules.mage008_wire_coverage import WireCoverageRule
 
 ALL_RULES: tuple[Rule, ...] = (
     LockBlockingRule(),
@@ -25,6 +26,7 @@ ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
     KindExhaustiveRule(),
     SharedMutationRule(),
+    WireCoverageRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
