@@ -10,16 +10,22 @@ by message id — since the reactor rewrite, over an event-loop data plane
 with adaptive frame coalescing.
 
 The bench runs 8 concurrent callers against one node in each mode, adds
-a 64-caller pipelined point (where per-wake costs amortize), and writes
-the measured rates plus per-call latency percentiles to
+a 64-caller pipelined point (where per-wake costs amortize), and — since
+the call path learned transparent aggregation — measures both pipelined
+points with auto-batching disabled too, so the coalescing win is its own
+recorded number rather than folded into the mode comparison.  The server
+handler is declared ``inline_safe``: PING is on the inline allowlist, so
+the bench exercises the full fast path (client-side AUTO_BATCH frames,
+loop-thread dispatch, aggregated replies).  Results go to
 ``results/transport_throughput.txt`` and a machine-readable
 ``results/BENCH_transport_throughput.json`` (including the reactor's
-data-plane counters) so future transport changes can diff against a
-recorded baseline.  The shape that must hold: pipelining beats
-connection-per-call by at least 2x, and pooling stays measurably ahead
-of it.  (The reactor accelerated per-call mode too — a fresh connection
-now costs a loop registration instead of a spawned reader thread — so
-the pooled gap is narrower than in the thread-per-connection era.)
+data-plane counters — batch-size histogram, inline-dispatch tallies) so
+future transport changes can diff against a recorded baseline.  The
+shape that must hold: pipelining beats connection-per-call by at least
+2x, and pooling stays measurably ahead of it.  (The reactor accelerated
+per-call mode too — a fresh connection now costs a loop registration
+instead of a spawned reader thread — so the pooled gap is narrower than
+in the thread-per-connection era.)
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.net.message import MessageKind
+from repro.net.message import MessageKind, inline_safe
 from repro.net.tcpnet import MODES, TcpNetwork
 from repro.runtime.metrics import collect_data_plane
 
@@ -72,12 +78,19 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 
 
 def measure_throughput(mode: str, workers: int = WORKERS,
-                       calls: int = CALLS_PER_WORKER) -> ThroughputSample:
-    """Rate and latency spread for ``workers`` concurrent callers."""
-    net = TcpNetwork(mode=mode)
+                       calls: int = CALLS_PER_WORKER,
+                       **net_kwargs) -> ThroughputSample:
+    """Rate and latency spread for ``workers`` concurrent callers.
+
+    ``net_kwargs`` reach the :class:`TcpNetwork` constructor — the
+    auto-batch comparison points pass ``auto_batch=False`` here.
+    """
+    net = TcpNetwork(mode=mode, **net_kwargs)
     try:
         net.register("client", lambda m: None)
-        net.register("server", lambda m: m.payload)
+        # inline_safe: PING is allowlisted, so declaring the echo handler
+        # non-blocking lets the server answer on the reactor loop thread.
+        net.register("server", inline_safe(lambda m: m.payload))
         for _ in range(WARMUP_CALLS):  # establish pooled connections
             net.call("client", "server", MessageKind.PING, 0)
         barrier = threading.Barrier(workers + 1)
@@ -113,10 +126,11 @@ def measure_throughput(mode: str, workers: int = WORKERS,
 
 
 def best_of(samples: int, mode: str, workers: int = WORKERS,
-            calls: int = CALLS_PER_WORKER) -> ThroughputSample:
+            calls: int = CALLS_PER_WORKER, **net_kwargs) -> ThroughputSample:
     """Best-rate sample of ``samples`` runs (damps box noise)."""
     return max(
-        (measure_throughput(mode, workers, calls) for _ in range(samples)),
+        (measure_throughput(mode, workers, calls, **net_kwargs)
+         for _ in range(samples)),
         key=lambda sample: sample.calls_per_s,
     )
 
@@ -145,6 +159,11 @@ def measure_batch_round_trips(batch_size: int) -> tuple[int, int]:
 def test_transport_throughput(report):
     results = {mode: best_of(SAMPLES, mode) for mode in MODES}
     wide = best_of(SAMPLES, "pipelined", WIDE_WORKERS, WIDE_CALLS_PER_WORKER)
+    # The same two pipelined points with auto-batching off isolate the
+    # coalescing win from everything else the pipelined mode does.
+    nobatch = best_of(SAMPLES, "pipelined", auto_batch=False)
+    wide_nobatch = best_of(SAMPLES, "pipelined", WIDE_WORKERS,
+                           WIDE_CALLS_PER_WORKER, auto_batch=False)
     sequential_msgs, batched_msgs = measure_batch_round_trips(8)
     rates = {mode: sample.calls_per_s for mode, sample in results.items()}
     speedups = {mode: rates[mode] / rates["per-call"] for mode in MODES}
@@ -160,11 +179,27 @@ def test_transport_throughput(report):
             f"{speedups[mode]:>5.2f}x   "
             f"p50 {sample.p50_ms:>6.2f} ms   p99 {sample.p99_ms:>7.2f} ms"
         )
+    wide_plane = wide.data_plane or {}
     lines += [
         "",
         f"  pipelined x{WIDE_WORKERS} callers "
         f"{wide.calls_per_s:>10.0f} calls/s           "
         f"p50 {wide.p50_ms:>6.2f} ms   p99 {wide.p99_ms:>7.2f} ms",
+        "",
+        "auto-batching (pipelined, on vs off):",
+        f"  x{WORKERS:<3d} callers  on {results['pipelined'].calls_per_s:>9.0f}"
+        f" calls/s   off {nobatch.calls_per_s:>9.0f} calls/s   "
+        f"{results['pipelined'].calls_per_s / nobatch.calls_per_s:>5.2f}x",
+        f"  x{WIDE_WORKERS:<3d} callers  on {wide.calls_per_s:>9.0f}"
+        f" calls/s   off {wide_nobatch.calls_per_s:>9.0f} calls/s   "
+        f"{wide.calls_per_s / wide_nobatch.calls_per_s:>5.2f}x",
+        f"  x{WIDE_WORKERS} batch frames: {wide_plane.get('auto_batches', 0)} "
+        f"carrying {wide_plane.get('auto_batched_msgs', 0)} calls; "
+        f"sizes {wide_plane.get('auto_batch_per_frame', {})}",
+        f"  x{WIDE_WORKERS} inline dispatches: "
+        f"{wide_plane.get('inline_dispatches', 0)} "
+        f"(overruns {wide_plane.get('inline_overruns', 0)}, "
+        f"demotions {wide_plane.get('inline_demotions', 0)})",
         "",
         f"call_many: {sequential_msgs} frames for 8 sequential calls vs "
         f"{batched_msgs} frames for one batch of 8",
@@ -182,6 +217,16 @@ def test_transport_throughput(report):
             "calls_per_worker": WIDE_CALLS_PER_WORKER,
             **wide.as_dict(),
         },
+        "pipelined_nobatch": {
+            "workers": WORKERS,
+            "calls_per_worker": CALLS_PER_WORKER,
+            **nobatch.as_dict(),
+        },
+        "pipelined_wide_nobatch": {
+            "workers": WIDE_WORKERS,
+            "calls_per_worker": WIDE_CALLS_PER_WORKER,
+            **wide_nobatch.as_dict(),
+        },
         "call_many": {
             "sequential_msgs": sequential_msgs,
             "batched_msgs": batched_msgs,
@@ -198,6 +243,12 @@ def test_transport_throughput(report):
     # Batching collapses 8 round trips (16 frames) into one (2 frames).
     assert sequential_msgs == 16
     assert batched_msgs == 2
+    # Coverage, not speed: 64 callers on one connection must actually
+    # form AUTO_BATCH frames, and the off-point must form none — if
+    # either fails, the comparison above measured the wrong thing.
+    assert wide_plane.get("auto_batches", 0) > 0, wide_plane
+    assert (wide_nobatch.data_plane or {}).get("auto_batches", 0) == 0, \
+        wide_nobatch.data_plane
 
 
 def test_pipelined_beats_pooled_smoke():

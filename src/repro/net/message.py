@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import pickle
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, TypeVar
 
 from repro.net.deadline import Deadline
 from repro.util.ids import fresh_token
@@ -61,6 +61,11 @@ class MessageKind(enum.Enum):
     # --- Replies -----------------------------------------------------------
     REPLY = "REPLY"                      # response envelope for any request
 
+    # --- Transport-internal aggregation ------------------------------------
+    # (Appended last: the binary wire codec's kind table is definition-order
+    # sensitive, so new members must never be inserted above.)
+    AUTO_BATCH = "AUTO_BATCH"            # transport-coalesced concurrent requests
+
 
 #: Kinds sent with ``Transport.cast`` — fire-and-forget, never answered.
 #: Mobile-agent hops are the paper's one asynchronous interaction (§3.5).
@@ -78,6 +83,36 @@ BULK_KINDS = frozenset({
     MessageKind.TRANSFER_COMMIT,
     MessageKind.TRANSFER_ABORT,
 })
+
+#: Kinds whose handlers *may* be cheap and non-blocking: the TCP server
+#: dispatches these inline on the reactor loop thread (under a time-budget
+#: guard), skipping the worker-pool handoff entirely — but only when the
+#: registered handler itself opted in via :func:`inline_safe`.  Growing this
+#: set is a contract: an opted-in handler must not perform blocking calls —
+#: magelint rule MAGE009 checks the handlers these kinds dispatch to against
+#: the blocking-call inference.
+INLINE_KINDS = frozenset({
+    MessageKind.PING,
+    MessageKind.LOAD_QUERY,
+})
+
+
+_HandlerT = TypeVar("_HandlerT", bound=Callable[..., Any])
+
+
+def inline_safe(handler: _HandlerT) -> _HandlerT:
+    """Declare that ``handler`` is non-blocking for :data:`INLINE_KINDS`.
+
+    Inline dispatch is double-gated: the *kind* must be in the allowlist
+    **and** the registered handler must carry this declaration — an
+    arbitrary handler (a test double that sleeps, a third-party callable)
+    never runs on the reactor loop just because it serves PING.  The
+    declaration is a registration contract, checked statically by
+    magelint MAGE009 and dynamically by the server's per-call time
+    budget (persistent overruns demote the fast path).
+    """
+    handler.inline_kinds = INLINE_KINDS  # type: ignore[attr-defined]
+    return handler
 
 
 @dataclass(frozen=True)

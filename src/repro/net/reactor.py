@@ -49,7 +49,7 @@ import struct
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 #: One 32-bit header word per frame: ``length | (codec_id << CODEC_SHIFT)``.
@@ -149,6 +149,12 @@ class DataPlaneStats:
     measure of what adaptive coalescing saves).  Loop lag is how long
     one event-processing round kept the loop away from ``select`` —
     the reactor's answer to "is the loop the bottleneck".
+
+    The ``auto_batch_*`` / ``inline_*`` fields describe the transport's
+    call-path aggregation one layer up (calls coalesced per frame,
+    dispatches run inline on the loop thread); the reactor itself never
+    touches them — the TCP transport folds its own counters in before
+    handing the snapshot out, so they default to zero here.
     """
 
     frames_sent: int
@@ -160,6 +166,12 @@ class DataPlaneStats:
     max_queue_bytes: int
     queued_bytes: int
     connections: int
+    auto_batches: int = 0
+    auto_batched_msgs: int = 0
+    auto_batch_per_frame: dict[int, int] = field(default_factory=dict)
+    inline_dispatches: int = 0
+    inline_overruns: int = 0
+    inline_demotions: int = 0
 
     def as_dict(self) -> dict[str, object]:
         """JSON-friendly form for bench artifacts."""
@@ -175,6 +187,14 @@ class DataPlaneStats:
             "max_queue_bytes": self.max_queue_bytes,
             "queued_bytes": self.queued_bytes,
             "connections": self.connections,
+            "auto_batches": self.auto_batches,
+            "auto_batched_msgs": self.auto_batched_msgs,
+            "auto_batch_per_frame": {
+                str(k): v for k, v in sorted(self.auto_batch_per_frame.items())
+            },
+            "inline_dispatches": self.inline_dispatches,
+            "inline_overruns": self.inline_overruns,
+            "inline_demotions": self.inline_demotions,
         }
 
 

@@ -92,6 +92,7 @@ clock is real time by default.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import socket
 import struct
@@ -110,13 +111,22 @@ from repro.errors import (
 from repro.net import codec, wirecodec
 from repro.net.endpoint import PROTOCOL_VERSION, Endpoint, Hello
 from repro.net.message import (
-    BULK_KINDS, ONEWAY_KINDS, Message, ReplyPayload, from_wire, to_wire,
+    BULK_KINDS,
+    INLINE_KINDS,
+    ONEWAY_KINDS,
+    Message,
+    MessageKind,
+    ReplyPayload,
+    build_message,
+    from_wire,
+    to_wire,
 )
 from repro.net.reactor import (
     Connection,
     DataPlaneStats,
     Listener,
     Reactor,
+    _bucket,
 )
 from repro.net.trace import MessageTrace
 from repro.net.transport import (
@@ -142,6 +152,81 @@ _LENGTH_MASK = (1 << _CODEC_SHIFT) - 1
 #: Valid ``TcpNetwork(mode=...)`` values, slowest to fastest.
 MODES = ("per-call", "pooled", "pipelined")
 
+#: ``Hello.settings`` key under which auto-batch capability is advertised.
+_AUTOBATCH_SETTING = "autobatch"
+#: Capability token: a peer advertising exactly this value accepts
+#: AUTO_BATCH envelopes (and answers them with aggregated replies).
+_AUTOBATCH_TOKEN = "ab1"
+
+#: Kinds the client-side auto-batcher never coalesces: bulk kinds carry
+#: large zero-copy payloads and must keep their dedicated server pool;
+#: one-way kinds have no reply to demultiplex; nested batches stay flat.
+_UNBATCHABLE_KINDS = BULK_KINDS | ONEWAY_KINDS | frozenset({
+    MessageKind.BATCH, MessageKind.AUTO_BATCH,
+})
+
+#: Consecutive over-budget inline dispatches before a server stops
+#: dispatching inline for good (a misregistered slow handler must not
+#: keep stalling the reactor loop).
+_INLINE_DEMOTE_STRIKES = 8
+
+#: How long a waiting caller gives the reply clock before forcing a
+#: flush of the auto-batcher's queue (see ``_AutoBatcher.kick``).  Must
+#: sit well above a *loaded* round trip (a deep pipeline's p99 is
+#: several ms — a grace inside it would fire on every call and fragment
+#: the very batches it guards), yet far below any reply-wait timeout a
+#: caller could notice when the clock really is dead.
+_BATCH_KICK_GRACE_S = 0.02
+
+
+def _hello_accepts_autobatch(hello: Hello | None, protocol_version: int) -> bool:
+    """True when ``hello`` negotiated transparent invoke coalescing.
+
+    Mirrors :func:`wirecodec.hello_accepts_binary`: an exact version match
+    plus the capability token.  Legacy peers (no HELLO, older builds whose
+    settings lack the key, ``auto_batch=False`` builds) simply never see
+    an AUTO_BATCH frame — per-call framing is byte-identical to before.
+    """
+    if hello is None or hello.version != protocol_version:
+        return False
+    return hello.settings.get(_AUTOBATCH_SETTING) == _AUTOBATCH_TOKEN
+
+
+def _fail_sink(sink, error: Exception) -> None:
+    """Fail a parked sink with ``error`` itself (not wrapped).
+
+    ``sink.fail`` is the channel-teardown path and wraps everything in
+    :class:`NodeUnreachableError`; encode failures and resolved
+    unreachability want the raw error, which ``CallFuture._fail`` gives.
+    """
+    fail_raw = getattr(sink, "_fail", None)
+    if fail_raw is not None:
+        fail_raw(error)
+    else:
+        sink.fail(error)
+
+
+def _estimate_nbytes(message: Message) -> int:
+    """Cheap payload-size guess for the batch byte watermark.
+
+    Never serializes: the watermark only decides how many frames ride one
+    AUTO_BATCH envelope, so a flat estimate per payload shape is enough —
+    blob-carrying invokes count their marshalled argument bytes, plain
+    control payloads a fixed overhead.
+    """
+    payload = message.payload
+    if payload is None:
+        return 64
+    t = payload.__class__
+    if t is bytes or t is str:
+        return 64 + len(payload)
+    if t is int or t is float or t is bool:
+        return 72
+    blob = getattr(payload, "args_blob", None)
+    if type(blob) is bytes:
+        return 256 + len(blob)
+    return 512
+
 
 def _transmittable_error_payload(payload: ReplyPayload) -> ReplyPayload:
     """Guarantee an error reply survives the *unpickle* on the client side.
@@ -159,15 +244,27 @@ def _transmittable_error_payload(payload: ReplyPayload) -> ReplyPayload:
     if not payload.is_error:
         # A BATCH reply nests sub-payloads; a failed sub needs the same
         # guard (the later subs never ran, so at most one is an error).
+        # An AUTO_BATCH reply nests (sub_id, payload) pairs instead, and
+        # *any* number of subs may have failed independently.
         value = payload.value
-        if isinstance(value, tuple) and any(
-                isinstance(sub, ReplyPayload) and sub.is_error
-                for sub in value):
-            return ReplyPayload(value=tuple(
-                _transmittable_error_payload(sub)
-                if isinstance(sub, ReplyPayload) else sub
-                for sub in value
-            ))
+        if isinstance(value, tuple):
+            if any(isinstance(sub, ReplyPayload) and sub.is_error
+                   for sub in value):
+                return ReplyPayload(value=tuple(
+                    _transmittable_error_payload(sub)
+                    if isinstance(sub, ReplyPayload) else sub
+                    for sub in value
+                ))
+            if any(isinstance(sub, tuple) and len(sub) == 2
+                   and isinstance(sub[1], ReplyPayload) and sub[1].is_error
+                   for sub in value):
+                return ReplyPayload(value=tuple(
+                    (sub[0], _transmittable_error_payload(sub[1]))
+                    if (isinstance(sub, tuple) and len(sub) == 2
+                        and isinstance(sub[1], ReplyPayload))
+                    else sub
+                    for sub in value
+                ))
         return payload
     try:
         pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
@@ -475,6 +572,20 @@ class _Channel:
         self.send_binary = binary_enabled and wirecodec.hello_accepts_binary(
             peer_hello, protocol_version
         )
+        #: Whether the peer's HELLO advertised AUTO_BATCH capability —
+        #: gates every ``submit_auto`` so legacy peers never see a frame
+        #: kind they cannot decode.
+        self.peer_autobatch = _hello_accepts_autobatch(
+            peer_hello, protocol_version
+        )
+        #: The transport attaches a :class:`_AutoBatcher` right after
+        #: construction on pipelined channels with auto-batching enabled.
+        self._batcher: "_AutoBatcher | None" = None
+        #: batch msg_id -> its sub-call msg_ids, so a *whole-batch* error
+        #: reply (server-side control-flow abort) can fail every sub
+        #: sink.  Entries are removed when the aggregated reply arrives.
+        self._batch_lock = threading.Lock()
+        self._batch_subs: dict[str, tuple[str, ...]] = {}
         self._request_lock = threading.Lock() if serialize else None
         self._shards = tuple(_WaiterShard() for _ in range(_WAITER_SHARDS))
         self._closed = False
@@ -536,6 +647,59 @@ class _Channel:
                 f"send to {self.dst!r} failed: {exc}"
             ) from exc
 
+    def submit_auto(self, message: Message, sink) -> None:
+        """:meth:`submit` through the transparent auto-batcher.
+
+        Routes to the coalescing layer only when the channel has one, the
+        peer negotiated the capability, and the kind is batchable; every
+        other frame takes the plain path unchanged.
+        """
+        batcher = self._batcher
+        if (batcher is None or not self.peer_autobatch
+                or message.kind in _UNBATCHABLE_KINDS):
+            self.submit(message, sink)
+            return
+        batcher.submit(message, sink)
+
+    def submit_batch(self, items: "list[tuple[Message, object]]") -> None:
+        """Coalesce several submissions into one AUTO_BATCH frame.
+
+        Same contract as :meth:`submit`, for N frames at once: the batch
+        envelope is encoded *before* any sink parks (a
+        :class:`MarshalError` leaves the channel clean), each sink parks
+        under its own sub message id, and a send failure discards them
+        all and raises :class:`_ChannelClosedError` — the whole group
+        provably never left, so the caller may re-route every item.
+        """
+        subs = tuple(message for message, _sink in items)
+        batch = build_message(
+            MessageKind.AUTO_BATCH, subs[0].src, subs[0].dst, subs
+        )
+        wire = _encode_frame(batch, self._codec_for, flat=self._flat_wire(),
+                             binary=self.send_binary)
+        parked: list[tuple[Message, object]] = []
+        for message, sink in items:
+            if not self._shard(message.msg_id).park(message.msg_id, sink):
+                for pm, psink in parked:
+                    self._discard_waiter(pm.msg_id, psink)
+                raise _ChannelClosedError(
+                    f"channel to {self.dst!r} is closed"
+                )
+            parked.append((message, sink))
+        with self._batch_lock:
+            self._batch_subs[batch.msg_id] = tuple(s.msg_id for s in subs)
+        try:
+            self._conn.send(wire)
+        except ConnectionError as exc:
+            with self._batch_lock:
+                self._batch_subs.pop(batch.msg_id, None)
+            for message, sink in items:
+                self._discard_waiter(message.msg_id, sink)
+            self.close()
+            raise _ChannelClosedError(
+                f"send to {self.dst!r} failed: {exc}"
+            ) from exc
+
     def _discard_waiter(self, msg_id: str, waiter) -> None:
         self._shard(msg_id).discard(msg_id, waiter)
 
@@ -576,15 +740,75 @@ class _Channel:
                 and wirecodec.hello_accepts_binary(
                     reply, self._protocol_version)
             )
+            self.peer_autobatch = _hello_accepts_autobatch(
+                reply, self._protocol_version
+            )
             return
         if not isinstance(reply, Message):
             raise MarshalError(
                 f"expected a Message frame, got {type(reply).__name__}"
             )
-        sink = self._shard(reply.reply_to_id).pop(reply.reply_to_id)
-        if sink is not None:
-            sink.resolve(reply)
-        # An unmatched reply (its caller timed out and left) is dropped.
+        if reply.in_reply_to is MessageKind.AUTO_BATCH:
+            self._on_batch_reply(reply)
+        else:
+            sink = self._shard(reply.reply_to_id).pop(reply.reply_to_id)
+            if sink is not None:
+                sink.resolve(reply)
+            # An unmatched reply (its caller timed out and left) is dropped.
+        batcher = self._batcher
+        if batcher is not None:
+            # Tick the reply clock *after* resolving: callers wake first,
+            # then the queue that accumulated behind this round trip
+            # flushes as the next aggregate.
+            batcher.note_reply()
+
+    def _on_batch_reply(self, reply: Message) -> None:
+        """Demultiplex one aggregated reply to its parked sub-call sinks.
+
+        The payload value is a tuple of ``(sub_msg_id, ReplyPayload)``
+        pairs; each resolves its own waiter with a synthesized per-sub
+        REPLY so callers observe exactly what N individual replies would
+        have delivered.  A *whole-batch* error (the aggregate itself
+        failed server-side before any sub ran to completion — e.g. a
+        control-flow abort) fails every recorded sub sink instead.
+        """
+        with self._batch_lock:
+            sub_ids = self._batch_subs.pop(reply.reply_to_id, ())
+        payload = reply.payload
+        if isinstance(payload, ReplyPayload) and payload.is_error:
+            for sub_id in sub_ids:
+                sink = self._shard(sub_id).pop(sub_id)
+                if sink is not None:
+                    sink.resolve(self._sub_reply(reply, sub_id, payload))
+            return
+        pairs = payload.value if isinstance(payload, ReplyPayload) else ()
+        for sub_id, sub_payload in pairs:
+            sink = self._shard(sub_id).pop(sub_id)
+            if sink is not None:
+                sink.resolve(self._sub_reply(reply, sub_id, sub_payload))
+
+    @staticmethod
+    def _sub_reply(aggregate: Message, sub_id: str,
+                   payload: ReplyPayload) -> Message:
+        """Synthesize the REPLY a sub-call would have received alone.
+
+        The derived id ``<sub>-r`` is what :meth:`Message.reply` would
+        have produced for the sub request, and is distinct from the
+        aggregate's own ``<batch>-r`` — reply ids stay unique per
+        sub-call under aggregation.
+        """
+        message = Message.__new__(Message)
+        message.__dict__.update(
+            kind=MessageKind.REPLY,
+            src=aggregate.src,
+            dst=aggregate.dst,
+            payload=payload,
+            msg_id=f"{sub_id}-r",
+            in_reply_to=None,
+            reply_to_id=sub_id,
+            deadline=None,
+        )
+        return message
 
     def _on_closed(self, reason: Exception | None) -> None:
         self._closed = True
@@ -604,9 +828,261 @@ class _Channel:
     def _fail_waiters(self, reason: Exception | None) -> None:
         if reason is None:
             reason = ConnectionError(f"channel to {self.dst!r} closed")
+        with self._batch_lock:
+            self._batch_subs.clear()
         for shard in self._shards:
             for waiter in shard.close_and_drain():
                 waiter.fail(reason)
+        batcher = self._batcher
+        if batcher is not None:
+            # Queued-but-unsent frames provably never left: re-route them
+            # instead of failing them (the parked waiters above were all
+            # on the wire; these were not).
+            batcher.on_channel_closed()
+
+
+class _CallPathMetrics:
+    """Counters for the auto-batching / inline-dispatch call path.
+
+    One instance per transport, shared by every channel's batcher
+    (client side) and every node server's inline fast path (server
+    side); :meth:`merge_into` folds the counters into the reactor's
+    :class:`~repro.net.reactor.DataPlaneStats` snapshot so
+    ``data_plane_metrics()`` stays one call.
+    """
+
+    __slots__ = ("_lock", "auto_batches", "auto_batched_msgs",
+                 "auto_batch_per_frame", "inline_dispatches",
+                 "inline_overruns", "inline_demotions")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.auto_batches = 0
+        self.auto_batched_msgs = 0
+        self.auto_batch_per_frame: dict[int, int] = {}
+        self.inline_dispatches = 0
+        self.inline_overruns = 0
+        self.inline_demotions = 0
+
+    def record_batch(self, n: int) -> None:
+        bucket = _bucket(n)
+        with self._lock:
+            self.auto_batches += 1
+            self.auto_batched_msgs += n
+            histogram = self.auto_batch_per_frame
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+
+    def record_inline(self) -> None:
+        with self._lock:
+            self.inline_dispatches += 1
+
+    def record_overrun(self, demoted: bool) -> None:
+        with self._lock:
+            self.inline_overruns += 1
+            if demoted:
+                self.inline_demotions += 1
+
+    def merge_into(self, stats: DataPlaneStats) -> DataPlaneStats:
+        with self._lock:
+            return dataclasses.replace(
+                stats,
+                auto_batches=stats.auto_batches + self.auto_batches,
+                auto_batched_msgs=(
+                    stats.auto_batched_msgs + self.auto_batched_msgs),
+                auto_batch_per_frame=dict(self.auto_batch_per_frame),
+                inline_dispatches=(
+                    stats.inline_dispatches + self.inline_dispatches),
+                inline_overruns=stats.inline_overruns + self.inline_overruns,
+                inline_demotions=(
+                    stats.inline_demotions + self.inline_demotions),
+            )
+
+
+class _AutoBatcher:
+    """Transparent invoke coalescing on one pipelined channel.
+
+    The PR 7 reactor coalesces queued *bytes* into one syscall; this
+    layer coalesces queued *calls* into one frame, one server-side
+    dispatch, and one aggregated reply — amortizing the per-message
+    Python overhead that dominates once the wire itself is cheap.
+
+    Discipline mirrors the reactor's flush coalescer, one layer up, with
+    a reply-clocked twist borrowed from Nagle's algorithm: a submission
+    on an *idle* channel (nothing batcher-sent awaiting its reply) is
+    sent immediately on the submitting thread — **a lone call is never
+    delayed** (no timers, no waiting for company).  While a frame *is*
+    in flight, new submissions merely enqueue; every arriving reply
+    flushes whatever accumulated as one AUTO_BATCH frame.  The flush
+    clock is thus the round-trip itself: group size adapts to exactly
+    how many callers submitted during one server turnaround, with zero
+    added latency on an idle channel and no timer anywhere.  (If the
+    clock dies — the in-flight exchange hangs past its caller's
+    patience — waiting futures force a flush after a short grace:
+    :meth:`kick`.)  A group is capped by ``batch_max_msgs`` /
+    ``batch_max_bytes`` and always holds at least one call; a group of
+    one is sent as a plain frame and never pays the aggregation
+    envelope.
+
+    Error discipline: nothing raises to the drainer, because the
+    drainer is usually *not* the caller whose frame failed.  A dead
+    channel strands frames that provably never left; they — and
+    everything still queued — are re-routed through a fresh channel by
+    the transport (asynchronously: a drain may run on the reactor loop
+    thread, which must never dial).  An unmarshallable payload fails
+    only its own sink: the aggregate encode falls back to per-item
+    sends so one poisoned call cannot error its siblings.
+    """
+
+    __slots__ = ("_channel", "_transport", "_max_msgs", "_max_bytes",
+                 "_metrics", "_lock", "_queue", "_active", "_inflight")
+
+    def __init__(self, channel: _Channel, transport: "TcpNetwork",
+                 max_msgs: int, max_bytes: int,
+                 metrics: _CallPathMetrics) -> None:
+        self._channel = channel
+        self._transport = transport
+        self._max_msgs = max_msgs
+        self._max_bytes = max_bytes
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._queue: "deque[tuple[Message, object]]" = deque()
+        self._active = False
+        #: Batcher-sent frames whose replies have not yet arrived — the
+        #: Nagle-style gate: > 0 means the reply clock is running and
+        #: submissions may coalesce behind it.
+        self._inflight = 0
+
+    def submit(self, message: Message, sink) -> None:
+        with self._lock:
+            self._queue.append((message, sink))
+            if self._active:
+                return  # the running drain sweeps this item up
+            if self._inflight > 0:
+                return  # reply-clocked: the next arriving reply flushes
+            self._active = True
+        self._drain()
+
+    def note_reply(self) -> None:
+        """A reply frame arrived (loop thread): tick the flush clock.
+
+        Every incoming reply decrements the in-flight gate and flushes
+        the accumulated queue.  Replies to frames the batcher never sent
+        (``call_many`` BATCH exchanges, pre-batcher traffic) may tick it
+        early — harmless: an early flush only makes a smaller group.
+        """
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+            if self._active or not self._queue:
+                return
+            self._active = True
+        self._drain()
+
+    def kick(self) -> None:
+        """Force a flush now (a waiting caller's stall safety valve)."""
+        with self._lock:
+            if self._active or not self._queue:
+                return
+            self._active = True
+        self._drain()
+
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                if not self._queue:
+                    # Emptiness check and leadership handoff under one
+                    # lock hold: a submitter that appends right after
+                    # this sees ``_active`` False and leads itself.
+                    self._active = False
+                    return
+                group = [self._queue.popleft()]
+                nbytes = _estimate_nbytes(group[0][0])
+                while (self._queue and len(group) < self._max_msgs
+                       and nbytes < self._max_bytes):
+                    item = self._queue.popleft()
+                    group.append(item)
+                    nbytes += _estimate_nbytes(item[0])
+            if not self._send_group(group):
+                return  # channel died; leadership already released
+
+    def _send_group(self, group: "list[tuple[Message, object]]") -> bool:
+        # The in-flight gate rises *before* the send: the reply can race
+        # a post-send increment on the loop thread, and a tick lost that
+        # way would leave the gate stuck high — every later call would
+        # then stall into the kick grace.  Failure paths lower it again.
+        if len(group) == 1:
+            message, sink = group[0]
+            self._note_sent()
+            try:
+                self._channel.submit(message, sink)
+            except _ChannelClosedError:
+                self._rescue(group)
+                return False
+            except Exception as exc:  # MarshalError while pickling
+                self._note_unsent()
+                _fail_sink(sink, exc)
+            return True
+        self._note_sent()
+        try:
+            self._channel.submit_batch(group)
+        except _ChannelClosedError:
+            self._rescue(group)
+            return False
+        except Exception:
+            # The aggregate failed to encode; isolate the poisoned
+            # payload by sending each call on its own frame.
+            self._note_unsent()
+            return self._submit_singly(group)
+        self._metrics.record_batch(len(group))
+        return True
+
+    def _submit_singly(self, group: "list[tuple[Message, object]]") -> bool:
+        for index, (message, sink) in enumerate(group):
+            self._note_sent()
+            try:
+                self._channel.submit(message, sink)
+            except _ChannelClosedError:
+                self._note_unsent()
+                self._rescue(group[index:])
+                return False
+            except Exception as exc:
+                self._note_unsent()
+                _fail_sink(sink, exc)
+        return True
+
+    def _note_sent(self) -> None:
+        with self._lock:
+            self._inflight += 1
+
+    def _note_unsent(self) -> None:
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+
+    def _rescue(self, items: "list[tuple[Message, object]]") -> None:
+        """The channel died with ``items`` provably unsent.
+
+        Hand them — and everything still queued behind them — back to
+        the transport for asynchronous re-submission on a fresh channel
+        (a drain may be running on the reactor loop thread, which must
+        never dial a socket), and release the drain so this (dead)
+        batcher goes quiet.
+        """
+        with self._lock:
+            stranded = list(items)
+            stranded.extend(self._queue)
+            self._queue.clear()
+            self._active = False
+        self._transport._rescue_async(stranded)
+
+    def on_channel_closed(self) -> None:
+        """Channel teardown: re-route whatever never reached the wire."""
+        with self._lock:
+            if not self._queue:
+                return
+            stranded = list(self._queue)
+            self._queue.clear()
+        self._transport._rescue_async(stranded)
 
 
 class _PipelinedCallFuture(CallFuture):
@@ -665,6 +1141,23 @@ class _PipelinedCallFuture(CallFuture):
             # io window, capped by the call's end-to-end budget — a 200 ms
             # deadline never waits out a 30 s io timeout.
             timeout_s = self._wait_bound_s()
+        channel = self._channel
+        if (channel is not None and channel._batcher is not None
+                and not self._event.is_set()):
+            # Stall safety valve for the reply-clocked batcher: this
+            # frame may still sit queued behind an in-flight exchange
+            # whose reply never comes (a hung handler, an abandoned
+            # sibling).  After a short grace, force the flush so a
+            # queued frame can never outwait a dead clock.  Replies on
+            # a healthy channel arrive well inside the grace, so the
+            # kick is a no-op on the fast path.
+            grace = (_BATCH_KICK_GRACE_S if timeout_s is None
+                     else min(_BATCH_KICK_GRACE_S, timeout_s))
+            if self._event.wait(grace):
+                return
+            channel._batcher.kick()
+            if timeout_s is not None:
+                timeout_s = max(0.0, timeout_s - grace)
         super()._await(timeout_s)
 
     def _on_wait_timeout(self, timeout_s: float | None) -> None:
@@ -869,7 +1362,11 @@ class _NodeServer:
                  hello_codecs=None,
                  codec_for_advertised=None,
                  protocol_version: int = PROTOCOL_VERSION,
-                 wire_formats: tuple[str, ...] = ()) -> None:
+                 wire_formats: tuple[str, ...] = (),
+                 auto_batch: bool = True,
+                 inline_dispatch: bool = True,
+                 inline_budget_s: float = 0.001,
+                 call_metrics: "_CallPathMetrics | None" = None) -> None:
         self.node_id = node_id
         self.handler = handler
         self.reply_cache = ReplyCache(shards=8)
@@ -887,6 +1384,21 @@ class _NodeServer:
         self._protocol_version = protocol_version
         self._wire_formats = wire_formats
         self._binary_enabled = wirecodec.WIRE_FORMAT in wire_formats
+        self._auto_batch = auto_batch
+        #: Inline dispatch runs INLINE_KINDS handlers straight on the
+        #: reactor loop thread — only when the handler itself declared
+        #: those kinds non-blocking (:func:`~repro.net.message.inline_safe`)
+        #: and no emulated link latency is charged (the sleep would stall
+        #: the loop for everyone).
+        declared = frozenset(getattr(handler, "inline_kinds", ()))
+        self._inline_kinds = (
+            declared & INLINE_KINDS
+            if inline_dispatch and latency_s == 0.0 else frozenset()
+        )
+        self._inline_budget_s = inline_budget_s
+        self._inline_strikes = 0     # loop thread only
+        self._inline_demoted = False
+        self._call_metrics = call_metrics
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -948,12 +1460,15 @@ class _NodeServer:
                     and wirecodec.hello_accepts_binary(
                         frame, self._protocol_version)
                 )
+                settings: dict = {wirecodec.WIRE_SETTING: self._wire_formats}
+                if self._auto_batch:
+                    settings[_AUTOBATCH_SETTING] = _AUTOBATCH_TOKEN
                 reply = Hello(
                     version=self._protocol_version,
                     node_id=self.node_id,
                     codecs=(self._hello_codecs()
                             if self._hello_codecs is not None else ()),
-                    settings={wirecodec.WIRE_SETTING: self._wire_formats},
+                    settings=settings,
                 )
                 try:
                     state.conn.send(_encode_hello(reply))
@@ -969,8 +1484,57 @@ class _NodeServer:
         # The reactor measured the frame; thread that through so the
         # trace never pays a second serialization to size the payload.
         self._trace.record(frame, self._clock.now_ms(), nbytes=wire_bytes)
+        if self._inline_kinds and not self._inline_demoted \
+                and self._inline_eligible(frame):
+            self._dispatch_inline(state, frame)
+            return
+        if frame.kind is MessageKind.AUTO_BATCH \
+                and isinstance(frame.payload, tuple) and frame.payload:
+            self._pool.submit(self._dispatch_batch, state, frame)
+            return
         pool = self._bulk_pool if frame.kind in BULK_KINDS else self._pool
         pool.submit(self._dispatch, state, frame)
+
+    def _inline_eligible(self, frame: Message) -> bool:
+        """Only declared-inline kinds — or an auto-batch solely of them."""
+        kinds = self._inline_kinds
+        if frame.kind in kinds:
+            return True
+        if frame.kind is not MessageKind.AUTO_BATCH:
+            return False
+        subs = frame.payload
+        return isinstance(subs, tuple) and all(
+            sub.kind in kinds for sub in subs
+        )
+
+    def _dispatch_inline(self, state: _ServerConn, frame: Message) -> None:
+        """Execute an allowlisted frame on the loop thread (no handoff).
+
+        Guarded by a per-call time budget: a handler that keeps
+        overrunning (``_INLINE_DEMOTE_STRIKES`` consecutive times)
+        demotes this server's inline path permanently — the allowlist
+        promised cheap and non-blocking (magelint MAGE009 checks the
+        handlers statically), but a misbehaving deployment must degrade
+        to the pool rather than starve every connection on the loop.
+        """
+        budget = self._inline_budget_s
+        if frame.kind is MessageKind.AUTO_BATCH:
+            budget *= len(frame.payload)
+        start = time.monotonic()
+        self._dispatch(state, frame)
+        elapsed = time.monotonic() - start
+        metrics = self._call_metrics
+        if metrics is not None:
+            metrics.record_inline()
+        if elapsed <= budget:
+            self._inline_strikes = 0
+            return
+        self._inline_strikes += 1
+        demoted = self._inline_strikes >= _INLINE_DEMOTE_STRIKES
+        if demoted:
+            self._inline_demoted = True
+        if metrics is not None:
+            metrics.record_overrun(demoted)
 
     def _on_conn_closed(self, state: _ServerConn) -> None:
         with self._conn_lock:
@@ -999,6 +1563,53 @@ class _NodeServer:
             )
         if message.kind in ONEWAY_KINDS:
             return  # one-way traffic carries no reply frame
+        self._send_reply(state, message, payload)
+
+    def _dispatch_batch(self, state: _ServerConn, frame: Message) -> None:
+        """Execute an AUTO_BATCH's sub-calls across the pool, reply once.
+
+        The coalesced sub-calls are *independent* — each would have been
+        its own frame and its own worker task without batching — so they
+        must not serialize behind a slow sibling: the frame fans back out
+        to the worker pool (this task keeps the first sub for itself) and
+        the last sub to finish sends the single aggregated reply.  Each
+        sub runs through :meth:`Transport.execute_handler` individually,
+        so per-sub deadlines and the at-most-once reply cache keep the
+        exact semantics of unbatched dispatch.
+        """
+        if self._latency_s > 0.0:
+            time.sleep(self._latency_s)  # link delay: charged per frame
+        subs = frame.payload
+        results: list = [None] * len(subs)
+        lock = threading.Lock()
+        pending = [len(subs)]
+
+        def run_sub(index: int, sub: Message) -> None:
+            try:
+                payload = Transport.execute_handler(
+                    sub, self.handler, self.reply_cache
+                )
+            except BaseException as exc:  # magelint: disable=MAGE003(deliberate: same uncached-error conversion as _dispatch, per sub)
+                payload = ReplyPayload(
+                    error=TransportError(
+                        f"handler aborted by {type(exc).__name__}"
+                    )
+                )
+            results[index] = (sub.msg_id, payload)
+            with lock:
+                pending[0] -= 1
+                done = pending[0] == 0
+            if done:
+                self._send_reply(
+                    state, frame, ReplyPayload(value=tuple(results))
+                )
+
+        for index in range(1, len(subs)):
+            self._pool.submit(run_sub, index, subs[index])
+        run_sub(0, subs[0])
+
+    def _send_reply(self, state: _ServerConn, message: Message,
+                    payload: ReplyPayload) -> None:
         reply = message.reply(_transmittable_error_payload(payload))
         peer_codecs = state.peer.codecs
         codec_for = None
@@ -1065,7 +1676,12 @@ class TcpNetwork(Transport):
                  reactor_threads: int = 1,
                  coalesce_max_bytes: int = 64 * 1024,
                  coalesce_max_delay_ms: float = 0.0,
-                 wire_formats: tuple[str, ...] | None = None) -> None:
+                 wire_formats: tuple[str, ...] | None = None,
+                 auto_batch: bool = True,
+                 batch_max_msgs: int = 32,
+                 batch_max_bytes: int = 64 * 1024,
+                 inline_dispatch: bool = True,
+                 inline_budget_ms: float = 1.0) -> None:
         """``latency_ms`` emulates a slower link (tc-netem style): every
         request is delayed that long at the destination before dispatch.
         Loopback's ~0.1 ms round trip hides latency effects entirely;
@@ -1119,6 +1735,18 @@ class TcpNetwork(Transport):
         legacy/pre-codec build, which keeps the pickled-tuple envelope in
         both directions — mixed-version clusters degrade per connection,
         never fail.
+
+        Call-path aggregation knobs: ``auto_batch`` coalesces concurrent
+        pipelined calls to one peer into single AUTO_BATCH frames
+        (adaptive — a lone call is never delayed), capped per frame by
+        ``batch_max_msgs`` / ``batch_max_bytes``; the capability is
+        HELLO-negotiated, so a legacy peer (or ``auto_batch=False``)
+        keeps the one-frame-per-call wire.  ``inline_dispatch`` lets
+        allowlisted cheap kinds (:data:`~repro.net.message.INLINE_KINDS`)
+        execute directly on the reactor loop thread under a per-call
+        budget of ``inline_budget_ms`` — repeated overruns demote the
+        fast path back to the worker pool (watch ``inline_overruns`` and
+        ``loop_lag_ewma_ms`` in :meth:`data_plane_metrics`).
         """
         super().__init__(
             clock=clock if clock is not None else WallClock(),
@@ -1155,6 +1783,18 @@ class TcpNetwork(Transport):
             raise ConfigurationError(
                 f"coalesce delay cannot be negative: {coalesce_max_delay_ms}"
             )
+        if batch_max_msgs < 2:
+            raise ConfigurationError(
+                f"batch_max_msgs must be at least 2: {batch_max_msgs}"
+            )
+        if batch_max_bytes <= 0:
+            raise ConfigurationError(
+                f"batch_max_bytes must be positive: {batch_max_bytes}"
+            )
+        if inline_budget_ms <= 0:
+            raise ConfigurationError(
+                f"inline budget must be positive: {inline_budget_ms}"
+            )
         self.mode = mode
         self.latency_ms = latency_ms
         self.connect_timeout_s = connect_timeout_s
@@ -1172,6 +1812,12 @@ class TcpNetwork(Transport):
             else tuple(wire_formats)
         )
         self._binary_enabled = wirecodec.WIRE_FORMAT in self.wire_formats
+        self.auto_batch = auto_batch
+        self.batch_max_msgs = batch_max_msgs
+        self.batch_max_bytes = batch_max_bytes
+        self.inline_dispatch = inline_dispatch
+        self.inline_budget_s = inline_budget_ms / 1000.0
+        self._call_metrics = _CallPathMetrics()
         write_codecs = codec.available_codecs() if codecs is None else tuple(codecs)
         for name in write_codecs:
             codec.codec_id(name)  # validate eagerly, not on the hot path
@@ -1293,7 +1939,11 @@ class TcpNetwork(Transport):
                              hello_codecs=lambda: self._advertised_for(node_id),
                              codec_for_advertised=self._codec_for_advertised,
                              protocol_version=self.protocol_version,
-                             wire_formats=self.wire_formats)
+                             wire_formats=self.wire_formats,
+                             auto_batch=self.auto_batch,
+                             inline_dispatch=self.inline_dispatch,
+                             inline_budget_s=self.inline_budget_s,
+                             call_metrics=self._call_metrics)
         with self._lock:
             old = self._servers.get(node_id)
             self._servers[node_id] = server
@@ -1411,12 +2061,15 @@ class TcpNetwork(Transport):
         trusted for framing — the caller must redial rather than reuse
         this socket.
         """
+        settings: dict = {"mode": self.mode, "max_frame": _MAX_FRAME,
+                          wirecodec.WIRE_SETTING: self.wire_formats}
+        if self.auto_batch:
+            settings[_AUTOBATCH_SETTING] = _AUTOBATCH_TOKEN
         hello = Hello(
             version=self.protocol_version,
             node_id=src,
             codecs=self._advertised_for(src),
-            settings={"mode": self.mode, "max_frame": _MAX_FRAME,
-                      wirecodec.WIRE_SETTING: self.wire_formats},
+            settings=settings,
         )
         try:
             _send_hello(sock, hello)
@@ -1475,6 +2128,13 @@ class TcpNetwork(Transport):
             if channel.negotiated_codecs is None
             else self._codec_for_advertised(channel.negotiated_codecs, nbytes)
         )
+        if self.auto_batch and self.mode == "pipelined":
+            # Same post-construction discipline as _codec_for: only
+            # submit_auto — called after this method returns — reads it.
+            channel._batcher = _AutoBatcher(
+                channel, self, self.batch_max_msgs, self.batch_max_bytes,
+                self._call_metrics,
+            )
         with self._chan_lock:
             current = self._channels.get(key)
             if current is not None and not current.closed:
@@ -1496,12 +2156,14 @@ class TcpNetwork(Transport):
             return sum(1 for c in self._channels.values() if not c.closed)
 
     def data_plane_metrics(self) -> DataPlaneStats:
-        """Reactor counters: flush batching, loop lag, queue depths.
+        """Reactor counters: flush batching, loop lag, queue depths —
+        plus the transport's own call-path aggregation counters
+        (auto-batch size histogram, inline-dispatch/overrun/demotion).
 
         Consumed by :func:`repro.runtime.metrics.collect_data_plane` and
         the throughput bench report.
         """
-        return self._reactor.metrics()
+        return self._call_metrics.merge_into(self._reactor.metrics())
 
     # -- delivery -------------------------------------------------------------
 
@@ -1608,18 +2270,71 @@ class TcpNetwork(Transport):
                 self._record_drop(message)
                 future._fail(exc)
                 return future
+            # Channel recorded *before* submission: the auto-batcher may
+            # queue the frame and send it from another caller's drain,
+            # and abandon/timeout paths need the channel either way.
+            future._channel = channel
             try:
-                channel.submit(message, future)
+                channel.submit_auto(message, future)
             except _ChannelClosedError:
                 continue  # frame provably never left; reconnect and resend
             except Exception as exc:  # e.g. MarshalError while pickling
                 future._fail(exc)
                 return future
-            future._channel = channel
             return future
         self._record_drop(message)
         future._fail(NodeUnreachableError(message.dst, "connection lost before send"))
         return future
+
+    def _rescue_async(self, items: "list[tuple[Message, object]]") -> None:
+        """Queue a stranded-frame rescue on the worker pool.
+
+        Rescue dials a fresh connection, which may block — and the
+        thread asking for it may be a reactor loop (a reply-clocked
+        flush), which must never block.  After shutdown the pool drops
+        the job silently; the affected callers then time out against a
+        transport that is gone anyway.
+        """
+        if items:
+            self._pool.submit(self._resubmit_stranded, items)
+
+    def _resubmit_stranded(
+        self, items: "list[tuple[Message, object]]"
+    ) -> None:
+        """Re-route frames a dying batcher proved never left its channel.
+
+        Each is re-submitted on a *fresh* channel (plain :meth:`submit`
+        — the original coalescing opportunity is gone) with the same
+        one-retry discipline as the direct path; a frame that cannot be
+        placed fails its own sink, never its group.
+        """
+        for message, sink in items:
+            failure: Exception | None = None
+            for _ in range(2):
+                try:
+                    channel = self._channel(message.src, message.dst)
+                except NodeUnreachableError as exc:
+                    failure = exc
+                    break
+                if hasattr(sink, "_channel"):
+                    sink._channel = channel
+                try:
+                    channel.submit(message, sink)
+                except _ChannelClosedError as exc:
+                    failure = exc
+                    continue
+                except Exception as exc:  # MarshalError while pickling
+                    failure = exc
+                    break
+                failure = None
+                break
+            if failure is not None:
+                self._record_drop(message)
+                _fail_sink(sink, failure if not isinstance(
+                    failure, _ChannelClosedError
+                ) else NodeUnreachableError(
+                    message.dst, "connection lost before send"
+                ))
 
     def _transmit_oneway(self, message: Message) -> None:
         if self.mode == "per-call":

@@ -175,8 +175,9 @@ class CallFuture:
         """
         payload = reply.payload
         if isinstance(payload, ReplyPayload):
-            if payload.is_error:
-                self._fail(payload.error)
+            error = payload.error
+            if error is not None:
+                self._fail(error)
                 return
             value = payload.value
         else:
@@ -186,8 +187,9 @@ class CallFuture:
             return
         results = []
         for sub_payload in value:
-            if sub_payload.is_error:
-                self._fail(sub_payload.error)
+            sub_error = sub_payload.error
+            if sub_error is not None:
+                self._fail(sub_error)
                 return
             results.append(sub_payload.value)
         self._resolve(results)
@@ -347,7 +349,7 @@ class _MappedFuture(CallFuture):
         self._source.add_done_callback(lambda _source: fn(self))
 
 
-def gather(futures, timeout_s: float | None = None,
+def gather(futures: Sequence[CallFuture], timeout_s: float | None = None,
            return_exceptions: bool = False,
            deadline: Deadline | None = None,
            cancel_stragglers: bool = False) -> list[Any]:
@@ -1019,8 +1021,9 @@ class Transport(ABC):
         """
         payload = reply.payload
         if isinstance(payload, ReplyPayload):
-            if payload.is_error:
-                raise payload.error
+            error = payload.error
+            if error is not None:
+                raise error
             return payload.value
         return payload
 
@@ -1080,6 +1083,21 @@ class Transport(ABC):
                             break
                     value = tuple(sub_payloads)
                     payload = ReplyPayload(value=value)
+                elif message.kind is MessageKind.AUTO_BATCH:
+                    # Transport-coalesced *independent* calls: unlike BATCH
+                    # there is no sequencing contract between sub-calls, so
+                    # a failing sub must not shadow its siblings — every
+                    # sub executes and replies individually.  The reply
+                    # pairs each sub's message id with its outcome so the
+                    # sending transport can demultiplex replies back to
+                    # the right waiting callers.
+                    pairs: list[tuple[str, ReplyPayload]] = []
+                    for sub in message.payload:
+                        sub_payload = Transport.execute_handler(
+                            sub, handler, cache
+                        )
+                        pairs.append((sub.msg_id, sub_payload))
+                    payload = ReplyPayload(value=tuple(pairs))
                 elif (message.deadline is None
                         and current_deadline() is None):
                     # Unbounded request on a thread with no ambient

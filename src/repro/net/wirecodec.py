@@ -180,6 +180,8 @@ def _r_strtuple(b: bytes, o: int) -> "tuple[tuple[str, ...], int]":
 #   10 dict (format byte + lean-pickle or per-entry body — see _w_dict)
 #   11 (str, i64) pair — the (host, port) endpoint shape that fills
 #      membership payloads, written without per-element tags
+#   12 embedded Message — a full envelope body (no MAGIC byte) nested as
+#      a value; AUTO_BATCH frames carry a tuple of these as their payload
 # Type checks are exact (``type(v) is``): subclasses keep their identity
 # by falling through to the pickle tag.
 
@@ -230,6 +232,9 @@ def _w_any(value: Any, buf: bytearray,
         # the pickle machinery's fixed cost for the whole mapping.
         buf.append(10)
         _w_dict(value, buf, parts)
+    elif t is Message:
+        buf.append(12)
+        _w_envelope(value, buf, parts)
     else:
         entry = _ENC_BY_CLASS.get(t)
         if entry is not None:
@@ -307,6 +312,8 @@ def _r_any(b: bytes, o: int) -> tuple[Any, int]:
     if tag == 11:
         s, o = _r_str(b, o)
         return (s, _I64.unpack_from(b, o)[0]), o + 8
+    if tag == 12:
+        return _r_envelope(b, o)
     raise ValueError(f"unknown wire value tag {tag}")
 
 
@@ -581,16 +588,15 @@ _FLAG_REPLY_TO_ID = 2
 _FLAG_DEADLINE = 4
 
 
-def encode_envelope(message: Message) -> list[bytes | memoryview]:
-    """One message as an ordered buffer list (no frame header).
+def _w_envelope(message: Message, buf: bytearray,
+                parts: list[bytes | memoryview] | None) -> None:
+    """One message's envelope body (everything after the MAGIC byte).
 
-    Small messages come back as a single ``bytes``-equivalent chunk;
-    large blob fields are flushed as their own zero-copy buffers.  The
-    caller prefixes the frame header and hands the list to the reactor,
-    which writes it with one ``sendmsg``.
+    Shared by :func:`encode_envelope` (top level, MAGIC-prefixed) and the
+    tag-12 value encoding (an AUTO_BATCH sub-message nested as a payload
+    value); both thread the same head buffer and out-of-band part list
+    through, so blob flushing works at any nesting depth.
     """
-    buf = bytearray()
-    parts: list[bytes | memoryview] = []
     in_reply_to = message.in_reply_to
     reply_to_id = message.reply_to_id
     deadline = message.deadline
@@ -601,7 +607,6 @@ def encode_envelope(message: Message) -> list[bytes | memoryview]:
         flags |= _FLAG_REPLY_TO_ID
     if deadline is not None:
         flags |= _FLAG_DEADLINE
-    buf.append(MAGIC)
     buf.append(_KIND_CODE[message.kind])
     buf.append(flags)
     # Header strings (node ids, message tokens) are short; their writes
@@ -650,18 +655,32 @@ def encode_envelope(message: Message) -> list[bytes | memoryview]:
         entry[1](payload, buf, parts)
     else:
         _w_any(payload, buf, parts)
+
+
+def encode_envelope(message: Message) -> list[bytes | memoryview]:
+    """One message as an ordered buffer list (no frame header).
+
+    Small messages come back as a single ``bytes``-equivalent chunk;
+    large blob fields are flushed as their own zero-copy buffers.  The
+    caller prefixes the frame header and hands the list to the reactor,
+    which writes it with one ``sendmsg``.
+    """
+    buf = bytearray()
+    parts: list[bytes | memoryview] = []
+    buf.append(MAGIC)
+    _w_envelope(message, buf, parts)
     if buf or not parts:
         parts.append(bytes(buf))
     return parts
 
 
-def decode_envelope(b: bytes) -> Message:
-    """Inverse of :func:`encode_envelope` (input: one contiguous body)."""
-    kind = _KINDS[b[1]]
-    flags = b[2]
+def _r_envelope(b: bytes, o: int) -> tuple[Message, int]:
+    """Inverse of :func:`_w_envelope`: one envelope body at offset ``o``."""
+    kind = _KINDS[b[o]]
+    flags = b[o + 1]
     # src, dst, msg_id — inlined and unrolled like the encoder.
-    n = b[3]
-    o = 4
+    n = b[o + 2]
+    o += 3
     if n == 255:
         (n,) = _U32.unpack_from(b, o)
         o += 4
@@ -708,7 +727,12 @@ def decode_envelope(b: bytes) -> Message:
     d["in_reply_to"] = in_reply_to
     d["reply_to_id"] = reply_to_id
     d["deadline"] = deadline
-    return message
+    return message, o
+
+
+def decode_envelope(b: bytes) -> Message:
+    """Inverse of :func:`encode_envelope` (input: one contiguous body)."""
+    return _r_envelope(b, 1)[0]
 
 
 def is_binary_envelope(blob: bytes) -> bool:

@@ -27,7 +27,15 @@ ServantLookup = Callable[[str], Any]
 
 
 class Invoker:
-    """Dispatches INVOKE requests onto local servants."""
+    """Dispatches INVOKE requests onto local servants.
+
+    One instance lives on every node's dispatch path; with the transport
+    coalescing concurrent INVOKEs into aggregated frames, several pool
+    workers share it at once — it is deliberately immutable after
+    construction (``__slots__`` keeps accidental per-request state off).
+    """
+
+    __slots__ = ("node_id", "_servant_lookup", "_stub_factory")
 
     def __init__(self, node_id: str, servant_lookup: ServantLookup,
                  stub_factory: StubFactory) -> None:
@@ -53,7 +61,8 @@ class Invoker:
             ) from exc
         return marshal(result)
 
-    def _resolve_method(self, servant: Any, request: InvokeRequest) -> Callable:
+    def _resolve_method(self, servant: Any,
+                        request: InvokeRequest) -> Callable[..., Any]:
         if request.method.startswith("_"):
             raise NoSuchObjectError(
                 f"{request.name}.{request.method} (private methods are not remote)",

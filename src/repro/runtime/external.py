@@ -21,7 +21,7 @@ from repro.errors import (
     NoSuchObjectError,
 )
 from repro.net.deadline import current_deadline
-from repro.net.message import Message, MessageKind
+from repro.net.message import Message, MessageKind, inline_safe
 from repro.rmi.invoker import Invoker
 from repro.rmi.marshal import StubFactory, unmarshal_call
 from repro.rmi.protocol import (
@@ -126,8 +126,15 @@ class MageExternalServer:
 
     # -- dispatch ----------------------------------------------------------------
 
+    @inline_safe
     def handle(self, message: Message) -> Any:
-        """Transport entry point for every inbound request."""
+        """Transport entry point for every inbound request.
+
+        Declared :func:`~repro.net.message.inline_safe`: the INLINE_KINDS
+        handlers below (``_on_ping``, ``_on_load_query``) do no waiting,
+        no I/O and no nested calls, so the TCP server may run them on its
+        reactor loop thread (magelint MAGE009 checks them).
+        """
         handler = self._handlers.get(message.kind)
         if handler is None:
             raise MageError(

@@ -35,7 +35,7 @@ def lint_snippet(tmp_path: Path, code: str, rel_path: str = DEFAULT_REL,
 
 def test_every_rule_is_registered():
     ids = sorted(rule.id for rule in ALL_RULES)
-    assert ids == [f"MAGE00{i}" for i in range(1, 9)]
+    assert ids == [f"MAGE00{i}" for i in range(1, 10)]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale, f"{rule.id} lacks docs"
         assert rule.explain().startswith(rule.id)
@@ -507,6 +507,100 @@ def test_mage008_real_registry_covers_real_protocol():
     }
     assert declared <= names
     assert "ReplyPayload" in names
+
+
+# ---------------------------------------------------------------------------
+# MAGE009 — blocking call in an inline-declared handler
+# ---------------------------------------------------------------------------
+
+
+def test_mage009_flags_blocking_declared_handler(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        class Server:
+            @inline_safe
+            def handle(self, message):
+                self._ready.wait(5.0)
+                return self._handlers[message.kind](message.payload)
+    """, rel_path="src/repro/net/fixture_inline.py", rule="MAGE009")
+    assert len(findings) == 1
+    assert "reactor loop thread" in findings[0].message
+    assert findings[0].symbol.endswith("wait")
+
+
+def test_mage009_follows_inline_dispatch_targets(tmp_path):
+    """The declaration covers the methods the dispatch table puts on
+    the loop, not just the decorated entry point itself."""
+    findings = lint_snippet(tmp_path, """
+        import time
+
+        class Server:
+            def __init__(self):
+                self._handlers = {
+                    MessageKind.PING: self._on_ping,
+                    MessageKind.INVOKE: self._on_invoke,
+                }
+
+            @inline_safe
+            def handle(self, message):
+                return self._handlers[message.kind](message.payload)
+
+            def _on_ping(self, payload):
+                time.sleep(0.1)
+                return "pong"
+
+            def _on_invoke(self, payload):
+                return self._transport.call("a", "b", payload)
+    """, rel_path="src/repro/net/fixture_inline.py", rule="MAGE009")
+    # _on_ping flags (PING is inline-dispatched); _on_invoke does not
+    # (INVOKE never runs on the loop thread).
+    assert len(findings) == 1
+    assert "_on_ping" in findings[0].symbol
+    assert "time.sleep" in findings[0].symbol
+
+
+def test_mage009_ignores_undeclared_handlers(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        import time
+
+        class Server:
+            def __init__(self):
+                self._handlers = {MessageKind.PING: self._on_ping}
+
+            def handle(self, message):   # never declared inline_safe
+                return self._handlers[message.kind](message.payload)
+
+            def _on_ping(self, payload):
+                time.sleep(0.1)
+                return "pong"
+    """, rel_path="src/repro/net/fixture_inline.py", rule="MAGE009")
+    assert findings == []
+
+
+def test_mage009_clean_nonblocking_handler(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        class Server:
+            def __init__(self):
+                self._handlers = {MessageKind.PING: self._on_ping}
+
+            @inline_safe
+            def handle(self, message):
+                return self._handlers[message.kind](message.payload)
+
+            def _on_ping(self, payload):
+                return "pong"
+    """, rel_path="src/repro/net/fixture_inline.py", rule="MAGE009")
+    assert findings == []
+
+
+def test_mage009_members_mirror_runtime_inline_kinds():
+    """The rule's hardcoded member set must track INLINE_KINDS: growing
+    the allowlist without growing the lint check would leave new kinds'
+    handlers unchecked."""
+    from repro.net.message import INLINE_KINDS
+
+    from magelint.rules.mage009_inline_blocking import INLINE_MEMBERS
+
+    assert INLINE_MEMBERS == {kind.name for kind in INLINE_KINDS}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,389 @@
+"""Transparent auto-batching on the pipelined TCP call path.
+
+Covers the coalescing client (reply-clocked flush, the kick safety
+valve), the aggregating server (parallel sub dispatch, one reply frame),
+reply-id uniqueness under aggregation, failure isolation between
+coalesced sub-calls, at-most-once across retransmission, mixed-version
+interop, and the declared-inline dispatch fast path.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import CallTimeoutError
+from repro.net.deadline import Deadline
+from repro.net.endpoint import PROTOCOL_VERSION, Hello
+from repro.net.message import (
+    Message,
+    MessageKind,
+    ReplyPayload,
+    inline_safe,
+)
+from repro.net.tcpnet import (
+    _AUTOBATCH_SETTING,
+    _AUTOBATCH_TOKEN,
+    _INLINE_DEMOTE_STRIKES,
+    _Channel,
+    _hello_accepts_autobatch,
+    TcpNetwork,
+)
+from repro.net.transport import ReplyCache, Transport, gather
+
+
+@pytest.fixture
+def net():
+    network = TcpNetwork()
+    yield network
+    network.shutdown()
+
+
+class _Gate:
+    """Server handler whose ``hang`` payload parks until released.
+
+    Holding one call in flight keeps the client's reply clock busy, so
+    every call issued meanwhile queues in the auto-batcher — the
+    deterministic way to force a coalesced frame in tests.
+    """
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def __call__(self, message):
+        if message.payload == "hang":
+            self.started.set()
+            self.release.wait(5.0)
+            return "hung"
+        if message.payload == "boom":
+            raise ValueError("sub failed")
+        if isinstance(message.payload, (int, float)):
+            return message.payload + 10
+        return message.payload
+
+    def open(self, net, src="a", dst="b"):
+        """Register, warm the channel, and park one call in flight."""
+        net.register(src, lambda m: None)
+        net.register(dst, self)
+        net.call(src, dst, MessageKind.PING, 0)
+        hung = net.call_async(src, dst, MessageKind.PING, "hang")
+        assert self.started.wait(5.0)
+        return hung
+
+    def drain(self, hung):
+        self.release.set()
+        assert hung.result(timeout_s=5.0) == "hung"
+
+
+class TestAutoBatchFormation:
+    def test_backlog_coalesces_into_one_frame(self, net):
+        gate = _Gate()
+        hung = gate.open(net)
+        futures = [
+            net.call_async("a", "b", MessageKind.PING, i) for i in range(4)
+        ]
+        assert gather(futures) == [10, 11, 12, 13]
+        gate.drain(hung)
+        stats = net.data_plane_metrics()
+        assert stats.auto_batches == 1
+        assert stats.auto_batched_msgs == 4
+        assert stats.auto_batch_per_frame == {4: 1}
+
+    def test_lone_calls_are_never_delayed_or_batched(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: m.payload)
+        for i in range(10):
+            assert net.call("a", "b", MessageKind.PING, i) == i
+        stats = net.data_plane_metrics()
+        assert stats.auto_batches == 0
+        assert stats.auto_batched_msgs == 0
+
+    def test_kick_flushes_queue_without_reply_clock(self, net):
+        """A queued call behind a stuck round trip must not wait for the
+        stuck reply: its waiter kicks the batcher after a short grace."""
+        gate = _Gate()
+        hung = gate.open(net)
+        start = time.perf_counter()
+        assert net.call("a", "b", MessageKind.PING, 5) == 15
+        elapsed = time.perf_counter() - start
+        assert not gate.release.is_set()  # the clock really was stuck
+        assert elapsed < 2.0
+        gate.drain(hung)
+
+
+class TestReplyIdUniqueness:
+    def test_sub_reply_ids_are_derived_and_distinct(self):
+        request = Message(
+            kind=MessageKind.AUTO_BATCH, src="a", dst="b", payload=()
+        )
+        aggregate = request.reply(ReplyPayload(value=()))
+        sub_ids = ("msg-1", "msg-2")
+        replies = [
+            _Channel._sub_reply(aggregate, sub_id, ReplyPayload(value=sub_id))
+            for sub_id in sub_ids
+        ]
+        # The aggregate's own reply id and each synthesized sub reply id
+        # never collide — exactly what N unbatched replies would carry.
+        assert len({aggregate.msg_id, *(r.msg_id for r in replies)}) == 3
+        for sub_id, reply in zip(sub_ids, replies):
+            assert reply.msg_id == f"{sub_id}-r"
+            assert reply.reply_to_id == sub_id
+            assert reply.kind is MessageKind.REPLY
+
+    def test_colliding_sub_ids_execute_at_most_once(self):
+        """Regression: two subs sharing a message id inside one aggregate
+        must not double-execute — the second replays the first's reply."""
+        cache = ReplyCache()
+        executed = []
+
+        def handler(message):
+            executed.append(message.payload)
+            return message.payload
+
+        subs = tuple(
+            Message(kind=MessageKind.PING, src="a", dst="b",
+                    payload=payload, msg_id="dup-id")
+            for payload in ("x", "y")
+        )
+        batch = Message(
+            kind=MessageKind.AUTO_BATCH, src="a", dst="b", payload=subs
+        )
+        reply = Transport.execute_handler(batch, handler, cache)
+        assert [sub_id for sub_id, _ in reply.value] == ["dup-id", "dup-id"]
+        assert [p.value for _, p in reply.value] == ["x", "x"]
+        assert executed == ["x"]
+
+
+class TestFailureIsolation:
+    def test_raising_sub_leaves_siblings_intact(self, net):
+        gate = _Gate()
+        hung = gate.open(net)
+        bad = net.call_async("a", "b", MessageKind.PING, "boom")
+        good = [net.call_async("a", "b", MessageKind.PING, i) for i in (1, 2)]
+        assert [f.result(timeout_s=5.0) for f in good] == [11, 12]
+        with pytest.raises(ValueError, match="sub failed"):
+            bad.result(timeout_s=5.0)
+        gate.drain(hung)
+        assert net.data_plane_metrics().auto_batches >= 1
+
+    def test_expired_deadline_sub_does_not_poison_siblings(self, net):
+        gate = _Gate()
+        hung = gate.open(net)
+        doomed = net.call_async("a", "b", MessageKind.PING, 1,
+                                deadline=Deadline.after_ms(5))
+        good = net.call_async("a", "b", MessageKind.PING, 2)
+        assert good.result(timeout_s=5.0) == 12
+        with pytest.raises(CallTimeoutError):
+            doomed.result(timeout_s=5.0)
+        gate.drain(hung)
+
+    def test_batched_slow_subs_overlap_server_side(self, net):
+        """The server fans an aggregate back out across its pool: a slow
+        sub must not serialize its coalesced siblings."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def handler(message):
+            if message.payload == "hang":
+                started.set()
+                release.wait(5.0)
+                return "hung"
+            time.sleep(0.15)
+            return message.payload
+
+        net.register("a", lambda m: None)
+        net.register("b", handler)
+        net.call("a", "b", MessageKind.PING, "warm")
+        hung = net.call_async("a", "b", MessageKind.PING, "hang")
+        assert started.wait(5.0)
+        start = time.perf_counter()
+        futures = [
+            net.call_async("a", "b", MessageKind.PING, i) for i in range(3)
+        ]
+        assert gather(futures) == [0, 1, 2]
+        elapsed = time.perf_counter() - start
+        release.set()
+        assert hung.result(timeout_s=5.0) == "hung"
+        # Three 150 ms subs in one aggregate: parallel ~0.15 s, serial 0.45 s.
+        assert elapsed < 0.4, elapsed
+
+    def test_retransmitted_aggregate_replays_cached_replies(self):
+        """At-most-once per sub-id survives a whole-aggregate replay."""
+        cache = ReplyCache()
+        executed = []
+
+        def handler(message):
+            executed.append(message.payload)
+            return message.payload * 10
+
+        subs = tuple(
+            Message(kind=MessageKind.PING, src="a", dst="b", payload=p)
+            for p in (1, 2, 3)
+        )
+        batch = Message(
+            kind=MessageKind.AUTO_BATCH, src="a", dst="b", payload=subs
+        )
+        first = Transport.execute_handler(batch, handler, cache)
+        second = Transport.execute_handler(batch, handler, cache)
+        expected = [(sub.msg_id, sub.payload * 10) for sub in subs]
+        for reply in (first, second):
+            assert [(sid, p.value) for sid, p in reply.value] == expected
+        assert executed == [1, 2, 3]  # each sub ran exactly once
+
+    def test_failing_sub_does_not_stop_the_rest(self):
+        """Unlike BATCH (sequential, fail-fast), coalesced calls are
+        independent: every sub runs, errors stay with their own sub."""
+        cache = ReplyCache()
+        executed = []
+
+        def handler(message):
+            executed.append(message.payload)
+            if message.payload == "bad":
+                raise RuntimeError("sub failed")
+            return message.payload
+
+        subs = tuple(
+            Message(kind=MessageKind.PING, src="a", dst="b", payload=p)
+            for p in ("ok", "bad", "after")
+        )
+        batch = Message(
+            kind=MessageKind.AUTO_BATCH, src="a", dst="b", payload=subs
+        )
+        reply = Transport.execute_handler(batch, handler, cache)
+        assert [p.is_error for _, p in reply.value] == [False, True, False]
+        assert executed == ["ok", "bad", "after"]
+
+
+def _link(a, a_node, b, b_node):
+    a.connect(b_node, b.endpoint_of(b_node))
+    b.connect(a_node, a.endpoint_of(a_node))
+
+
+class TestMixedVersionInterop:
+    def test_hello_negotiation(self):
+        accepting = Hello(
+            version=PROTOCOL_VERSION, node_id="n",
+            settings={_AUTOBATCH_SETTING: _AUTOBATCH_TOKEN},
+        )
+        assert _hello_accepts_autobatch(accepting, PROTOCOL_VERSION)
+        assert not _hello_accepts_autobatch(None, PROTOCOL_VERSION)
+        assert not _hello_accepts_autobatch(
+            Hello(version=PROTOCOL_VERSION, node_id="n"), PROTOCOL_VERSION
+        )
+        assert not _hello_accepts_autobatch(accepting, PROTOCOL_VERSION + 1)
+
+    def _pressure(self, client, src, dst, gate):
+        """Run the coalescing-pressure pattern against a remote server."""
+        client.call(src, dst, MessageKind.PING, 0)
+        hung = client.call_async(src, dst, MessageKind.PING, "hang")
+        assert gate.started.wait(5.0)
+        futures = [
+            client.call_async(src, dst, MessageKind.PING, i) for i in range(4)
+        ]
+        assert gather(futures) == [10, 11, 12, 13]
+        gate.release.set()
+        assert hung.result(timeout_s=5.0) == "hung"
+
+    def test_legacy_server_gets_per_call_frames(self):
+        """A peer built without auto-batching negotiates it away: the
+        modern client's backlog flushes as plain per-call frames."""
+        modern = TcpNetwork()
+        legacy = TcpNetwork(auto_batch=False)
+        try:
+            gate = _Gate()
+            modern.register("hub", lambda m: None)
+            legacy.register("old", gate)
+            _link(modern, "hub", legacy, "old")
+            self._pressure(modern, "hub", "old", gate)
+            assert modern.data_plane_metrics().auto_batches == 0
+            kinds = {e.kind for e in legacy.trace.events()}
+            assert not any("AUTO_BATCH" in kind for kind in kinds)
+        finally:
+            modern.shutdown()
+            legacy.shutdown()
+
+    def test_modern_peers_negotiate_aggregation(self):
+        client = TcpNetwork()
+        server = TcpNetwork()
+        try:
+            gate = _Gate()
+            client.register("hub", lambda m: None)
+            server.register("srv", gate)
+            _link(client, "hub", server, "srv")
+            self._pressure(client, "hub", "srv", gate)
+            assert client.data_plane_metrics().auto_batches >= 1
+            kinds = {e.kind for e in server.trace.events()}
+            assert "AUTO_BATCH" in kinds
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_pre_handshake_peer_keeps_working(self):
+        """No HELLO at all (a pre-handshake build): the capability is
+        never negotiated and every call still completes."""
+        net = TcpNetwork(handshake=False)
+        try:
+            gate = _Gate()
+            hung = gate.open(net)
+            futures = [
+                net.call_async("a", "b", MessageKind.PING, i)
+                for i in range(4)
+            ]
+            assert gather(futures) == [10, 11, 12, 13]
+            gate.drain(hung)
+            assert net.data_plane_metrics().auto_batches == 0
+        finally:
+            net.shutdown()
+
+
+class TestInlineDispatch:
+    def test_undeclared_handler_never_runs_inline(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: m.payload)  # no inline_safe declaration
+        for i in range(5):
+            assert net.call("a", "b", MessageKind.PING, i) == i
+        assert net.data_plane_metrics().inline_dispatches == 0
+
+    def test_declared_handler_dispatches_inline(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", inline_safe(lambda m: m.payload))
+        for i in range(5):
+            assert net.call("a", "b", MessageKind.PING, i) == i
+        stats = net.data_plane_metrics()
+        assert stats.inline_dispatches == 5
+        assert stats.inline_demotions == 0
+
+    def test_non_allowlisted_kind_takes_the_pool(self, net):
+        net.register("a", lambda m: None)
+        net.register("b", inline_safe(lambda m: m.payload))
+        for i in range(3):
+            assert net.call("a", "b", MessageKind.FIND, i) == i
+        assert net.data_plane_metrics().inline_dispatches == 0
+
+    def test_emulated_latency_disables_inline(self):
+        net = TcpNetwork(latency_ms=1.0)
+        try:
+            net.register("a", lambda m: None)
+            net.register("b", inline_safe(lambda m: m.payload))
+            assert net.call("a", "b", MessageKind.PING, 7) == 7
+            assert net.data_plane_metrics().inline_dispatches == 0
+        finally:
+            net.shutdown()
+
+    def test_persistent_overruns_demote_the_fast_path(self):
+        """A declared handler that keeps blowing its time budget demotes
+        this server's inline path permanently — degrade to the pool
+        rather than starve the reactor loop."""
+        net = TcpNetwork(inline_budget_ms=0.0001)
+        try:
+            net.register("a", lambda m: None)
+            net.register("b", inline_safe(lambda m: sum(range(5000))))
+            for _ in range(_INLINE_DEMOTE_STRIKES + 4):
+                net.call("a", "b", MessageKind.PING)
+            stats = net.data_plane_metrics()
+            assert stats.inline_dispatches == _INLINE_DEMOTE_STRIKES
+            assert stats.inline_overruns >= _INLINE_DEMOTE_STRIKES
+            assert stats.inline_demotions == 1
+        finally:
+            net.shutdown()

@@ -17,6 +17,7 @@ from magelint.rules.mage005_wall_clock import WallClockRule
 from magelint.rules.mage006_kind_exhaustive import KindExhaustiveRule
 from magelint.rules.mage007_shared_mutation import SharedMutationRule
 from magelint.rules.mage008_wire_coverage import WireCoverageRule
+from magelint.rules.mage009_inline_blocking import InlineBlockingRule
 
 ALL_RULES: tuple[Rule, ...] = (
     LockBlockingRule(),
@@ -27,6 +28,7 @@ ALL_RULES: tuple[Rule, ...] = (
     KindExhaustiveRule(),
     SharedMutationRule(),
     WireCoverageRule(),
+    InlineBlockingRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

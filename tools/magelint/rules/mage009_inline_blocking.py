@@ -1,0 +1,123 @@
+"""MAGE009 — blocking call in an inline-declared handler."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from magelint.findings import Finding
+from magelint.rules.base import (
+    ModuleContext, Rule, attr_chain, iter_functions, terminal_name,
+)
+from magelint.rules.mage001_lock_blocking import (
+    BLOCKING_CHAINS, BLOCKING_METHODS,
+)
+
+#: MessageKind members the TCP server may dispatch on its reactor loop
+#: thread.  Mirrors ``repro.net.message.INLINE_KINDS`` — kept in lockstep
+#: by the fixture suite (magelint never imports the code it lints).
+INLINE_MEMBERS = frozenset({"PING", "LOAD_QUERY"})
+
+
+class InlineBlockingRule(Rule):
+    id = "MAGE009"
+    title = "blocking call in an inline-declared handler"
+    rationale = """
+Declaring a handler ``@inline_safe`` is a registration contract: the TCP
+server may then run the INLINE_KINDS portion of that handler directly on
+its reactor *loop thread*, skipping the worker-pool handoff.  The loop
+thread services every connection of the node — a handler that blocks
+there (an RPC, a future's result, a sleep, an event wait) stalls all
+peers at once, which is strictly worse than the handoff the declaration
+was meant to avoid.  The server's per-call time budget demotes
+persistent offenders at runtime, but only after they have already
+stalled the loop; this rule catches the same mistake at lint time,
+reusing MAGE001's blocking-call inference.  Checked are the declared
+handler itself and, in the same module, the methods its dispatch table
+maps INLINE_KINDS members to (the code the declaration actually puts on
+the loop).
+"""
+    example_bad = """
+@inline_safe
+def handle(self, message):
+    self._ready.wait()                 # stalls every connection
+    return self._handlers[message.kind](message.payload)
+"""
+    example_good = """
+@inline_safe
+def handle(self, message):
+    return self._handlers[message.kind](message.payload)
+
+self._handlers = {MessageKind.PING: self._on_ping}  # returns a constant
+"""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        functions = list(iter_functions(module.tree))
+        declared = [
+            (func, qualname) for func, qualname in functions
+            if _is_inline_declared(func)
+        ]
+        if not declared:
+            return []
+        # The declaration covers the handler *and* what its dispatch
+        # table routes INLINE_MEMBERS to within this module.
+        target_names = set(_inline_dispatch_targets(module.tree))
+        checked = declared + [
+            (func, qualname) for func, qualname in functions
+            if func.name in target_names and not _is_inline_declared(func)
+        ]
+        findings: list[Finding] = []
+        for func, qualname in checked:
+            for call, reason in _blocking_calls(func):
+                findings.append(Finding(
+                    rule=self.id,
+                    path=module.path,
+                    line=call.lineno,
+                    symbol=f"{qualname}:{reason}",
+                    message=(
+                        f"`{reason}` blocks inside inline-declared handler "
+                        f"`{qualname}` — INLINE_KINDS handlers run on the "
+                        f"reactor loop thread and stall every connection; "
+                        f"move the blocking work behind a pool-dispatched "
+                        f"kind or drop the inline_safe declaration"
+                    ),
+                ))
+        return findings
+
+
+def _is_inline_declared(func: ast.AST) -> bool:
+    for decorator in getattr(func, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if terminal_name(target) == "inline_safe":
+            return True
+    return False
+
+
+def _inline_dispatch_targets(tree: ast.Module) -> Iterator[str]:
+    """Method names a dispatch dict maps INLINE_MEMBERS kinds to."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            chain = attr_chain(key) if key is not None else ""
+            if (chain.startswith("MessageKind.")
+                    and chain.split(".", 1)[1] in INLINE_MEMBERS):
+                name = terminal_name(value)
+                if name:
+                    yield name
+
+
+def _blocking_calls(func: ast.AST) -> Iterator[tuple[ast.Call, str]]:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attr_chain(node.func)
+        name = terminal_name(node.func)
+        if chain in BLOCKING_CHAINS:
+            yield node, chain
+        elif name in BLOCKING_METHODS:
+            yield node, chain or name
+        elif name == "wait":
+            # Unlike MAGE001 there is no held-lock context that could
+            # make a wait benign: the loop thread must never park.
+            yield node, chain or name
