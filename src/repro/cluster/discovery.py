@@ -70,8 +70,10 @@ class Membership:
         self.announce_timeout_ms = announce_timeout_ms
         self._lock = threading.Lock()
         #: Members learned via JOIN/ANNOUNCE (beyond the transport's own
-        #: node list): ``node_id -> (host, port) | None``.
-        self._members: dict[str, tuple[str, int] | None] = {}
+        #: node list): ``node_id -> (host, port[, uds]) | None``.  The
+        #: roster spelling stays a plain tuple so builds predating the
+        #: Unix-socket facet read it unchanged.
+        self._members: dict[str, tuple | None] = {}
         self._dead: set[str] = set()
         self._misses: dict[str, int] = {}
         self._death_callbacks: list[Callable[[str], None]] = []
@@ -139,25 +141,28 @@ class Membership:
 
     # -- join / announce ------------------------------------------------------
 
-    def _my_endpoint(self) -> tuple[str, int] | None:
+    def _my_endpoint(self) -> tuple | None:
         endpoint_of = getattr(self.ns.transport, "endpoint_of", None)
         if endpoint_of is None:
             return None
         endpoint = endpoint_of(self.ns.node_id)
-        return endpoint.address() if endpoint is not None else None
+        return endpoint.as_tuple() if endpoint is not None else None
 
-    def roster(self) -> dict[str, tuple[str, int] | None]:
+    def roster(self) -> dict[str, tuple | None]:
         """This namespace's membership view: ``node_id -> endpoint``.
 
-        What a JOIN reply and an ANNOUNCE carry.  Dead members are
-        excluded — propagating a corpse's address would resurrect it in
-        every address book the announcement reaches.
+        What a JOIN reply and an ANNOUNCE carry.  Entries are plain
+        tuples — ``(host, port)``, or ``(host, port, uds)`` when the
+        node also listens on a same-host Unix socket — so the roster
+        stays readable by builds that predate the facet.  Dead members
+        are excluded — propagating a corpse's address would resurrect
+        it in every address book the announcement reaches.
         """
         transport = self.ns.transport
-        entries: dict[str, tuple[str, int] | None] = {}
+        entries: dict[str, tuple | None] = {}
         for node in transport.nodes():
             endpoint = transport.endpoint_of(node)
-            entries[node] = endpoint.address() if endpoint is not None else None
+            entries[node] = endpoint.as_tuple() if endpoint is not None else None
         with self._lock:
             for node, address in self._members.items():
                 entries.setdefault(node, address)

@@ -47,10 +47,20 @@ class Endpoint:
     ``127.0.0.1`` for same-machine deployments.  Hashable and comparable,
     so address books can detect a re-joining peer's *changed* endpoint
     (the fresh entry wins; stale connections are severed).
+
+    ``uds`` is an optional same-host facet: the *abstract* Unix-domain
+    socket name (without the leading NUL byte) the node additionally
+    listens on.  A peer that observes the endpoint's ``host`` matching
+    its own advertised host may dial the UDS instead of TCP; everyone
+    else ignores the facet.  It is advisory routing data, not identity:
+    two endpoints differing only in ``uds`` address the same listener,
+    so the facet is excluded from equality and hashing (address books
+    must not treat a facet upgrade as a changed — severable — peer).
     """
 
     host: str
     port: int
+    uds: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -60,6 +70,16 @@ class Endpoint:
 
     def address(self) -> tuple[str, int]:
         """The ``(host, port)`` pair ``socket.create_connection`` wants."""
+        return (self.host, self.port)
+
+    def as_tuple(self) -> "tuple[str, int] | tuple[str, int, str]":
+        """The roster/JOIN wire spelling: 2-tuple, or 3-tuple with ``uds``.
+
+        Kept a plain tuple (not the dataclass) so rosters stay readable
+        by builds that predate the facet; ``Endpoint(*t)`` accepts both.
+        """
+        if self.uds:
+            return (self.host, self.port, self.uds)
         return (self.host, self.port)
 
     @classmethod

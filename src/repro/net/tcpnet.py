@@ -158,6 +158,17 @@ _AUTOBATCH_SETTING = "autobatch"
 #: AUTO_BATCH envelopes (and answers them with aggregated replies).
 _AUTOBATCH_TOKEN = "ab1"
 
+#: ``Hello.settings`` key advertising a server's same-host Unix-domain
+#: listener: ``(advertise_host, port, uds_name)``.  Receivers that do not
+#: know the key ignore it (the HELLO extension contract), so mixed-version
+#: clusters interop over plain TCP.
+_UDS_SETTING = "uds"
+
+#: Whether this platform offers Unix-domain stream sockets at all.  The
+#: abstract namespace itself is probed per listener (bind may still fail
+#: inside restricted sandboxes) — every failure degrades to TCP.
+_UDS_SUPPORTED = hasattr(socket, "AF_UNIX")
+
 #: Kinds the client-side auto-batcher never coalesces: bulk kinds carry
 #: large zero-copy payloads and must keep their dedicated server pool;
 #: one-way kinds have no reply to demultiplex; nested batches stay flat.
@@ -814,18 +825,26 @@ class _Channel:
         self._closed = True
         self._fail_waiters(reason)
 
-    def close(self, reason: Exception | None = None) -> None:
+    def close(self, reason: Exception | None = None,
+              rescue: bool = True) -> None:
         """Sever the connection and fail every parked waiter; idempotent.
 
         Waiters are failed *synchronously* — the reactor's own teardown
         notification follows asynchronously but finds the shards already
         drained, so no waiter can be left parked behind a dead socket.
+
+        ``rescue=False`` additionally *fails* the auto-batcher's queued
+        frames instead of re-routing them: a peer being deliberately
+        forgotten must not be redialed by its own teardown (the rescue
+        path would resurrect a fresh channel to the node membership just
+        declared dead).
         """
         self._closed = True
-        self._fail_waiters(reason)
+        self._fail_waiters(reason, rescue=rescue)
         self._conn.close(graceful=False)
 
-    def _fail_waiters(self, reason: Exception | None) -> None:
+    def _fail_waiters(self, reason: Exception | None,
+                      rescue: bool = True) -> None:
         if reason is None:
             reason = ConnectionError(f"channel to {self.dst!r} closed")
         with self._batch_lock:
@@ -834,11 +853,15 @@ class _Channel:
             for waiter in shard.close_and_drain():
                 waiter.fail(reason)
         batcher = self._batcher
-        if batcher is not None:
+        if batcher is None:
+            return
+        if rescue:
             # Queued-but-unsent frames provably never left: re-route them
             # instead of failing them (the parked waiters above were all
             # on the wire; these were not).
             batcher.on_channel_closed()
+        else:
+            batcher.fail_queued(reason)
 
 
 class _CallPathMetrics:
@@ -1084,6 +1107,28 @@ class _AutoBatcher:
             self._queue.clear()
         self._transport._rescue_async(stranded)
 
+    def fail_queued(self, reason: Exception | None) -> None:
+        """Deliberate teardown (peer forgotten): fail the queue, no rescue.
+
+        The rescue path would dial the forgotten peer right back —
+        resurrecting a channel membership just severed — so an eviction
+        fails queued frames instead, and resets the reply clock so a
+        later re-join starts the batcher from its idle state.
+        """
+        if reason is None:
+            reason = ConnectionError(
+                f"channel to {self._channel.dst!r} closed"
+            )
+        with self._lock:
+            stranded = list(self._queue)
+            self._queue.clear()
+            self._active = False
+            self._inflight = 0
+        for _message, sink in stranded:
+            # The teardown surface parked waiters see: wrapped in
+            # NodeUnreachableError by the sink itself.
+            sink.fail(reason)
+
 
 class _PipelinedCallFuture(CallFuture):
     """A call future resolved by a pipelined channel's reader thread.
@@ -1319,7 +1364,7 @@ class _PeerState:
 class _ServerConn:
     """Reactor-side state for one accepted server connection."""
 
-    __slots__ = ("conn", "peer", "first")
+    __slots__ = ("conn", "peer", "first", "same_host")
 
     def __init__(self) -> None:
         self.conn: Connection | None = None
@@ -1327,6 +1372,11 @@ class _ServerConn:
         #: True until the first frame arrives — only a connection-opening
         #: HELLO is answered.
         self.first = True
+        #: The connection arrived over the Unix-domain listener, so the
+        #: peer is provably on this machine: replies skip compression
+        #: (it exists to save network bandwidth, which a same-host
+        #: socket does not consume — the zlib pass is pure CPU cost).
+        self.same_host = False
 
 
 class _NodeServer:
@@ -1366,7 +1416,9 @@ class _NodeServer:
                  auto_batch: bool = True,
                  inline_dispatch: bool = True,
                  inline_budget_s: float = 0.001,
-                 call_metrics: "_CallPathMetrics | None" = None) -> None:
+                 call_metrics: "_CallPathMetrics | None" = None,
+                 uds: bool = False,
+                 advertise_host: str = "127.0.0.1") -> None:
         self.node_id = node_id
         self.handler = handler
         self.reply_cache = ReplyCache(shards=8)
@@ -1410,15 +1462,38 @@ class _NodeServer:
             ) from exc
         self._sock.listen(64)
         self.port = self._sock.getsockname()[1]
+        self._advertise_host = advertise_host
         self._closing = False
         self._conn_lock = threading.Lock()
         self._conns: set[_ServerConn] = set()
         self._listener: Listener = reactor.add_listener(
             self._sock, self._on_accept
         )
+        #: Abstract Unix-domain companion listener (same-host tier 2).
+        #: The name is advertised (without the leading NUL) through this
+        #: server's HELLO and the membership roster; a bind failure —
+        #: no AF_UNIX, no abstract namespace in this sandbox — leaves
+        #: ``uds_name`` empty and the node TCP-only, never broken.
+        self.uds_name = ""
+        self._uds_listener: Listener | None = None
+        if uds and _UDS_SUPPORTED:
+            name = f"mage-{self.port}-{node_id}"
+            usock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                usock.bind("\0" + name)
+                usock.listen(64)
+            except OSError:
+                usock.close()
+            else:
+                self.uds_name = name
+                self._uds_listener = reactor.add_listener(
+                    usock, self._on_accept
+                )
 
     def _on_accept(self, sock: socket.socket) -> None:
         state = _ServerConn()
+        if _UDS_SUPPORTED and sock.family == socket.AF_UNIX:
+            state.same_host = True
         conn = self._reactor.add_connection(
             sock,
             lambda ident, body, wire: self._on_frame(state, ident, body, wire),
@@ -1463,6 +1538,12 @@ class _NodeServer:
                 settings: dict = {wirecodec.WIRE_SETTING: self._wire_formats}
                 if self._auto_batch:
                     settings[_AUTOBATCH_SETTING] = _AUTOBATCH_TOKEN
+                if self.uds_name:
+                    # Same-host facet: peers whose advertised host
+                    # matches dial the Unix socket instead of TCP.
+                    settings[_UDS_SETTING] = (
+                        self._advertise_host, self.port, self.uds_name
+                    )
                 reply = Hello(
                     version=self._protocol_version,
                     node_id=self.node_id,
@@ -1622,6 +1703,9 @@ class _NodeServer:
             # Legacy (no-HELLO) connection: fall back to the in-process
             # advertisement registry keyed by the requesting node.
             codec_for = lambda nbytes: self._codec_for_peer(message.src, nbytes)
+        if state.same_host:
+            # Same-machine connection: bandwidth is free, CPU is not.
+            codec_for = None
         hello = state.peer.hello
         flat = hello is not None and hello.version == self._protocol_version
         try:
@@ -1637,6 +1721,28 @@ class _NodeServer:
         except ConnectionError:
             pass  # caller gave up; the reply cache covers their retry
 
+    def drop_peer(self, peer: str) -> None:
+        """Sever accepted connections whose HELLO identified ``peer``.
+
+        Eviction-time hygiene: a forgotten peer's half-open inbound
+        connections — and the per-connection codec/binary negotiation
+        state riding them — must not survive into its re-join, which
+        starts from a fresh handshake.  Connections that never HELLOed
+        cannot be attributed and are left alone (they carry no per-peer
+        state to go stale).
+        """
+        with self._conn_lock:
+            stale = [
+                state for state in self._conns
+                if state.peer.hello is not None
+                and state.peer.hello.node_id == peer
+            ]
+            for state in stale:
+                self._conns.discard(state)
+        for state in stale:
+            if state.conn is not None:
+                state.conn.close(graceful=False)
+
     def close(self) -> None:
         """Stop listening and sever live connections, releasing the port.
 
@@ -1649,6 +1755,8 @@ class _NodeServer:
             conns = list(self._conns)
             self._conns.clear()
         self._listener.close()
+        if self._uds_listener is not None:
+            self._uds_listener.close()
         for state in conns:
             if state.conn is not None:
                 state.conn.close(graceful=False)
@@ -1681,7 +1789,9 @@ class TcpNetwork(Transport):
                  batch_max_msgs: int = 32,
                  batch_max_bytes: int = 64 * 1024,
                  inline_dispatch: bool = True,
-                 inline_budget_ms: float = 1.0) -> None:
+                 inline_budget_ms: float = 1.0,
+                 uds: bool = True,
+                 local_bypass: bool = True) -> None:
         """``latency_ms`` emulates a slower link (tc-netem style): every
         request is delayed that long at the destination before dispatch.
         Loopback's ~0.1 ms round trip hides latency effects entirely;
@@ -1747,6 +1857,18 @@ class TcpNetwork(Transport):
         budget of ``inline_budget_ms`` — repeated overruns demote the
         fast path back to the worker pool (watch ``inline_overruns`` and
         ``loop_lag_ewma_ms`` in :meth:`data_plane_metrics`).
+
+        Same-host fast paths: ``uds`` makes every node listener
+        additionally bind an abstract Unix-domain socket, advertised
+        through HELLO settings and the membership roster; a peer whose
+        own ``advertise_host`` matches dials the Unix socket instead of
+        loopback TCP, degrading to TCP on any mismatch or dial failure
+        (and entirely on platforms without ``AF_UNIX``).
+        ``local_bypass`` lets RMI stubs on this transport short-circuit
+        invokes to servants hosted *in this process* without touching
+        the wire at all (see :class:`repro.rmi.bypass.LocalDispatch`);
+        both default on and exist as off-switches for A/B measurement
+        and for modelling builds that predate the fast paths.
         """
         super().__init__(
             clock=clock if clock is not None else WallClock(),
@@ -1817,6 +1939,8 @@ class TcpNetwork(Transport):
         self.batch_max_bytes = batch_max_bytes
         self.inline_dispatch = inline_dispatch
         self.inline_budget_s = inline_budget_ms / 1000.0
+        self.uds = uds and _UDS_SUPPORTED
+        self.supports_local_bypass = bool(local_bypass)
         self._call_metrics = _CallPathMetrics()
         write_codecs = codec.available_codecs() if codecs is None else tuple(codecs)
         for name in write_codecs:
@@ -1943,7 +2067,9 @@ class TcpNetwork(Transport):
                              auto_batch=self.auto_batch,
                              inline_dispatch=self.inline_dispatch,
                              inline_budget_s=self.inline_budget_s,
-                             call_metrics=self._call_metrics)
+                             call_metrics=self._call_metrics,
+                             uds=self.uds,
+                             advertise_host=self.advertise_host)
         with self._lock:
             old = self._servers.get(node_id)
             self._servers[node_id] = server
@@ -1990,18 +2116,29 @@ class TcpNetwork(Transport):
 
     def endpoint_of(self, node_id: str) -> Endpoint | None:
         """Where ``node_id`` can be dialed: a local listener's advertised
-        address, else the address book, else ``None``."""
+        address (with its Unix-socket facet, when one is bound), else the
+        address book, else ``None``."""
         with self._lock:
             server = self._servers.get(node_id)
         if server is not None:
-            return Endpoint(self.advertise_host, server.port)
+            return Endpoint(self.advertise_host, server.port, server.uds_name)
         return super().endpoint_of(node_id)
 
     def forget_peer(self, node_id: str) -> None:
         # One atomic pop drops the peer's whole sharded record — address
-        # book, link EWMA, and codec advertisement together.
+        # book, link EWMA, and codec advertisement together.  Channels
+        # are closed with ``rescue=False``: the auto-batcher's queued
+        # frames fail instead of redialing the node just forgotten.
         super().forget_peer(node_id)
-        self._drop_channels(node_id)
+        self._drop_channels(node_id, rescue=False)
+        # Server side of the same hygiene: sever accepted connections
+        # the forgotten peer opened toward locally served nodes, so a
+        # re-join starts from a fresh handshake (no stale codec/binary
+        # negotiation state).
+        with self._lock:
+            servers = list(self._servers.values())
+        for server in servers:
+            server.drop_peer(node_id)
 
     def _peer_endpoint_changed(self, node_id: str) -> None:
         # A peer re-joined from a new endpoint: the fresh address wins,
@@ -2012,35 +2149,64 @@ class TcpNetwork(Transport):
 
     # -- client-side connections ---------------------------------------------
 
-    def _dial_address(self, dst: str) -> tuple[str, int]:
-        """Resolve ``dst`` to a dialable ``(host, port)``.
+    def _dial_address(self, dst: str) -> Endpoint:
+        """Resolve ``dst`` to a dialable endpoint.
 
-        Locally served nodes are dialed over loopback-or-bind directly;
-        anything else must be in the address book.
+        Locally served nodes are dialed over loopback-or-bind directly
+        (keeping their Unix-socket facet — same process is trivially
+        same host); anything else must be in the address book, whose
+        facet is kept only when the peer's advertised host matches this
+        transport's own — a Unix socket on another machine is not
+        reachable, whatever the roster says.
         """
         with self._lock:
             server = self._servers.get(dst)
         if server is not None:
             host = "127.0.0.1" if self.bind in ("", "0.0.0.0", "::") else self.bind
-            return (host, server.port)
+            return Endpoint(host, server.port, server.uds_name)
         endpoint = super().endpoint_of(dst)
         if endpoint is None:
             raise NodeUnreachableError(
                 dst, "not registered and no known endpoint"
             )
-        return endpoint.address()
+        if endpoint.uds and endpoint.host != self.advertise_host:
+            return Endpoint(endpoint.host, endpoint.port)
+        return endpoint
 
     def _connect(self, dst: str) -> socket.socket:
-        address = self._dial_address(dst)
+        endpoint = self._dial_address(dst)
+        if endpoint.uds and self.uds:
+            sock = self._dial_uds(endpoint.uds)
+            if sock is not None:
+                return sock
+            # Any failure degrades to TCP: the peer may have restarted
+            # without the facet, or the abstract namespace may be
+            # partitioned from this process (container boundaries).
         try:
             sock = socket.create_connection(
-                address, timeout=self.connect_timeout_s
+                endpoint.address(), timeout=self.connect_timeout_s
             )
         except OSError as exc:
             raise NodeUnreachableError(dst, f"connect failed: {exc}") from exc
         # Frames are small; Nagle-batching them against delayed ACKs stalls
         # the pipelined mode badly, so send every frame immediately.
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _dial_uds(self, name: str) -> socket.socket | None:
+        """Dial the abstract Unix socket ``name``; ``None`` on failure.
+
+        No TCP_NODELAY here — Unix sockets have no Nagle to disable —
+        and no exception surface: the caller always has TCP to fall
+        back on, so a same-host dial can only ever *add* a fast path.
+        """
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.connect_timeout_s)
+        try:
+            sock.connect("\0" + name)
+        except OSError:
+            sock.close()
+            return None
         return sock
 
     def _client_handshake(
@@ -2112,6 +2278,7 @@ class TcpNetwork(Transport):
                     pass
                 sock = self._connect(dst)
         sock.settimeout(None)  # the reactor owns it; reply timeouts are waiter-side
+        self._learn_peer_uds(dst, peer_hello)
         channel = _Channel(dst, sock, self._reactor,
                            serialize=(self.mode == "pooled"),
                            negotiated=negotiated, peer_hello=peer_hello,
@@ -2123,11 +2290,17 @@ class TcpNetwork(Transport):
         # is empty — hence raw — for peers this process never hosted).
         # (Assigned post-construction, but only send paths — which run
         # after this method returns — ever call it.)
-        channel._codec_for = lambda nbytes: (
-            self._frame_codec(dst, nbytes)
-            if channel.negotiated_codecs is None
-            else self._codec_for_advertised(channel.negotiated_codecs, nbytes)
-        )
+        if _UDS_SUPPORTED and sock.family == socket.AF_UNIX:
+            # Same-machine channel: compression saves bandwidth a Unix
+            # socket does not consume, so every frame goes raw and the
+            # compressor's CPU cost goes with it.
+            channel._codec_for = None
+        else:
+            channel._codec_for = lambda nbytes: (
+                self._frame_codec(dst, nbytes)
+                if channel.negotiated_codecs is None
+                else self._codec_for_advertised(channel.negotiated_codecs, nbytes)
+            )
         if self.auto_batch and self.mode == "pipelined":
             # Same post-construction discipline as _codec_for: only
             # submit_auto — called after this method returns — reads it.
@@ -2143,12 +2316,41 @@ class TcpNetwork(Transport):
             self._channels[key] = channel
         return channel
 
-    def _drop_channels(self, dst: str) -> None:
+    def _learn_peer_uds(self, dst: str, hello: "Hello | None") -> None:
+        """Adopt the Unix-socket facet a server's HELLO advertised.
+
+        Recorded through :meth:`connect`'s facet merge, so the address
+        book remembers it for later dials (the *current* connection
+        stays on whatever socket it was opened on — the upgrade applies
+        from the next dial).  Ignored unless the advertised ``(host,
+        port)`` agrees with what this transport already dials for
+        ``dst``: adopting a mismatched advertisement would re-route —
+        and sever — healthy connections on hearsay.
+        """
+        if hello is None or not self.uds:
+            return
+        spec = hello.settings.get(_UDS_SETTING)
+        if (not isinstance(spec, tuple) or len(spec) != 3
+                or not isinstance(spec[0], str)
+                or not isinstance(spec[2], str) or not spec[2]):
+            return
+        host, port, uds_name = spec
+        if host != self.advertise_host:
+            return  # another machine's Unix socket: not reachable here
+        known = super().endpoint_of(dst)
+        if known is None or known.address() != (host, port):
+            return
+        try:
+            self.connect(dst, Endpoint(host, int(port), uds_name))
+        except (ConfigurationError, TypeError, ValueError):
+            return  # malformed advertisement: stay on TCP
+
+    def _drop_channels(self, dst: str, rescue: bool = True) -> None:
         with self._chan_lock:
             stale = [key for key in self._channels if key[1] == dst]
             channels = [self._channels.pop(key) for key in stale]
         for channel in channels:
-            channel.close()
+            channel.close(rescue=rescue)
 
     def open_channels(self) -> int:
         """How many live pooled connections exist (for tests/diagnostics)."""

@@ -638,6 +638,12 @@ class Transport(ABC):
     #: would perturb the deterministic traces the figure benches assert.
     track_link_latency = False
 
+    #: Whether stubs on this transport may short-circuit invokes to
+    #: colocated servants in process (the tier-1 local bypass).  Off on
+    #: the simulated network: every simulated call must cross the
+    #: virtual wire so figure traces stay byte-identical.
+    supports_local_bypass = False
+
     #: EWMA smoothing factor for per-link latency estimates.
     LINK_EWMA_ALPHA = 0.2
 
@@ -670,8 +676,18 @@ class Transport(ABC):
         if not isinstance(endpoint, Endpoint):
             endpoint = Endpoint(*endpoint)
         previous = self._peer_shard(node_id).set_endpoint(node_id, endpoint)
-        if previous is not None and previous != endpoint:
+        if previous is None:
+            return
+        if previous.address() != endpoint.address():
+            # Identity is (host, port) only: the uds facet is advisory
+            # routing data, and learning or shedding it must not sever
+            # healthy connections built on the unchanged TCP address.
             self._peer_endpoint_changed(node_id)
+        elif previous.uds and not endpoint.uds:
+            # Same address, but the new entry is missing a facet the old
+            # one had learned (e.g. a roster merge that predates the
+            # peer's HELLO): keep the learned facet.
+            self._peer_shard(node_id).set_endpoint(node_id, previous)
 
     def endpoint_of(self, node_id: str) -> Endpoint | None:
         """Where ``node_id`` can be dialed (``None`` when unknown).

@@ -1,0 +1,278 @@
+"""In-process invoke bypass: tier 1 of the same-host locality ladder.
+
+MAGE's whole argument is that migrating an object toward its callers
+makes subsequent invocations cheap — yet a call to a servant *colocated
+with its caller* used to pay the full marshal → frame → loopback →
+unmarshal round trip anyway.  This module collapses that stack: when the
+:class:`~repro.rmi.client.RmiClient` resolves a stub's target to the
+local :class:`~repro.runtime.store.ObjectStore`, the invocation is
+dispatched straight into the servant call — while preserving every
+observable remote semantic:
+
+* **By-value isolation.**  Arguments and results cross the boundary by
+  value, exactly as bytes would: immutable primitive trees
+  (:func:`~repro.rmi.marshal._plain_immutable`) are shared copy-free —
+  indistinguishable from copying — and everything else pays the same
+  pickle round trip the wire charges, so a servant mutating its
+  arguments (or a caller mutating a result the servant retained) can
+  never leak the mutation across the boundary.  Stubs re-attach through
+  the namespace's stub factory and mobile instances refuse to marshal,
+  both exactly as on the wire.
+* **Deadline semantics.**  The call builds a real ``src == dst``
+  :class:`~repro.net.message.Message` carrying
+  :func:`~repro.net.deadline.effective_deadline` and runs it through
+  :meth:`Transport.execute_handler` — the literal wire-path code — so
+  expired budgets are dropped at admission with the same
+  ``CallTimeoutError`` envelope and the deadline is ambient while the
+  servant runs (nested calls inherit it).
+* **At-most-once.**  The dispatch shares ``execute_handler``'s
+  single-flight reply cache discipline via a dedicated
+  :class:`~repro.net.transport.ReplyCache`; a replayed message id is
+  answered from the cache without re-executing, and a *mutable* cached
+  result is re-isolated per delivery (the wire unmarshals a fresh copy
+  per retransmission — so does the bypass).
+* **Trace events.**  The request and its reply are recorded in the
+  transport's message trace as local (``src == dst``) messages, the same
+  shape the simulated network gives self-calls.
+* **Failure envelopes.**  Servant exceptions arrive as
+  :class:`~repro.errors.RemoteInvocationError` with the remote traceback,
+  missing objects as ``NoSuchObjectError``, and delivered errors are
+  re-isolated so no live ``__cause__`` chain smuggles servant state
+  across the boundary — all matching the wire byte-for-byte in type,
+  message, and traceback.
+
+The moment the object migrates away the store probe misses and the call
+falls back to the wire path untouched (hint chase unchanged); a race
+between the probe and the dispatch surfaces the same ``NoSuchObjectError``
+a stale wire call would.
+
+This module is the *sanctioned* place to call servant methods across the
+RMI boundary — magelint rule MAGE010 flags direct servant-method calls
+anywhere else.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.net.deadline import Deadline, effective_deadline
+from repro.net.message import (
+    Message,
+    MessageKind,
+    ReplyPayload,
+    build_message,
+)
+from repro.net.transport import CallFuture, ReplyCache, Transport
+from repro.rmi.invoker import Invoker
+from repro.rmi.marshal import (
+    MarshalError,
+    StubFactory,
+    _plain_immutable,
+    marshal,
+    unmarshal,
+)
+from repro.rmi.stub import RemoteRef
+from repro.runtime.store import ObjectStore
+
+#: Flat trace-accounting size for bypass messages: nothing is serialized,
+#: so the trace is handed the envelope floor instead of re-pickling the
+#: (by-reference) payload to measure it.  Local messages never count
+#: toward remote-bytes accounting, so the exact figure is cosmetic.
+_LOCAL_NBYTES = 64
+
+#: Probe-miss sentinel for the synchronous bypass path (``None`` is a
+#: perfectly good servant return value, so it cannot signal the miss).
+MISS = object()
+
+
+class _LocalInvoke:
+    """Bypass message payload: an invocation descriptor held by reference.
+
+    Arguments are *already isolated* when this is built — the payload
+    never crosses a pickle boundary, it only rides the local message so
+    ``execute_handler`` and the trace see a real envelope.
+    """
+
+    __slots__ = ("name", "method", "args", "kwargs")
+
+    def __init__(self, name: str, method: str, args: "tuple[Any, ...]",
+                 kwargs: "dict[str, Any]") -> None:
+        self.name = name
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+
+    def __repr__(self) -> str:
+        return f"LocalInvoke({self.name}.{self.method})"
+
+
+class _ByValue:
+    """A marshalled result parked in the bypass reply cache.
+
+    Mutable results are cached as *bytes* and unmarshalled fresh per
+    delivery: a replayed message id must observe a new copy, exactly as a
+    wire retransmission unmarshals the cached reply blob anew.
+    """
+
+    __slots__ = ("blob",)
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+
+
+class LocalDispatch:
+    """Executes colocated invocations without touching the wire.
+
+    One per namespace (attached to its :class:`RmiClient` when the
+    transport advertises ``supports_local_bypass``); ``hits`` counts
+    bypassed invocations for the locality bench and tier diagnostics.
+    """
+
+    #: Re-exported so the client (which cannot import this module at
+    #: runtime without a cycle) can compare ``try_invoke_sync`` outcomes.
+    MISS = MISS
+
+    def __init__(self, node_id: str, transport: Transport, store: ObjectStore,
+                 invoker: Invoker, stub_factory: StubFactory) -> None:
+        self.node_id = node_id
+        self._transport = transport
+        self._store = store
+        self._invoker = invoker
+        self._stub_factory = stub_factory
+        self._cache = ReplyCache()
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    # -- entry ---------------------------------------------------------------
+
+    def try_invoke(self, ref: RemoteRef, method: str, args: "tuple[Any, ...]",
+                   kwargs: "dict[str, Any]",
+                   deadline: Deadline | None = None) -> CallFuture | None:
+        """Bypass one invocation, or ``None`` when the target is not local.
+
+        ``None`` sends the caller down the unchanged wire path; the probe
+        is one shard-lock store lookup, so a miss costs almost nothing on
+        top of the call it falls back to.
+        """
+        if self._store.lookup(ref.name) is None:
+            return None
+        return self.invoke_message(self._build(ref, method, args, kwargs,
+                                               deadline))
+
+    def try_invoke_sync(self, ref: RemoteRef, method: str,
+                        args: "tuple[Any, ...]", kwargs: "dict[str, Any]",
+                        deadline: Deadline | None = None) -> Any:
+        """Blocking-caller bypass: the value, the error, or :data:`MISS`.
+
+        Same outcomes as ``try_invoke(...).result()`` — the delivered
+        value is returned, the delivered (isolated) error is raised —
+        minus the per-call future allocation a blocking caller pays for
+        and never uses.  :data:`MISS` sends the caller down the wire.
+        """
+        if self._store.lookup(ref.name) is None:
+            return MISS
+        payload = self._execute(self._build(ref, method, args, kwargs,
+                                            deadline))
+        error = payload.error
+        if error is not None:
+            raise self._isolate_error(error)
+        return self._fresh_value(payload)
+
+    def _build(self, ref: RemoteRef, method: str, args: "tuple[Any, ...]",
+               kwargs: "dict[str, Any]", deadline: Deadline | None) -> Message:
+        isolated_args, isolated_kwargs = self._isolate_call(args, kwargs)
+        return build_message(
+            MessageKind.INVOKE, self.node_id, self.node_id,
+            _LocalInvoke(ref.name, method, isolated_args, isolated_kwargs),
+            effective_deadline(deadline),
+        )
+
+    def invoke_message(self, message: Message) -> CallFuture:
+        """Dispatch a pre-built bypass message (the replay-test seam).
+
+        Runs the full wire-path execution discipline and returns an
+        already-completed future.
+        """
+        return self._deliver(message, self._execute(message))
+
+    def _execute(self, message: Message) -> ReplyPayload:
+        """Deadline admission, ambient scope, single-flight at-most-once
+        — via :meth:`Transport.execute_handler`, the literal wire-path
+        code — plus local trace events for both directions.
+        """
+        trace = self._transport.trace
+        clock = self._transport.clock
+        trace.record(message, clock.now_ms(), nbytes=_LOCAL_NBYTES)
+        payload = Transport.execute_handler(message, self._handle, self._cache)
+        trace.record(message.reply(payload), clock.now_ms(),
+                     nbytes=_LOCAL_NBYTES)
+        with self._lock:
+            self.hits += 1
+        return payload
+
+    # -- servant side ----------------------------------------------------------
+
+    def _handle(self, message: Message) -> Any:
+        """The handler ``execute_handler`` runs: servant call + isolation.
+
+        Result isolation is decided *here*, before the reply payload
+        enters the cache: immutable trees are cached (and delivered)
+        as-is, everything else is cached as marshalled bytes so every
+        delivery — first or replayed — unmarshals its own copy.
+        """
+        call = message.payload
+        result = self._invoker.dispatch(call.name, call.method,
+                                        call.args, call.kwargs)
+        if _plain_immutable(result):
+            return result
+        return _ByValue(marshal(result))
+
+    # -- caller side -----------------------------------------------------------
+
+    def _deliver(self, message: Message, payload: ReplyPayload) -> CallFuture:
+        future = CallFuture(message.describe)
+        error = payload.error
+        if error is not None:
+            future._fail(self._isolate_error(error))
+        else:
+            future._resolve(self._fresh_value(payload))
+        return future
+
+    def _fresh_value(self, payload: ReplyPayload) -> Any:
+        """The delivered result: mutable values unmarshal a fresh copy."""
+        value = payload.value
+        if isinstance(value, _ByValue):
+            value = unmarshal(value.blob, self._stub_factory)
+        return value
+
+    def _isolate_call(
+        self, args: "tuple[Any, ...]", kwargs: "dict[str, Any]"
+    ) -> "tuple[tuple[Any, ...], dict[str, Any]]":
+        """Isolate an argument list exactly as ``marshal_call`` would.
+
+        The fast path — no keywords, immutable positional tree — shares
+        the tuple outright; anything else round-trips through the
+        pickler (stubs travel by ref and re-attach, mobile instances
+        refuse, both as on the wire).
+        """
+        args = tuple(args)
+        if not kwargs and _plain_immutable(args):
+            return args, {}
+        isolated = unmarshal(marshal((args, dict(kwargs))), self._stub_factory)
+        return isolated[0], isolated[1]
+
+    def _isolate_error(self, error: BaseException) -> BaseException:
+        """Re-create a delivered error the way the wire would.
+
+        A wire caller receives an exception *reconstructed from bytes*:
+        no live ``__cause__`` chain, no shared state with the servant.
+        An error whose state refuses to pickle is delivered as-is — the
+        wire substitutes a summary there, and a shared traceback string
+        beats losing the failure entirely.
+        """
+        try:
+            isolated = unmarshal(marshal(error), self._stub_factory)
+        except MarshalError:
+            return error
+        return isolated if isinstance(isolated, BaseException) else error

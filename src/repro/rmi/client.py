@@ -1,15 +1,30 @@
-"""Client-side RMI: turning stubs' method calls into INVOKE messages."""
+"""Client-side RMI: turning stubs' method calls into INVOKE messages.
+
+Since the same-host fast paths landed, the client also owns the
+per-namespace **location cache** (tier 3 of the locality ladder): a
+``name -> node_id`` map fed by the MAGE registry's location funnel
+(forwarding hints, move commits, membership announcements) and evicted
+when hosts die, so each call picks its tier — in-process bypass, cached
+remote host, or the ref's own address — without a registry lookup on the
+hot path.  The cache is only wired up on transports that support the
+bypass; on the simulated network every call keeps the exact pre-cache
+routing (and therefore the exact figure traces).
+"""
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
+from repro.errors import NoSuchObjectError
 from repro.net.deadline import Deadline
 from repro.net.message import MessageKind
 from repro.net.transport import CallFuture, Transport
 from repro.rmi.marshal import marshal_call, unmarshal
 from repro.rmi.protocol import InvokeRequest
 from repro.rmi.stub import RemoteRef, Stub
+
+if TYPE_CHECKING:
+    from repro.rmi.bypass import LocalDispatch
 
 
 class RmiClient:
@@ -23,10 +38,90 @@ class RmiClient:
     def __init__(self, node_id: str, transport: Transport) -> None:
         self.node_id = node_id
         self._transport = transport
+        #: Tier-1 dispatcher, attached by the namespace when the
+        #: transport supports the in-process bypass; ``None`` keeps the
+        #: classic wire-only behaviour.
+        self._local: "LocalDispatch | None" = None
+        #: Tier-3 location cache: ``name -> node_id``.  Written under the
+        #: GIL by registry listeners (plain dict ops are atomic enough for
+        #: a cache whose worst staleness is one redirected call) and read
+        #: lock-free on the invoke hot path.
+        self._locations: dict[str, str] = {}
+
+    # -- locality ladder -------------------------------------------------------
+
+    def attach_local(self, dispatch: "LocalDispatch") -> None:
+        """Enable the in-process bypass (and with it, cache routing)."""
+        self._local = dispatch
+
+    @property
+    def local_hits(self) -> int:
+        """How many invocations took the in-process bypass."""
+        return 0 if self._local is None else self._local.hits
+
+    def note_location(self, name: str, node_id: str) -> None:
+        """Location-funnel feed: ``name`` was last seen at ``node_id``."""
+        self._locations[name] = node_id
+
+    def forget_location(self, name: str) -> None:
+        """Invalidate one cache entry (stale redirect, moved object)."""
+        self._locations.pop(name, None)
+
+    def evict_locations(self, node_id: str) -> int:
+        """Drop every cache entry pointing at a dead/evicted host."""
+        stale = [name for name, where in list(self._locations.items())
+                 if where == node_id]
+        for name in stale:
+            self._locations.pop(name, None)
+        return len(stale)
+
+    def cached_location(self, name: str) -> str | None:
+        """The cache's current answer (diagnostics, tests)."""
+        return self._locations.get(name)
+
+    # -- invocation ------------------------------------------------------------
 
     def invoke(self, ref: RemoteRef, method: str, args: tuple, kwargs: dict,
                deadline: Deadline | None = None) -> Any:
-        """Perform one remote invocation: marshal, send, unmarshal."""
+        """Perform one remote invocation: marshal, send, unmarshal.
+
+        A call the cache redirected away from the ref's own address gets
+        one self-healing retry: if the redirected host no longer has the
+        object, the stale entry is dropped and the call re-runs against
+        the ref — the same miss the wire path always surfaced, minus the
+        caller having to chase it.
+        """
+        redirected = self._locations.get(ref.name)
+        try:
+            return self._invoke_blocking(ref, method, args, kwargs, deadline,
+                                         redirected)
+        except NoSuchObjectError:
+            if redirected is None or redirected == ref.node_id:
+                raise
+            self.forget_location(ref.name)
+            return self._invoke_blocking(ref, method, args, kwargs, deadline,
+                                         self._locations.get(ref.name))
+
+    def _invoke_blocking(self, ref: RemoteRef, method: str, args: tuple,
+                         kwargs: dict, deadline: Deadline | None,
+                         cached: str | None) -> Any:
+        """One blocking invocation attempt down the locality ladder.
+
+        A colocated target takes the synchronous bypass — same outcomes
+        as ``try_invoke(...).result()`` without allocating a future the
+        caller would only block on; everything else (and every probe
+        miss) is the async path collected inline, exactly as before.
+        """
+        local = self._local
+        if local is not None:
+            dst = cached if cached is not None else ref.node_id
+            if dst == self.node_id:
+                outcome = local.try_invoke_sync(ref, method, args, kwargs,
+                                                deadline)
+                if outcome is not local.MISS:
+                    return outcome
+                if cached == self.node_id:
+                    self.forget_location(ref.name)
         return self.invoke_async(ref, method, args, kwargs, deadline).result()
 
     def invoke_async(self, ref: RemoteRef, method: str, args: tuple,
@@ -41,15 +136,47 @@ class RmiClient:
         exactly as in the blocking path.  ``deadline`` bounds the exchange
         end to end and propagates to the servant (``stub.futures(deadline=
         ...)`` is the proxy-level spelling).
+
+        With the locality ladder attached, the destination is chosen per
+        call: the in-process bypass when the target is in the local
+        store, else the cached location, else the ref's address.  A
+        failed bypass probe drops any stale self-pointing cache entry and
+        takes the wire exactly as before.
         """
+        local = self._local
+        cached = self._locations.get(ref.name) if local is not None else None
+        dst = cached if cached is not None else ref.node_id
+        if local is not None and dst == self.node_id:
+            future = local.try_invoke(ref, method, args, kwargs, deadline)
+            if future is not None:
+                return future
+            # Not (or no longer) here: heal the cache and take the wire.
+            if cached == self.node_id:
+                self.forget_location(ref.name)
+                dst = ref.node_id
         request = InvokeRequest(
             name=ref.name, method=method, args_blob=marshal_call(args, kwargs)
         )
         future = self._transport.call_async(
-            self.node_id, ref.node_id, MessageKind.INVOKE, request,
+            self.node_id, dst, MessageKind.INVOKE, request,
             deadline=deadline,
         )
+        if cached is not None and dst != ref.node_id:
+            # A redirected async call can't safely auto-retry (its
+            # collector may sit on a reactor thread), but it can heal the
+            # cache so the next call stops chasing the stale entry.
+            future.add_done_callback(self._invalidate_on_miss(ref.name))
         return future.map(lambda blob: unmarshal(blob, self.stub_for))
+
+    def _invalidate_on_miss(self, name: str):
+        def _check(future: CallFuture) -> None:
+            try:
+                error = future.exception(0)
+            except Exception:
+                return  # timeout/cancel race: nothing to learn
+            if isinstance(error, NoSuchObjectError):
+                self.forget_location(name)
+        return _check
 
     def stub_for(self, ref: RemoteRef) -> Stub:
         """A live stub bound to this namespace's transport."""

@@ -46,31 +46,49 @@ class Invoker:
     def handle(self, request: InvokeRequest) -> bytes:
         """Execute the request; returns the marshalled result."""
         servant = self._servant_lookup(request.name)
-        method = self._resolve_method(servant, request)
+        method = self._resolve_method(servant, request.name, request.method)
         args, kwargs = unmarshal_call(
             request.args_blob, self._stub_factory,
             context=f"INVOKE {request.name}.{request.method} on {self.node_id}",
         )
+        return marshal(self._call(servant, request.method, method, args, kwargs))
+
+    def dispatch(self, name: str, method_name: str, args: "tuple[Any, ...]",
+                 kwargs: "dict[str, Any]") -> Any:
+        """Run one invocation on a live servant, skipping the byte layer.
+
+        The in-process bypass entry (:mod:`repro.rmi.bypass`): same
+        servant lookup, method resolution, and exception envelope as
+        :meth:`handle`, but the arguments arrive already isolated and the
+        raw result is returned for the *caller* side to isolate — no
+        marshal/unmarshal here.
+        """
+        servant = self._servant_lookup(name)
+        method = self._resolve_method(servant, name, method_name)
+        return self._call(servant, method_name, method, args, kwargs)
+
+    @staticmethod
+    def _call(servant: Any, method_name: str, method: Callable[..., Any],
+              args: "tuple[Any, ...]", kwargs: "dict[str, Any]") -> Any:
         try:
-            result = method(*args, **kwargs)
+            return method(*args, **kwargs)
         except Exception as exc:
             raise RemoteInvocationError(
-                f"{type(servant).__name__}.{request.method} raised "
+                f"{type(servant).__name__}.{method_name} raised "
                 f"{type(exc).__name__}: {exc}",
                 remote_traceback=traceback.format_exc(),
             ) from exc
-        return marshal(result)
 
-    def _resolve_method(self, servant: Any,
-                        request: InvokeRequest) -> Callable[..., Any]:
-        if request.method.startswith("_"):
+    def _resolve_method(self, servant: Any, name: str,
+                        method_name: str) -> Callable[..., Any]:
+        if method_name.startswith("_"):
             raise NoSuchObjectError(
-                f"{request.name}.{request.method} (private methods are not remote)",
+                f"{name}.{method_name} (private methods are not remote)",
                 self.node_id,
             )
-        method = getattr(servant, request.method, None)
+        method = getattr(servant, method_name, None)
         if not callable(method):
             raise NoSuchObjectError(
-                f"{request.name}.{request.method}", self.node_id
+                f"{name}.{method_name}", self.node_id
             )
         return method

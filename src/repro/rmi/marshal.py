@@ -101,6 +101,39 @@ def _plain_safe(value: Any, depth: int = 0) -> bool:
     return False
 
 
+def _plain_immutable(value: Any, depth: int = 0) -> bool:
+    """True when ``value`` is an *immutable* primitive tree.
+
+    Stricter than :func:`_plain_safe`: list and dict nodes are rejected
+    (they pass the persistent-id check but are mutable), so a value
+    passing here can be handed across the in-process bypass boundary
+    without any copy — neither side can mutate what the other sees.
+    """
+    t = type(value)
+    if t in _PLAIN_SCALARS:
+        return True
+    if t is not tuple or depth >= _PLAIN_MAX_DEPTH:
+        return False
+    if len(value) > _PLAIN_MAX_ITEMS:
+        return False
+    return all(_plain_immutable(item, depth + 1) for item in value)
+
+
+def isolate(value: Any, stub_factory: StubFactory | None = None) -> Any:
+    """A by-value isolated view of ``value`` (the bypass copy boundary).
+
+    Immutable primitive trees are returned as-is — sharing them is
+    indistinguishable from copying.  Everything else pays the same
+    pickle round trip its bytes would on the wire, re-attaching stubs
+    via ``stub_factory`` exactly like :func:`unmarshal` (and raising
+    :class:`MarshalError` for mobile instances, exactly like
+    :func:`marshal`).
+    """
+    if _plain_immutable(value):
+        return value
+    return unmarshal(marshal(value), stub_factory)
+
+
 class _MarshalScratch(threading.local):
     """Per-thread reused pickler + growable buffer."""
 

@@ -365,15 +365,17 @@ class LoadQuery:
 class JoinRequest:
     """Membership: a newcomer presents itself to a seed node.
 
-    ``endpoint`` is the joiner's dialable ``(host, port)`` — ``None``
-    when the transport needs no addressing (the in-process simulated
-    network).  The seed records the newcomer in its address book,
-    answers with its own roster (``{node_id: (host, port) | None}``),
-    and ANNOUNCEs the newcomer to the other members it knows.
+    ``endpoint`` is the joiner's dialable ``(host, port)`` — extended
+    to ``(host, port, uds)`` when the joiner also listens on a
+    same-host Unix socket — or ``None`` when the transport needs no
+    addressing (the in-process simulated network).  The seed records
+    the newcomer in its address book, answers with its own roster
+    (``{node_id: (host, port[, uds]) | None}``), and ANNOUNCEs the
+    newcomer to the other members it knows.
     """
 
     node_id: str
-    endpoint: tuple[str, int] | None = None
+    endpoint: tuple | None = None
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,7 @@ stub crossing the wire arrives connected to the receiver's runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, NoReturn
 
 from repro.errors import CallTimeoutError, ConfigurationError
 from repro.net.deadline import Deadline
@@ -24,13 +24,15 @@ from repro.util.ids import validate_component_name, validate_node_id
 
 #: Client-side invocation function a stub delegates to:
 #: ``(ref, method, args, kwargs) -> result``.
-InvokeFn = Callable[["RemoteRef", str, tuple, dict], Any]
+InvokeFn = Callable[["RemoteRef", str, "tuple[Any, ...]", "dict[str, Any]"], Any]
 
 #: Future-returning variant: ``(ref, method, args, kwargs) -> CallFuture``.
 #: May additionally accept a fifth ``deadline`` argument; the stub passes
 #: it positionally only when one is bound, so four-argument invokers
 #: (hand-rolled test doubles, detached stubs) keep working.
-AsyncInvokeFn = Callable[["RemoteRef", str, tuple, dict], CallFuture]
+AsyncInvokeFn = Callable[
+    ["RemoteRef", str, "tuple[Any, ...]", "dict[str, Any]"], CallFuture
+]
 
 
 @dataclass(frozen=True)
@@ -59,7 +61,7 @@ class RemoteRef:
 
 def interface_methods(iface: type) -> tuple[str, ...]:
     """Public method names of ``iface``, for restricting a stub to an interface."""
-    names = []
+    names: list[str] = []
     for attr in dir(iface):
         if attr.startswith("_"):
             continue
@@ -68,7 +70,8 @@ def interface_methods(iface: type) -> tuple[str, ...]:
     return tuple(sorted(names))
 
 
-def _bound_remote_method(ref: RemoteRef, method: str, call_fn: Callable,
+def _bound_remote_method(ref: RemoteRef, method: str,
+                         call_fn: Callable[..., Any],
                          deadline: Deadline | None = None) -> Callable[..., Any]:
     """One rule for turning attribute access into a bound remote method.
 
@@ -141,6 +144,13 @@ class Stub:
     # can distinguish internals from (disallowed) remote field writes.
     _INTERNALS = frozenset({"_ref", "_invoke_fn", "_invoke_async_fn"})
 
+    # Declared so the internals keep their real types even though the
+    # fallback __getattr__ types every unknown attribute as a remote
+    # method; assignment happens via object.__setattr__ in __init__.
+    _ref: RemoteRef
+    _invoke_fn: InvokeFn
+    _invoke_async_fn: AsyncInvokeFn | None
+
     def __init__(self, ref: RemoteRef, invoke_fn: InvokeFn,
                  invoke_async_fn: AsyncInvokeFn | None = None) -> None:
         object.__setattr__(self, "_ref", ref)
@@ -164,8 +174,9 @@ class Stub:
         if invoke_async_fn is None:
             invoke_fn = object.__getattribute__(self, "_invoke_fn")
 
-            def eager(ref: RemoteRef, method: str, args: tuple,
-                      kwargs: dict, deadline: Deadline | None = None) -> CallFuture:
+            def eager(ref: RemoteRef, method: str, args: "tuple[Any, ...]",
+                      kwargs: "dict[str, Any]",
+                      deadline: Deadline | None = None) -> CallFuture:
                 future = CallFuture(f"{ref}.{method}")
                 if deadline is not None and deadline.expired:
                     future._fail(CallTimeoutError(
@@ -206,7 +217,7 @@ class Stub:
     def __repr__(self) -> str:
         return f"Stub({self._ref})"
 
-    def __reduce__(self):
+    def __reduce__(self) -> NoReturn:
         # Stubs never pickle directly: the marshalling layer intercepts them
         # via its persistent-id hook and ships only the ref.  Reaching this
         # line means someone bypassed repro.rmi.marshal.
@@ -226,7 +237,8 @@ def detached_stub(ref: RemoteRef) -> Stub:
     a test); real namespaces pass a live ``invoke_fn`` instead.
     """
 
-    def refuse(_ref: RemoteRef, method: str, args: tuple, kwargs: dict) -> Any:
+    def refuse(_ref: RemoteRef, method: str, args: "tuple[Any, ...]",
+               kwargs: "dict[str, Any]") -> Any:
         raise DetachedStubError(
             f"stub for {_ref} is detached; it can only be invoked after "
             "being received by a namespace"

@@ -114,6 +114,11 @@ class MageExternalServer:
             MessageKind.ANNOUNCE: self._on_announce,
         }
 
+    @property
+    def invoker(self) -> Invoker:
+        """This node's dispatch invoker (shared with the local bypass)."""
+        return self._invoker
+
     def install_agent_handlers(self, hop: AgentHandler, launch: AgentHandler) -> None:
         """Called by the agent manager when it attaches to this node."""
         self._agent_handler = hop

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.net.transport import Transport
+from repro.rmi.bypass import LocalDispatch
 from repro.rmi.client import RmiClient
 from repro.rmi.naming import Naming
 from repro.rmi.registry import RmiRegistry
@@ -118,6 +119,18 @@ class Namespace:
             stub_factory=self.client.stub_for,
             load_provider=self._get_load,
         )
+        if getattr(transport, "supports_local_bypass", False):
+            # Same-host fast paths: attach the tier-1 in-process dispatcher
+            # and feed the client's tier-3 location cache from the
+            # registry's location funnel.  Gated on the transport so the
+            # simulated network keeps its exact pre-bypass call path (and
+            # byte-identical figure traces).
+            self.client.attach_local(LocalDispatch(
+                node_id, transport, self.store, self.external.invoker,
+                self.client.stub_for,
+            ))
+            self.registry.add_location_listener(self.client.note_location)
+            self.registry.add_eviction_listener(self.client.evict_locations)
         #: Filled in lazily by :func:`repro.core.agents.agent_manager_for`.
         self.agents = None
         self._running = False

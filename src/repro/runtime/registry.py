@@ -20,6 +20,7 @@ collapsing, which the ablation bench can disable.
 from __future__ import annotations
 
 import threading
+from typing import Callable
 
 from repro.errors import ComponentNotFoundError
 from repro.net.message import MessageKind
@@ -85,6 +86,13 @@ class MageRegistry:
         self.path_collapsing = path_collapsing
         self._shards = tuple(_HintShard() for _ in range(_HINT_SHARDS))
         self.chain_walks = 0   # remote FIND fan-outs issued (ablation metric)
+        #: Location observers: every note_location (the single funnel all
+        #: arrivals, departures, hints, and move commits flow through)
+        #: fans out to these, and evict_hints mirrors to the eviction
+        #: list.  The RMI client's tier-3 location cache subscribes here
+        #: when the transport supports same-host fast paths.
+        self._location_listeners: list[Callable[[str, str], None]] = []
+        self._eviction_listeners: list[Callable[[str], None]] = []
 
     def _shard(self, name: str) -> _HintShard:
         return self._shards[hash(name) % _HINT_SHARDS]
@@ -99,9 +107,31 @@ class MageRegistry:
         """An object just left for ``to_node``; keep a forwarding address."""
         self.note_location(name, to_node)
 
+    def add_location_listener(self, listener: Callable[[str, str], None]) -> None:
+        """Observe every location the funnel learns (``(name, node_id)``)."""
+        self._location_listeners.append(listener)
+
+    def add_eviction_listener(self, listener: Callable[[str], None]) -> None:
+        """Observe hint evictions (``node_id`` whose hints were dropped)."""
+        self._eviction_listeners.append(listener)
+
     def note_location(self, name: str, node_id: str) -> None:
         """Record learned knowledge of where ``name`` lives."""
         self._shard(name).note(name, node_id)
+        for listener in self._location_listeners:
+            listener(name, node_id)
+
+    def observe_location(self, name: str, node_id: str) -> None:
+        """Tell the listeners without touching the forwarding table.
+
+        For signals the hint table deliberately ignores (a sequential
+        lock chase's ``LockMovedError`` redirect, historically not a
+        hint write): the tier-3 cache still wants them, but writing the
+        shard here would change find behaviour every transport — and
+        every figure trace — has always had.
+        """
+        for listener in self._location_listeners:
+            listener(name, node_id)
 
     def forwarding_hint(self, name: str) -> str | None:
         """Last known location of ``name`` (None when never seen here)."""
@@ -126,9 +156,12 @@ class MageRegistry:
         before falling back.  Evicted names resolve through their origin
         hint (or a fresh walk) instead.  Returns how many were evicted.
         """
-        return sum(
+        evicted = sum(
             shard.evict_pointing_at(node_id) for shard in self._shards
         )
+        for listener in self._eviction_listeners:
+            listener(node_id)
+        return evicted
 
     # -- resolution -------------------------------------------------------------
 

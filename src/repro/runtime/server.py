@@ -687,6 +687,10 @@ class MageServer:
                 ))
             except LockMovedError as exc:
                 location = exc.new_location
+                # Feed the redirect to the location listeners (tier-3
+                # cache) without writing the hint table — the sequential
+                # chase never did, and find behaviour must not change.
+                self.registry.observe_location(name, location)
             except CallTimeoutError as exc:
                 raise LockTimeoutError(
                     f"lock on {name!r} at {location!r}: {exc}"

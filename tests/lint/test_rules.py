@@ -35,7 +35,7 @@ def lint_snippet(tmp_path: Path, code: str, rel_path: str = DEFAULT_REL,
 
 def test_every_rule_is_registered():
     ids = sorted(rule.id for rule in ALL_RULES)
-    assert ids == [f"MAGE00{i}" for i in range(1, 10)]
+    assert ids == [f"MAGE{i:03d}" for i in range(1, 11)]
     for rule in ALL_RULES:
         assert rule.title and rule.rationale, f"{rule.id} lacks docs"
         assert rule.explain().startswith(rule.id)
@@ -601,6 +601,63 @@ def test_mage009_members_mirror_runtime_inline_kinds():
     from magelint.rules.mage009_inline_blocking import INLINE_MEMBERS
 
     assert INLINE_MEMBERS == {kind.name for kind in INLINE_KINDS}
+
+
+# ---------------------------------------------------------------------------
+# MAGE010 — direct servant-method calls outside the sanctioned bypass
+# ---------------------------------------------------------------------------
+
+
+def test_mage010_flags_direct_servant_call(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        class Sneaky:
+            def poke(self, name):
+                servant = self._store.get(name)
+                return servant.update(self._pending)
+    """, rule="MAGE010")
+    assert len(findings) == 1
+    assert findings[0].symbol == "servant.update"
+    assert "copy semantics" in findings[0].message
+
+
+def test_mage010_flags_record_obj_chain(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        class Sneakier:
+            def poke(self, name):
+                record = self._store.lookup(name)
+                return record.obj.refresh()
+    """, rule="MAGE010")
+    assert len(findings) == 1
+
+
+def test_mage010_clean_near_misses(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        class Honest:
+            def lookup_only(self, name):
+                # Pulling the servant out without calling it: migration
+                # and pickling paths do this legitimately.
+                return self._store.get(name)
+
+            def via_invoker(self, name, args, kwargs):
+                # The sanctioned dispatch: isolation happens inside.
+                return self._invoker.dispatch(name, "update", args, kwargs)
+
+            def unrelated_get(self, name):
+                # A .get() on something that is not an object store.
+                entry = self._cache.get(name)
+                return entry.refresh()
+    """, rule="MAGE010")
+    assert findings == []
+
+
+def test_mage010_sanctioned_modules_stay_clean(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        class LocalDispatch:
+            def _handle(self, name, method, args, kwargs):
+                servant = self._store.get(name)
+                return servant.update(args)
+    """, rel_path="src/repro/rmi/bypass.py", rule="MAGE010")
+    assert findings == []
 
 
 # ---------------------------------------------------------------------------

@@ -134,9 +134,33 @@ class TestFrameFormat:
 class TestTcpNegotiation:
     @pytest.fixture
     def net(self):
-        net = TcpNetwork(compress_threshold=1024)
+        # uds=False: negotiation is a *wire* concern, and a same-host
+        # Unix-socket channel deliberately skips compression (bandwidth
+        # there is free); force TCP so these tests see the network path.
+        net = TcpNetwork(compress_threshold=1024, uds=False)
         yield net
         net.shutdown()
+
+    def test_same_host_channel_skips_compression(self, monkeypatch):
+        """A provably same-machine (Unix-socket) channel never compresses,
+        even for a peer that negotiated zlib — the codec saves network
+        bandwidth the channel does not consume."""
+        net = TcpNetwork(compress_threshold=1024)  # uds on by default
+        try:
+            big = b"state" * 100_000
+            net.register("src", lambda m: "ok")
+            net.register("modern", lambda m: len(m.payload))
+            compressions = []
+            real_encode = codec.encode
+            monkeypatch.setattr(
+                codec, "encode",
+                lambda ident, blob: compressions.append(ident)
+                or real_encode(ident, blob),
+            )
+            assert net.call("src", "modern", MessageKind.INVOKE, big) == len(big)
+            assert compressions == []
+        finally:
+            net.shutdown()
 
     def test_registration_advertises_local_codecs(self, net):
         net.register("n1", lambda m: "ok")

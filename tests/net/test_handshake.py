@@ -132,8 +132,10 @@ class TestAddressBook:
 class TestHandshake:
     def test_codec_negotiation_happens_on_the_wire(self, nets, monkeypatch):
         """Two transports that share no registry still compress toward
-        each other — the advertisement crossed in the HELLO frames."""
-        a, b = nets(), nets()
+        each other — the advertisement crossed in the HELLO frames.
+        (uds=False: a same-host Unix-socket channel would skip
+        compression outright; force TCP to observe the negotiated path.)"""
+        a, b = nets(uds=False), nets(uds=False)
         a.register("hub", lambda m: "ok")
         b.register("worker", lambda m: len(m.payload))
         link(a, "hub", b, "worker")

@@ -18,6 +18,7 @@ from magelint.rules.mage006_kind_exhaustive import KindExhaustiveRule
 from magelint.rules.mage007_shared_mutation import SharedMutationRule
 from magelint.rules.mage008_wire_coverage import WireCoverageRule
 from magelint.rules.mage009_inline_blocking import InlineBlockingRule
+from magelint.rules.mage010_servant_call import ServantCallRule
 
 ALL_RULES: tuple[Rule, ...] = (
     LockBlockingRule(),
@@ -29,6 +30,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SharedMutationRule(),
     WireCoverageRule(),
     InlineBlockingRule(),
+    ServantCallRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,141 @@
+"""MAGE010 — direct servant-method calls outside the sanctioned bypass."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from magelint.findings import Finding
+from magelint.rules.base import ModuleContext, ProgramFacts, Rule, attr_chain
+
+#: The modules allowed to call servant methods directly: the invoker (the
+#: wire path's dispatcher — its inputs already crossed the pickle
+#: boundary) and the local-bypass module (which performs the equivalent
+#: isolation itself and documents the contract).
+SANCTIONED = ("rmi/invoker.py", "rmi/bypass.py")
+
+#: Store accessors whose result is a live servant (``get``) or a servant
+#: record whose ``.obj`` is one (``lookup``/``record``).
+_SERVANT_ACCESSORS = frozenset({"get"})
+_RECORD_ACCESSORS = frozenset({"lookup", "record"})
+
+#: Lookup helpers that hand back a live servant directly.
+_SERVANT_HELPERS = frozenset({"_lookup_servant", "_servant_lookup"})
+
+
+class ServantCallRule(Rule):
+    id = "MAGE010"
+    title = "servant method called directly, skipping marshal isolation"
+    rationale = """
+Arguments and results of a remote invocation cross the RMI boundary *by
+value*: the marshal layer's copy semantics are what let a servant mutate
+its arguments (or retain them) without entangling itself with a caller's
+live objects.  Code that pulls a servant out of the ``ObjectStore`` and
+calls a method on it directly shares references across that boundary —
+a mutation on either side silently leaks to the other, the class of bug
+the whole marshal layer exists to prevent, and one that only surfaces
+when a caller happens to reuse the mutated object.  The in-process
+bypass (``rmi/bypass.py``) is the sanctioned way to make a colocated
+call cheap: it isolates arguments and results exactly as the wire
+would.  Everything else must go through the invoker or a stub.
+"""
+    example_bad = """
+servant = self._store.get(name)
+servant.update(self._pending)   # live reference crosses the boundary
+"""
+    example_good = """
+stub = self.client.stub_for(RemoteRef(self.node_id, name))
+stub.update(self._pending)      # by-value, bypass makes it cheap
+"""
+
+    # -- pass 1: collect ----------------------------------------------------
+
+    def collect(self, module: ModuleContext, facts: ProgramFacts) -> None:
+        sites: list[tuple[str, int, str]] = facts.setdefault(
+            "servants:call_sites", [])
+        if module.path.endswith(SANCTIONED):
+            return
+        servant_vars: set[str] = set()
+        record_vars: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                target = node.targets[0].id
+                if self._is_servant_expr(node.value, record_vars):
+                    servant_vars.add(target)
+                elif _store_accessor(node.value) in _RECORD_ACCESSORS:
+                    record_vars.add(target)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr.startswith("__"):
+                continue  # dunder protocol hooks, not remote methods
+            base = func.value
+            direct = self._is_servant_expr(base, record_vars)
+            via_var = isinstance(base, ast.Name) and base.id in servant_vars
+            if not (direct or via_var):
+                continue
+            anchor = base.id if isinstance(base, ast.Name) else "<servant>"
+            sites.append((
+                module.path, node.lineno, f"{anchor}.{func.attr}"
+            ))
+
+    @staticmethod
+    def _is_servant_expr(node: ast.AST, record_vars: set[str]) -> bool:
+        """Whether ``node`` evaluates to a live servant object."""
+        if isinstance(node, ast.Call):
+            accessor = _store_accessor(node)
+            if accessor in _SERVANT_ACCESSORS:
+                return True
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "")
+            if name in _SERVANT_HELPERS:
+                return True
+        if isinstance(node, ast.Attribute) and node.attr == "obj":
+            base = node.value
+            if isinstance(base, ast.Name) and base.id in record_vars:
+                return True
+            if _store_accessor(base) in _RECORD_ACCESSORS:
+                return True
+        return False
+
+    # -- pass 2: judge ------------------------------------------------------
+
+    def check_program(self, facts: ProgramFacts) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for path, lineno, symbol in facts.get("servants:call_sites", []):
+            findings.append(Finding(
+                rule=self.id,
+                path=path,
+                line=lineno,
+                symbol=symbol,
+                message=(
+                    f"`{symbol}(...)` calls a servant pulled from the "
+                    f"object store directly — arguments and results skip "
+                    f"the marshal layer's copy semantics, so mutations "
+                    f"leak across the RMI boundary; route the call "
+                    f"through a stub (the in-process bypass keeps it "
+                    f"cheap) or the invoker"
+                ),
+            ))
+        return findings
+
+
+def _store_accessor(node: ast.AST) -> str | None:
+    """``"get"``/``"lookup"``/``"record"`` for a call on an object store."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    chain = attr_chain(func.value)
+    if not chain:
+        return None
+    last = chain.rsplit(".", 1)[-1]
+    if last in ("store", "_store") or last.endswith("_store"):
+        return func.attr
+    return None
